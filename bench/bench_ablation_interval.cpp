@@ -1,0 +1,44 @@
+// Ablation: the signature interval ("every 10 or more seconds", §III).
+//
+// Shorter windows converge the uncore search faster (each step needs one
+// signature) but read noisier power (the INM counter publishes once per
+// second); longer windows waste run time at unconverged settings.
+#include "bench_util.hpp"
+
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace ear;
+  bench::banner("Ablation: signature interval (bt-mz.d, ME+eU 5%/2%)");
+
+  const workload::AppModel app = workload::make_app("bt-mz.d");
+  sim::ExperimentConfig ref_cfg{.app = app,
+                                .earl = sim::settings_no_policy(),
+                                .seed = bench::kSeed};
+  const auto ref = sim::run_averaged(ref_cfg, bench::kRuns);
+
+  common::AsciiTable table;
+  table.columns({"interval (s)", "signatures", "avg IMC", "time penalty",
+                 "energy saving"});
+  for (double interval : {4.0, 10.0, 20.0, 40.0}) {
+    earl::EarlSettings settings = sim::settings_me_eufs(0.05, 0.02);
+    settings.signature_interval_s = interval;
+    sim::ExperimentConfig cfg{.app = app, .earl = settings,
+                              .seed = bench::kSeed};
+    const auto one = sim::run_experiment(cfg);
+    const auto avg = sim::run_averaged(cfg, bench::kRuns);
+    const auto c = sim::compare(ref, avg);
+    table.add_row({common::AsciiTable::num(interval, 0),
+                   std::to_string(one.nodes.front().signatures),
+                   common::AsciiTable::ghz(avg.avg_imc_ghz),
+                   common::AsciiTable::pct(c.time_penalty_pct),
+                   common::AsciiTable::pct(c.energy_saving_pct)});
+  }
+  table.print();
+  std::printf(
+      "Expected: the paper's 10 s default sits at the knee — faster\n"
+      "windows gain little further energy; 40 s windows leave the run\n"
+      "half-finished before the search settles (lower average saving).\n");
+  bench::footer();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: measurement-noise sensitivity of the explicit UFS search.
+//
+// The CPI/GB-s guards compare signatures across windows; run-to-run noise
+// can trip them early (losing savings) or late (overshooting the penalty
+// budget). Sweeps the simulator's noise sigma and reports where the
+// search lands and what it costs.
+#include "bench_util.hpp"
+
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace ear;
+  bench::banner("Ablation: noise sensitivity of the eUFS search "
+                "(bt-mz.d, cpu 5%, unc 2%)");
+
+  const workload::AppModel app = workload::make_app("bt-mz.d");
+
+  common::AsciiTable table;
+  table.columns({"time sigma", "avg IMC (GHz)", "time penalty",
+                 "energy saving"});
+  for (double sigma : {0.0, 0.002, 0.004, 0.008, 0.016}) {
+    const simhw::NoiseModel noise{.time_sigma = sigma,
+                                  .power_sigma = sigma};
+    sim::ExperimentConfig ref_cfg{.app = app,
+                                  .earl = sim::settings_no_policy(),
+                                  .seed = bench::kSeed,
+                                  .noise = noise};
+    sim::ExperimentConfig cfg{.app = app,
+                              .earl = sim::settings_me_eufs(0.05, 0.02),
+                              .seed = bench::kSeed,
+                              .noise = noise};
+    const auto ref = sim::run_averaged(ref_cfg, 5);
+    const auto res = sim::run_averaged(cfg, 5);
+    const auto c = sim::compare(ref, res);
+    table.add_row({common::AsciiTable::num(sigma, 3),
+                   common::AsciiTable::ghz(res.avg_imc_ghz),
+                   common::AsciiTable::pct(c.time_penalty_pct),
+                   common::AsciiTable::pct(c.energy_saving_pct)});
+  }
+  table.print();
+  std::printf(
+      "Expected: the search is stable through realistic noise (<=0.8%%);\n"
+      "strong noise (1.6%%) fakes CPI degradations, halting the descent\n"
+      "early and costing part of the energy saving — the reason the paper\n"
+      "computes signatures over >=10 s windows.\n");
+  bench::footer();
+  return 0;
+}

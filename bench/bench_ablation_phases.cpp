@@ -1,0 +1,49 @@
+// Ablation: the 15% signature-change threshold (§V-B item 6).
+//
+// A two-phase application (compute-heavy then memory-heavy) is run with
+// different signature-change thresholds. Too small: the policy churns
+// (restarts on noise). Too large: it never notices the phase change and
+// keeps a stale selection.
+#include "bench_util.hpp"
+
+#include "sim/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace ear;
+  bench::banner("Ablation: signature-change threshold on a phase-changing "
+                "app");
+
+  const auto cfg = simhw::make_skylake_6148_node();
+  const workload::AppModel app = workload::make_phase_change_app(cfg, 120);
+
+  sim::ExperimentConfig ref_cfg{.app = app,
+                                .earl = sim::settings_no_policy(),
+                                .seed = bench::kSeed};
+  const auto ref = sim::run_averaged(ref_cfg, bench::kRuns);
+
+  common::AsciiTable table;
+  table.columns({"sig_change_th", "signatures", "time penalty",
+                 "energy saving"});
+  for (double th : {0.03, 0.15, 0.60}) {
+    earl::EarlSettings settings = sim::settings_me_eufs(0.05, 0.02);
+    settings.policy_settings.sig_change_th = th;
+    sim::ExperimentConfig cfg2{.app = app, .earl = settings,
+                               .seed = bench::kSeed};
+    const auto one = sim::run_experiment(cfg2);
+    const auto avg = sim::run_averaged(cfg2, bench::kRuns);
+    const auto c = sim::compare(ref, avg);
+    table.add_row({common::AsciiTable::num(th, 2),
+                   std::to_string(one.nodes.front().signatures),
+                   common::AsciiTable::pct(c.time_penalty_pct),
+                   common::AsciiTable::pct(c.energy_saving_pct)});
+  }
+  table.print();
+  std::printf(
+      "Expected: the paper's 15%% setting re-applies the policy exactly\n"
+      "once (at the phase boundary); 3%% churns on noise without gaining\n"
+      "energy; 60%% misses the phase change and keeps a selection tuned\n"
+      "for the wrong phase.\n");
+  bench::footer();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension bench (paper §VIII): "we are also evaluating the potential
+// impact on high communication intensive applications". Sweeps the MPI
+// communication share of an otherwise fixed workload and reports what
+// explicit UFS finds at each point.
+#include "bench_util.hpp"
+
+#include "sim/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace ear;
+  bench::banner("Extension: communication intensity sweep "
+                "(ME+eU, cpu 5%, unc 2%)");
+
+  const auto node = simhw::make_skylake_6148_node();
+  common::AsciiTable table;
+  table.columns({"comm share", "HW IMC (no policy)", "eUFS IMC",
+                 "time penalty", "power saving", "energy saving"});
+  for (double comm : {0.0, 0.15, 0.30, 0.45, 0.60}) {
+    workload::SyntheticSpec spec;
+    spec.iter_seconds = 1.0;
+    spec.cpi_core = 0.5;
+    spec.gbps = 15.0;
+    spec.stall_share = 0.2;
+    spec.uncore_share = 0.5;
+    spec.comm_fraction = comm;
+    spec.iterations = 150;
+    const auto app =
+        workload::make_synthetic_app(node, spec, "comm-sweep");
+    const auto ref = bench::run(app, sim::settings_no_policy());
+    const auto eu = bench::run(app, sim::settings_me_eufs(0.05, 0.02));
+    const auto c = sim::compare(ref, eu);
+    table.add_row({common::AsciiTable::num(comm, 2),
+                   common::AsciiTable::ghz(ref.avg_imc_ghz),
+                   common::AsciiTable::ghz(eu.avg_imc_ghz),
+                   common::AsciiTable::pct(c.time_penalty_pct),
+                   common::AsciiTable::pct(c.power_saving_pct),
+                   common::AsciiTable::pct(c.energy_saving_pct)});
+  }
+  table.print();
+  std::printf(
+      "Expected: communication dilutes both the penalty (wait time does\n"
+      "not scale with either clock) and the uncore's latency cost, so\n"
+      "eUFS descends deeper at higher comm shares; past ~50%% the HW loop\n"
+      "itself starts parking the uncore (relaxed-wait rule) and the\n"
+      "explicit search's *additional* saving shrinks — the open question\n"
+      "the paper flags for future work.\n");
+  bench::footer();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 5: GROMACS(I) — the HW-guided search (ME+eU) vs the non-guided
+// search from the maximum (ME+NG-U), at cpu_policy_th 3% and 5%
+// (unc_policy_th 2%). The paper uses this figure to justify the
+// HW-guided default.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ear;
+  bench::banner("Fig. 5: GROMACS(I) — guided vs non-guided uncore search");
+
+  const workload::AppModel app = workload::make_app("gromacs-i");
+  const auto ref = bench::run(app, sim::settings_no_policy());
+
+  common::AsciiTable table;
+  table.columns({"config", "time penalty", "power saving", "energy saving",
+                 "GB/s penalty", "ratio"});
+  for (double cpu : {0.03, 0.05}) {
+    char label[64];
+    const auto me = bench::run(app, sim::settings_me(cpu));
+    std::snprintf(label, sizeof label, "ME %.0f%%", cpu * 100);
+    sim::add_comparison_row(table, label, sim::compare(ref, me));
+    const auto ng = bench::run(app, sim::settings_me_ngufs(cpu, 0.02));
+    std::snprintf(label, sizeof label, "ME+NG-U %.0f%%", cpu * 100);
+    sim::add_comparison_row(table, label, sim::compare(ref, ng));
+    const auto eu = bench::run(app, sim::settings_me_eufs(cpu, 0.02));
+    std::snprintf(label, sizeof label, "ME+eU %.0f%%", cpu * 100);
+    sim::add_comparison_row(table, label, sim::compare(ref, eu));
+    table.add_separator();
+  }
+  table.print();
+  std::printf(
+      "Paper reference: energy saving up to 7.32%% (cpu 3%%) and 8.17%%\n"
+      "(cpu 5%%) with ME+eU — savings 7x and 3x the time penalty; both\n"
+      "explicit-UFS variants beat ME, and the guided start converges in\n"
+      "fewer signatures than NG-U (see bench_ablation_search).\n");
+  bench::footer();
+  return 0;
+}

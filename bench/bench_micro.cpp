@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark): runtime costs of the EAR components
+// that sit on the application's critical path — DynAIS per-event cost,
+// signature computation, model prediction, policy invocation — plus the
+// simulator's own iteration cost.
+#include <benchmark/benchmark.h>
+
+#include "dynais/dynais.hpp"
+#include "metrics/accumulator.hpp"
+#include "policies/min_energy_eufs.hpp"
+#include "policies/registry.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "workload/catalog.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace ear;
+
+void BM_DynaisPush(benchmark::State& state) {
+  dynais::Dynais dyn;
+  const std::uint32_t pattern[] = {101, 102, 102, 103, 104, 102};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dyn.push(pattern[i % 6]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynaisPush);
+
+void BM_DynaisPushNonPeriodic(benchmark::State& state) {
+  dynais::Dynais dyn;
+  std::uint32_t e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dyn.push(e++));  // worst case: full search
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynaisPushNonPeriodic);
+
+void BM_PerfModelEvaluate(benchmark::State& state) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  const auto demand = workload::make_demand(cfg, workload::SyntheticSpec{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simhw::evaluate_iteration(
+        cfg, demand, common::Freq::ghz(2.4), common::Freq::ghz(2.0)));
+  }
+}
+BENCHMARK(BM_PerfModelEvaluate);
+
+void BM_NodeIteration(benchmark::State& state) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  simhw::SimNode node(cfg, 1);
+  const auto demand = workload::make_demand(cfg, workload::SyntheticSpec{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.execute_iteration(demand));
+  }
+}
+BENCHMARK(BM_NodeIteration);
+
+void BM_SignatureComputation(benchmark::State& state) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  simhw::SimNode node(cfg, 1);
+  const auto demand = workload::make_demand(cfg, workload::SyntheticSpec{});
+  const auto begin = metrics::Snapshot::take(node);
+  for (int i = 0; i < 10; ++i) node.execute_iteration(demand);
+  const auto end = metrics::Snapshot::take(node);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::compute_signature(begin, end, 10));
+  }
+}
+BENCHMARK(BM_SignatureComputation);
+
+void BM_ModelPredict(benchmark::State& state) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  const auto& learned = sim::cached_models(cfg);
+  metrics::Signature sig;
+  sig.valid = true;
+  sig.iter_time_s = 1.0;
+  sig.cpi = 0.6;
+  sig.tpi = 0.02;
+  sig.vpi = 0.4;
+  sig.dc_power_w = 320.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learned.avx512->predict(sig, 1, 7));
+  }
+}
+BENCHMARK(BM_ModelPredict);
+
+void BM_PolicyApply(benchmark::State& state) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  const auto& learned = sim::cached_models(cfg);
+  policies::PolicyContext ctx{.pstates = cfg.pstates,
+                              .uncore = cfg.uncore,
+                              .model = learned.avx512,
+                              .settings = {}};
+  auto policy = policies::make_policy("min_energy_eufs", std::move(ctx));
+  metrics::Signature sig;
+  sig.valid = true;
+  sig.iter_time_s = 1.0;
+  sig.cpi = 0.6;
+  sig.tpi = 0.02;
+  sig.gbps = 40.0;
+  sig.dc_power_w = 320.0;
+  sig.avg_imc_freq_ghz = 2.39;
+  for (auto _ : state) {
+    policies::NodeFreqs out;
+    benchmark::DoNotOptimize(policy->apply(sig, out));
+    policy->restart();
+  }
+}
+BENCHMARK(BM_PolicyApply);
+
+void BM_FullExperimentBtMzC(benchmark::State& state) {
+  const auto app = workload::make_app("bt-mz.c.omp");
+  (void)sim::cached_models(app.node_config);  // exclude learning
+  for (auto _ : state) {
+    sim::ExperimentConfig cfg{.app = app,
+                              .earl = sim::settings_me_eufs(0.05, 0.02),
+                              .seed = 7};
+    benchmark::DoNotOptimize(sim::run_experiment(cfg));
+  }
+}
+BENCHMARK(BM_FullExperimentBtMzC)->Unit(benchmark::kMillisecond);
+
+void BM_LearningPhase(benchmark::State& state) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::learn_models(cfg));
+  }
+}
+BENCHMARK(BM_LearningPhase)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

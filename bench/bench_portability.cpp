@@ -1,0 +1,74 @@
+// Extension bench: architecture portability (the paper's conclusions
+// point at newer generations). The whole stack — learning phase, AVX512
+// model, policies, searches — is driven by the NodeConfig tables; this
+// bench runs the same synthetic workload mix on the Skylake testbed node
+// and an Ice Lake-style node and compares what explicit UFS finds.
+#include "bench_util.hpp"
+
+#include "sim/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace ear;
+
+void run_on(const simhw::NodeConfig& node, const char* label) {
+  struct Mix {
+    const char* name;
+    workload::SyntheticSpec spec;
+  };
+  workload::SyntheticSpec cpu;
+  cpu.cpi_core = 0.4;
+  cpu.gbps = 10.0;
+  cpu.stall_share = 0.12;
+  cpu.uncore_share = 0.5;
+  cpu.iterations = 120;
+  workload::SyntheticSpec mem;
+  mem.cpi_core = 0.8;
+  mem.gbps = 160.0;
+  mem.stall_share = 0.6;
+  mem.uncore_share = 0.35;
+  mem.iterations = 120;
+  workload::SyntheticSpec avx;
+  avx.cpi_core = 0.45;
+  avx.gbps = 80.0;
+  avx.stall_share = 0.2;
+  avx.vpi = 1.0;
+  avx.iterations = 120;
+
+  common::AsciiTable table(label);
+  table.columns({"workload", "time penalty", "power saving",
+                 "energy saving", "avg CPU", "avg IMC"});
+  for (const Mix& m : {Mix{"cpu-bound", cpu}, Mix{"memory-bound", mem},
+                       Mix{"avx512", avx}}) {
+    workload::SyntheticSpec spec = m.spec;
+    spec.active_cores = node.total_cores();
+    spec.power_activity = 0.35;
+    const auto app = workload::make_synthetic_app(node, spec, m.name);
+    const auto ref = bench::run(app, sim::settings_no_policy());
+    const auto eu = bench::run(app, sim::settings_me_eufs(0.05, 0.02));
+    const auto c = sim::compare(ref, eu);
+    table.add_row({m.name, common::AsciiTable::pct(c.time_penalty_pct),
+                   common::AsciiTable::pct(c.power_saving_pct),
+                   common::AsciiTable::pct(c.energy_saving_pct),
+                   common::AsciiTable::ghz(eu.avg_cpu_ghz),
+                   common::AsciiTable::ghz(eu.avg_imc_ghz)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension: architecture portability (ME+eU, cpu 5%, "
+                "unc 2%)");
+  run_on(simhw::make_skylake_6148_node(), "Skylake 6148 (paper testbed)");
+  run_on(simhw::make_icelake_8358_node(), "Ice Lake 8358-style node");
+  std::printf(
+      "Expected: the same policy logic transfers — the Ice Lake node's\n"
+      "wider uncore window (0.8 GHz floor) gives the explicit search more\n"
+      "room on cpu-bound codes, and its milder AVX512 licence (2.4 GHz)\n"
+      "reduces the uncore tracking the vector workload triggers.\n");
+  bench::footer();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table II: single-node kernel characteristics at nominal frequency with
+// hardware UFS (the "No policy" baseline the kernel evaluation uses).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ear;
+  bench::banner("Table II: single-node kernels at nominal frequency");
+
+  struct Row {
+    const char* app;
+    const char* model;
+    double paper_time, paper_cpi, paper_gbps, paper_power;
+  };
+  const Row rows[] = {
+      {"bt-mz.c.omp", "OpenMP", 145, 0.39, 28, 332},
+      {"sp-mz.c.omp", "OpenMP", 264, 0.53, 78, 358},
+      {"bt.cuda.d", "CUDA", 465, 0.49, 0.09, 305},
+      {"lu.cuda.d", "CUDA", 256, 0.54, 0.19, 290},
+      {"dgemm", "MKL", 160, 0.45, 98, 369},
+  };
+
+  common::AsciiTable table;
+  table.columns({"kernel", "model", "time (s)", "CPI", "GB/s",
+                 "avg DC power (W)"});
+  for (const Row& r : rows) {
+    const auto res = bench::run(r.app, sim::settings_no_policy());
+    table.add_row({r.app, r.model,
+                   sim::vs_paper(res.total_time_s, r.paper_time, 0),
+                   sim::vs_paper(res.cpi, r.paper_cpi),
+                   sim::vs_paper(res.gbps, r.paper_gbps),
+                   sim::vs_paper(res.avg_dc_power_w, r.paper_power, 0)});
+  }
+  table.print();
+  bench::footer();
+  return 0;
+}

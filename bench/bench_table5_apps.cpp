@@ -1,0 +1,37 @@
+// Table V: MPI application characteristics at nominal frequency.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ear;
+  bench::banner("Table V: MPI applications at nominal frequency");
+
+  struct Row {
+    const char* app;
+    double paper_time, paper_cpi, paper_gbps, paper_power;
+  };
+  const Row rows[] = {
+      {"bqcd", 130.54, 0.68, 10.98, 302.15},
+      {"bt-mz.d", 465.01, 0.38, 6.60, 320.74},
+      {"gromacs-i", 313.92, 0.48, 10.39, 319.35},
+      {"gromacs-ii", 390.60, 0.63, 13.34, 315.48},
+      {"hpcg", 169.61, 3.13, 177.45, 339.88},
+      {"pop", 1533.03, 0.72, 100.66, 347.18},
+      {"dumses", 813.21, 1.08, 119.07, 333.69},
+      {"afid", 268.22, 0.77, 115.20, 333.65},
+  };
+
+  common::AsciiTable table;
+  table.columns({"application", "time (s)", "CPI", "GB/s",
+                 "avg DC power (W)"});
+  for (const Row& r : rows) {
+    const auto res = bench::run(r.app, sim::settings_no_policy());
+    table.add_row({r.app,
+                   sim::vs_paper(res.total_time_s, r.paper_time, 0),
+                   sim::vs_paper(res.cpi, r.paper_cpi),
+                   sim::vs_paper(res.gbps, r.paper_gbps),
+                   sim::vs_paper(res.avg_dc_power_w, r.paper_power, 0)});
+  }
+  table.print();
+  bench::footer();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the table/figure reproduction benches. Each bench
+// binary regenerates one of the paper's tables or figures and prints the
+// same rows/series, annotated with the paper's published values where the
+// paper gives them.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "workload/catalog.hpp"
+
+namespace ear::bench {
+
+inline constexpr std::size_t kRuns = 3;  // the paper averages three runs
+inline constexpr std::uint64_t kSeed = 1234;
+
+/// Run an app under given settings, averaged over kRuns.
+inline sim::AveragedResult run(const workload::AppModel& app,
+                               const earl::EarlSettings& settings) {
+  sim::ExperimentConfig cfg{.app = app, .earl = settings, .seed = kSeed};
+  return sim::run_averaged(cfg, kRuns);
+}
+
+inline sim::AveragedResult run(const std::string& app_name,
+                               const earl::EarlSettings& settings) {
+  return run(workload::make_app(app_name), settings);
+}
+
+/// The standard trio the paper compares (per-app thresholds).
+struct Trio {
+  sim::AveragedResult no_policy;
+  sim::AveragedResult me;
+  sim::AveragedResult me_eufs;
+};
+
+inline Trio run_trio(const std::string& app_name, double cpu_th,
+                     double unc_th) {
+  const workload::AppModel app = workload::make_app(app_name);
+  return Trio{
+      .no_policy = run(app, sim::settings_no_policy()),
+      .me = run(app, sim::settings_me(cpu_th)),
+      .me_eufs = run(app, sim::settings_me_eufs(cpu_th, unc_th)),
+  };
+}
+
+inline void banner(const char* what) {
+  std::printf("\n============================================================\n"
+              "%s\n"
+              "============================================================\n",
+              what);
+}
+
+inline void footer() {
+  std::printf(
+      "(values are simulator measurements; 'paper' columns quote the\n"
+      " published testbed numbers — shapes, not absolutes, are expected\n"
+      " to match; see EXPERIMENTS.md)\n");
+}
+
+}  // namespace ear::bench

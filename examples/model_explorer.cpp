@@ -1,0 +1,60 @@
+// Model explorer: dump the learned projection surface for a workload —
+// per-P-state predicted time/power/energy from its nominal signature —
+// plus the raw coefficients for selected pstate pairs. Useful to
+// understand *why* a policy picks a frequency.
+//
+//   ./model_explorer [app-name]
+#include <cstdio>
+#include <string>
+
+#include "metrics/accumulator.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "workload/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ear;
+  const std::string app_name = argc > 1 ? argv[1] : "bt-mz.d";
+  const workload::AppModel app = workload::make_app(app_name);
+  const auto& learned = sim::cached_models(app.node_config);
+
+  // Measure the app's nominal signature on one noise-free node.
+  simhw::SimNode node(app.node_config, 7,
+                      simhw::NoiseModel{.time_sigma = 0, .power_sigma = 0});
+  const auto& demand = app.phases.front().demand;
+  node.execute_iteration(demand);  // governor warm-up
+  const auto begin = metrics::Snapshot::take(node);
+  for (int i = 0; i < 10; ++i) node.execute_iteration(demand);
+  const auto sig =
+      metrics::compute_signature(begin, metrics::Snapshot::take(node), 10);
+  std::printf("signature: %s wait=%.2f\n", sig.str().c_str(),
+              sig.wait_fraction);
+
+  const auto& pstates = app.node_config.pstates;
+  const simhw::Pstate from = pstates.nominal_pstate();
+  std::printf("\n%-4s %-6s | %-28s | %-28s\n", "p", "GHz", "avx512 model",
+              "basic model");
+  std::printf("%-4s %-6s | %9s %9s %9s | %9s %9s %9s\n", "", "", "T'/T",
+              "P'/P", "E'/E", "T'/T", "P'/P", "E'/E");
+  const auto ref_a = learned.avx512->predict(sig, from, from);
+  const auto ref_b = learned.basic->predict(sig, from, from);
+  for (simhw::Pstate p = 0; p < pstates.size(); ++p) {
+    const auto a = learned.avx512->predict(sig, from, p);
+    const auto b = learned.basic->predict(sig, from, p);
+    std::printf("%-4zu %-6.2f | %9.4f %9.4f %9.4f | %9.4f %9.4f %9.4f\n", p,
+                pstates.freq(p).as_ghz(), a.time_s / ref_a.time_s,
+                a.power_w / ref_a.power_w,
+                a.energy_j() / ref_a.energy_j(), b.time_s / ref_b.time_s,
+                b.power_w / ref_b.power_w, b.energy_j() / ref_b.energy_j());
+  }
+
+  std::printf("\ncoefficients (from pstate %zu):\n", from);
+  for (simhw::Pstate p = 1; p < std::min<std::size_t>(pstates.size(), 9);
+       ++p) {
+    const auto& k = learned.coefficients->at(from, p);
+    std::printf("  ->%zu (%.2f GHz): A=%.4f B=%.3f C=%.2f  D=%.4f E=%.3f "
+                "F=%.4f\n",
+                p, pstates.freq(p).as_ghz(), k.a, k.b, k.c, k.d, k.e, k.f);
+  }
+  return 0;
+}

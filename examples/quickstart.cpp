@@ -1,0 +1,74 @@
+// Quickstart: run one application under three EAR configurations and
+// print the paper-style comparison.
+//
+//   ./quickstart [app-name]   (default: bt-mz.d; see workload/catalog.hpp)
+//
+// Demonstrates the minimal public-API flow: pick a catalog workload,
+// choose policy settings, run averaged experiments, compare to the
+// no-policy reference.
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "metrics/accumulator.hpp"
+#include "metrics/classify.hpp"
+#include "simhw/node.hpp"
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "workload/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ear;
+  const std::string app_name = argc > 1 ? argv[1] : "bt-mz.d";
+
+  const workload::AppModel app = workload::make_app(app_name);
+  {
+    // Nominal signature + the paper's workload taxonomy (SVI-B).
+    simhw::SimNode probe(app.node_config, 1,
+                         simhw::NoiseModel{.time_sigma = 0, .power_sigma = 0});
+    const auto& d = app.phases.front().demand;
+    probe.execute_iteration(d);
+    const auto begin = metrics::Snapshot::take(probe);
+    for (int i = 0; i < 10; ++i) probe.execute_iteration(d);
+    const auto sig =
+        metrics::compute_signature(begin, metrics::Snapshot::take(probe), 10);
+    std::printf("Application: %s (%zu nodes, %zu ranks/node) — %s\n",
+                app.name.c_str(), app.nodes, app.ranks_per_node,
+                metrics::to_string(metrics::classify(sig)));
+  }
+
+  auto run_with = [&](const earl::EarlSettings& settings) {
+    sim::ExperimentConfig cfg{.app = app, .earl = settings, .seed = 42};
+    return sim::run_averaged(cfg, 3);
+  };
+
+  const auto ref = run_with(sim::settings_no_policy());
+  const auto me = run_with(sim::settings_me(0.05));
+  const auto eufs = run_with(sim::settings_me_eufs(0.05, 0.02));
+
+  std::printf("\nReference (no policy): time %.1fs, power %.1fW, "
+              "energy %.0fJ, CPU %.2f GHz, IMC %.2f GHz, CPI %.2f, "
+              "GB/s %.1f\n\n",
+              ref.total_time_s, ref.avg_dc_power_w, ref.total_energy_j,
+              ref.avg_cpu_ghz, ref.avg_imc_ghz, ref.cpi, ref.gbps);
+
+  common::AsciiTable table("Savings vs no-policy reference");
+  table.columns({"config", "time penalty", "power saving", "energy saving",
+                 "GB/s penalty", "ratio"});
+  sim::add_comparison_row(table, "ME", sim::compare(ref, me));
+  sim::add_comparison_row(table, "ME+eU", sim::compare(ref, eufs));
+  table.print();
+
+  std::printf("\nAverage frequencies:\n");
+  common::AsciiTable freqs("");
+  freqs.columns({"config", "CPU (GHz)", "IMC (GHz)"});
+  freqs.add_row({"No policy", common::AsciiTable::ghz(ref.avg_cpu_ghz),
+                 common::AsciiTable::ghz(ref.avg_imc_ghz)});
+  freqs.add_row({"ME", common::AsciiTable::ghz(me.avg_cpu_ghz),
+                 common::AsciiTable::ghz(me.avg_imc_ghz)});
+  freqs.add_row({"ME+eU", common::AsciiTable::ghz(eufs.avg_cpu_ghz),
+                 common::AsciiTable::ghz(eufs.avg_imc_ghz)});
+  freqs.print();
+  return 0;
+}

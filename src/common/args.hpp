@@ -1,0 +1,49 @@
+// Minimal command-line argument parser for the tools and examples:
+// positional arguments plus --key=value / --key value / --flag options,
+// with typed accessors and defaults. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ear::common {
+
+class ArgParser {
+ public:
+  /// Parse argv (argv[0] is skipped). Throws ConfigError on malformed
+  /// options ("--=x") or on repeated option names.
+  ///
+  /// Value options accept both "--key=value" and "--key value". Because
+  /// "--flag positional" is ambiguous with the space form, options named
+  /// in `flags` never consume a following token.
+  ArgParser(int argc, const char* const* argv,
+            std::set<std::string> flags = {});
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] std::string positional_or(std::size_t index,
+                                          const std::string& def) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Flag given without a value ("--verbose").
+  [[nodiscard]] bool flag(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def) const;
+  [[nodiscard]] double get(const std::string& name, double def) const;
+  [[nodiscard]] std::int64_t get(const std::string& name,
+                                 std::int64_t def) const;
+
+  /// Names of all options seen (for unknown-option checks).
+  [[nodiscard]] std::vector<std::string> option_names() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;  // "" = bare flag
+};
+
+}  // namespace ear::common

@@ -1,0 +1,28 @@
+// Minimal CSV writer for experiment result persistence. Fields containing
+// separators or quotes are quoted per RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ear::common {
+
+class CsvWriter {
+ public:
+  /// Writes rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 4);
+
+ private:
+  static std::string escape(std::string_view field);
+  std::ostream* out_;
+};
+
+}  // namespace ear::common

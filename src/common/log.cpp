@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ear::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "[%s] %s: ", level_name(level), tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace ear::common

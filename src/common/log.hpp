@@ -1,0 +1,28 @@
+// Leveled logging to stderr. Off (kWarn) by default so tests and benches
+// stay quiet; EARL verbose tracing can be enabled per-experiment.
+#pragma once
+
+#include <cstdarg>
+
+namespace ear::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging. `tag` identifies the subsystem ("earl", "policy"...).
+void logf(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace ear::common
+
+#define EAR_LOG_DEBUG(tag, ...) \
+  ::ear::common::logf(::ear::common::LogLevel::kDebug, (tag), __VA_ARGS__)
+#define EAR_LOG_INFO(tag, ...) \
+  ::ear::common::logf(::ear::common::LogLevel::kInfo, (tag), __VA_ARGS__)
+#define EAR_LOG_WARN(tag, ...) \
+  ::ear::common::logf(::ear::common::LogLevel::kWarn, (tag), __VA_ARGS__)
+#define EAR_LOG_ERROR(tag, ...) \
+  ::ear::common::logf(::ear::common::LogLevel::kError, (tag), __VA_ARGS__)

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments. SplitMix64 for seeding, xoshiro256** as the workhorse —
+// fast, high quality, and the sequence is identical across platforms
+// (unlike std::default_random_engine / distributions).
+#pragma once
+
+#include <cstdint>
+
+namespace ear::common {
+
+/// SplitMix64: used to expand a single user seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator with convenience floating-point draws.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Approximately standard normal draw (sum of 12 uniforms, Irwin-Hall).
+  /// Plenty for run-to-run measurement noise; avoids libm divergence.
+  constexpr double normal() {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform();
+    return acc - 6.0;
+  }
+
+  /// Normal draw with given mean and standard deviation.
+  constexpr double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Uniform integer in [0, n).
+  constexpr std::uint64_t below(std::uint64_t n) {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace ear::common

@@ -1,0 +1,56 @@
+// Small statistics helpers used by signature accumulation, run averaging
+// and the model-learning least-squares fits.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ear::common {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Weighted sample (weight must be > 0), e.g. time-weighted power.
+  void add_weighted(double x, double weight);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double total_weight() const { return w_; }
+  [[nodiscard]] double mean() const { return w_ > 0.0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * w_; }
+
+  /// Merge another accumulator into this one.
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double w_ = 0.0;     // total weight
+  double mean_ = 0.0;  // weighted mean
+  double m2_ = 0.0;    // weighted sum of squared deviations
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Relative change (new - ref) / ref; 0 when ref == 0.
+[[nodiscard]] double relative_change(double reference, double value);
+
+/// Relative change expressed in percent.
+[[nodiscard]] double percent_change(double reference, double value);
+
+/// Arithmetic mean of a sequence; 0 for empty input.
+[[nodiscard]] double mean_of(std::span<const double> xs);
+
+/// Ordinary least squares for y ~ X*beta (X in row-major, each row one
+/// sample). Solves the normal equations with Gaussian elimination and
+/// partial pivoting; suitable for the small (<=4 coefficient) fits the
+/// model-learning phase needs. Throws ConfigError on singular systems.
+[[nodiscard]] std::vector<double> least_squares(
+    const std::vector<std::vector<double>>& rows,
+    std::span<const double> y);
+
+}  // namespace ear::common

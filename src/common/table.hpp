@@ -1,0 +1,45 @@
+// Fixed-width ASCII table rendering used by the bench harness to print
+// paper-style tables (rows/series in the same layout the paper reports).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ear::common {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Define the header; must be called before adding rows.
+  void columns(std::vector<std::string> names,
+               std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> fields);
+  /// Insert a horizontal separator after the last added row.
+  void add_separator();
+
+  [[nodiscard]] std::string render() const;
+  void print(std::FILE* out = stdout) const;
+
+  /// Numeric cell helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 2);  // "+3.25%"
+  static std::string ghz(double v);                     // "2.40"
+
+ private:
+  struct Row {
+    std::vector<std::string> fields;
+    bool separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ear::common

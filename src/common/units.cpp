@@ -1,0 +1,18 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace ear::common {
+
+std::string Freq::str() const {
+  char buf[32];
+  if (khz_ >= 1'000'000 || khz_ % 1000 != 0) {
+    std::snprintf(buf, sizeof buf, "%.2fGHz", as_ghz());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluMHz",
+                  static_cast<unsigned long long>(as_mhz()));
+  }
+  return buf;
+}
+
+}  // namespace ear::common

@@ -1,0 +1,132 @@
+#include "dynais/dynais.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ear::dynais {
+
+namespace {
+constexpr std::uint32_t kFnvOffset = 2166136261u;
+constexpr std::uint32_t kFnvPrime = 16777619u;
+
+std::uint32_t fnv_step(std::uint32_t h, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+LevelDetector::LevelDetector(const Config& cfg) : cfg_(cfg) {
+  EAR_CHECK_MSG(cfg_.window >= 4, "window too small");
+  EAR_CHECK_MSG(cfg_.min_repeats >= 1, "min_repeats must be >= 1");
+  EAR_CHECK_MSG(
+      cfg_.max_period * (cfg_.min_repeats + 1) <= cfg_.window,
+      "window must hold min_repeats+1 periods of the largest loop body");
+  buf_.assign(cfg_.window, 0);
+}
+
+void LevelDetector::reset() {
+  count_ = 0;
+  period_ = 0;
+  since_iteration_ = 0;
+  signature_ = 0;
+}
+
+bool LevelDetector::periodic_with(std::size_t p) const {
+  if (count_ < (cfg_.min_repeats + 1) * p) return false;
+  for (std::size_t k = 0; k < cfg_.min_repeats * p; ++k) {
+    const std::uint32_t a = buf_[(count_ - 1 - k) % cfg_.window];
+    const std::uint32_t b = buf_[(count_ - 1 - k - p) % cfg_.window];
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::uint32_t LevelDetector::hash_last(std::size_t n) const {
+  std::uint32_t h = kFnvOffset;
+  for (std::size_t k = n; k-- > 0;) {
+    h = fnv_step(h, buf_[(count_ - 1 - k) % cfg_.window]);
+  }
+  return h;
+}
+
+Status LevelDetector::push(std::uint32_t event) {
+  buf_[count_ % cfg_.window] = event;
+  ++count_;
+
+  if (period_ > 0) {
+    // In a loop: the new event must continue the periodic pattern.
+    const std::uint32_t expected =
+        buf_[(count_ - 1 - period_) % cfg_.window];
+    if (event == expected) {
+      ++since_iteration_;
+      if (since_iteration_ == period_) {
+        since_iteration_ = 0;
+        return Status::kNewIteration;
+      }
+      return Status::kInLoop;
+    }
+    period_ = 0;
+    since_iteration_ = 0;
+    signature_ = 0;
+    return Status::kEndLoop;
+  }
+
+  // Not in a loop: look for the smallest period that explains the recent
+  // history (smallest first, so nested repetition maps to inner loops).
+  for (std::size_t p = 1; p <= cfg_.max_period; ++p) {
+    if (periodic_with(p)) {
+      period_ = p;
+      since_iteration_ = 0;
+      signature_ = hash_last(p);
+      return Status::kNewLoop;
+    }
+  }
+  return Status::kNoLoop;
+}
+
+Dynais::Dynais(Config cfg) : cfg_(cfg) {
+  EAR_CHECK_MSG(cfg_.levels >= 1, "need at least one level");
+  levels_.reserve(cfg_.levels);
+  for (std::size_t i = 0; i < cfg_.levels; ++i) levels_.emplace_back(cfg_);
+}
+
+void Dynais::reset() {
+  for (auto& l : levels_) l.reset();
+}
+
+bool Dynais::in_loop() const {
+  return std::any_of(levels_.begin(), levels_.end(),
+                     [](const LevelDetector& l) { return l.in_loop(); });
+}
+
+Dynais::Result Dynais::push(std::uint32_t event) {
+  // Feed level 0 with the raw event; iteration boundaries at level k feed
+  // the loop signature into level k+1, detecting outer loops whose bodies
+  // are themselves loops.
+  Result best{};
+  std::uint32_t value = event;
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    const Status s = levels_[lvl].push(value);
+    if (s == Status::kNewLoop || s == Status::kNewIteration ||
+        s == Status::kEndLoop) {
+      // Report the outermost boundary seen this push.
+      best = Result{.status = s,
+                    .level = lvl,
+                    .period = levels_[lvl].period()};
+    } else if (lvl == 0 && best.status == Status::kNoLoop) {
+      best = Result{.status = s, .level = 0, .period = levels_[0].period()};
+    }
+    const bool propagate =
+        (s == Status::kNewIteration || s == Status::kNewLoop) &&
+        lvl + 1 < levels_.size();
+    if (!propagate) break;
+    value = levels_[lvl].loop_signature();
+  }
+  return best;
+}
+
+}  // namespace ear::dynais

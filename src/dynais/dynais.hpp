@@ -1,0 +1,92 @@
+// DynAIS: Dynamic Application Iterative Structure detection.
+//
+// EAR's loop detector consumes the per-process stream of MPI event ids and
+// reports, without any user hints, when the process enters a loop, when a
+// new iteration of that loop starts, and when the loop ends. This is the
+// mechanism that lets EARL attribute signatures to iterations ("with
+// direct knowledge of time penalty", §VII).
+//
+// Algorithm: windowed periodicity detection. A sliding window of the most
+// recent W events is scanned for the smallest period p (1 <= p <= W/2)
+// such that the last `min_repeats * p` events are p-periodic. Detection
+// has hysteresis: a loop is only declared after the periodicity has held
+// for `min_repeats` full periods, and is dropped after the first
+// non-matching event. A second level runs the same detection over the
+// sequence of level-0 loop signatures (hashes of one period), detecting
+// outer loops whose bodies are themselves loops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ear::dynais {
+
+/// What the detector reports for each consumed event.
+enum class Status {
+  kNoLoop,        // no periodic structure at the moment
+  kInLoop,        // inside a detected loop, mid-iteration
+  kNewIteration,  // this event starts a new iteration of the current loop
+  kNewLoop,       // a loop has just been detected (first full period seen)
+  kEndLoop,       // the current loop's periodicity just broke
+};
+
+struct Config {
+  std::size_t window = 96;      // events kept for period search
+  std::size_t max_period = 24;  // largest loop body length considered
+  std::size_t min_repeats = 2;  // periods required before declaring a loop
+  std::size_t levels = 2;       // hierarchy depth (outer-loop detection)
+};
+
+/// Single-level periodicity detector.
+class LevelDetector {
+ public:
+  explicit LevelDetector(const Config& cfg);
+
+  Status push(std::uint32_t event);
+
+  [[nodiscard]] std::size_t period() const { return period_; }
+  [[nodiscard]] bool in_loop() const { return period_ > 0; }
+  /// Hash of one loop body (valid while in_loop()).
+  [[nodiscard]] std::uint32_t loop_signature() const { return signature_; }
+
+  void reset();
+
+ private:
+  [[nodiscard]] bool periodic_with(std::size_t p) const;
+  [[nodiscard]] std::uint32_t hash_last(std::size_t n) const;
+
+  Config cfg_;
+  std::vector<std::uint32_t> buf_;  // circular
+  std::size_t count_ = 0;           // total events consumed
+  std::size_t period_ = 0;          // 0 = no loop
+  std::size_t since_iteration_ = 0; // events since last iteration mark
+  std::uint32_t signature_ = 0;
+};
+
+/// The full hierarchical detector EARL uses.
+class Dynais {
+ public:
+  explicit Dynais(Config cfg = {});
+
+  /// Consume one event; returns the innermost-level status plus, when a
+  /// new iteration is detected, the level it occurred at (0 = innermost).
+  struct Result {
+    Status status = Status::kNoLoop;
+    std::size_t level = 0;
+    std::size_t period = 0;
+  };
+  Result push(std::uint32_t event);
+
+  [[nodiscard]] bool in_loop() const;
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  void reset();
+
+ private:
+  Config cfg_;
+  std::vector<LevelDetector> levels_;
+};
+
+}  // namespace ear::dynais

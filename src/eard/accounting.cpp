@@ -1,0 +1,56 @@
+#include "eard/accounting.hpp"
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace ear::eard {
+
+std::size_t Accounting::job_started(std::uint64_t job_id,
+                                    const std::string& app,
+                                    const std::string& policy,
+                                    std::size_t node_index,
+                                    const simhw::SimNode& node) {
+  records_.push_back(JobRecord{
+      .job_id = job_id,
+      .app_name = app,
+      .policy_name = policy,
+      .node_index = node_index,
+      .start_clock_s = node.clock().value,
+      .end_clock_s = node.clock().value,
+      .start_joules = node.inm().read_joules(),
+      .end_joules = node.inm().read_joules(),
+  });
+  return records_.size() - 1;
+}
+
+void Accounting::job_ended(std::size_t record_index,
+                           const simhw::SimNode& node) {
+  EAR_CHECK(record_index < records_.size());
+  JobRecord& r = records_[record_index];
+  r.end_clock_s = node.clock().value;
+  r.end_joules = node.inm().read_joules();
+  EAR_CHECK_MSG(r.end_joules >= r.start_joules,
+                "energy counter went backwards");
+}
+
+double Accounting::job_energy_j(std::uint64_t job_id) const {
+  double total = 0.0;
+  for (const auto& r : records_) {
+    if (r.job_id == job_id) total += r.energy_j();
+  }
+  return total;
+}
+
+void Accounting::write_csv(std::ostream& out) const {
+  common::CsvWriter csv(out);
+  csv.header({"job_id", "app", "policy", "node", "elapsed_s", "energy_j",
+              "avg_power_w"});
+  for (const auto& r : records_) {
+    csv.row({std::to_string(r.job_id), r.app_name, r.policy_name,
+             std::to_string(r.node_index), common::CsvWriter::num(r.elapsed_s(), 2),
+             common::CsvWriter::num(r.energy_j(), 1),
+             common::CsvWriter::num(r.avg_power_w(), 2)});
+  }
+}
+
+}  // namespace ear::eard

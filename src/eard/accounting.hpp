@@ -1,0 +1,54 @@
+// Per-job energy accounting (the EAR "accounting" service): records what
+// each job consumed on each node, as EARD reports to the EAR database.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "simhw/node.hpp"
+
+namespace ear::eard {
+
+struct JobRecord {
+  std::uint64_t job_id = 0;
+  std::string app_name;
+  std::string policy_name;
+  std::size_t node_index = 0;
+  double start_clock_s = 0.0;
+  double end_clock_s = 0.0;
+  std::uint64_t start_joules = 0;  // INM counter at start
+  std::uint64_t end_joules = 0;
+
+  [[nodiscard]] double elapsed_s() const { return end_clock_s - start_clock_s; }
+  [[nodiscard]] double energy_j() const {
+    return static_cast<double>(end_joules - start_joules);
+  }
+  [[nodiscard]] double avg_power_w() const {
+    return elapsed_s() > 0.0 ? energy_j() / elapsed_s() : 0.0;
+  }
+};
+
+/// Collects job records across nodes; one instance per experiment.
+class Accounting {
+ public:
+  /// Open a record for (job, node); returns the record index.
+  std::size_t job_started(std::uint64_t job_id, const std::string& app,
+                          const std::string& policy, std::size_t node_index,
+                          const simhw::SimNode& node);
+  void job_ended(std::size_t record_index, const simhw::SimNode& node);
+
+  [[nodiscard]] const std::vector<JobRecord>& records() const {
+    return records_;
+  }
+  /// Total energy across all closed records of a job.
+  [[nodiscard]] double job_energy_j(std::uint64_t job_id) const;
+
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace ear::eard

@@ -1,0 +1,50 @@
+#include "eard/eard.hpp"
+
+#include <algorithm>
+
+namespace ear::eard {
+
+void NodeDaemon::set_pstate_limit(simhw::Pstate slowest_allowed) {
+  limit_ = slowest_allowed;
+  node_->set_cpu_pstate(std::max(last_requested_, limit_));
+}
+
+void NodeDaemon::set_freqs(const policies::NodeFreqs& freqs) {
+  last_requested_ = freqs.cpu_pstate;
+  // Larger index = lower frequency; the EARGM limit is the fastest
+  // P-state the node may run.
+  node_->set_cpu_pstate(std::max(freqs.cpu_pstate, limit_));
+  // Only write the MSR when the window actually changes; the real daemon
+  // avoids redundant privileged writes the same way.
+  const simhw::UncoreRatioLimit want{.max_freq = freqs.imc_max,
+                                     .min_freq = freqs.imc_min};
+  if (!(node_->uncore_limit() == want)) {
+    node_->set_uncore_limit_all(want);
+  }
+}
+
+bool NodeDaemon::uncore_writable() {
+  if (probed_uncore_) return uncore_writable_;
+  probed_uncore_ = true;
+  simhw::MsrFile& msr = node_->msr(0);
+  const std::uint64_t original = msr.read(simhw::kMsrUncoreRatioLimit);
+  // Probe with a one-bin-lower maximum (always a legal encoding).
+  auto probe = simhw::UncoreRatioLimit::decode(original);
+  probe.max_freq = node_->config().uncore.step_down(probe.max_freq);
+  probe.min_freq = node_->config().uncore.min();
+  msr.write(simhw::kMsrUncoreRatioLimit, probe.encode());
+  uncore_writable_ =
+      msr.read(simhw::kMsrUncoreRatioLimit) == probe.encode();
+  msr.write(simhw::kMsrUncoreRatioLimit, original);  // restore
+  return uncore_writable_;
+}
+
+std::uint64_t NodeDaemon::msr_writes() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < node_->config().sockets; ++s) {
+    total += node_->msr(s).write_count();
+  }
+  return total;
+}
+
+}  // namespace ear::eard

@@ -1,0 +1,60 @@
+// EARD: the privileged node daemon.
+//
+// In the real system EARL is an unprivileged library; every P-state
+// change, MSR write and energy reading goes through the per-node EAR
+// daemon. Keeping that boundary here means the policies and runtime never
+// touch SimNode internals directly — they could be pointed at real
+// hardware by swapping this class.
+#pragma once
+
+#include "metrics/accumulator.hpp"
+#include "policies/policy_api.hpp"
+#include "simhw/node.hpp"
+
+namespace ear::eard {
+
+class NodeDaemon {
+ public:
+  explicit NodeDaemon(simhw::SimNode& node) : node_(&node) {}
+
+  /// Apply a policy's frequency selection: P-state plus the uncore window
+  /// written to UNCORE_RATIO_LIMIT on every socket. The request is
+  /// clamped by any active cluster-manager limit.
+  void set_freqs(const policies::NodeFreqs& freqs);
+
+  /// Cluster-manager (EARGM) frequency limit: P-states faster than
+  /// `slowest_allowed` are clamped to it. Takes effect immediately and on
+  /// every subsequent set_freqs. Pass 0 to remove the limit.
+  void set_pstate_limit(simhw::Pstate slowest_allowed);
+  [[nodiscard]] simhw::Pstate pstate_limit() const { return limit_; }
+
+  /// Probe whether UNCORE_RATIO_LIMIT is actually writable: some BIOSes
+  /// lock the register, and writes are silently dropped. The daemon
+  /// performs a write/read-back/restore cycle once and caches the result;
+  /// EARL uses it to fall back to hardware UFS (see EarLibrary::attach).
+  [[nodiscard]] bool uncore_writable();
+
+  /// Counter/energy snapshot for signature windows.
+  [[nodiscard]] metrics::Snapshot snapshot() const {
+    return metrics::Snapshot::take(*node_);
+  }
+
+  [[nodiscard]] const simhw::SimNode& node() const { return *node_; }
+  [[nodiscard]] simhw::Pstate current_pstate() const {
+    return node_->cpu_pstate();
+  }
+  [[nodiscard]] simhw::UncoreRatioLimit uncore_window() const {
+    return node_->uncore_limit();
+  }
+  /// Number of MSR writes issued so far (overhead accounting).
+  [[nodiscard]] std::uint64_t msr_writes() const;
+
+ private:
+  simhw::SimNode* node_;
+  simhw::Pstate limit_ = 0;          // 0 = unconstrained
+  simhw::Pstate last_requested_ = 0;  // policy's last request, pre-clamp
+  bool probed_uncore_ = false;
+  bool uncore_writable_ = true;
+};
+
+}  // namespace ear::eard

@@ -1,0 +1,121 @@
+#include "eard/eardbd.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace ear::eard {
+
+using common::ConfigError;
+
+void JobDatabase::ingest(const Accounting& accounting) {
+  for (const auto& r : accounting.records()) ingest(r);
+}
+
+void JobDatabase::ingest(const JobRecord& record) {
+  records_.push_back(record);
+}
+
+namespace {
+template <typename KeyFn>
+std::map<std::string, AggregateStats> group_by(
+    const std::vector<JobRecord>& records, KeyFn key) {
+  std::map<std::string, AggregateStats> out;
+  std::map<std::string, std::set<std::uint64_t>> job_ids;
+  for (const auto& r : records) {
+    AggregateStats& s = out[key(r)];
+    ++s.node_records;
+    s.total_energy_j += r.energy_j();
+    s.total_node_seconds += r.elapsed_s();
+    job_ids[key(r)].insert(r.job_id);
+  }
+  for (auto& [k, s] : out) s.jobs = job_ids[k].size();
+  return out;
+}
+}  // namespace
+
+std::map<std::string, AggregateStats> JobDatabase::by_application() const {
+  return group_by(records_, [](const JobRecord& r) { return r.app_name; });
+}
+
+std::map<std::string, AggregateStats> JobDatabase::by_policy() const {
+  return group_by(records_,
+                  [](const JobRecord& r) { return r.policy_name; });
+}
+
+std::vector<std::pair<std::string, double>> JobDatabase::top_consumers(
+    std::size_t n) const {
+  std::vector<std::pair<std::string, double>> all;
+  for (const auto& [app, stats] : by_application()) {
+    all.emplace_back(app, stats.total_energy_j);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::vector<JobRecord> JobDatabase::query(const std::string& app) const {
+  std::vector<JobRecord> out;
+  for (const auto& r : records_) {
+    if (app.empty() || r.app_name == app) out.push_back(r);
+  }
+  return out;
+}
+
+void JobDatabase::save(std::ostream& out) const {
+  common::CsvWriter csv(out);
+  csv.header({"job_id", "app", "policy", "node", "start_s", "end_s",
+              "start_j", "end_j"});
+  for (const auto& r : records_) {
+    csv.row({std::to_string(r.job_id), r.app_name, r.policy_name,
+             std::to_string(r.node_index),
+             common::CsvWriter::num(r.start_clock_s, 6),
+             common::CsvWriter::num(r.end_clock_s, 6),
+             std::to_string(r.start_joules), std::to_string(r.end_joules)});
+  }
+}
+
+void JobDatabase::load(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.rfind("job_id,app,policy,node", 0) != 0) {
+    throw ConfigError("job database: missing/invalid CSV header");
+  }
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    // The exported fields never contain quoted separators; a plain split
+    // is sufficient for this format.
+    std::vector<std::string> fields;
+    std::istringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != 8) {
+      throw ConfigError("job database line " + std::to_string(line_no) +
+                        ": expected 8 fields");
+    }
+    try {
+      JobRecord r;
+      r.job_id = std::stoull(fields[0]);
+      r.app_name = fields[1];
+      r.policy_name = fields[2];
+      r.node_index = std::stoul(fields[3]);
+      r.start_clock_s = std::stod(fields[4]);
+      r.end_clock_s = std::stod(fields[5]);
+      r.start_joules = std::stoull(fields[6]);
+      r.end_joules = std::stoull(fields[7]);
+      records_.push_back(std::move(r));
+    } catch (const std::exception&) {
+      throw ConfigError("job database line " + std::to_string(line_no) +
+                        ": malformed field");
+    }
+  }
+}
+
+}  // namespace ear::eard

@@ -1,0 +1,60 @@
+// EARDBD: EAR's database daemon — the accounting aggregation layer.
+//
+// Node daemons report per-job records (see Accounting); EARDBD collects
+// them cluster-wide and answers the queries operators actually run:
+// per-application and per-policy energy aggregates, top consumers, and
+// export/import for long-term storage.
+#pragma once
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eard/accounting.hpp"
+
+namespace ear::eard {
+
+/// Aggregate over a group of job records.
+struct AggregateStats {
+  std::size_t jobs = 0;          // distinct job ids
+  std::size_t node_records = 0;  // per-node records
+  double total_energy_j = 0.0;
+  double total_node_seconds = 0.0;
+  [[nodiscard]] double avg_power_w() const {
+    return total_node_seconds > 0.0 ? total_energy_j / total_node_seconds
+                                    : 0.0;
+  }
+};
+
+class JobDatabase {
+ public:
+  /// Ingest all records of an accounting instance (idempotent per record
+  /// identity is NOT checked; callers ingest each run once).
+  void ingest(const Accounting& accounting);
+  void ingest(const JobRecord& record);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Aggregates grouped by application / policy name.
+  [[nodiscard]] std::map<std::string, AggregateStats> by_application() const;
+  [[nodiscard]] std::map<std::string, AggregateStats> by_policy() const;
+
+  /// The `n` applications with the highest total energy, descending.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> top_consumers(
+      std::size_t n) const;
+
+  /// Records matching an application name (empty = all).
+  [[nodiscard]] std::vector<JobRecord> query(const std::string& app) const;
+
+  /// CSV persistence (same columns as Accounting::write_csv plus the
+  /// clock/counter fields needed to rebuild records).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);  // appends; throws ConfigError on bad input
+
+ private:
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace ear::eard

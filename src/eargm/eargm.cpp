@@ -1,0 +1,47 @@
+#include "eargm/eargm.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace ear::eargm {
+
+EargmManager::EargmManager(EargmConfig cfg,
+                           std::vector<eard::NodeDaemon*> daemons)
+    : cfg_(cfg), daemons_(std::move(daemons)) {
+  EAR_CHECK_MSG(cfg_.cluster_budget_w > 0.0,
+                "cluster budget must be positive");
+  EAR_CHECK_MSG(!daemons_.empty(), "EARGM needs at least one node");
+  EAR_CHECK_MSG(cfg_.release_margin < cfg_.trigger_margin,
+                "release margin must sit below the trigger margin");
+}
+
+void EargmManager::apply_limit() {
+  for (eard::NodeDaemon* d : daemons_) d->set_pstate_limit(limit_);
+}
+
+void EargmManager::update(std::span<const double> node_power_w) {
+  EAR_CHECK_MSG(node_power_w.size() == daemons_.size(),
+                "one power reading per managed node");
+  double total = 0.0;
+  for (double w : node_power_w) total += w;
+  last_total_w_ = total;
+
+  if (total > cfg_.cluster_budget_w * cfg_.trigger_margin) {
+    if (limit_ < cfg_.deepest_limit) {
+      ++limit_;
+      ++throttles_;
+      apply_limit();
+      EAR_LOG_DEBUG("eargm", "over budget (%.0fW > %.0fW): limit -> p%zu",
+                    total, cfg_.cluster_budget_w, limit_);
+    }
+  } else if (limit_ > 0 &&
+             total < cfg_.cluster_budget_w * cfg_.release_margin) {
+    --limit_;
+    ++releases_;
+    apply_limit();
+    EAR_LOG_DEBUG("eargm", "under budget (%.0fW): limit -> p%zu", total,
+                  limit_);
+  }
+}
+
+}  // namespace ear::eargm

@@ -1,0 +1,58 @@
+// EARGM: the EAR Global Manager — cluster-level energy control.
+//
+// EAR's control service enforces a cluster power budget on top of the
+// per-node optimisation policies: when aggregate DC power exceeds the
+// budget, EARGM instructs the node daemons to cap their P-states
+// (policies keep running but their requests are clamped); when load
+// drops, the caps are released step by step. The paper lists control as
+// one of EAR's four services (§III); this module implements it for the
+// simulated cluster.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "eard/eard.hpp"
+
+namespace ear::eargm {
+
+struct EargmConfig {
+  /// Aggregate DC power budget for the managed nodes, watts.
+  double cluster_budget_w = 0.0;
+  /// Throttle when aggregate power exceeds budget * trigger_margin.
+  double trigger_margin = 1.00;
+  /// Release one step when below budget * release_margin (hysteresis).
+  double release_margin = 0.92;
+  /// Never cap below this P-state index (sanity floor for throttling).
+  simhw::Pstate deepest_limit = 10;  // 1.5 GHz on the Skylake table
+};
+
+class EargmManager {
+ public:
+  /// The manager does not own the daemons; the caller keeps them alive.
+  EargmManager(EargmConfig cfg, std::vector<eard::NodeDaemon*> daemons);
+
+  /// Feed one round of per-node average power readings (same order as
+  /// the daemons). Adjusts the cluster-wide P-state limit by at most one
+  /// step per call, as the real manager's control period does.
+  void update(std::span<const double> node_power_w);
+
+  [[nodiscard]] simhw::Pstate current_limit() const { return limit_; }
+  [[nodiscard]] std::size_t throttle_events() const { return throttles_; }
+  [[nodiscard]] std::size_t release_events() const { return releases_; }
+  [[nodiscard]] double last_aggregate_w() const { return last_total_w_; }
+  [[nodiscard]] const EargmConfig& config() const { return cfg_; }
+
+ private:
+  void apply_limit();
+
+  EargmConfig cfg_;
+  std::vector<eard::NodeDaemon*> daemons_;
+  simhw::Pstate limit_ = 0;
+  std::size_t throttles_ = 0;
+  std::size_t releases_ = 0;
+  double last_total_w_ = 0.0;
+};
+
+}  // namespace ear::eargm

@@ -1,0 +1,58 @@
+#include "earl/library.hpp"
+
+#include "common/log.hpp"
+#include "policies/registry.hpp"
+
+namespace ear::earl {
+
+EarLibrary::EarLibrary(const simhw::NodeConfig& cfg, EarlSettings settings)
+    : cfg_(cfg),
+      settings_(std::move(settings)),
+      learned_(models::learn_models(cfg)) {}
+
+EarLibrary::EarLibrary(const simhw::NodeConfig& cfg, EarlSettings settings,
+                       models::LearnedModels learned)
+    : cfg_(cfg),
+      settings_(std::move(settings)),
+      learned_(std::move(learned)) {}
+
+namespace {
+/// Policies that need to write UNCORE_RATIO_LIMIT, with their CPU-only
+/// fallbacks for platforms where the BIOS locked the register.
+std::string uncore_fallback(const std::string& policy) {
+  if (policy == "min_energy_eufs" || policy == "min_energy_ngufs") {
+    return "min_energy";
+  }
+  if (policy == "min_time_eufs" || policy == "min_time_raise") {
+    return "min_time";
+  }
+  if (policy == "ups" || policy == "duf") return "monitoring";
+  return policy;
+}
+}  // namespace
+
+std::unique_ptr<EarlSession> EarLibrary::attach(eard::NodeDaemon& daemon,
+                                                bool is_mpi) const {
+  std::string policy_name = settings_.policy;
+  // Explicit UFS needs a writable UNCORE_RATIO_LIMIT; on locked platforms
+  // EARL degrades to the CPU-only variant instead of searching blindly.
+  const std::string fallback = uncore_fallback(policy_name);
+  if (fallback != policy_name && !daemon.uncore_writable()) {
+    EAR_LOG_WARN("earl",
+                 "UNCORE_RATIO_LIMIT is BIOS-locked; %s degrades to %s",
+                 policy_name.c_str(), fallback.c_str());
+    policy_name = fallback;
+  }
+
+  policies::PolicyContext ctx{
+      .pstates = cfg_.pstates,
+      .uncore = cfg_.uncore,
+      .model = models::model_by_name(learned_, settings_.model),
+      .settings = settings_.policy_settings,
+  };
+  auto policy = policies::make_policy(policy_name, std::move(ctx));
+  return std::make_unique<EarlSession>(daemon, std::move(policy), settings_,
+                                       is_mpi);
+}
+
+}  // namespace ear::earl

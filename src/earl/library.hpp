@@ -1,0 +1,39 @@
+// EarLibrary: the per-architecture runtime factory. Owns the learned
+// energy models for one node type and stamps out per-node sessions with
+// the configured policy — the equivalent of loading EARL with a policy
+// plugin and its coefficient files.
+#pragma once
+
+#include <memory>
+
+#include "earl/session.hpp"
+#include "models/learning.hpp"
+
+namespace ear::earl {
+
+class EarLibrary {
+ public:
+  /// Runs the learning phase for `cfg` and prepares factories.
+  EarLibrary(const simhw::NodeConfig& cfg, EarlSettings settings);
+  /// Reuse an already-learned model set (coefficients are per
+  /// architecture; callers cache them across experiments).
+  EarLibrary(const simhw::NodeConfig& cfg, EarlSettings settings,
+             models::LearnedModels learned);
+
+  /// Attach EARL to a job's node: builds the policy instance and the
+  /// session. The session applies the policy default immediately.
+  [[nodiscard]] std::unique_ptr<EarlSession> attach(eard::NodeDaemon& daemon,
+                                                    bool is_mpi) const;
+
+  [[nodiscard]] const models::LearnedModels& learned() const {
+    return learned_;
+  }
+  [[nodiscard]] const EarlSettings& settings() const { return settings_; }
+
+ private:
+  simhw::NodeConfig cfg_;
+  EarlSettings settings_;
+  models::LearnedModels learned_;
+};
+
+}  // namespace ear::earl

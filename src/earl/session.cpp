@@ -1,0 +1,124 @@
+#include "earl/session.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace ear::earl {
+
+EarlSession::EarlSession(eard::NodeDaemon& daemon, policies::PolicyPtr policy,
+                         EarlSettings settings, bool is_mpi)
+    : daemon_(&daemon),
+      policy_(std::move(policy)),
+      settings_(std::move(settings)),
+      is_mpi_(is_mpi),
+      dynais_(settings_.dynais) {
+  EAR_CHECK_MSG(policy_ != nullptr, "session requires a policy");
+  daemon_->set_freqs(policy_->default_freqs());
+  state_ = State::kNoLoop;
+}
+
+void EarlSession::on_mpi_call(std::uint32_t event_id) {
+  EAR_CHECK_MSG(is_mpi_, "MPI events on a non-MPI session");
+  const auto result = dynais_.push(event_id);
+  switch (result.status) {
+    case dynais::Status::kNewLoop:
+      // A loop was just detected: open the first measurement window.
+      window_start_ = daemon_->snapshot();
+      window_open_ = true;
+      iterations_in_window_ = 0;
+      if (state_ == State::kNoLoop) state_ = State::kNodePolicy;
+      break;
+    case dynais::Status::kNewIteration:
+      if (!window_open_) {
+        window_start_ = daemon_->snapshot();
+        window_open_ = true;
+        iterations_in_window_ = 0;
+        break;
+      }
+      ++iterations_in_window_;
+      maybe_close_window();
+      break;
+    case dynais::Status::kEndLoop:
+      // Structure broke (phase change / non-iterative section): drop the
+      // window; detection will re-open one.
+      window_open_ = false;
+      iterations_in_window_ = 0;
+      break;
+    case dynais::Status::kNoLoop:
+    case dynais::Status::kInLoop:
+      break;
+  }
+}
+
+void EarlSession::on_mpi_calls(std::span<const std::uint32_t> events) {
+  for (const auto e : events) on_mpi_call(e);
+}
+
+void EarlSession::on_time_tick() {
+  EAR_CHECK_MSG(!is_mpi_, "time ticks on an MPI session");
+  if (!window_open_) {
+    window_start_ = daemon_->snapshot();
+    window_open_ = true;
+    iterations_in_window_ = 0;
+    if (state_ == State::kNoLoop) state_ = State::kNodePolicy;
+    return;
+  }
+  ++iterations_in_window_;
+  maybe_close_window();
+}
+
+void EarlSession::maybe_close_window() {
+  const metrics::Snapshot now = daemon_->snapshot();
+  const double elapsed = now.clock_s - window_start_.clock_s;
+  const double interval = is_mpi_ ? settings_.signature_interval_s
+                                  : settings_.time_guided_period_s;
+  if (elapsed < interval || iterations_in_window_ == 0) return;
+
+  const metrics::Signature sig =
+      metrics::compute_signature(window_start_, now, iterations_in_window_);
+  window_start_ = now;
+  iterations_in_window_ = 0;
+  if (!sig.valid) return;
+  last_signature_ = sig;
+  ++signatures_;
+  process_signature(sig);
+}
+
+void EarlSession::process_signature(const metrics::Signature& sig) {
+  // EARD shares the actually-applied P-state and any EARGM limit before
+  // the policy runs, so projections anchor on reality even when the
+  // cluster manager clamped the last request.
+  policy_->sync_constraints(daemon_->current_pstate(),
+                            daemon_->pstate_limit());
+  // The paper's Code 1 state machine.
+  switch (state_) {
+    case State::kNoLoop:
+      state_ = State::kNodePolicy;
+      [[fallthrough]];
+    case State::kNodePolicy: {
+      policies::NodeFreqs freqs;
+      const policies::PolicyState next = policy_->apply(sig, freqs);
+      daemon_->set_freqs(freqs);
+      if (next == policies::PolicyState::kReady) {
+        state_ = State::kValidatePolicy;
+      }
+      EAR_LOG_DEBUG("earl", "policy %s -> pstate %zu imc_max %s (%s)",
+                    policy_->name().c_str(), freqs.cpu_pstate,
+                    freqs.imc_max.str().c_str(),
+                    next == policies::PolicyState::kReady ? "READY"
+                                                          : "CONTINUE");
+      break;
+    }
+    case State::kValidatePolicy: {
+      if (!policy_->validate(sig)) {
+        EAR_LOG_DEBUG("earl", "validation failed; reverting to defaults");
+        policy_->restart();
+        daemon_->set_freqs(policy_->default_freqs());
+        state_ = State::kNodePolicy;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace ear::earl

@@ -1,0 +1,67 @@
+// EarlSession: one EARL instance, i.e. the runtime attached to the node
+// master process of a job on one node.
+//
+// It consumes MPI call events (or time ticks for non-MPI codes), detects
+// the iterative structure with DynAIS, closes a signature window every
+// >= signature_interval seconds at an iteration boundary, and drives the
+// policy through the NODE_POLICY / VALIDATE_POLICY state machine of the
+// paper's Code 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dynais/dynais.hpp"
+#include "eard/eard.hpp"
+#include "earl/settings.hpp"
+#include "metrics/accumulator.hpp"
+#include "policies/policy_api.hpp"
+
+namespace ear::earl {
+
+class EarlSession {
+ public:
+  /// The session applies the policy's default frequencies on attach, as
+  /// EARL does when a job starts.
+  EarlSession(eard::NodeDaemon& daemon, policies::PolicyPtr policy,
+              EarlSettings settings, bool is_mpi);
+
+  /// MPI path: feed one event from the node-master rank's PMPI stream.
+  void on_mpi_call(std::uint32_t event_id);
+  /// Convenience: feed a whole per-iteration pattern.
+  void on_mpi_calls(std::span<const std::uint32_t> events);
+
+  /// Non-MPI path: the application completed one unit of work; EARL is
+  /// time-guided and treats interval-sized windows as iterations.
+  void on_time_tick();
+
+  /// Runtime state (the paper's Code 1 states).
+  enum class State { kNoLoop, kNodePolicy, kValidatePolicy };
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const metrics::Signature& last_signature() const {
+    return last_signature_;
+  }
+  [[nodiscard]] const policies::Policy& policy() const { return *policy_; }
+  [[nodiscard]] std::size_t signatures_computed() const {
+    return signatures_;
+  }
+
+ private:
+  void maybe_close_window();
+  void process_signature(const metrics::Signature& sig);
+
+  eard::NodeDaemon* daemon_;
+  policies::PolicyPtr policy_;
+  EarlSettings settings_;
+  bool is_mpi_;
+  dynais::Dynais dynais_;
+  State state_ = State::kNoLoop;
+
+  metrics::Snapshot window_start_{};
+  bool window_open_ = false;
+  std::size_t iterations_in_window_ = 0;
+  metrics::Signature last_signature_{};
+  std::size_t signatures_ = 0;
+};
+
+}  // namespace ear::earl

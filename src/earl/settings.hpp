@@ -1,0 +1,25 @@
+// EARL configuration: which policy and model to run, how often to compute
+// signatures, and the loop-detection parameters.
+#pragma once
+
+#include <string>
+
+#include "dynais/dynais.hpp"
+#include "policies/policy_api.hpp"
+
+namespace ear::earl {
+
+struct EarlSettings {
+  std::string policy = "min_energy_eufs";
+  std::string model = "avx512";
+  policies::PolicySettings policy_settings{};
+  /// Minimum signature window ("every 10 or more seconds", §III). The
+  /// window closes at the first detected iteration boundary past this.
+  double signature_interval_s = 10.0;
+  /// Loop detection configuration (MPI applications).
+  dynais::Config dynais{};
+  /// Non-MPI applications are time-guided with this period.
+  double time_guided_period_s = 10.0;
+};
+
+}  // namespace ear::earl

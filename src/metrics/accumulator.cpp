@@ -1,0 +1,58 @@
+#include "metrics/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ear::metrics {
+
+Snapshot Snapshot::take(const simhw::SimNode& node) {
+  return Snapshot{
+      .pmu = node.counters(),
+      .inm_joules = node.inm().read_joules(),
+      .clock_s = node.clock().value,
+  };
+}
+
+Signature compute_signature(const Snapshot& begin, const Snapshot& end,
+                            std::size_t iterations) {
+  Signature sig;
+  const simhw::PmuCounters d = end.pmu - begin.pmu;
+  const double elapsed = end.clock_s - begin.clock_s;
+  if (elapsed <= 0.0 || iterations == 0) return sig;  // invalid
+
+  sig.elapsed_s = elapsed;
+  sig.iterations = iterations;
+  sig.iter_time_s = elapsed / static_cast<double>(iterations);
+  if (d.instructions > 0.0) {
+    sig.cpi = d.cycles / d.instructions;
+    sig.tpi = d.cas_transactions / d.instructions;
+    sig.vpi = d.avx512_ops / d.instructions;
+  }
+  sig.gbps = d.cas_transactions * 64.0 / elapsed / 1e9;
+  sig.wait_fraction =
+      std::min(1.0, std::max(0.0, d.wait_seconds / elapsed));
+  // DC power from the quantised INM counter, as IPMI would report it.
+  // The published energy freezes at whole-second boundaries, so the
+  // matching time base is the span between the boundaries the two
+  // readings represent — dividing by the raw elapsed time would bias the
+  // estimate by up to 1 s worth of power per window edge.
+  EAR_CHECK_MSG(end.inm_joules >= begin.inm_joules,
+                "INM counter must be monotonic");
+  const double published_span =
+      std::floor(end.clock_s) - std::floor(begin.clock_s);
+  sig.dc_power_w =
+      published_span > 0.0
+          ? static_cast<double>(end.inm_joules - begin.inm_joules) /
+                published_span
+          : 0.0;
+  if (d.elapsed_seconds > 0.0) {
+    sig.avg_cpu_freq_ghz = d.cpu_freq_cycles / d.elapsed_seconds / 1e6;
+    sig.avg_imc_freq_ghz = d.imc_freq_cycles / d.elapsed_seconds / 1e6;
+  }
+  sig.valid = sig.dc_power_w > 0.0 && sig.cpi > 0.0;
+  return sig;
+}
+
+}  // namespace ear::metrics

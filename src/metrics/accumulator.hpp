@@ -1,0 +1,30 @@
+// Builds signatures from hardware counter snapshots, exactly as EARL does:
+// take a snapshot when a measurement window opens, another when it closes,
+// and derive the metrics from the deltas. DC power comes from the
+// 1 s-quantised Intel Node Manager counter, which is why windows shorter
+// than a few seconds produce degraded power readings.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/signature.hpp"
+#include "simhw/node.hpp"
+
+namespace ear::metrics {
+
+/// Counter snapshot taken at a window boundary.
+struct Snapshot {
+  simhw::PmuCounters pmu;
+  std::uint64_t inm_joules = 0;
+  double clock_s = 0.0;
+
+  [[nodiscard]] static Snapshot take(const simhw::SimNode& node);
+};
+
+/// Compute the signature for the window between two snapshots covering
+/// `iterations` detected loop iterations.
+[[nodiscard]] Signature compute_signature(const Snapshot& begin,
+                                          const Snapshot& end,
+                                          std::size_t iterations);
+
+}  // namespace ear::metrics

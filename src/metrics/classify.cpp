@@ -1,0 +1,29 @@
+#include "metrics/classify.hpp"
+
+namespace ear::metrics {
+
+const char* to_string(WorkloadClass c) {
+  switch (c) {
+    case WorkloadClass::kCpuBound: return "cpu-bound";
+    case WorkloadClass::kMemoryBound: return "memory-bound";
+    case WorkloadClass::kMixed: return "mixed";
+    case WorkloadClass::kBusyWait: return "busy-wait";
+    case WorkloadClass::kVectorised: return "vectorised";
+  }
+  return "?";
+}
+
+WorkloadClass classify(const Signature& sig, const ClassifyParams& p) {
+  if (sig.vpi >= p.vector_vpi) return WorkloadClass::kVectorised;
+  if (sig.gbps < p.busywait_gbps && sig.cpi < p.busywait_cpi_max &&
+      sig.wait_fraction > 0.5) {
+    return WorkloadClass::kBusyWait;
+  }
+  const bool heavy_traffic = sig.tpi >= p.mem_tpi;
+  const bool stalled = sig.cpi >= p.mem_cpi && sig.tpi >= p.cpu_tpi;
+  if (heavy_traffic || stalled) return WorkloadClass::kMemoryBound;
+  if (sig.tpi <= p.cpu_tpi) return WorkloadClass::kCpuBound;
+  return WorkloadClass::kMixed;
+}
+
+}  // namespace ear::metrics

@@ -1,0 +1,36 @@
+// Signature classification: the paper's application taxonomy (§VI-B
+// groups apps into CPU-bound and memory-bound classes, plus the CPU-bound
+// -below-nominal case DGEMM represents and the busy-wait CUDA kernels).
+// EAR uses such classes for reporting and for sysadmin policy defaults.
+#pragma once
+
+#include <string>
+
+#include "metrics/signature.hpp"
+
+namespace ear::metrics {
+
+enum class WorkloadClass {
+  kCpuBound,       // low TPI, high IPC: BQCD, BT-MZ, GROMACS
+  kMemoryBound,    // high TPI or high CPI with traffic: HPCG, POP, DUMSES
+  kMixed,          // in between
+  kBusyWait,       // near-zero traffic, spin-like CPI: CUDA host threads
+  kVectorised,     // AVX512-dominated: DGEMM
+};
+
+[[nodiscard]] const char* to_string(WorkloadClass c);
+
+/// Classification thresholds (tuned on the paper's Tables II/V profiles).
+struct ClassifyParams {
+  double vector_vpi = 0.5;        // above: kVectorised
+  double busywait_gbps = 1.0;     // below, with spin CPI: kBusyWait
+  double busywait_cpi_max = 0.7;  // spin loops retire fast
+  double mem_tpi = 0.010;          // above: kMemoryBound
+  double mem_cpi = 1.0;           // or CPI above this with real traffic
+  double cpu_tpi = 0.005;          // below, with low CPI: kCpuBound
+};
+
+[[nodiscard]] WorkloadClass classify(const Signature& sig,
+                                     const ClassifyParams& params = {});
+
+}  // namespace ear::metrics

@@ -1,0 +1,29 @@
+#include "metrics/signature.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ear::metrics {
+
+std::string Signature::str() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "sig{t/it=%.3fs cpi=%.3f tpi=%.4f gbs=%.2f vpi=%.2f "
+                "power=%.1fW f=%.2f/%.2fGHz n=%zu}",
+                iter_time_s, cpi, tpi, gbps, vpi, dc_power_w,
+                avg_cpu_freq_ghz, avg_imc_freq_ghz, iterations);
+  return buf;
+}
+
+bool signature_changed(const Signature& reference, const Signature& current,
+                       double threshold) {
+  if (!reference.valid || !current.valid) return true;
+  const auto rel = [](double ref, double cur) {
+    return ref == 0.0 ? (cur == 0.0 ? 0.0 : 1.0)
+                      : std::fabs(cur - ref) / std::fabs(ref);
+  };
+  return rel(reference.cpi, current.cpi) > threshold ||
+         rel(reference.gbps, current.gbps) > threshold;
+}
+
+}  // namespace ear::metrics

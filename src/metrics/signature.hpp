@@ -1,0 +1,39 @@
+// The application/loop signature: the set of performance and power
+// metrics characterising computational behaviour (§III of the paper).
+// EARL computes one every >= 10 s from PMU counter deltas and the Intel
+// Node Manager energy counter, and energy policies consume nothing else.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ear::metrics {
+
+struct Signature {
+  double iter_time_s = 0.0;   // seconds per detected iteration
+  double cpi = 0.0;           // cycles per instruction
+  double tpi = 0.0;           // memory transactions per instruction
+  double gbps = 0.0;          // main-memory bandwidth, node level
+  double vpi = 0.0;           // AVX512 instructions / total instructions
+  /// Share of the window spent in waits (MPI progression, GPU sync) as
+  /// reported by EARL's PMPI/accelerator hooks; wait time does not scale
+  /// with the CPU clock.
+  double wait_fraction = 0.0;
+  double dc_power_w = 0.0;    // average DC node power over the window
+  double avg_cpu_freq_ghz = 0.0;
+  double avg_imc_freq_ghz = 0.0;
+  double elapsed_s = 0.0;     // window length
+  std::size_t iterations = 0; // iterations covered by the window
+  bool valid = false;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// The paper's signature-change rule: CPI and GB/s are the discriminating
+/// metrics; a change beyond `threshold` (default 15 %) in either means the
+/// application entered a different phase.
+[[nodiscard]] bool signature_changed(const Signature& reference,
+                                     const Signature& current,
+                                     double threshold = 0.15);
+
+}  // namespace ear::metrics

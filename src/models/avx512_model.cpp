@@ -1,0 +1,50 @@
+#include "models/avx512_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ear::models {
+
+Avx512Model::Avx512Model(std::shared_ptr<const BasicModel> base)
+    : base_(std::move(base)) {
+  EAR_CHECK_MSG(base_ != nullptr, "base model required");
+  avx512_pstate_ = base_->pstates().avx512_pstate();
+}
+
+Prediction Avx512Model::predict(const metrics::Signature& sig, Pstate from,
+                                Pstate to) const {
+  // Licence capping only lowers clocks (larger pstate index = lower
+  // frequency): the AVX512 share of the code runs at max(p, cap) no
+  // matter what is requested.
+  const Pstate to_capped = std::max(to, avx512_pstate_);
+  const Prediction def = base_->predict(sig, from, to);
+  // Projecting onto the measured state must be the identity — the
+  // signature already reflects whatever capping was active at `from`.
+  // When both endpoints sit at/below the cap the licence is inactive and
+  // the blend would equal the default prediction anyway.
+  if (to == from || sig.vpi <= 0.0 ||
+      (from >= avx512_pstate_ && to >= avx512_pstate_)) {
+    return def;
+  }
+
+  // AVX512 component. Time: the vector share already ran licence-capped
+  // at the source state, so its clock moves from max(from, cap) to
+  // max(to, cap) — for targets above the cap it does not move at all
+  // ("AVX512 instructions will not take benefit of higher CPU
+  // frequencies", §V-A). Power: the request change still drags the rest
+  // of the package (and the HW-tracked uncore) to the capped operating
+  // point, which the from->capped regression captures.
+  const Pstate from_capped = std::max(from, avx512_pstate_);
+  const Prediction avx_time = base_->predict(sig, from_capped, to_capped);
+  const Prediction avx_power = base_->predict(sig, from, to_capped);
+
+  const double w = std::clamp(sig.vpi, 0.0, 1.0);
+  Prediction out;
+  out.time_s = (1.0 - w) * def.time_s + w * avx_time.time_s;
+  out.power_w = (1.0 - w) * def.power_w + w * avx_power.power_w;
+  out.cpi = (1.0 - w) * def.cpi + w * avx_time.cpi;
+  return out;
+}
+
+}  // namespace ear::models

@@ -1,0 +1,27 @@
+// The paper's AVX512-aware model (§V-A): because AVX512 execution is
+// licence-capped (2.2 GHz all-core on the 6148), requesting a higher clock
+// buys nothing for the vector fraction of the code. The model therefore
+// blends two basic-model predictions — one at the requested target P-state
+// and one at the AVX512-capped P-state — weighted by the measured VPI.
+#pragma once
+
+#include <memory>
+
+#include "models/basic_model.hpp"
+
+namespace ear::models {
+
+class Avx512Model : public EnergyModel {
+ public:
+  explicit Avx512Model(std::shared_ptr<const BasicModel> base);
+
+  [[nodiscard]] std::string name() const override { return "avx512"; }
+  [[nodiscard]] Prediction predict(const metrics::Signature& sig,
+                                   Pstate from, Pstate to) const override;
+
+ private:
+  std::shared_ptr<const BasicModel> base_;
+  Pstate avx512_pstate_;
+};
+
+}  // namespace ear::models

@@ -1,0 +1,37 @@
+#include "models/basic_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ear::models {
+
+BasicModel::BasicModel(simhw::PstateTable pstates,
+                       std::shared_ptr<const CoefficientTable> coeffs)
+    : pstates_(std::move(pstates)), coeffs_(std::move(coeffs)) {
+  EAR_CHECK_MSG(coeffs_ != nullptr, "coefficients required");
+  EAR_CHECK_MSG(coeffs_->num_pstates() == pstates_.size(),
+                "coefficient table size must match pstate table");
+}
+
+Prediction BasicModel::predict(const metrics::Signature& sig, Pstate from,
+                               Pstate to) const {
+  EAR_CHECK(from < pstates_.size() && to < pstates_.size());
+  const Coefficients& k = coeffs_->at(from, to);
+  Prediction out;
+  out.power_w = k.a * sig.dc_power_w + k.b * sig.tpi + k.c;
+  out.cpi = k.d * sig.cpi + k.e * sig.tpi + k.f;
+  const double f_from = pstates_.freq(from).as_ghz();
+  const double f_to = pstates_.freq(to).as_ghz();
+  // T' = T * (CPI'/CPI) * (f/f') applied to the computational share of the
+  // window only: MPI/accelerator wait time (measured by EARL's hooks) does
+  // not scale with the CPU clock.
+  const double w = std::clamp(sig.wait_fraction, 0.0, 1.0);
+  const double scale = sig.cpi > 0.0
+                           ? (out.cpi / sig.cpi) * (f_from / f_to)
+                           : 1.0;
+  out.time_s = sig.iter_time_s * ((1.0 - w) * scale + w);
+  return out;
+}
+
+}  // namespace ear::models

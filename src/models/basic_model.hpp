@@ -1,0 +1,31 @@
+// The default EAR projection model ([2], [8], [9]): two learned linear
+// regressions (power and CPI) plus the DVFS time law.
+#pragma once
+
+#include <memory>
+
+#include "models/coefficients.hpp"
+#include "models/energy_model.hpp"
+
+namespace ear::models {
+
+class BasicModel : public EnergyModel {
+ public:
+  BasicModel(simhw::PstateTable pstates,
+             std::shared_ptr<const CoefficientTable> coeffs);
+
+  [[nodiscard]] std::string name() const override { return "basic"; }
+  [[nodiscard]] Prediction predict(const metrics::Signature& sig,
+                                   Pstate from, Pstate to) const override;
+
+  [[nodiscard]] const simhw::PstateTable& pstates() const { return pstates_; }
+  [[nodiscard]] const CoefficientTable& coefficients() const {
+    return *coeffs_;
+  }
+
+ private:
+  simhw::PstateTable pstates_;
+  std::shared_ptr<const CoefficientTable> coeffs_;
+};
+
+}  // namespace ear::models

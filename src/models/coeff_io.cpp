@@ -1,0 +1,83 @@
+#include "models/coeff_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ear::models {
+
+using common::ConfigError;
+
+namespace {
+constexpr const char* kMagic = "ear-coefficients";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+void save_coefficients(const CoefficientTable& table, std::ostream& out) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "pstates " << table.num_pstates() << '\n';
+  out.precision(17);
+  for (simhw::Pstate from = 0; from < table.num_pstates(); ++from) {
+    for (simhw::Pstate to = 0; to < table.num_pstates(); ++to) {
+      if (from == to) continue;  // the identity diagonal is implicit
+      const Coefficients& k = table.at(from, to);
+      if (!k.available) continue;
+      out << from << ' ' << to << ' ' << k.a << ' ' << k.b << ' ' << k.c
+          << ' ' << k.d << ' ' << k.e << ' ' << k.f << '\n';
+    }
+  }
+}
+
+std::shared_ptr<CoefficientTable> load_coefficients(std::istream& in) {
+  std::string magic, version, key;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    throw ConfigError("coefficient file: bad header");
+  }
+  if (version != kVersion) {
+    throw ConfigError("coefficient file: unsupported version " + version);
+  }
+  std::size_t num_pstates = 0;
+  if (!(in >> key >> num_pstates) || key != "pstates" || num_pstates == 0) {
+    throw ConfigError("coefficient file: missing pstate count");
+  }
+  auto table = std::make_shared<CoefficientTable>(num_pstates);
+
+  // Entry lines are parsed individually so a truncated line is an error
+  // rather than a silent end of input.
+  std::string line;
+  std::getline(in, line);  // consume the rest of the "pstates" line
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream entry(line);
+    std::size_t from = 0, to = 0;
+    Coefficients k;
+    k.available = true;
+    std::string extra;
+    if (!(entry >> from >> to >> k.a >> k.b >> k.c >> k.d >> k.e >> k.f) ||
+        (entry >> extra)) {
+      throw ConfigError("coefficient file: malformed entry: " + line);
+    }
+    if (from >= num_pstates || to >= num_pstates) {
+      throw ConfigError("coefficient file: pstate index out of range");
+    }
+    table->set(from, to, k);
+  }
+  return table;
+}
+
+void save_coefficients_file(const CoefficientTable& table,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("cannot write coefficient file: " + path);
+  save_coefficients(table, out);
+}
+
+std::shared_ptr<CoefficientTable> load_coefficients_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot read coefficient file: " + path);
+  return load_coefficients(in);
+}
+
+}  // namespace ear::models

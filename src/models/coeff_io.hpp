@@ -1,0 +1,36 @@
+// Coefficient persistence. Real EAR runs the learning phase once per
+// architecture at installation time and ships the resulting coefficient
+// files with the cluster configuration; EARL loads them at job start.
+// The text format is versioned and human-inspectable:
+//
+//   ear-coefficients v1
+//   pstates 16
+//   <from> <to> <A> <B> <C> <D> <E> <F>
+//   ...
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "models/coefficients.hpp"
+
+namespace ear::models {
+
+/// Serialise a coefficient table (all available off-diagonal entries).
+void save_coefficients(const CoefficientTable& table, std::ostream& out);
+
+/// Parse a table previously written by save_coefficients. Throws
+/// ConfigError on malformed input, unknown versions, or out-of-range
+/// indices.
+[[nodiscard]] std::shared_ptr<CoefficientTable> load_coefficients(
+    std::istream& in);
+
+/// File-path convenience wrappers.
+void save_coefficients_file(const CoefficientTable& table,
+                            const std::string& path);
+[[nodiscard]] std::shared_ptr<CoefficientTable> load_coefficients_file(
+    const std::string& path);
+
+}  // namespace ear::models

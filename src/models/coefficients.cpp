@@ -1,0 +1,30 @@
+#include "models/coefficients.hpp"
+
+#include "common/error.hpp"
+
+namespace ear::models {
+
+CoefficientTable::CoefficientTable(std::size_t num_pstates)
+    : n_(num_pstates), table_(num_pstates * num_pstates) {
+  EAR_CHECK_MSG(num_pstates > 0, "need at least one pstate");
+  // Identity projection on the diagonal is always available.
+  for (std::size_t p = 0; p < n_; ++p) {
+    table_[p * n_ + p] = Coefficients{.a = 1.0, .b = 0.0, .c = 0.0,
+                                      .d = 1.0, .e = 0.0, .f = 0.0,
+                                      .available = true};
+  }
+}
+
+const Coefficients& CoefficientTable::at(simhw::Pstate from,
+                                         simhw::Pstate to) const {
+  EAR_CHECK(from < n_ && to < n_);
+  return table_[from * n_ + to];
+}
+
+void CoefficientTable::set(simhw::Pstate from, simhw::Pstate to,
+                           const Coefficients& c) {
+  EAR_CHECK(from < n_ && to < n_);
+  table_[from * n_ + to] = c;
+}
+
+}  // namespace ear::models

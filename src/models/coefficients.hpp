@@ -1,0 +1,37 @@
+// Per-architecture projection coefficients, learned offline (EAR's
+// "learning phase") and stored per (from, to) P-state pair:
+//   P(to)   = A * P(from) + B * TPI + C
+//   CPI(to) = D * CPI(from) + E * TPI + F
+//   T(to)   = T(from) * (CPI(to)/CPI(from)) * (f(from)/f(to))
+// — the Bell/Brochard model the paper's policies build on ([8], [9]).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simhw/pstate.hpp"
+
+namespace ear::models {
+
+struct Coefficients {
+  double a = 1.0, b = 0.0, c = 0.0;  // power regression
+  double d = 1.0, e = 0.0, f = 0.0;  // CPI regression
+  bool available = false;
+};
+
+/// Dense (from, to) coefficient table for one node architecture.
+class CoefficientTable {
+ public:
+  explicit CoefficientTable(std::size_t num_pstates);
+
+  [[nodiscard]] std::size_t num_pstates() const { return n_; }
+  [[nodiscard]] const Coefficients& at(simhw::Pstate from,
+                                       simhw::Pstate to) const;
+  void set(simhw::Pstate from, simhw::Pstate to, const Coefficients& c);
+
+ private:
+  std::size_t n_;
+  std::vector<Coefficients> table_;  // row-major [from][to]
+};
+
+}  // namespace ear::models

@@ -1,0 +1,40 @@
+// Energy model API: project a signature measured at one P-state to the
+// time and power the application would exhibit at another P-state. This
+// is what lets EARL pick a frequency after a few seconds of execution
+// instead of exhaustively trying every P-state.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "metrics/signature.hpp"
+#include "simhw/pstate.hpp"
+
+namespace ear::models {
+
+using simhw::Pstate;
+
+/// A projected operating point.
+struct Prediction {
+  double time_s = 0.0;   // per-iteration time at the target P-state
+  double power_w = 0.0;  // average DC node power at the target P-state
+  double cpi = 0.0;      // projected CPI (diagnostic)
+
+  [[nodiscard]] double energy_j() const { return time_s * power_w; }
+};
+
+/// Interface implemented by all models (the plugin surface; EAR loads
+/// these as shared objects, we register factories — see model_registry).
+class EnergyModel {
+ public:
+  virtual ~EnergyModel() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Project `sig`, measured with the CPU at `from`, onto P-state `to`.
+  [[nodiscard]] virtual Prediction predict(const metrics::Signature& sig,
+                                           Pstate from, Pstate to) const = 0;
+};
+
+using EnergyModelPtr = std::shared_ptr<const EnergyModel>;
+
+}  // namespace ear::models

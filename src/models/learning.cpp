@@ -1,0 +1,96 @@
+#include "models/learning.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "metrics/accumulator.hpp"
+#include "simhw/node.hpp"
+#include "workload/synthetic.hpp"
+
+namespace ear::models {
+
+namespace {
+
+metrics::Signature measure(const simhw::NodeConfig& cfg,
+                           const simhw::WorkDemand& demand,
+                           simhw::Pstate pstate, std::size_t iterations,
+                           std::uint64_t seed) {
+  // Noise-free node: learning wants the clean response surface.
+  simhw::SimNode node(cfg, seed,
+                      simhw::NoiseModel{.time_sigma = 0.0, .power_sigma = 0.0});
+  node.set_cpu_pstate(pstate);
+  // One warm-up iteration lets the HW UFS governor settle on its target
+  // before the measurement window opens.
+  node.execute_iteration(demand);
+  const auto begin = metrics::Snapshot::take(node);
+  for (std::size_t i = 0; i < iterations; ++i) node.execute_iteration(demand);
+  return metrics::compute_signature(begin, metrics::Snapshot::take(node),
+                                    iterations);
+}
+
+}  // namespace
+
+LearnedModels learn_models(const simhw::NodeConfig& cfg,
+                           const LearningOptions& opts) {
+  const auto suite = workload::learning_suite();
+  const std::size_t num_p = cfg.pstates.size();
+  EAR_CHECK_MSG(!suite.empty(), "empty learning suite");
+
+  // signatures[w * num_p + p]
+  std::vector<metrics::Signature> sigs(suite.size() * num_p);
+  for (std::size_t w = 0; w < suite.size(); ++w) {
+    workload::SyntheticSpec spec = suite[w];
+    // The suite is sized for the main testbed; smaller nodes (the GPU
+    // node's 32 cores) use all the cores they have.
+    spec.active_cores = std::min(spec.active_cores, cfg.total_cores());
+    const auto demand = workload::make_demand(cfg, spec);
+    for (std::size_t p = 0; p < num_p; ++p) {
+      sigs[w * num_p + p] = measure(cfg, demand, p,
+                                    opts.iterations_per_sample,
+                                    opts.seed + w * 131 + p);
+      EAR_CHECK_MSG(sigs[w * num_p + p].valid,
+                    "learning sample produced an invalid signature");
+    }
+  }
+
+  auto table = std::make_shared<CoefficientTable>(num_p);
+  for (std::size_t from = 0; from < num_p; ++from) {
+    for (std::size_t to = 0; to < num_p; ++to) {
+      if (from == to) continue;  // identity preset by the table
+      std::vector<std::vector<double>> rows_p, rows_c;
+      std::vector<double> y_p, y_c;
+      rows_p.reserve(suite.size());
+      rows_c.reserve(suite.size());
+      for (std::size_t w = 0; w < suite.size(); ++w) {
+        const auto& sf = sigs[w * num_p + from];
+        const auto& st = sigs[w * num_p + to];
+        rows_p.push_back({sf.dc_power_w, sf.tpi, 1.0});
+        y_p.push_back(st.dc_power_w);
+        rows_c.push_back({sf.cpi, sf.tpi, 1.0});
+        y_c.push_back(st.cpi);
+      }
+      const auto beta_p = common::least_squares(rows_p, y_p);
+      const auto beta_c = common::least_squares(rows_c, y_c);
+      table->set(from, to,
+                 Coefficients{.a = beta_p[0], .b = beta_p[1], .c = beta_p[2],
+                              .d = beta_c[0], .e = beta_c[1], .f = beta_c[2],
+                              .available = true});
+    }
+  }
+
+  LearnedModels out;
+  out.coefficients = table;
+  out.basic = std::make_shared<BasicModel>(cfg.pstates, table);
+  out.avx512 = std::make_shared<Avx512Model>(out.basic);
+  return out;
+}
+
+EnergyModelPtr model_by_name(const LearnedModels& learned,
+                             const std::string& name) {
+  if (name == "basic") return learned.basic;
+  if (name == "avx512") return learned.avx512;
+  throw common::ConfigError("unknown energy model: " + name);
+}
+
+}  // namespace ear::models

@@ -1,0 +1,37 @@
+// The EAR learning phase: characterise an architecture by running a grid
+// of synthetic kernels at every P-state on the (simulated) node and
+// fitting the projection coefficients by least squares. Real EAR does
+// exactly this once per architecture at installation time; the paper's
+// policies then use the resulting tables at runtime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "models/avx512_model.hpp"
+#include "models/basic_model.hpp"
+#include "simhw/config.hpp"
+
+namespace ear::models {
+
+struct LearnedModels {
+  std::shared_ptr<const CoefficientTable> coefficients;
+  std::shared_ptr<const BasicModel> basic;
+  std::shared_ptr<const Avx512Model> avx512;
+};
+
+struct LearningOptions {
+  std::size_t iterations_per_sample = 10;  // per workload x pstate
+  std::uint64_t seed = 0x1ea12;
+};
+
+/// Run the learning phase for `cfg` and fit the coefficient table.
+[[nodiscard]] LearnedModels learn_models(const simhw::NodeConfig& cfg,
+                                         const LearningOptions& opts = {});
+
+/// Name-based model selection over a learned set (the plugin mechanism's
+/// moral equivalent: policies name their model, EARL resolves it).
+[[nodiscard]] EnergyModelPtr model_by_name(const LearnedModels& learned,
+                                           const std::string& name);
+
+}  // namespace ear::models

@@ -1,0 +1,25 @@
+#include "mpisim/comm_model.hpp"
+
+#include <cmath>
+
+namespace ear::mpisim {
+
+double CommModel::p2p_seconds(std::size_t bytes) const {
+  return params_.alpha_latency_s +
+         static_cast<double>(bytes) * params_.beta_s_per_byte;
+}
+
+double CommModel::allreduce_seconds(std::size_t ranks,
+                                    std::size_t bytes) const {
+  if (ranks <= 1) return 0.0;
+  const double rounds =
+      std::ceil(std::log2(static_cast<double>(ranks))) *
+      params_.allreduce_log_factor;
+  return rounds * p2p_seconds(bytes);
+}
+
+double CommModel::barrier_seconds(std::size_t ranks) const {
+  return allreduce_seconds(ranks, 8);
+}
+
+}  // namespace ear::mpisim

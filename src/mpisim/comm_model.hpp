@@ -1,0 +1,33 @@
+// Alpha-beta communication cost model. The calibrated catalog apps carry
+// their measured communication share directly; this model supports
+// what-if analyses (node-count scaling in the examples) and synthetic MPI
+// patterns in tests.
+#pragma once
+
+#include <cstddef>
+
+namespace ear::mpisim {
+
+struct CommParams {
+  double alpha_latency_s = 2.0e-6;   // per-message latency
+  double beta_s_per_byte = 1.0 / 12.5e9;  // 100 Gb/s link
+  double allreduce_log_factor = 1.0;      // tree-based collectives
+};
+
+class CommModel {
+ public:
+  explicit CommModel(CommParams params = {}) : params_(params) {}
+
+  /// Point-to-point message time.
+  [[nodiscard]] double p2p_seconds(std::size_t bytes) const;
+  /// Allreduce across `ranks` ranks of `bytes` payload (tree model).
+  [[nodiscard]] double allreduce_seconds(std::size_t ranks,
+                                         std::size_t bytes) const;
+  /// Barrier across `ranks`.
+  [[nodiscard]] double barrier_seconds(std::size_t ranks) const;
+
+ private:
+  CommParams params_;
+};
+
+}  // namespace ear::mpisim

@@ -1,0 +1,20 @@
+// MPI call events as a PMPI interposer would see them: one event per MPI
+// call, identified by a hash of (call type, buffer size class, call site).
+// EAR's DynAIS consumes exactly this stream to find the outer loop.
+#pragma once
+
+#include <cstdint>
+
+namespace ear::mpisim {
+
+/// Event identifier; equal ids mean "the same MPI call from the same call
+/// site with the same argument signature".
+using EventId = std::uint32_t;
+
+/// A handful of well-known synthetic ids for building patterns in tests.
+inline constexpr EventId kBarrier = 1;
+inline constexpr EventId kAllreduce = 2;
+inline constexpr EventId kSendRecv = 3;
+inline constexpr EventId kWaitall = 4;
+
+}  // namespace ear::mpisim

@@ -1,0 +1,38 @@
+#include "mpisim/layout.hpp"
+
+#include "common/error.hpp"
+
+namespace ear::mpisim {
+
+ProcessLayout::ProcessLayout(std::size_t nodes, std::size_t ranks_per_node)
+    : nodes_(nodes), rpn_(ranks_per_node) {
+  EAR_CHECK_MSG(nodes > 0 && ranks_per_node > 0,
+                "layout needs at least one node and one rank per node");
+}
+
+std::size_t ProcessLayout::node_of_rank(std::size_t rank) const {
+  EAR_CHECK(rank < total_ranks());
+  return rank / rpn_;
+}
+
+std::size_t ProcessLayout::master_rank(std::size_t node) const {
+  EAR_CHECK(node < nodes_);
+  return node * rpn_;
+}
+
+bool ProcessLayout::is_master(std::size_t rank) const {
+  return rank % rpn_ == 0;
+}
+
+std::vector<std::size_t> ProcessLayout::ranks_on_node(
+    std::size_t node) const {
+  EAR_CHECK(node < nodes_);
+  std::vector<std::size_t> out;
+  out.reserve(rpn_);
+  for (std::size_t r = node * rpn_; r < (node + 1) * rpn_; ++r) {
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace ear::mpisim

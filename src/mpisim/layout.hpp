@@ -1,0 +1,32 @@
+// Process layout: how an application's MPI ranks map onto cluster nodes.
+// EARL runs one instance per node and designates the lowest-numbered local
+// rank as the node master (the one whose events drive loop detection).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ear::mpisim {
+
+class ProcessLayout {
+ public:
+  /// Block distribution: ranks_per_node consecutive ranks per node.
+  ProcessLayout(std::size_t nodes, std::size_t ranks_per_node);
+
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t ranks_per_node() const { return rpn_; }
+  [[nodiscard]] std::size_t total_ranks() const { return nodes_ * rpn_; }
+
+  [[nodiscard]] std::size_t node_of_rank(std::size_t rank) const;
+  /// Node-master rank of a node (lowest local rank).
+  [[nodiscard]] std::size_t master_rank(std::size_t node) const;
+  [[nodiscard]] bool is_master(std::size_t rank) const;
+  [[nodiscard]] std::vector<std::size_t> ranks_on_node(
+      std::size_t node) const;
+
+ private:
+  std::size_t nodes_;
+  std::size_t rpn_;
+};
+
+}  // namespace ear::mpisim

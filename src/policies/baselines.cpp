@@ -1,0 +1,101 @@
+#include "policies/baselines.hpp"
+
+namespace ear::policies {
+
+// ---------------------------------------------------------------------
+// UPS-style controller
+// ---------------------------------------------------------------------
+
+UpsPolicy::UpsPolicy(PolicyContext ctx)
+    : ctx_(std::move(ctx)), current_max_(ctx_.uncore.max()) {}
+
+NodeFreqs UpsPolicy::default_freqs() const {
+  return open_window(ctx_, ctx_.pstates.nominal_pstate());
+}
+
+void UpsPolicy::restart() {
+  ref_ = metrics::Signature{};
+  current_max_ = ctx_.uncore.max();
+  settled_ = false;
+}
+
+PolicyState UpsPolicy::apply(const metrics::Signature& sig, NodeFreqs& out) {
+  out = NodeFreqs{.cpu_pstate = ctx_.pstates.nominal_pstate(),
+                  .imc_max = current_max_,
+                  .imc_min = ctx_.uncore.min()};
+  if (!ref_.valid) {
+    ref_ = sig;
+    current_max_ = ctx_.uncore.step_down(
+        ctx_.uncore.clamp(Freq::ghz(sig.avg_imc_freq_ghz)));
+    out.imc_max = current_max_;
+    return PolicyState::kContinue;
+  }
+  // IPC degradation beyond the budget: step back up and settle there.
+  const double ipc_ref = ref_.cpi > 0.0 ? 1.0 / ref_.cpi : 0.0;
+  const double ipc_now = sig.cpi > 0.0 ? 1.0 / sig.cpi : 0.0;
+  if (ipc_now < ipc_ref * (1.0 - ctx_.settings.unc_policy_th)) {
+    current_max_ = ctx_.uncore.step_up(current_max_);
+    out.imc_max = current_max_;
+    settled_ = true;
+    return PolicyState::kReady;
+  }
+  if (current_max_ <= ctx_.uncore.min()) {
+    settled_ = true;
+    return PolicyState::kReady;
+  }
+  current_max_ = ctx_.uncore.step_down(current_max_);
+  out.imc_max = current_max_;
+  return PolicyState::kContinue;
+}
+
+bool UpsPolicy::validate(const metrics::Signature& sig) {
+  // DRAM-activity change (bandwidth proxy) signals a new phase: rescan.
+  return !metrics::signature_changed(ref_, sig, ctx_.settings.sig_change_th);
+}
+
+// ---------------------------------------------------------------------
+// DUF-style controller
+// ---------------------------------------------------------------------
+
+DufPolicy::DufPolicy(PolicyContext ctx)
+    : ctx_(std::move(ctx)), current_max_(ctx_.uncore.max()) {}
+
+NodeFreqs DufPolicy::default_freqs() const {
+  return open_window(ctx_, ctx_.pstates.nominal_pstate());
+}
+
+void DufPolicy::restart() {
+  ref_ = metrics::Signature{};
+  current_max_ = ctx_.uncore.max();
+}
+
+PolicyState DufPolicy::apply(const metrics::Signature& sig, NodeFreqs& out) {
+  out = NodeFreqs{.cpu_pstate = ctx_.pstates.nominal_pstate(),
+                  .imc_max = current_max_,
+                  .imc_min = ctx_.uncore.min()};
+  if (!ref_.valid) {
+    ref_ = sig;
+    current_max_ =
+        ctx_.uncore.clamp(Freq::ghz(sig.avg_imc_freq_ghz));
+    out.imc_max = current_max_;
+    return PolicyState::kContinue;
+  }
+  // Keep bandwidth within tolerance; DUF adapts in both directions and
+  // never "finishes" — model that as always-CONTINUE until the floor or a
+  // bounce, then READY with ongoing validation.
+  if (sig.gbps < ref_.gbps * (1.0 - ctx_.settings.unc_policy_th)) {
+    current_max_ = ctx_.uncore.step_up(current_max_);
+    out.imc_max = current_max_;
+    return PolicyState::kReady;
+  }
+  if (current_max_ <= ctx_.uncore.min()) return PolicyState::kReady;
+  current_max_ = ctx_.uncore.step_down(current_max_);
+  out.imc_max = current_max_;
+  return PolicyState::kContinue;
+}
+
+bool DufPolicy::validate(const metrics::Signature& sig) {
+  return !metrics::signature_changed(ref_, sig, ctx_.settings.sig_change_th);
+}
+
+}  // namespace ear::policies

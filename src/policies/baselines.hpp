@@ -1,0 +1,49 @@
+// Controller-based uncore baselines from the paper's related work (§VII),
+// for the ablation benches:
+//  - UpsPolicy: Uncore Power Scavenger style (Gholkar et al., SC'19) —
+//    step the uncore down while IPC holds; DRAM-activity shifts signal a
+//    phase change and reset the search.
+//  - DufPolicy: DUF style (Andre et al., 2020) — keep measured memory
+//    bandwidth within a tolerance of its reference and adapt continuously.
+// Both leave the CPU at nominal (neither does DVFS), which is exactly the
+// contrast with EAR's joint CPU+IMC policy.
+#pragma once
+
+#include "policies/policy_api.hpp"
+
+namespace ear::policies {
+
+class UpsPolicy : public Policy {
+ public:
+  explicit UpsPolicy(PolicyContext ctx);
+
+  [[nodiscard]] std::string name() const override { return "ups"; }
+  PolicyState apply(const metrics::Signature& sig, NodeFreqs& out) override;
+  [[nodiscard]] bool validate(const metrics::Signature& sig) override;
+  void restart() override;
+  [[nodiscard]] NodeFreqs default_freqs() const override;
+
+ private:
+  PolicyContext ctx_;
+  metrics::Signature ref_{};
+  Freq current_max_;
+  bool settled_ = false;
+};
+
+class DufPolicy : public Policy {
+ public:
+  explicit DufPolicy(PolicyContext ctx);
+
+  [[nodiscard]] std::string name() const override { return "duf"; }
+  PolicyState apply(const metrics::Signature& sig, NodeFreqs& out) override;
+  [[nodiscard]] bool validate(const metrics::Signature& sig) override;
+  void restart() override;
+  [[nodiscard]] NodeFreqs default_freqs() const override;
+
+ private:
+  PolicyContext ctx_;
+  metrics::Signature ref_{};
+  Freq current_max_;
+};
+
+}  // namespace ear::policies

@@ -1,0 +1,116 @@
+#include "policies/imc_search.hpp"
+
+#include "common/error.hpp"
+
+namespace ear::policies {
+
+ImcSearch::ImcSearch(simhw::UncoreRange range, double unc_policy_th,
+                     bool hw_guided)
+    : range_(range),
+      th_(unc_policy_th),
+      hw_guided_(hw_guided),
+      trial_(range.max()),
+      last_good_(range.max()) {
+  EAR_CHECK_MSG(unc_policy_th >= 0.0, "unc_policy_th must be >= 0");
+}
+
+void ImcSearch::reset() {
+  started_ = false;
+  ref_ = metrics::Signature{};
+  trial_ = range_.max();
+  last_good_ = range_.max();
+  steps_ = 0;
+}
+
+Freq ImcSearch::start(const metrics::Signature& ref) {
+  EAR_CHECK_MSG(ref.valid, "reference signature must be valid");
+  ref_ = ref;
+  started_ = true;
+  steps_ = 0;
+  if (hw_guided_) {
+    // The HW selection is the starting point and implicit "last good":
+    // the first trial is one bin below the hardware's average choice.
+    const Freq hw = range_.clamp(Freq::ghz(ref.avg_imc_freq_ghz));
+    last_good_ = hw;
+    trial_ = range_.step_down(hw);
+  } else {
+    // Non-guided: pin the maximum first and walk down from there, even if
+    // the hardware had already chosen something lower (this is what makes
+    // NG-U slower to converge, §V-B).
+    last_good_ = range_.max();
+    trial_ = range_.max();
+  }
+  return trial_;
+}
+
+bool ImcSearch::guard_tripped(const metrics::Signature& sig) const {
+  const bool cpi_bad = sig.cpi > ref_.cpi * (1.0 + th_);
+  const bool bw_bad = sig.gbps < ref_.gbps * (1.0 - th_);
+  return cpi_bad || bw_bad;
+}
+
+ImcSearch::Decision ImcSearch::step(const metrics::Signature& sig) {
+  EAR_CHECK_MSG(started_, "step() before start()");
+  ++steps_;
+  if (guard_tripped(sig)) {
+    // Revert the last reduction and finish.
+    trial_ = last_good_;
+    return Decision{.verdict = Verdict::kDone, .imc_max = last_good_};
+  }
+  if (trial_ <= range_.min()) {
+    // Nothing left to try; keep the floor.
+    last_good_ = trial_;
+    return Decision{.verdict = Verdict::kDone, .imc_max = trial_};
+  }
+  last_good_ = trial_;
+  trial_ = range_.step_down(trial_);
+  return Decision{.verdict = Verdict::kContinue, .imc_max = trial_};
+}
+
+ImcRaise::ImcRaise(simhw::UncoreRange range, double gain_th)
+    : range_(range),
+      gain_th_(gain_th),
+      trial_(range.min()),
+      last_good_(range.min()) {
+  EAR_CHECK_MSG(gain_th >= 0.0, "gain threshold must be >= 0");
+}
+
+void ImcRaise::reset() {
+  started_ = false;
+  ref_ = metrics::Signature{};
+  prev_time_s_ = 0.0;
+  trial_ = range_.min();
+  last_good_ = range_.min();
+}
+
+Freq ImcRaise::start(const metrics::Signature& ref) {
+  EAR_CHECK_MSG(ref.valid, "reference signature must be valid");
+  ref_ = ref;
+  started_ = true;
+  prev_time_s_ = ref.iter_time_s;
+  // "No raise" means the window minimum stays at the hardware floor.
+  last_good_ = range_.min();
+  trial_ = range_.step_up(range_.clamp(Freq::ghz(ref.avg_imc_freq_ghz)));
+  return trial_;
+}
+
+ImcRaise::Decision ImcRaise::step(const metrics::Signature& sig) {
+  EAR_CHECK_MSG(started_, "step() before start()");
+  const bool improved =
+      sig.iter_time_s < prev_time_s_ * (1.0 - gain_th_);
+  if (!improved) {
+    trial_ = last_good_;
+    return Decision{.verdict = ImcSearch::Verdict::kDone,
+                    .imc_min = last_good_};
+  }
+  last_good_ = trial_;
+  prev_time_s_ = sig.iter_time_s;
+  if (trial_ >= range_.max()) {
+    return Decision{.verdict = ImcSearch::Verdict::kDone, .imc_min = trial_};
+  }
+  trial_ = range_.step_up(trial_);
+  return Decision{.verdict = ImcSearch::Verdict::kContinue,
+                  .imc_min = trial_};
+}
+
+}  // namespace ear::policies

@@ -1,0 +1,98 @@
+// The explicit uncore frequency search (§V-B, Fig. 2's IMC_FREQ_SEL state).
+//
+// Starting either from the hardware-selected frequency (HW-guided, the
+// paper's default) or from the range maximum (the ME+NG-U configuration),
+// the search lowers the *maximum* uncore limit by one 100 MHz bin per
+// signature. It reverts the last step and stops when either guard trips:
+//   CPI  > reference CPI  * (1 + unc_policy_th), or
+//   GB/s < reference GB/s * (1 - unc_policy_th).
+// Only the maximum limit moves; the minimum stays at the hardware minimum
+// so the HW loop can still lower the clock if the application changes.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "metrics/signature.hpp"
+#include "simhw/pstate.hpp"
+
+namespace ear::policies {
+
+using common::Freq;
+
+class ImcSearch {
+ public:
+  ImcSearch(simhw::UncoreRange range, double unc_policy_th, bool hw_guided);
+
+  /// Begin a search with `ref` as the reference signature (measured with
+  /// the hardware in control of the uncore). Returns the first trial
+  /// frequency to apply as the window maximum.
+  Freq start(const metrics::Signature& ref);
+
+  enum class Verdict { kContinue, kDone };
+  struct Decision {
+    Verdict verdict = Verdict::kContinue;
+    Freq imc_max;  // window maximum to apply next
+  };
+
+  /// Consume the signature measured at the current trial and decide the
+  /// next move. Only valid after start().
+  Decision step(const metrics::Signature& sig);
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] const metrics::Signature& reference() const { return ref_; }
+  [[nodiscard]] Freq current_trial() const { return trial_; }
+  [[nodiscard]] std::size_t steps_taken() const { return steps_; }
+
+  void reset();
+
+ private:
+  [[nodiscard]] bool guard_tripped(const metrics::Signature& sig) const;
+
+  simhw::UncoreRange range_;
+  double th_;
+  bool hw_guided_;
+  bool started_ = false;
+  metrics::Signature ref_{};
+  Freq trial_;      // currently applied window maximum
+  Freq last_good_;  // last setting that passed the guards
+  std::size_t steps_ = 0;
+};
+
+/// The paper's future-work strategy (§VIII): performance-oriented
+/// policies may *raise* the uncore instead. Starting one bin above the
+/// hardware's selection, the search raises the window *minimum* (pinning
+/// the HW loop from below) while each step still improves the measured
+/// iteration time by at least `gain_th`; the last unhelpful raise is
+/// reverted. Useful where the HW loop parks the uncore low (wide MPI
+/// waits) and costs memory performance.
+class ImcRaise {
+ public:
+  ImcRaise(simhw::UncoreRange range, double gain_th);
+
+  /// Returns the first trial window *minimum*.
+  Freq start(const metrics::Signature& ref);
+
+  struct Decision {
+    ImcSearch::Verdict verdict = ImcSearch::Verdict::kContinue;
+    Freq imc_min;  // window minimum to apply next
+  };
+  Decision step(const metrics::Signature& sig);
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] const metrics::Signature& reference() const { return ref_; }
+  [[nodiscard]] Freq current_trial() const { return trial_; }
+
+  void reset();
+
+ private:
+  simhw::UncoreRange range_;
+  double gain_th_;
+  bool started_ = false;
+  metrics::Signature ref_{};
+  double prev_time_s_ = 0.0;
+  Freq trial_;
+  Freq last_good_;  // window minimum that last proved worthwhile
+};
+
+}  // namespace ear::policies

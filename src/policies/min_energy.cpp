@@ -1,0 +1,110 @@
+#include "policies/min_energy.hpp"
+
+#include "common/log.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ear::policies {
+
+CpuSelection select_min_energy_pstate(const models::EnergyModel& model,
+                                      const simhw::PstateTable& pstates,
+                                      const metrics::Signature& sig,
+                                      Pstate current, Pstate def,
+                                      double cpu_policy_th) {
+  EAR_CHECK_MSG(sig.valid, "cannot select from an invalid signature");
+  const models::Prediction ref = model.predict(sig, current, def);
+  const double limit = ref.time_s * (1.0 + cpu_policy_th);
+
+  CpuSelection best{.pstate = def,
+                    .predicted_time_s = ref.time_s,
+                    .reference_time_s = ref.time_s};
+  double best_energy = ref.energy_j();
+  // The search covers the default frequency and below: min_energy's
+  // default is the maximum non-turbo frequency, and turbo is reserved for
+  // min_time configurations.
+  for (Pstate p = def + 1; p < pstates.size(); ++p) {
+    const models::Prediction pred = model.predict(sig, current, p);
+    if (pred.time_s > limit) continue;
+    if (pred.energy_j() < best_energy) {
+      best_energy = pred.energy_j();
+      best.pstate = p;
+      best.predicted_time_s = pred.time_s;
+    }
+  }
+  return best;
+}
+
+MinEnergyPolicy::MinEnergyPolicy(PolicyContext ctx)
+    : ctx_(std::move(ctx)),
+      default_pstate_(ctx_.pstates.nominal_pstate()),
+      current_(default_pstate_) {
+  EAR_CHECK_MSG(ctx_.model != nullptr, "min_energy requires an energy model");
+}
+
+NodeFreqs MinEnergyPolicy::default_freqs() const {
+  return open_window(ctx_, default_pstate_);
+}
+
+void MinEnergyPolicy::restart() {
+  current_ = default_pstate_;
+  stable_ref_ = metrics::Signature{};
+  expected_time_s_ = 0.0;
+}
+
+void MinEnergyPolicy::sync_constraints(Pstate applied,
+                                       Pstate fastest_allowed) {
+  current_ = applied;
+  limit_ = fastest_allowed;
+}
+
+PolicyState MinEnergyPolicy::apply(const metrics::Signature& sig,
+                                   NodeFreqs& out) {
+  // An active EARGM limit moves the effective default down with it.
+  const Pstate def = std::max(default_pstate_, limit_);
+  const CpuSelection sel =
+      select_min_energy_pstate(*ctx_.model, ctx_.pstates, sig, current_,
+                               def, ctx_.settings.cpu_policy_th);
+  EAR_LOG_DEBUG("policy",
+                "min_energy: from p%zu sel p%zu predT %.4f refT %.4f | %s "
+                "wait=%.2f",
+                current_, sel.pstate, sel.predicted_time_s,
+                sel.reference_time_s, sig.str().c_str(), sig.wait_fraction);
+  current_ = sel.pstate;
+  stable_ref_ = metrics::Signature{};  // re-anchored on first validation
+  expected_time_s_ = sel.predicted_time_s;
+  out = open_window(ctx_, sel.pstate);
+  return PolicyState::kReady;
+}
+
+bool MinEnergyPolicy::validate(const metrics::Signature& sig) {
+  if (!stable_ref_.valid) {
+    // First signature at the selected operating point: anchor the phase
+    // reference and check the model's time promise.
+    stable_ref_ = sig;
+    const bool ok =
+        expected_time_s_ <= 0.0 ||
+        sig.iter_time_s <=
+            expected_time_s_ * (1.0 + ctx_.settings.validate_margin);
+    if (!ok) {
+      EAR_LOG_DEBUG("policy",
+                    "min_energy: time promise broken (measured %.4fs vs "
+                    "expected %.4fs)",
+                    sig.iter_time_s, expected_time_s_);
+    }
+    return ok;
+  }
+  // A different application phase invalidates the selection.
+  const bool changed = metrics::signature_changed(
+      stable_ref_, sig, ctx_.settings.sig_change_th);
+  if (changed) {
+    EAR_LOG_DEBUG("policy",
+                  "min_energy: signature changed (cpi %.3f->%.3f, gbs "
+                  "%.2f->%.2f)",
+                  stable_ref_.cpi, sig.cpi, stable_ref_.gbps, sig.gbps);
+  }
+  return !changed;
+}
+
+}  // namespace ear::policies

@@ -1,0 +1,47 @@
+// min_energy_to_solution, basic form (§V-B): a linear search over
+// P-states selecting the minimum predicted energy whose predicted time
+// penalty stays below cpu_policy_th. The uncore is left to the hardware.
+#pragma once
+
+#include "policies/policy_api.hpp"
+
+namespace ear::policies {
+
+/// The linear search, shared with the eUFS-extended policy.
+struct CpuSelection {
+  Pstate pstate = 0;
+  double predicted_time_s = 0.0;   // at the selected pstate
+  double reference_time_s = 0.0;   // at the policy default pstate
+};
+[[nodiscard]] CpuSelection select_min_energy_pstate(
+    const models::EnergyModel& model, const simhw::PstateTable& pstates,
+    const metrics::Signature& sig, Pstate current, Pstate def,
+    double cpu_policy_th);
+
+class MinEnergyPolicy : public Policy {
+ public:
+  explicit MinEnergyPolicy(PolicyContext ctx);
+
+  [[nodiscard]] std::string name() const override { return "min_energy"; }
+  PolicyState apply(const metrics::Signature& sig, NodeFreqs& out) override;
+  [[nodiscard]] bool validate(const metrics::Signature& sig) override;
+  void restart() override;
+  [[nodiscard]] NodeFreqs default_freqs() const override;
+  void sync_constraints(Pstate applied, Pstate fastest_allowed) override;
+
+  [[nodiscard]] Pstate current_pstate() const { return current_; }
+
+ private:
+  PolicyContext ctx_;
+  Pstate default_pstate_;
+  Pstate current_;
+  Pstate limit_ = 0;  // EARGM: fastest P-state the node may run
+  /// First signature observed *at the selected operating point*; the 15 %
+  /// change detection compares against this (comparing against the
+  /// pre-selection signature would mistake the frequency change itself
+  /// for an application phase change).
+  metrics::Signature stable_ref_{};
+  double expected_time_s_ = 0.0;
+};
+
+}  // namespace ear::policies

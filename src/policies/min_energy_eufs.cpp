@@ -1,0 +1,122 @@
+#include "policies/min_energy_eufs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace ear::policies {
+
+MinEnergyEufsPolicy::MinEnergyEufsPolicy(PolicyContext ctx)
+    : ctx_(std::move(ctx)),
+      default_pstate_(ctx_.pstates.nominal_pstate()),
+      current_(default_pstate_),
+      imc_(ctx_.uncore, ctx_.settings.unc_policy_th,
+           ctx_.settings.hw_guided_imc) {
+  EAR_CHECK_MSG(ctx_.model != nullptr, "policy requires an energy model");
+}
+
+NodeFreqs MinEnergyEufsPolicy::default_freqs() const {
+  return open_window(ctx_, default_pstate_);
+}
+
+void MinEnergyEufsPolicy::restart() {
+  stage_ = Stage::kCpuFreqSel;
+  current_ = default_pstate_;
+  imc_.reset();
+  stable_ref_ = metrics::Signature{};
+  expected_time_s_ = 0.0;
+}
+
+PolicyState MinEnergyEufsPolicy::enter_imc_search(
+    const metrics::Signature& ref, NodeFreqs& out) {
+  const Freq trial = imc_.start(ref);
+  stage_ = Stage::kImcFreqSel;
+  out = NodeFreqs{.cpu_pstate = current_,
+                  .imc_max = trial,
+                  .imc_min = ctx_.uncore.min()};
+  return PolicyState::kContinue;
+}
+
+void MinEnergyEufsPolicy::sync_constraints(Pstate applied,
+                                           Pstate fastest_allowed) {
+  // Re-anchor the tracked source state on what is actually in force: an
+  // EARGM clamp otherwise makes every projection start from the wrong
+  // frequency and validation thrash.
+  if (stage_ == Stage::kCpuFreqSel || stage_ == Stage::kStable) {
+    current_ = applied;
+  }
+  limit_ = fastest_allowed;
+}
+
+PolicyState MinEnergyEufsPolicy::apply(const metrics::Signature& sig,
+                                       NodeFreqs& out) {
+  switch (stage_) {
+    case Stage::kCpuFreqSel: {
+      const CpuSelection sel = select_min_energy_pstate(
+          *ctx_.model, ctx_.pstates, sig, current_,
+          std::max(default_pstate_, limit_),
+          ctx_.settings.cpu_policy_th);
+      current_ = sel.pstate;
+      expected_time_s_ = sel.predicted_time_s;
+      EAR_LOG_DEBUG("policy", "eufs: cpu_sel -> pstate %zu (%.2f GHz)",
+                    sel.pstate, ctx_.pstates.freq(sel.pstate).as_ghz());
+      if (sel.pstate == default_pstate_) {
+        // No CPU change: the signature in hand is already the reference
+        // at the selected frequency (Fig. 2's shortcut edge).
+        return enter_imc_search(sig, out);
+      }
+      out = open_window(ctx_, sel.pstate);
+      stage_ = Stage::kCompRef;
+      return PolicyState::kContinue;
+    }
+
+    case Stage::kCompRef:
+      // Signature measured at the selected CPU frequency, HW uncore.
+      return enter_imc_search(sig, out);
+
+    case Stage::kImcFreqSel: {
+      // Robustness check (§V-B): a real phase change mid-search restarts
+      // the whole policy. The guards use a much smaller threshold, so an
+      // uncore-induced CPI shift cannot reach this one.
+      if (metrics::signature_changed(imc_.reference(), sig,
+                                     ctx_.settings.sig_change_th)) {
+        EAR_LOG_DEBUG("policy", "eufs: phase change during IMC search");
+        restart();
+        out = default_freqs();
+        return PolicyState::kContinue;
+      }
+      const ImcSearch::Decision d = imc_.step(sig);
+      out = NodeFreqs{.cpu_pstate = current_,
+                      .imc_max = d.imc_max,
+                      .imc_min = ctx_.uncore.min()};
+      if (d.verdict == ImcSearch::Verdict::kDone) {
+        EAR_LOG_DEBUG("policy", "eufs: imc settled at %s",
+                      d.imc_max.str().c_str());
+        stage_ = Stage::kStable;
+        stable_ref_ = metrics::Signature{};  // anchored on first validate
+        return PolicyState::kReady;
+      }
+      return PolicyState::kContinue;
+    }
+
+    case Stage::kStable:
+      // EARL only calls apply() after a failed validation; be safe.
+      restart();
+      out = default_freqs();
+      return PolicyState::kContinue;
+  }
+  EAR_CHECK_MSG(false, "unreachable policy stage");
+  return PolicyState::kReady;
+}
+
+bool MinEnergyEufsPolicy::validate(const metrics::Signature& sig) {
+  if (!stable_ref_.valid) {
+    stable_ref_ = sig;
+    return true;
+  }
+  return !metrics::signature_changed(stable_ref_, sig,
+                                     ctx_.settings.sig_change_th);
+}
+
+}  // namespace ear::policies

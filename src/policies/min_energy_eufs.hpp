@@ -1,0 +1,58 @@
+// min_energy_to_solution with explicit uncore frequency selection — the
+// paper's main contribution (§V-B, Fig. 2).
+//
+// State machine:
+//   CPU_FREQ_SEL: run the basic min_energy linear search. If it selects
+//     the policy default (maximum) frequency, the current signature is
+//     already the reference — jump straight to IMC_FREQ_SEL; otherwise go
+//     through COMP_REF to measure a fresh reference at the new CPU clock.
+//   COMP_REF: one signature at the selected CPU frequency with the HW in
+//     control of the uncore; becomes the reference for the guards.
+//   IMC_FREQ_SEL: lower the window maximum by 0.1 GHz per signature
+//     (ImcSearch), HW-guided by default. Revert and finish when the
+//     CPI/GB-s guards trip. A signature change (>15 %) during the search
+//     restarts from CPU_FREQ_SEL (the paper's robustness check).
+//   STABLE: hold the selection; validation watches for phase changes.
+#pragma once
+
+#include "policies/imc_search.hpp"
+#include "policies/min_energy.hpp"
+#include "policies/policy_api.hpp"
+
+namespace ear::policies {
+
+class MinEnergyEufsPolicy : public Policy {
+ public:
+  explicit MinEnergyEufsPolicy(PolicyContext ctx);
+
+  [[nodiscard]] std::string name() const override {
+    return ctx_.settings.hw_guided_imc ? "min_energy_eufs"
+                                       : "min_energy_ngufs";
+  }
+  PolicyState apply(const metrics::Signature& sig, NodeFreqs& out) override;
+  [[nodiscard]] bool validate(const metrics::Signature& sig) override;
+  void restart() override;
+  [[nodiscard]] NodeFreqs default_freqs() const override;
+  void sync_constraints(Pstate applied, Pstate fastest_allowed) override;
+
+  /// Introspection for tests and the state-machine bench.
+  enum class Stage { kCpuFreqSel, kCompRef, kImcFreqSel, kStable };
+  [[nodiscard]] Stage stage() const { return stage_; }
+  [[nodiscard]] Pstate current_pstate() const { return current_; }
+  [[nodiscard]] const ImcSearch& imc_search() const { return imc_; }
+
+ private:
+  PolicyState enter_imc_search(const metrics::Signature& ref,
+                               NodeFreqs& out);
+
+  PolicyContext ctx_;
+  Pstate default_pstate_;
+  Pstate current_;
+  Pstate limit_ = 0;  // EARGM: fastest P-state the node may run
+  Stage stage_ = Stage::kCpuFreqSel;
+  ImcSearch imc_;
+  metrics::Signature stable_ref_{};
+  double expected_time_s_ = 0.0;
+};
+
+}  // namespace ear::policies

@@ -1,0 +1,161 @@
+#include "policies/min_time.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ear::policies {
+
+MinTimePolicy::MinTimePolicy(PolicyContext ctx, bool with_eufs)
+    : ctx_(std::move(ctx)),
+      eufs_(with_eufs),
+      default_pstate_(std::min(ctx_.pstates.nominal_pstate() +
+                                   ctx_.settings.min_time_default_offset,
+                               ctx_.pstates.min_pstate())),
+      current_(default_pstate_),
+      imc_(ctx_.uncore, ctx_.settings.unc_policy_th,
+           ctx_.settings.hw_guided_imc),
+      raise_(ctx_.uncore, ctx_.settings.raise_gain_th) {
+  EAR_CHECK_MSG(ctx_.model != nullptr, "policy requires an energy model");
+}
+
+NodeFreqs MinTimePolicy::default_freqs() const {
+  return open_window(ctx_, default_pstate_);
+}
+
+void MinTimePolicy::restart() {
+  stage_ = Stage::kCpuFreqSel;
+  current_ = default_pstate_;
+  imc_.reset();
+  raise_.reset();
+  stable_ref_ = metrics::Signature{};
+}
+
+void MinTimePolicy::sync_constraints(Pstate applied,
+                                     Pstate fastest_allowed) {
+  if (stage_ == Stage::kCpuFreqSel || stage_ == Stage::kStable) {
+    current_ = applied;
+  }
+  limit_ = fastest_allowed;
+}
+
+Pstate MinTimePolicy::select_pstate(const metrics::Signature& sig) const {
+  // Walk towards higher frequencies (lower indices) while each step's
+  // relative time gain is at least min_eff_gain times the relative
+  // frequency gain — i.e. the extra clock actually buys performance.
+  Pstate best = std::max(current_, limit_);
+  models::Prediction prev = ctx_.model->predict(sig, current_, best);
+  while (best > limit_) {
+    const Pstate next = best - 1;
+    const models::Prediction cand = ctx_.model->predict(sig, current_, next);
+    const double f_gain = ctx_.pstates.freq(next).as_ghz() /
+                              ctx_.pstates.freq(best).as_ghz() -
+                          1.0;
+    if (f_gain <= 0.0 || prev.time_s <= 0.0) break;
+    const double t_gain = (prev.time_s - cand.time_s) / prev.time_s;
+    if (t_gain < ctx_.settings.min_eff_gain * f_gain) break;
+    best = next;
+    prev = cand;
+  }
+  return best;
+}
+
+PolicyState MinTimePolicy::run_imc_stage(const metrics::Signature& sig,
+                                         NodeFreqs& out, bool starting) {
+  if (ctx_.settings.raise_uncore) {
+    // Performance direction: raise the window minimum above the HW
+    // selection while iteration time keeps improving.
+    if (starting) {
+      const Freq floor = raise_.start(sig);
+      stage_ = Stage::kImcFreqSel;
+      out = NodeFreqs{.cpu_pstate = current_,
+                      .imc_max = ctx_.uncore.max(),
+                      .imc_min = floor};
+      return PolicyState::kContinue;
+    }
+    const ImcRaise::Decision d = raise_.step(sig);
+    out = NodeFreqs{.cpu_pstate = current_,
+                    .imc_max = ctx_.uncore.max(),
+                    .imc_min = d.imc_min};
+    if (d.verdict == ImcSearch::Verdict::kDone) {
+      stage_ = Stage::kStable;
+      stable_ref_ = metrics::Signature{};
+      return PolicyState::kReady;
+    }
+    return PolicyState::kContinue;
+  }
+
+  // Energy direction: the shared lowering search.
+  if (starting) {
+    const Freq trial = imc_.start(sig);
+    stage_ = Stage::kImcFreqSel;
+    out = NodeFreqs{.cpu_pstate = current_,
+                    .imc_max = trial,
+                    .imc_min = ctx_.uncore.min()};
+    return PolicyState::kContinue;
+  }
+  const ImcSearch::Decision d = imc_.step(sig);
+  out = NodeFreqs{.cpu_pstate = current_,
+                  .imc_max = d.imc_max,
+                  .imc_min = ctx_.uncore.min()};
+  if (d.verdict == ImcSearch::Verdict::kDone) {
+    stage_ = Stage::kStable;
+    stable_ref_ = metrics::Signature{};
+    return PolicyState::kReady;
+  }
+  return PolicyState::kContinue;
+}
+
+PolicyState MinTimePolicy::apply(const metrics::Signature& sig,
+                                 NodeFreqs& out) {
+  switch (stage_) {
+    case Stage::kCpuFreqSel: {
+      const Pstate sel = select_pstate(sig);
+      const bool unchanged = sel == current_;
+      current_ = sel;
+      if (!eufs_) {
+        out = open_window(ctx_, sel);
+        stage_ = Stage::kStable;
+        stable_ref_ = metrics::Signature{};
+        return PolicyState::kReady;
+      }
+      if (unchanged) {
+        // The signature in hand is already at the selected frequency.
+        return run_imc_stage(sig, out, /*starting=*/true);
+      }
+      out = open_window(ctx_, sel);
+      stage_ = Stage::kCompRef;
+      return PolicyState::kContinue;
+    }
+    case Stage::kCompRef:
+      return run_imc_stage(sig, out, /*starting=*/true);
+    case Stage::kImcFreqSel: {
+      const auto& ref = ctx_.settings.raise_uncore ? raise_.reference()
+                                                   : imc_.reference();
+      if (metrics::signature_changed(ref, sig,
+                                     ctx_.settings.sig_change_th)) {
+        restart();
+        out = default_freqs();
+        return PolicyState::kContinue;
+      }
+      return run_imc_stage(sig, out, /*starting=*/false);
+    }
+    case Stage::kStable:
+      restart();
+      out = default_freqs();
+      return PolicyState::kContinue;
+  }
+  EAR_CHECK_MSG(false, "unreachable policy stage");
+  return PolicyState::kReady;
+}
+
+bool MinTimePolicy::validate(const metrics::Signature& sig) {
+  if (!stable_ref_.valid) {
+    stable_ref_ = sig;
+    return true;
+  }
+  return !metrics::signature_changed(stable_ref_, sig,
+                                     ctx_.settings.sig_change_th);
+}
+
+}  // namespace ear::policies

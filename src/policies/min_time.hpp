@@ -1,0 +1,50 @@
+// min_time_to_solution: EAR's second default policy. It starts from a
+// sysadmin default frequency below nominal and raises the clock while the
+// predicted performance gain justifies the frequency increase
+// (gain ratio >= min_eff_gain). The paper lists its eUFS extension as
+// ongoing work (§VIII); we implement it with the same shared IMC search.
+#pragma once
+
+#include "policies/imc_search.hpp"
+#include "policies/policy_api.hpp"
+
+namespace ear::policies {
+
+class MinTimePolicy : public Policy {
+ public:
+  /// `with_eufs` appends the explicit uncore search after the CPU stage.
+  MinTimePolicy(PolicyContext ctx, bool with_eufs);
+
+  [[nodiscard]] std::string name() const override {
+    if (!eufs_) return "min_time";
+    return ctx_.settings.raise_uncore ? "min_time_raise" : "min_time_eufs";
+  }
+  PolicyState apply(const metrics::Signature& sig, NodeFreqs& out) override;
+  [[nodiscard]] bool validate(const metrics::Signature& sig) override;
+  void restart() override;
+  [[nodiscard]] NodeFreqs default_freqs() const override;
+  void sync_constraints(Pstate applied, Pstate fastest_allowed) override;
+
+  [[nodiscard]] Pstate current_pstate() const { return current_; }
+  /// The upward frequency selection, exposed for tests.
+  [[nodiscard]] Pstate select_pstate(const metrics::Signature& sig) const;
+
+ private:
+  enum class Stage { kCpuFreqSel, kCompRef, kImcFreqSel, kStable };
+
+  /// Dispatch into the lowering (energy) or raising (performance) search.
+  PolicyState run_imc_stage(const metrics::Signature& sig, NodeFreqs& out,
+                            bool starting);
+
+  PolicyContext ctx_;
+  bool eufs_;
+  Pstate default_pstate_;
+  Pstate current_;
+  Pstate limit_ = 0;  // EARGM: fastest P-state the node may run
+  Stage stage_ = Stage::kCpuFreqSel;
+  ImcSearch imc_;
+  ImcRaise raise_;
+  metrics::Signature stable_ref_{};
+};
+
+}  // namespace ear::policies

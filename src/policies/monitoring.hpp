@@ -1,0 +1,30 @@
+// The no-op policy: nominal frequency, hardware UFS, never changes
+// anything. This is the paper's "No policy" baseline column.
+#pragma once
+
+#include "policies/policy_api.hpp"
+
+namespace ear::policies {
+
+class MonitoringPolicy : public Policy {
+ public:
+  explicit MonitoringPolicy(PolicyContext ctx) : ctx_(std::move(ctx)) {}
+
+  [[nodiscard]] std::string name() const override { return "monitoring"; }
+  PolicyState apply(const metrics::Signature&, NodeFreqs& out) override {
+    out = default_freqs();
+    return PolicyState::kReady;
+  }
+  [[nodiscard]] bool validate(const metrics::Signature&) override {
+    return true;
+  }
+  void restart() override {}
+  [[nodiscard]] NodeFreqs default_freqs() const override {
+    return open_window(ctx_, ctx_.pstates.nominal_pstate());
+  }
+
+ private:
+  PolicyContext ctx_;
+};
+
+}  // namespace ear::policies

@@ -1,0 +1,118 @@
+// The EARL energy-policy API (the paper's plugin surface, §V).
+//
+// Policies receive signatures and produce frequency selections for both
+// the CPU scope (a P-state) and the IMC scope (an UNCORE_RATIO_LIMIT
+// window) — the paper's API extension. A policy returns CONTINUE while it
+// is still iterating (the eUFS search) and READY once converged; EARL then
+// moves to validation and keeps the selection until the signature changes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+#include "metrics/signature.hpp"
+#include "models/energy_model.hpp"
+#include "simhw/pstate.hpp"
+
+namespace ear::policies {
+
+using common::Freq;
+using simhw::Pstate;
+
+/// Frequency selection for both scopes (the paper's node_freqs_t).
+struct NodeFreqs {
+  Pstate cpu_pstate = 0;
+  Freq imc_max;  // UNCORE_RATIO_LIMIT maximum
+  Freq imc_min;  // UNCORE_RATIO_LIMIT minimum (policies leave it at HW min)
+
+  friend bool operator==(const NodeFreqs&, const NodeFreqs&) = default;
+};
+
+/// Returned by Policy::apply (the paper's policy states).
+enum class PolicyState {
+  kReady,     // selection converged; EARL moves to validation
+  kContinue,  // iterative policy wants another signature at the new setting
+};
+
+/// Tunables (sysadmin defaults, overridable at job submission).
+struct PolicySettings {
+  /// Maximum predicted time penalty accepted by the CPU-frequency search.
+  double cpu_policy_th = 0.05;
+  /// Extra penalty budget for the uncore search (CPI/GB-s guards).
+  double unc_policy_th = 0.02;
+  /// Signature variation that triggers re-applying the policy (§V-B: 15%).
+  double sig_change_th = 0.15;
+  /// Start the IMC search from the HW-selected frequency (true) or from
+  /// the maximum (false; the paper's ME+NG-U configuration).
+  bool hw_guided_imc = true;
+  /// min_time: minimum performance-gain/frequency-gain ratio to keep
+  /// raising the clock.
+  double min_eff_gain = 0.7;
+  /// min_time: default P-state offset below nominal to start from.
+  std::size_t min_time_default_offset = 4;
+  /// min_time eUFS variant: raise the uncore *minimum* for performance
+  /// (the paper's §VIII future-work strategy) instead of lowering the
+  /// maximum for energy.
+  bool raise_uncore = false;
+  /// Minimum per-step iteration-time gain for the raise search to keep
+  /// going.
+  double raise_gain_th = 0.003;
+  /// Measured-vs-predicted slack tolerated by validation before reverting.
+  double validate_margin = 0.08;
+};
+
+/// Everything a policy needs from its host (EARL provides this when it
+/// dlopens the plugin; here the registry passes it at construction).
+struct PolicyContext {
+  simhw::PstateTable pstates;
+  simhw::UncoreRange uncore;
+  models::EnergyModelPtr model;
+  PolicySettings settings;
+};
+
+/// The policy interface (the function-pointer table of Code 1, as a class).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Consume a signature measured at the currently applied frequencies
+  /// and produce the next selection.
+  virtual PolicyState apply(const metrics::Signature& sig,
+                            NodeFreqs& out) = 0;
+
+  /// Called while stable: true = selection still good, false = EARL should
+  /// reset to defaults and re-run the policy.
+  [[nodiscard]] virtual bool validate(const metrics::Signature& sig) = 0;
+
+  /// Forget all per-loop state (new loop / phase restart).
+  virtual void restart() = 0;
+
+  /// Informs the policy of the node's externally constrained state before
+  /// each apply/validate: `applied` is the P-state actually in force
+  /// (EARGM may have clamped the policy's request) and `fastest_allowed`
+  /// the current cluster-manager limit (0 = unconstrained). Policies that
+  /// project from a tracked source state must re-anchor on `applied` and
+  /// keep their selections within the limit. Default: ignore (stateless
+  /// policies).
+  virtual void sync_constraints(Pstate applied, Pstate fastest_allowed) {
+    (void)applied;
+    (void)fastest_allowed;
+  }
+
+  /// The selection EARL applies before the policy has run (policy default).
+  [[nodiscard]] virtual NodeFreqs default_freqs() const = 0;
+};
+
+using PolicyPtr = std::unique_ptr<Policy>;
+
+/// Open uncore window (hardware UFS fully in control).
+[[nodiscard]] inline NodeFreqs open_window(const PolicyContext& ctx,
+                                           Pstate cpu) {
+  return NodeFreqs{.cpu_pstate = cpu,
+                   .imc_max = ctx.uncore.max(),
+                   .imc_min = ctx.uncore.min()};
+}
+
+}  // namespace ear::policies

@@ -1,0 +1,49 @@
+#include "policies/registry.hpp"
+
+#include "common/error.hpp"
+#include "policies/baselines.hpp"
+#include "policies/min_energy.hpp"
+#include "policies/min_energy_eufs.hpp"
+#include "policies/min_time.hpp"
+#include "policies/monitoring.hpp"
+
+namespace ear::policies {
+
+PolicyPtr make_policy(const std::string& name, PolicyContext ctx) {
+  if (name == "monitoring") {
+    return std::make_unique<MonitoringPolicy>(std::move(ctx));
+  }
+  if (name == "min_energy") {
+    return std::make_unique<MinEnergyPolicy>(std::move(ctx));
+  }
+  if (name == "min_energy_eufs") {
+    ctx.settings.hw_guided_imc = true;
+    return std::make_unique<MinEnergyEufsPolicy>(std::move(ctx));
+  }
+  if (name == "min_energy_ngufs") {
+    ctx.settings.hw_guided_imc = false;
+    return std::make_unique<MinEnergyEufsPolicy>(std::move(ctx));
+  }
+  if (name == "min_time") {
+    return std::make_unique<MinTimePolicy>(std::move(ctx), /*with_eufs=*/false);
+  }
+  if (name == "min_time_eufs") {
+    ctx.settings.raise_uncore = false;
+    return std::make_unique<MinTimePolicy>(std::move(ctx), /*with_eufs=*/true);
+  }
+  if (name == "min_time_raise") {
+    ctx.settings.raise_uncore = true;
+    return std::make_unique<MinTimePolicy>(std::move(ctx), /*with_eufs=*/true);
+  }
+  if (name == "ups") return std::make_unique<UpsPolicy>(std::move(ctx));
+  if (name == "duf") return std::make_unique<DufPolicy>(std::move(ctx));
+  throw common::ConfigError("unknown policy: " + name);
+}
+
+std::vector<std::string> policy_names() {
+  return {"monitoring",       "min_energy",    "min_energy_eufs",
+          "min_energy_ngufs", "min_time",      "min_time_eufs",
+          "min_time_raise",   "ups",           "duf"};
+}
+
+}  // namespace ear::policies

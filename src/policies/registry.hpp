@@ -1,0 +1,22 @@
+// Policy registry: the moral equivalent of EAR's policy plugin loader
+// (policies ship as shared objects named on the command line; here they
+// are registered factories selected by name).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "policies/policy_api.hpp"
+
+namespace ear::policies {
+
+/// Instantiate a policy by name. Known names:
+///   monitoring, min_energy, min_energy_eufs, min_energy_ngufs,
+///   min_time, min_time_eufs, ups, duf
+/// Throws ConfigError for unknown names.
+[[nodiscard]] PolicyPtr make_policy(const std::string& name,
+                                    PolicyContext ctx);
+
+[[nodiscard]] std::vector<std::string> policy_names();
+
+}  // namespace ear::policies

@@ -1,0 +1,187 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "eard/accounting.hpp"
+
+namespace ear::sim {
+
+namespace {
+
+/// Wrap-aware RAPL polling, as the node daemon does every few seconds:
+/// single-wrap deltas per poll accumulate into a full-range total.
+class RaplPoller {
+ public:
+  explicit RaplPoller(const simhw::SimNode& node) {
+    for (std::size_t s = 0; s < node.config().sockets; ++s) {
+      last_.push_back(node.rapl().pkg(s).raw());
+    }
+  }
+
+  void poll(const simhw::SimNode& node) {
+    for (std::size_t s = 0; s < last_.size(); ++s) {
+      const std::uint32_t now = node.rapl().pkg(s).raw();
+      total_j_ += simhw::RaplCounter::delta(last_[s], now).value;
+      last_[s] = now;
+    }
+  }
+
+  [[nodiscard]] double total_joules() const { return total_j_; }
+
+ private:
+  std::vector<std::uint32_t> last_;
+  double total_j_ = 0.0;
+};
+
+}  // namespace
+
+const models::LearnedModels& cached_models(const simhw::NodeConfig& cfg) {
+  static std::mutex mu;
+  static std::map<std::string, models::LearnedModels> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(cfg.name);
+  if (it == cache.end()) {
+    it = cache.emplace(cfg.name, models::learn_models(cfg)).first;
+  }
+  return it->second;
+}
+
+RunResult run_experiment(const ExperimentConfig& cfg) {
+  const workload::AppModel& app = cfg.app;
+  EAR_CHECK_MSG(!app.phases.empty(), "application has no phases");
+
+  simhw::Cluster cluster(app.node_config, app.nodes, cfg.seed, cfg.noise);
+  earl::EarLibrary library(app.node_config, cfg.earl,
+                           cached_models(app.node_config));
+
+  std::vector<eard::NodeDaemon> daemons;
+  daemons.reserve(app.nodes);
+  std::vector<std::unique_ptr<earl::EarlSession>> sessions;
+  std::vector<RaplPoller> rapl;
+  eard::Accounting accounting;
+  std::vector<std::size_t> records;
+  for (std::size_t n = 0; n < app.nodes; ++n) {
+    daemons.emplace_back(cluster.node(n));
+    rapl.emplace_back(cluster.node(n));
+    records.push_back(accounting.job_started(cfg.seed, app.name,
+                                             cfg.earl.policy, n,
+                                             cluster.node(n)));
+  }
+  if (cfg.attach_earl) {
+    for (auto& d : daemons) sessions.push_back(library.attach(d, app.is_mpi));
+  }
+  // Fixed operating points (motivation-style sweeps) are applied after
+  // EARL's defaults so they win; they pin the node for the whole run.
+  for (std::size_t n = 0; n < app.nodes; ++n) {
+    if (cfg.fixed_cpu_pstate) {
+      cluster.node(n).set_cpu_pstate(*cfg.fixed_cpu_pstate);
+    }
+    if (cfg.fixed_uncore_window) {
+      cluster.node(n).set_uncore_limit_all(*cfg.fixed_uncore_window);
+    }
+    if (cfg.energy_perf_bias) {
+      for (std::size_t s = 0; s < app.node_config.sockets; ++s) {
+        cluster.node(n).msr(s).write(simhw::kMsrEnergyPerfBias,
+                                     *cfg.energy_perf_bias);
+      }
+    }
+  }
+
+  std::unique_ptr<eargm::EargmManager> manager;
+  if (cfg.eargm) {
+    std::vector<eard::NodeDaemon*> ptrs;
+    for (auto& d : daemons) ptrs.push_back(&d);
+    manager = std::make_unique<eargm::EargmManager>(*cfg.eargm,
+                                                    std::move(ptrs));
+  }
+  std::vector<double> round_power(app.nodes, 0.0);
+
+  RunResult out;
+  for (const auto& phase : app.phases) {
+    // Imbalance-scaled per-node demands, computed once per phase.
+    std::vector<simhw::WorkDemand> demands;
+    demands.reserve(app.nodes);
+    for (std::size_t n = 0; n < app.nodes; ++n) {
+      demands.push_back(app.node_demand(phase, n));
+    }
+    for (std::size_t it = 0; it < phase.iterations; ++it) {
+      for (std::size_t n = 0; n < app.nodes; ++n) {
+        const auto outcome = cluster.node(n).execute_iteration(demands[n]);
+        rapl[n].poll(cluster.node(n));
+        round_power[n] = outcome.power.total().value;
+        if (n == 0) {
+          out.imc_timeline.emplace_back(cluster.node(0).clock().value,
+                                        outcome.uncore_freq.as_ghz());
+          out.timeline.push_back(TimelinePoint{
+              .t_s = cluster.node(0).clock().value,
+              .cpu_ghz = cluster.node(0).cpu_freq().as_ghz(),
+              .imc_ghz = outcome.uncore_freq.as_ghz(),
+              .dc_power_w = outcome.power.total().value,
+          });
+        }
+        if (cfg.attach_earl) {
+          if (app.is_mpi) {
+            sessions[n]->on_mpi_calls(phase.mpi_pattern);
+          } else {
+            sessions[n]->on_time_tick();
+          }
+        }
+      }
+      if (manager) manager->update(round_power);
+    }
+  }
+  if (manager) {
+    out.eargm_throttles = manager->throttle_events();
+    out.eargm_final_limit = manager->current_limit();
+  }
+
+  // Aggregate.
+  for (std::size_t n = 0; n < app.nodes; ++n) {
+    const simhw::SimNode& node = cluster.node(n);
+    accounting.job_ended(records[n], node);
+    const simhw::PmuCounters& c = node.counters();
+    NodeResult r;
+    r.elapsed_s = node.clock().value;
+    r.energy_j = node.inm().exact().value;
+    r.pkg_energy_j = rapl[n].total_joules();
+    r.avg_dc_power_w = r.elapsed_s > 0.0 ? r.energy_j / r.elapsed_s : 0.0;
+    r.avg_pkg_power_w =
+        r.elapsed_s > 0.0 ? r.pkg_energy_j / r.elapsed_s : 0.0;
+    if (c.elapsed_seconds > 0.0) {
+      r.avg_cpu_ghz = c.cpu_freq_cycles / c.elapsed_seconds / 1e6;
+      r.avg_imc_ghz = c.imc_freq_cycles / c.elapsed_seconds / 1e6;
+      r.gbps = c.cas_transactions * 64.0 / c.elapsed_seconds / 1e9;
+    }
+    if (c.instructions > 0.0) {
+      r.cpi = c.cycles / c.instructions;
+      r.tpi = c.cas_transactions / c.instructions;
+      r.vpi = c.avx512_ops / c.instructions;
+    }
+    if (cfg.attach_earl) r.signatures = sessions[n]->signatures_computed();
+    r.msr_writes = daemons[n].msr_writes();
+    out.nodes.push_back(r);
+
+    out.total_time_s = std::max(out.total_time_s, r.elapsed_s);
+    out.total_energy_j += r.energy_j;
+    out.avg_dc_power_w += r.avg_dc_power_w;
+    out.avg_pkg_power_w += r.avg_pkg_power_w;
+    out.avg_cpu_ghz += r.avg_cpu_ghz;
+    out.avg_imc_ghz += r.avg_imc_ghz;
+    out.cpi += r.cpi;
+    out.gbps += r.gbps;
+  }
+  const double nn = static_cast<double>(app.nodes);
+  out.avg_dc_power_w /= nn;
+  out.avg_pkg_power_w /= nn;
+  out.avg_cpu_ghz /= nn;
+  out.avg_imc_ghz /= nn;
+  out.cpi /= nn;
+  out.gbps /= nn;
+  return out;
+}
+
+}  // namespace ear::sim

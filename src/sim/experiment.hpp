@@ -1,0 +1,89 @@
+// Experiment engine: run one application on a simulated cluster with EARL
+// attached, and collect the metrics the paper's tables report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "earl/library.hpp"
+#include "eargm/eargm.hpp"
+#include "simhw/cluster.hpp"
+#include "workload/phase.hpp"
+
+namespace ear::sim {
+
+struct ExperimentConfig {
+  workload::AppModel app;
+  earl::EarlSettings earl{};
+  bool attach_earl = true;  // false = raw run without the runtime
+  std::uint64_t seed = 1;
+  simhw::NoiseModel noise{};
+  /// Fixed operating point applied before the run (the paper's Fig. 1
+  /// motivation sweeps): a CPU P-state and/or a pinned uncore window.
+  /// Usually combined with attach_earl = false.
+  std::optional<simhw::Pstate> fixed_cpu_pstate;
+  std::optional<simhw::UncoreRatioLimit> fixed_uncore_window;
+  /// Attach the EARGM cluster power manager with this configuration.
+  std::optional<eargm::EargmConfig> eargm;
+  /// Programme IA32_ENERGY_PERF_BIAS on every socket (0 = performance,
+  /// 15 = powersave; >= 8 biases the HW UFS loop one bin lower).
+  std::optional<std::uint64_t> energy_perf_bias;
+};
+
+/// One sample of node 0's operating point (per application iteration).
+struct TimelinePoint {
+  double t_s = 0.0;
+  double cpu_ghz = 0.0;
+  double imc_ghz = 0.0;
+  double dc_power_w = 0.0;
+};
+
+/// Per-node outcome of one run.
+struct NodeResult {
+  double elapsed_s = 0.0;
+  double energy_j = 0.0;       // DC node energy (exact INM ground truth)
+  double pkg_energy_j = 0.0;   // RAPL PKG, wrap-corrected by polling
+  double avg_dc_power_w = 0.0;
+  double avg_pkg_power_w = 0.0;
+  double avg_cpu_ghz = 0.0;
+  double avg_imc_ghz = 0.0;
+  double cpi = 0.0;
+  double tpi = 0.0;
+  double gbps = 0.0;
+  double vpi = 0.0;
+  std::size_t signatures = 0;
+  std::uint64_t msr_writes = 0;
+};
+
+/// Whole-job outcome.
+struct RunResult {
+  double total_time_s = 0.0;    // slowest node
+  double total_energy_j = 0.0;  // sum over nodes
+  double avg_dc_power_w = 0.0;  // per-node average
+  double avg_pkg_power_w = 0.0;
+  double avg_cpu_ghz = 0.0;
+  double avg_imc_ghz = 0.0;
+  double cpi = 0.0;
+  double gbps = 0.0;  // per-node average
+  std::vector<NodeResult> nodes;
+  /// (time, uncore GHz) samples from node 0, for figure-style series.
+  std::vector<std::pair<double, double>> imc_timeline;
+  /// Full node-0 operating-point timeline (one sample per iteration).
+  std::vector<TimelinePoint> timeline;
+  /// EARGM statistics when a cluster budget was configured.
+  std::size_t eargm_throttles = 0;
+  simhw::Pstate eargm_final_limit = 0;
+};
+
+/// Execute one run. The learned models for the app's node type are cached
+/// process-wide (the learning phase runs once per architecture, as in the
+/// real system).
+[[nodiscard]] RunResult run_experiment(const ExperimentConfig& cfg);
+
+/// Access to the process-wide learned-model cache (benches reuse it).
+[[nodiscard]] const models::LearnedModels& cached_models(
+    const simhw::NodeConfig& cfg);
+
+}  // namespace ear::sim

@@ -1,0 +1,60 @@
+#include "sim/presets.hpp"
+
+namespace ear::sim {
+
+namespace {
+earl::EarlSettings base() {
+  earl::EarlSettings s;
+  s.model = "avx512";
+  s.signature_interval_s = 10.0;
+  s.time_guided_period_s = 10.0;
+  return s;
+}
+}  // namespace
+
+earl::EarlSettings settings_no_policy() {
+  earl::EarlSettings s = base();
+  s.policy = "monitoring";
+  return s;
+}
+
+earl::EarlSettings settings_me(double cpu_th) {
+  earl::EarlSettings s = base();
+  s.policy = "min_energy";
+  s.policy_settings.cpu_policy_th = cpu_th;
+  return s;
+}
+
+earl::EarlSettings settings_me_eufs(double cpu_th, double unc_th) {
+  earl::EarlSettings s = base();
+  s.policy = "min_energy_eufs";
+  s.policy_settings.cpu_policy_th = cpu_th;
+  s.policy_settings.unc_policy_th = unc_th;
+  s.policy_settings.hw_guided_imc = true;
+  return s;
+}
+
+earl::EarlSettings settings_me_ngufs(double cpu_th, double unc_th) {
+  earl::EarlSettings s = base();
+  s.policy = "min_energy_ngufs";
+  s.policy_settings.cpu_policy_th = cpu_th;
+  s.policy_settings.unc_policy_th = unc_th;
+  s.policy_settings.hw_guided_imc = false;
+  return s;
+}
+
+earl::EarlSettings settings_min_time(bool with_eufs, double unc_th) {
+  earl::EarlSettings s = base();
+  s.policy = with_eufs ? "min_time_eufs" : "min_time";
+  s.policy_settings.unc_policy_th = unc_th;
+  return s;
+}
+
+earl::EarlSettings settings_controller(const char* name, double th) {
+  earl::EarlSettings s = base();
+  s.policy = name;
+  s.policy_settings.unc_policy_th = th;
+  return s;
+}
+
+}  // namespace ear::sim

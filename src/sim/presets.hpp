@@ -1,0 +1,24 @@
+// Experiment presets matching the paper's configurations:
+//   No policy : nominal CPU frequency, hardware UFS (monitoring policy)
+//   ME        : min_energy_to_solution, hardware UFS
+//   ME+eU     : min_energy with explicit (HW-guided) uncore selection
+//   ME+NG-U   : explicit uncore selection starting from the maximum
+#pragma once
+
+#include "earl/settings.hpp"
+
+namespace ear::sim {
+
+[[nodiscard]] earl::EarlSettings settings_no_policy();
+[[nodiscard]] earl::EarlSettings settings_me(double cpu_th = 0.05);
+[[nodiscard]] earl::EarlSettings settings_me_eufs(double cpu_th = 0.05,
+                                                  double unc_th = 0.02);
+[[nodiscard]] earl::EarlSettings settings_me_ngufs(double cpu_th = 0.05,
+                                                   double unc_th = 0.02);
+[[nodiscard]] earl::EarlSettings settings_min_time(bool with_eufs = false,
+                                                   double unc_th = 0.02);
+/// Controller baselines from related work (ablation benches).
+[[nodiscard]] earl::EarlSettings settings_controller(const char* name,
+                                                     double th = 0.02);
+
+}  // namespace ear::sim

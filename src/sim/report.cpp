@@ -1,0 +1,55 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace ear::sim {
+
+std::string vs_paper(double measured, double paper, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f (paper %.*f)", precision, measured,
+                precision, paper);
+  return buf;
+}
+
+std::string vs_paper_pct(double measured_pct, double paper_pct,
+                         int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%+.*f%% (paper %+.*f%%)", precision,
+                measured_pct, precision, paper_pct);
+  return buf;
+}
+
+void print_series(const std::string& title, const std::string& x_label,
+                  const std::vector<Series>& series) {
+  EAR_CHECK_MSG(!series.empty(), "no series to print");
+  common::AsciiTable table(title);
+  std::vector<std::string> header{x_label};
+  for (const auto& s : series) header.push_back(s.name);
+  table.columns(header);
+  const std::size_t n = series.front().x.size();
+  for (const auto& s : series) {
+    EAR_CHECK_MSG(s.x.size() == n && s.y.size() == n,
+                  "series length mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> row{common::AsciiTable::num(series[0].x[i], 2)};
+    for (const auto& s : series) {
+      row.push_back(common::AsciiTable::num(s.y[i], 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+}
+
+void add_comparison_row(common::AsciiTable& table, const std::string& label,
+                        const Comparison& c) {
+  table.add_row({label, common::AsciiTable::pct(c.time_penalty_pct),
+                 common::AsciiTable::pct(c.power_saving_pct),
+                 common::AsciiTable::pct(c.energy_saving_pct),
+                 common::AsciiTable::pct(c.gbps_penalty_pct),
+                 common::AsciiTable::num(c.efficiency_ratio(), 2)});
+}
+
+}  // namespace ear::sim

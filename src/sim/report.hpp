@@ -1,0 +1,34 @@
+// Reporting helpers shared by the bench binaries: paper-style rows with
+// "paper vs measured" annotations, and simple ASCII series for figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+
+namespace ear::sim {
+
+/// Format "<measured> (paper <paper>)" cells for direct comparison.
+[[nodiscard]] std::string vs_paper(double measured, double paper,
+                                   int precision = 2);
+[[nodiscard]] std::string vs_paper_pct(double measured_pct, double paper_pct,
+                                       int precision = 1);
+
+/// A labelled series for figure-style output (penalty/saving vs x-axis).
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Render series as aligned columns (x, then one column per series).
+void print_series(const std::string& title, const std::string& x_label,
+                  const std::vector<Series>& series);
+
+/// One bench's standard comparison row: config label + the five metrics.
+void add_comparison_row(common::AsciiTable& table, const std::string& label,
+                        const Comparison& c);
+
+}  // namespace ear::sim

@@ -1,0 +1,62 @@
+#include "sim/runner.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace ear::sim {
+
+AveragedResult run_averaged(const ExperimentConfig& cfg, std::size_t runs) {
+  EAR_CHECK_MSG(runs > 0, "need at least one run");
+  AveragedResult avg;
+  common::RunningStats time_stats;
+  for (std::size_t r = 0; r < runs; ++r) {
+    ExperimentConfig c = cfg;
+    c.seed = cfg.seed + r * 0x9e37;
+    const RunResult res = run_experiment(c);
+    avg.total_time_s += res.total_time_s;
+    avg.total_energy_j += res.total_energy_j;
+    avg.avg_dc_power_w += res.avg_dc_power_w;
+    avg.avg_pkg_power_w += res.avg_pkg_power_w;
+    avg.avg_cpu_ghz += res.avg_cpu_ghz;
+    avg.avg_imc_ghz += res.avg_imc_ghz;
+    avg.cpi += res.cpi;
+    avg.gbps += res.gbps;
+    time_stats.add(res.total_time_s);
+  }
+  const double k = static_cast<double>(runs);
+  avg.total_time_s /= k;
+  avg.total_energy_j /= k;
+  avg.avg_dc_power_w /= k;
+  avg.avg_pkg_power_w /= k;
+  avg.avg_cpu_ghz /= k;
+  avg.avg_imc_ghz /= k;
+  avg.cpi /= k;
+  avg.gbps /= k;
+  avg.time_stddev_s = time_stats.stddev();
+  avg.runs = runs;
+  return avg;
+}
+
+Comparison compare(const AveragedResult& reference,
+                   const AveragedResult& result) {
+  Comparison c;
+  c.time_penalty_pct =
+      common::percent_change(reference.total_time_s, result.total_time_s);
+  c.power_saving_pct =
+      -common::percent_change(reference.avg_dc_power_w, result.avg_dc_power_w);
+  c.energy_saving_pct =
+      -common::percent_change(reference.total_energy_j, result.total_energy_j);
+  c.pck_power_saving_pct = -common::percent_change(reference.avg_pkg_power_w,
+                                                   result.avg_pkg_power_w);
+  c.gbps_penalty_pct = -common::percent_change(reference.gbps, result.gbps);
+  const double edp_ref = reference.total_energy_j * reference.total_time_s;
+  const double edp_res = result.total_energy_j * result.total_time_s;
+  c.edp_change_pct = common::percent_change(edp_ref, edp_res);
+  c.ed2p_change_pct = common::percent_change(
+      edp_ref * reference.total_time_s, edp_res * result.total_time_s);
+  return c;
+}
+
+}  // namespace ear::sim

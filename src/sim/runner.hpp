@@ -1,0 +1,53 @@
+// Runner: repeated runs with independent seeds, averaged — the paper runs
+// everything three times and reports means — plus the penalty/saving
+// comparisons all the tables and figures are built from.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/experiment.hpp"
+
+namespace ear::sim {
+
+/// Mean metrics over repeated runs.
+struct AveragedResult {
+  double total_time_s = 0.0;
+  double total_energy_j = 0.0;
+  double avg_dc_power_w = 0.0;
+  double avg_pkg_power_w = 0.0;
+  double avg_cpu_ghz = 0.0;
+  double avg_imc_ghz = 0.0;
+  double cpi = 0.0;
+  double gbps = 0.0;
+  double time_stddev_s = 0.0;
+  std::size_t runs = 0;
+};
+
+/// Execute `runs` independent runs (seeds seed, seed+1, ...) and average.
+[[nodiscard]] AveragedResult run_averaged(const ExperimentConfig& cfg,
+                                          std::size_t runs = 3);
+
+/// Penalties/savings of `result` relative to `reference` (positive saving
+/// = better than reference; positive penalty = worse), as the paper's
+/// figures report them.
+struct Comparison {
+  double time_penalty_pct = 0.0;
+  double power_saving_pct = 0.0;       // DC node power
+  double energy_saving_pct = 0.0;      // DC node energy
+  double pck_power_saving_pct = 0.0;   // RAPL PKG power (Table VII)
+  double gbps_penalty_pct = 0.0;
+  /// Energy saved per time lost; the paper's "efficiency ratio".
+  [[nodiscard]] double efficiency_ratio() const {
+    return time_penalty_pct != 0.0 ? energy_saving_pct / time_penalty_pct
+                                   : 0.0;
+  }
+  /// Energy-delay-product change in percent (negative = EDP improved):
+  /// a threshold-free figure of merit for energy/performance trades.
+  double edp_change_pct = 0.0;
+  /// Energy-delay-squared change in percent (performance-leaning merit).
+  double ed2p_change_pct = 0.0;
+};
+[[nodiscard]] Comparison compare(const AveragedResult& reference,
+                                 const AveragedResult& result);
+
+}  // namespace ear::sim

@@ -1,0 +1,227 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "common/error.hpp"
+#include "earl/library.hpp"
+#include "sim/experiment.hpp"
+#include "simhw/cluster.hpp"
+
+namespace ear::sim {
+
+using common::ConfigError;
+
+namespace {
+
+/// Per-job execution state.
+struct JobState {
+  const JobSpec* spec = nullptr;
+  std::size_t record_base = 0;  // first accounting record index
+  std::size_t phase = 0;
+  std::size_t iteration = 0;
+  bool started = false;
+  bool finished = false;
+  std::vector<std::unique_ptr<earl::EarlSession>> sessions;
+  std::vector<simhw::WorkDemand> demands;  // imbalance-scaled, per node
+  std::vector<simhw::PmuCounters> start_counters;  // job-window baselines
+
+  [[nodiscard]] bool done() const { return finished; }
+};
+
+}  // namespace
+
+ScheduleResult run_schedule(const ScheduleConfig& cfg) {
+  EAR_CHECK_MSG(cfg.cluster_nodes > 0, "cluster needs nodes");
+  EAR_CHECK_MSG(!cfg.jobs.empty(), "schedule needs jobs");
+
+  // Validate allocations: inside the cluster and pairwise disjoint.
+  std::vector<int> owner(cfg.cluster_nodes, -1);
+  for (std::size_t j = 0; j < cfg.jobs.size(); ++j) {
+    const JobSpec& job = cfg.jobs[j];
+    if (job.first_node + job.app.nodes > cfg.cluster_nodes) {
+      throw ConfigError("job '" + job.app.name +
+                        "' allocated outside the cluster");
+    }
+    for (std::size_t n = job.first_node;
+         n < job.first_node + job.app.nodes; ++n) {
+      if (owner[n] != -1) {
+        throw ConfigError("overlapping allocations on node " +
+                          std::to_string(n));
+      }
+      owner[n] = static_cast<int>(j);
+    }
+  }
+
+  simhw::Cluster cluster(cfg.node_config, cfg.cluster_nodes, cfg.seed,
+                         cfg.noise);
+  std::vector<eard::NodeDaemon> daemons;
+  daemons.reserve(cfg.cluster_nodes);
+  for (std::size_t n = 0; n < cfg.cluster_nodes; ++n) {
+    daemons.emplace_back(cluster.node(n));
+  }
+
+  std::unique_ptr<eargm::EargmManager> manager;
+  if (cfg.eargm) {
+    std::vector<eard::NodeDaemon*> ptrs;
+    for (auto& d : daemons) ptrs.push_back(&d);
+    manager =
+        std::make_unique<eargm::EargmManager>(*cfg.eargm, std::move(ptrs));
+  }
+
+  ScheduleResult out;
+  // Last-known per-node power (EARGM input); idle nodes updated lazily.
+  std::vector<double> node_power(cfg.cluster_nodes, 0.0);
+
+  std::vector<JobState> jobs(cfg.jobs.size());
+  std::vector<JobOutcome> outcomes(cfg.jobs.size());
+  for (std::size_t j = 0; j < cfg.jobs.size(); ++j) {
+    jobs[j].spec = &cfg.jobs[j];
+    outcomes[j].app_name = cfg.jobs[j].app.name;
+    outcomes[j].policy = cfg.jobs[j].earl.policy;
+  }
+
+  auto job_clock = [&](const JobState& js) {
+    // A job's clock is its slowest allocated node.
+    double t = 0.0;
+    for (std::size_t n = js.spec->first_node;
+         n < js.spec->first_node + js.spec->app.nodes; ++n) {
+      t = std::max(t, cluster.node(n).clock().value);
+    }
+    return t;
+  };
+
+  auto start_job = [&](std::size_t j) {
+    JobState& js = jobs[j];
+    const JobSpec& spec = *js.spec;
+    // Idle the allocation up to the submission time.
+    for (std::size_t n = spec.first_node;
+         n < spec.first_node + spec.app.nodes; ++n) {
+      const double gap = spec.start_time_s - cluster.node(n).clock().value;
+      if (gap > 0.0) cluster.node(n).idle(common::Secs{gap});
+    }
+    earl::EarLibrary lib(cfg.node_config, spec.earl,
+                         cached_models(cfg.node_config));
+    for (std::size_t n = spec.first_node;
+         n < spec.first_node + spec.app.nodes; ++n) {
+      js.sessions.push_back(lib.attach(daemons[n], spec.app.is_mpi));
+      js.start_counters.push_back(cluster.node(n).counters());
+      out.accounting.job_started(j + 1, spec.app.name, spec.earl.policy,
+                                 n, cluster.node(n));
+    }
+    js.record_base = out.accounting.records().size() - spec.app.nodes;
+    outcomes[j].start_s = job_clock(js);
+    js.started = true;
+  };
+
+  auto finish_job = [&](std::size_t j) {
+    JobState& js = jobs[j];
+    const JobSpec& spec = *js.spec;
+    for (std::size_t k = 0; k < spec.app.nodes; ++k) {
+      const std::size_t n = spec.first_node + k;
+      out.accounting.job_ended(js.record_base + k, cluster.node(n));
+      node_power[n] = 0.0;  // allocation released
+    }
+    outcomes[j].end_s = job_clock(js);
+    double cpu = 0.0, imc = 0.0;
+    for (std::size_t k = 0; k < spec.app.nodes; ++k) {
+      // Averages over the job window only (the allocation may have idled
+      // before submission).
+      const simhw::PmuCounters d =
+          cluster.node(spec.first_node + k).counters() -
+          js.start_counters[k];
+      if (d.elapsed_seconds > 0.0) {
+        cpu += d.cpu_freq_cycles / d.elapsed_seconds / 1e6;
+        imc += d.imc_freq_cycles / d.elapsed_seconds / 1e6;
+      }
+    }
+    outcomes[j].avg_cpu_ghz = cpu / static_cast<double>(spec.app.nodes);
+    outcomes[j].avg_imc_ghz = imc / static_cast<double>(spec.app.nodes);
+    js.finished = true;
+  };
+
+  // Interleaved execution: always advance the unfinished job whose clock
+  // is smallest, so cross-job ordering approximates global time and the
+  // EARGM sees a coherent cluster state.
+  for (;;) {
+    std::size_t next = jobs.size();
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (jobs[j].done()) continue;
+      const double t = jobs[j].started
+                           ? job_clock(jobs[j])
+                           : jobs[j].spec->start_time_s;
+      if (t < best) {
+        best = t;
+        next = j;
+      }
+    }
+    if (next == jobs.size()) break;  // all finished
+
+    JobState& js = jobs[next];
+    const JobSpec& spec = *js.spec;
+    if (!js.started) start_job(next);
+
+    const workload::Phase& phase = spec.app.phases[js.phase];
+    if (js.demands.empty()) {
+      for (std::size_t k = 0; k < spec.app.nodes; ++k) {
+        js.demands.push_back(spec.app.node_demand(phase, k));
+      }
+    }
+    for (std::size_t k = 0; k < spec.app.nodes; ++k) {
+      const std::size_t n = spec.first_node + k;
+      const auto outcome =
+          cluster.node(n).execute_iteration(js.demands[k]);
+      node_power[n] = outcome.power.total().value;
+      if (spec.app.is_mpi) {
+        js.sessions[k]->on_mpi_calls(phase.mpi_pattern);
+      } else {
+        js.sessions[k]->on_time_tick();
+      }
+    }
+    if (++js.iteration >= phase.iterations) {
+      js.iteration = 0;
+      js.demands.clear();
+      if (++js.phase >= spec.app.phases.size()) finish_job(next);
+    }
+
+    // EARGM round: last-known powers; unallocated/idle nodes at a probed
+    // idle wattage.
+    if (manager) {
+      double aggregate = 0.0;
+      std::vector<double> readings(cfg.cluster_nodes, 0.0);
+      for (std::size_t n = 0; n < cfg.cluster_nodes; ++n) {
+        readings[n] = node_power[n] > 0.0 ? node_power[n] : 85.0;
+        aggregate += readings[n];
+      }
+      out.peak_aggregate_w = std::max(out.peak_aggregate_w, aggregate);
+      manager->update(readings);
+    } else {
+      double aggregate = 0.0;
+      for (std::size_t n = 0; n < cfg.cluster_nodes; ++n) {
+        aggregate += node_power[n] > 0.0 ? node_power[n] : 85.0;
+      }
+      out.peak_aggregate_w = std::max(out.peak_aggregate_w, aggregate);
+    }
+  }
+
+  // Trail idle nodes to the makespan so cluster energy covers the whole
+  // horizon.
+  for (const auto& o : outcomes) {
+    out.makespan_s = std::max(out.makespan_s, o.end_s);
+  }
+  for (std::size_t n = 0; n < cfg.cluster_nodes; ++n) {
+    const double gap = out.makespan_s - cluster.node(n).clock().value;
+    if (gap > 0.0) cluster.node(n).idle(common::Secs{gap});
+    out.cluster_energy_j += cluster.node(n).inm().exact().value;
+  }
+  for (std::size_t j = 0; j < outcomes.size(); ++j) {
+    outcomes[j].energy_j = out.accounting.job_energy_j(j + 1);
+  }
+  out.jobs = std::move(outcomes);
+  if (manager) out.eargm_throttles = manager->throttle_events();
+  return out;
+}
+
+}  // namespace ear::sim

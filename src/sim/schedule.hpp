@@ -1,0 +1,65 @@
+// Multi-job cluster scheduling: several jobs with disjoint node
+// allocations and staggered submissions share one cluster, optionally
+// under a single EARGM power budget — the deployment scenario EAR's
+// control service actually targets (one manager, many jobs, each node
+// running its own EARL instance).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eard/eardbd.hpp"
+#include "earl/settings.hpp"
+#include "eargm/eargm.hpp"
+#include "workload/phase.hpp"
+
+namespace ear::sim {
+
+struct JobSpec {
+  workload::AppModel app;
+  earl::EarlSettings earl{};
+  /// Nodes [first_node, first_node + app.nodes) of the cluster.
+  std::size_t first_node = 0;
+  /// Submission time; the job's nodes idle until then.
+  double start_time_s = 0.0;
+};
+
+struct ScheduleConfig {
+  simhw::NodeConfig node_config;
+  std::size_t cluster_nodes = 0;
+  std::vector<JobSpec> jobs;
+  /// One manager over the whole cluster (idle nodes count against the
+  /// budget at their idle power).
+  std::optional<eargm::EargmConfig> eargm;
+  std::uint64_t seed = 1;
+  simhw::NoiseModel noise{};
+};
+
+struct JobOutcome {
+  std::string app_name;
+  std::string policy;
+  double start_s = 0.0;
+  double end_s = 0.0;     // slowest allocated node
+  double energy_j = 0.0;  // over the job's allocation, start..end
+  double avg_cpu_ghz = 0.0;
+  double avg_imc_ghz = 0.0;
+  [[nodiscard]] double elapsed_s() const { return end_s - start_s; }
+};
+
+struct ScheduleResult {
+  std::vector<JobOutcome> jobs;
+  double makespan_s = 0.0;        // last job end
+  double cluster_energy_j = 0.0;  // all nodes, 0..makespan (incl. idle)
+  double peak_aggregate_w = 0.0;  // max per-round cluster power
+  std::size_t eargm_throttles = 0;
+  /// All per-node job records, ready for EARDBD ingestion.
+  eard::Accounting accounting;
+};
+
+/// Run the schedule. Throws ConfigError on overlapping allocations or
+/// allocations outside the cluster.
+[[nodiscard]] ScheduleResult run_schedule(const ScheduleConfig& cfg);
+
+}  // namespace ear::sim

@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include "common/csv.hpp"
+
+namespace ear::sim {
+
+void write_timeline_csv(const RunResult& result, std::ostream& out) {
+  common::CsvWriter csv(out);
+  csv.header({"t_s", "cpu_ghz", "imc_ghz", "dc_power_w"});
+  for (const TimelinePoint& p : result.timeline) {
+    csv.row({common::CsvWriter::num(p.t_s, 3),
+             common::CsvWriter::num(p.cpu_ghz, 3),
+             common::CsvWriter::num(p.imc_ghz, 3),
+             common::CsvWriter::num(p.dc_power_w, 1)});
+  }
+}
+
+void write_nodes_csv(const RunResult& result, std::ostream& out) {
+  common::CsvWriter csv(out);
+  csv.header({"node", "elapsed_s", "energy_j", "pkg_energy_j",
+              "avg_dc_power_w", "avg_pkg_power_w", "avg_cpu_ghz",
+              "avg_imc_ghz", "cpi", "tpi", "gbps", "vpi", "signatures",
+              "msr_writes"});
+  for (std::size_t n = 0; n < result.nodes.size(); ++n) {
+    const NodeResult& r = result.nodes[n];
+    csv.row({std::to_string(n), common::CsvWriter::num(r.elapsed_s, 2),
+             common::CsvWriter::num(r.energy_j, 1),
+             common::CsvWriter::num(r.pkg_energy_j, 1),
+             common::CsvWriter::num(r.avg_dc_power_w, 2),
+             common::CsvWriter::num(r.avg_pkg_power_w, 2),
+             common::CsvWriter::num(r.avg_cpu_ghz, 3),
+             common::CsvWriter::num(r.avg_imc_ghz, 3),
+             common::CsvWriter::num(r.cpi, 4),
+             common::CsvWriter::num(r.tpi, 5),
+             common::CsvWriter::num(r.gbps, 2),
+             common::CsvWriter::num(r.vpi, 3),
+             std::to_string(r.signatures), std::to_string(r.msr_writes)});
+  }
+}
+
+}  // namespace ear::sim

@@ -1,0 +1,17 @@
+// Trace export: persist an experiment's operating-point timeline and
+// per-node summary as CSV, for external plotting of figure-style series.
+#pragma once
+
+#include <ostream>
+
+#include "sim/experiment.hpp"
+
+namespace ear::sim {
+
+/// Node-0 timeline: t_s, cpu_ghz, imc_ghz, dc_power_w per iteration.
+void write_timeline_csv(const RunResult& result, std::ostream& out);
+
+/// Per-node summary: one row per node with the NodeResult metrics.
+void write_nodes_csv(const RunResult& result, std::ostream& out);
+
+}  // namespace ear::sim

@@ -1,0 +1,35 @@
+// A set of identical SimNodes, as one job allocation sees it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simhw/node.hpp"
+
+namespace ear::simhw {
+
+class Cluster {
+ public:
+  /// Build `count` nodes from the same config, independently seeded.
+  Cluster(const NodeConfig& cfg, std::size_t count, std::uint64_t seed,
+          NoiseModel noise = {}, HwUfsParams ufs = {});
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] SimNode& node(std::size_t i);
+  [[nodiscard]] const SimNode& node(std::size_t i) const;
+
+  /// Total DC energy across nodes (exact, ground truth).
+  [[nodiscard]] common::Joules total_energy() const;
+  /// Slowest node clock (job wall time follows the slowest node).
+  [[nodiscard]] common::Secs max_clock() const;
+
+  auto begin() { return nodes_.begin(); }
+  auto end() { return nodes_.end(); }
+  auto begin() const { return nodes_.begin(); }
+  auto end() const { return nodes_.end(); }
+
+ private:
+  std::vector<SimNode> nodes_;
+};
+
+}  // namespace ear::simhw

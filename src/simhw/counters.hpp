@@ -1,0 +1,51 @@
+// PMU counter accumulation. The EAR library derives its signature from
+// exactly these quantities: retired instructions, core cycles, AVX512
+// operations and DRAM CAS transactions (TPI/GB-s), per node.
+#pragma once
+
+#include <cstdint>
+
+namespace ear::simhw {
+
+/// Monotonically increasing counters, node-aggregated (as EARD exposes
+/// them to EARL). Doubles, because the simulator advances in fractional
+/// iteration quantities; the >2^53 precision loss is irrelevant at the
+/// magnitudes simulated.
+struct PmuCounters {
+  double instructions = 0.0;   // node total, incl. spin
+  double cycles = 0.0;         // node total core cycles
+  double avx512_ops = 0.0;     // node total AVX512 instructions
+  double cas_transactions = 0.0;  // 64 B DRAM transactions
+  double cpu_freq_cycles = 0.0;   // integral of f_cpu dt (for avg freq)
+  double imc_freq_cycles = 0.0;   // integral of f_imc dt (for avg freq)
+  double elapsed_seconds = 0.0;   // integral of wall time
+  /// Time spent waiting (MPI progression / GPU sync), as EARL's PMPI and
+  /// accelerator hooks report it. Wait time does not scale with the CPU
+  /// clock, which the energy model's time projection exploits.
+  double wait_seconds = 0.0;
+
+  PmuCounters& operator+=(const PmuCounters& o) {
+    instructions += o.instructions;
+    cycles += o.cycles;
+    avx512_ops += o.avx512_ops;
+    cas_transactions += o.cas_transactions;
+    cpu_freq_cycles += o.cpu_freq_cycles;
+    imc_freq_cycles += o.imc_freq_cycles;
+    elapsed_seconds += o.elapsed_seconds;
+    wait_seconds += o.wait_seconds;
+    return *this;
+  }
+  friend PmuCounters operator-(PmuCounters a, const PmuCounters& b) {
+    a.instructions -= b.instructions;
+    a.cycles -= b.cycles;
+    a.avx512_ops -= b.avx512_ops;
+    a.cas_transactions -= b.cas_transactions;
+    a.cpu_freq_cycles -= b.cpu_freq_cycles;
+    a.imc_freq_cycles -= b.imc_freq_cycles;
+    a.elapsed_seconds -= b.elapsed_seconds;
+    a.wait_seconds -= b.wait_seconds;
+    return a;
+  }
+};
+
+}  // namespace ear::simhw

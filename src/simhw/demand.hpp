@@ -1,0 +1,51 @@
+// WorkDemand: the neutral interface between application models and the
+// hardware simulator. One WorkDemand describes what a node must execute for
+// one iteration of the application's outer loop; the performance model
+// turns it into time/counters given the current CPU and uncore frequencies.
+#pragma once
+
+#include <cstddef>
+
+namespace ear::simhw {
+
+struct WorkDemand {
+  /// Retired instructions per active core per iteration (excluding
+  /// busy-wait/spin instructions, which the model adds itself).
+  double instructions_per_core = 0.0;
+  /// Fraction of instructions that are AVX512 (the paper's VPI).
+  double vpi = 0.0;
+  /// Core-only CPI: cycles/instruction with an infinitely fast memory
+  /// subsystem. The memory stall components are added on top.
+  double cpi_core = 0.5;
+  /// Main-memory traffic per node per iteration, bytes (64 B transactions).
+  double bytes = 0.0;
+  /// Serialised (non-overlapped) stall latency per memory transaction,
+  /// split into a frequency-independent part and an uncore-clocked part:
+  ///   stall = lat_fixed_ns + lat_uncore_cycles / f_imc.
+  /// The split controls how strongly the workload reacts to uncore
+  /// frequency changes independently of its CPU-frequency sensitivity.
+  double lat_fixed_ns_per_txn = 0.0;
+  double lat_uncore_cycles_per_txn = 0.0;
+  /// Non-overlapped MPI communication time per iteration, seconds. The
+  /// cores busy-wait (poll) during this time, as MPI implementations do.
+  double comm_seconds = 0.0;
+  /// GPU kernel time per iteration, seconds; the owning core busy-waits.
+  double gpu_seconds = 0.0;
+  /// Number of GPUs actively computing during gpu_seconds.
+  std::size_t gpus_busy = 0;
+  /// Fraction of the iteration the cores spend in relaxed waits (MPI
+  /// progression with C-state entry). Dense busy-wait spinning (CUDA
+  /// polling) keeps this at 0; the HW UFS governor keys on it.
+  double relaxed_wait_fraction = 0.0;
+  /// Cores running application threads on this node.
+  std::size_t active_cores = 0;
+  /// Workload-specific multiplier on core dynamic power (switching factor
+  /// differences between codes; calibrated from the paper's DC powers).
+  double power_activity = 1.0;
+  /// Per-workload busy-wait loop IPC; 0 means use the node default. Wait
+  /// loops differ (MPI poll vs CUDA stream sync), and the observed CPI of
+  /// wait-dominated codes is 1/spin_ipc.
+  double spin_ipc_override = 0.0;
+};
+
+}  // namespace ear::simhw

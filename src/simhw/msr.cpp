@@ -1,0 +1,57 @@
+#include "simhw/msr.hpp"
+
+#include "common/error.hpp"
+
+namespace ear::simhw {
+
+namespace {
+// UNCORE_RATIO_LIMIT expresses frequencies as multiples of 100 MHz.
+constexpr std::uint64_t kRatioUnitKhz = 100'000;
+
+std::uint64_t to_ratio(Freq f) { return f.as_khz() / kRatioUnitKhz; }
+Freq from_ratio(std::uint64_t r) { return Freq::khz(r * kRatioUnitKhz); }
+}  // namespace
+
+std::uint64_t UncoreRatioLimit::encode() const {
+  const std::uint64_t max_ratio = to_ratio(max_freq);
+  const std::uint64_t min_ratio = to_ratio(min_freq);
+  EAR_CHECK_MSG(max_ratio <= 0x7F && min_ratio <= 0x7F,
+                "uncore ratio exceeds 7-bit field");
+  return (min_ratio << 8) | max_ratio;
+}
+
+UncoreRatioLimit UncoreRatioLimit::decode(std::uint64_t raw) {
+  return UncoreRatioLimit{
+      .max_freq = from_ratio(raw & 0x7F),
+      .min_freq = from_ratio((raw >> 8) & 0x7F),
+  };
+}
+
+std::uint64_t MsrFile::read(std::uint32_t addr) const {
+  const auto it = regs_.find(addr);
+  return it == regs_.end() ? 0 : it->second;
+}
+
+void MsrFile::write(std::uint32_t addr, std::uint64_t value) {
+  ++writes_;
+  if (locked_.count(addr) != 0) return;  // silently dropped
+  regs_[addr] = value;
+}
+
+void MsrFile::lock(std::uint32_t addr) { locked_.insert(addr); }
+
+bool MsrFile::is_locked(std::uint32_t addr) const {
+  return locked_.count(addr) != 0;
+}
+
+UncoreRatioLimit MsrFile::uncore_limit() const {
+  return UncoreRatioLimit::decode(read(kMsrUncoreRatioLimit));
+}
+
+void MsrFile::set_uncore_limit(const UncoreRatioLimit& limit) {
+  EAR_CHECK_MSG(limit.min_freq <= limit.max_freq,
+                "uncore min must not exceed max");
+  write(kMsrUncoreRatioLimit, limit.encode());
+}
+
+}  // namespace ear::simhw

@@ -1,0 +1,63 @@
+// Model Specific Register (MSR) emulation.
+//
+// The real EAR daemon writes uncore limits through /dev/cpu/*/msr. We
+// emulate the per-socket register file and in particular MSR 0x620
+// (UNCORE_RATIO_LIMIT): bits 6:0 hold the *maximum* uncore ratio and bits
+// 14:8 the *minimum* uncore ratio, in units of 100 MHz (SDM vol. 4).
+// Setting min == max pins the uncore clock; leaving a range lets the
+// hardware UFS control loop pick a value inside it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/units.hpp"
+
+namespace ear::simhw {
+
+using common::Freq;
+
+/// Well-known MSR addresses used by the library.
+inline constexpr std::uint32_t kMsrUncoreRatioLimit = 0x620;
+inline constexpr std::uint32_t kMsrEnergyPerfBias = 0x1B0;  // IA32_ENERGY_PERF_BIAS
+
+/// Decoded view of UNCORE_RATIO_LIMIT.
+struct UncoreRatioLimit {
+  Freq max_freq;  // bits 6:0  * 100 MHz
+  Freq min_freq;  // bits 14:8 * 100 MHz
+
+  [[nodiscard]] std::uint64_t encode() const;
+  [[nodiscard]] static UncoreRatioLimit decode(std::uint64_t raw);
+  friend bool operator==(const UncoreRatioLimit&,
+                         const UncoreRatioLimit&) = default;
+};
+
+/// Per-socket register file. Unknown registers read as 0, like a freshly
+/// cleared MSR; writes create them. Registers may be *locked* (as BIOSes
+/// lock UNCORE_RATIO_LIMIT on some platforms): writes to a locked
+/// register are silently dropped — software must read back to notice.
+class MsrFile {
+ public:
+  [[nodiscard]] std::uint64_t read(std::uint32_t addr) const;
+  void write(std::uint32_t addr, std::uint64_t value);
+
+  /// BIOS-style lock: subsequent writes to `addr` are ignored.
+  void lock(std::uint32_t addr);
+  [[nodiscard]] bool is_locked(std::uint32_t addr) const;
+
+  /// Typed accessors for the uncore limit register.
+  [[nodiscard]] UncoreRatioLimit uncore_limit() const;
+  void set_uncore_limit(const UncoreRatioLimit& limit);
+
+  /// Number of write operations performed (the paper's daemon counts MSR
+  /// traffic; useful for overhead benches).
+  [[nodiscard]] std::uint64_t write_count() const { return writes_; }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> regs_;
+  std::unordered_set<std::uint32_t> locked_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace ear::simhw

@@ -1,0 +1,223 @@
+#include "simhw/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ear::simhw {
+
+using common::Freq;
+using common::Joules;
+using common::Secs;
+
+namespace {
+/// Clock droop of busy cores vs the requested P-state (package C-state
+/// exits, thermal management); makes a 2.40 GHz request read as ~2.39.
+constexpr double kCoreFreqDroop = 0.995;
+/// Frequency idle cores report through APERF/MPERF-style averaging.
+const Freq kIdleReportFreq = Freq::ghz(2.0);
+
+PowerBreakdown scale(PowerBreakdown p, double factor) {
+  p.base.value *= factor;
+  p.cores.value *= factor;
+  p.uncore.value *= factor;
+  p.dram.value *= factor;
+  p.gpu.value *= factor;
+  return p;
+}
+}  // namespace
+
+SimNode::SimNode(NodeConfig cfg, std::uint64_t seed, NoiseModel noise,
+                 HwUfsParams ufs)
+    : cfg_(std::move(cfg)),
+      noise_(noise),
+      rng_(seed),
+      pstate_(cfg_.pstates.nominal_pstate()),
+      rapl_(cfg_.sockets) {
+  common::SplitMix64 seeder(seed ^ 0x5eed);
+  for (std::size_t s = 0; s < cfg_.sockets; ++s) {
+    msrs_.emplace_back();
+    // After boot the register holds the full supported window.
+    msrs_.back().set_uncore_limit(
+        {.max_freq = cfg_.uncore.max(), .min_freq = cfg_.uncore.min()});
+    governors_.emplace_back(cfg_, ufs, seeder.next());
+  }
+  last_inputs_ = UfsInputs{.requested_core_freq = cpu_freq(),
+                           .effective_core_freq = cpu_freq(),
+                           .bw_utilisation = 0.5,
+                           .active_cores = 0,
+                           .epb = 6};
+}
+
+void SimNode::set_cpu_pstate(Pstate p) {
+  EAR_CHECK_MSG(p < cfg_.pstates.size(), "pstate out of range");
+  pstate_ = p;
+}
+
+MsrFile& SimNode::msr(std::size_t socket) {
+  EAR_CHECK(socket < msrs_.size());
+  return msrs_[socket];
+}
+
+const MsrFile& SimNode::msr(std::size_t socket) const {
+  EAR_CHECK(socket < msrs_.size());
+  return msrs_[socket];
+}
+
+void SimNode::set_uncore_limit_all(const UncoreRatioLimit& limit) {
+  for (auto& m : msrs_) m.set_uncore_limit(limit);
+}
+
+UncoreRatioLimit SimNode::uncore_limit() const {
+  return msrs_.front().uncore_limit();
+}
+
+Freq SimNode::uncore_freq() const { return governors_.front().current(); }
+
+Freq SimNode::run_governor(const UfsInputs& in, Secs duration) {
+  // The loop re-evaluates every ~10 ms; average its output across the
+  // periods an iteration spans (bounded to keep long iterations cheap —
+  // beyond a few hundred periods the average has converged anyway).
+  const double period = governors_.front().params().evaluation_period_s;
+  const auto periods = static_cast<std::size_t>(std::clamp(
+      duration.value / period, 1.0, 400.0));
+  const UncoreRatioLimit limit = msrs_.front().uncore_limit();
+  double sum_khz = 0.0;
+  for (std::size_t i = 0; i < periods; ++i) {
+    // Socket 0 drives the reported value; other sockets track identically
+    // because EAR applies node-level workloads symmetrically.
+    Freq f{};
+    for (auto& g : governors_) f = g.evaluate(in, limit);
+    sum_khz += static_cast<double>(f.as_khz());
+  }
+  return Freq::khz(static_cast<std::uint64_t>(
+      sum_khz / static_cast<double>(periods)));
+}
+
+IterationOutcome SimNode::execute_iteration(const WorkDemand& demand) {
+  const Freq f_cpu = cpu_freq();
+  // Effective clock the governor keys on: VPI-weighted blend of the
+  // requested frequency and the AVX512 licence cap.
+  const Freq f_cap = cfg_.pstates.avx512_effective(f_cpu);
+  const Freq f_eff = Freq::khz(static_cast<std::uint64_t>(
+      (1.0 - demand.vpi) * static_cast<double>(f_cpu.as_khz()) +
+      demand.vpi * static_cast<double>(f_cap.as_khz())));
+
+  UfsInputs inputs{
+      .requested_core_freq = f_cpu,
+      .effective_core_freq = f_eff,
+      .bw_utilisation = last_inputs_.bw_utilisation,
+      .relaxed_fraction = demand.relaxed_wait_fraction,
+      .active_cores = demand.active_cores,
+      .epb = msrs_.front().read(kMsrEnergyPerfBias),
+  };
+  if (inputs.epb == 0) inputs.epb = 6;  // unprogrammed MSR -> default bias
+
+  // First pass: estimate duration at the governor's current setting to
+  // know how many control periods the iteration spans.
+  const PerfResult estimate =
+      evaluate_iteration(cfg_, demand, f_cpu, governors_.front().current());
+  const Freq f_imc = run_governor(inputs, estimate.iter_time);
+
+  PerfResult perf = evaluate_iteration(cfg_, demand, f_cpu, f_imc);
+
+  // Run-to-run noise: jitter the wall time (OS, network, DRAM refresh...).
+  const double tnoise =
+      std::max(0.5, 1.0 + rng_.normal(0.0, noise_.time_sigma));
+  perf.iter_time.value *= tnoise;
+  perf.gbps = perf.iter_time.value > 0.0
+                  ? perf.bytes / perf.iter_time.value / 1e9
+                  : 0.0;
+
+  PowerBreakdown power = evaluate_power(cfg_, demand, perf, f_cpu, f_imc);
+  const double pnoise =
+      std::max(0.5, 1.0 + rng_.normal(0.0, noise_.power_sigma));
+  power = scale(power, pnoise);
+
+  const Secs dt = perf.iter_time;
+  const Joules energy = power.total() * dt;
+
+  // Energy counters.
+  const Joules pkg_each =
+      power.package() * dt;  // split evenly across sockets
+  for (std::size_t s = 0; s < cfg_.sockets; ++s) {
+    rapl_.deposit_pkg(s, Joules{pkg_each.value /
+                                static_cast<double>(cfg_.sockets)});
+  }
+  rapl_.deposit_dram(power.dram * dt);
+  inm_.deposit(energy, dt);
+
+  // PMU counters (node aggregated).
+  const double active = static_cast<double>(demand.active_cores);
+  const double idle =
+      static_cast<double>(cfg_.total_cores() - demand.active_cores);
+  counters_.instructions += perf.instructions_per_core * active;
+  counters_.cycles += perf.cycles_per_core * active;
+  counters_.avx512_ops +=
+      demand.vpi * demand.instructions_per_core * active;
+  counters_.cas_transactions += perf.bytes / 64.0;
+  const double total = static_cast<double>(cfg_.total_cores());
+  // Reported core clock: AVX512 licence throttling shows up in the
+  // APERF-style average (the paper's DGEMM reads 2.19 against a 2.40
+  // request), and idle cores dilute it on mostly-idle nodes.
+  const Freq f_licenced = cfg_.pstates.avx512_effective(f_cpu);
+  const double active_khz =
+      (1.0 - demand.vpi) * static_cast<double>(f_cpu.as_khz()) +
+      demand.vpi * static_cast<double>(f_licenced.as_khz());
+  const double avg_core_khz =
+      total > 0.0
+          ? (active * active_khz * kCoreFreqDroop +
+             idle * static_cast<double>(kIdleReportFreq.as_khz())) /
+                total
+          : 0.0;
+  counters_.cpu_freq_cycles += avg_core_khz * dt.value;
+  counters_.imc_freq_cycles +=
+      static_cast<double>(f_imc.as_khz()) * dt.value;
+  counters_.elapsed_seconds += dt.value;
+  counters_.wait_seconds += demand.comm_seconds + demand.gpu_seconds;
+
+  clock_ += dt;
+  inputs.bw_utilisation = perf.bw_utilisation;
+  last_inputs_ = inputs;
+
+  return IterationOutcome{.perf = perf,
+                          .power = power,
+                          .uncore_freq = f_imc,
+                          .energy = energy};
+}
+
+void SimNode::idle(Secs dt) {
+  EAR_CHECK(dt.value >= 0.0);
+  if (dt.value == 0.0) return;
+  WorkDemand nothing{};
+  nothing.active_cores = 0;
+  PerfResult perf{};
+  perf.iter_time = dt;
+  const Freq f_imc = run_governor(
+      UfsInputs{.requested_core_freq = cpu_freq(),
+                .effective_core_freq = cpu_freq(),
+                .bw_utilisation = 0.0,
+                .relaxed_fraction = 1.0,
+                .active_cores = 0,
+                .epb = 6},
+      dt);
+  const PowerBreakdown power =
+      evaluate_power(cfg_, nothing, perf, cpu_freq(), f_imc);
+  const Joules energy = power.total() * dt;
+  for (std::size_t s = 0; s < cfg_.sockets; ++s) {
+    rapl_.deposit_pkg(
+        s, Joules{(power.package() * dt).value /
+                  static_cast<double>(cfg_.sockets)});
+  }
+  rapl_.deposit_dram(power.dram * dt);
+  inm_.deposit(energy, dt);
+  counters_.elapsed_seconds += dt.value;
+  counters_.cpu_freq_cycles +=
+      static_cast<double>(kIdleReportFreq.as_khz()) * dt.value;
+  counters_.imc_freq_cycles +=
+      static_cast<double>(f_imc.as_khz()) * dt.value;
+  clock_ += dt;
+}
+
+}  // namespace ear::simhw

@@ -1,0 +1,98 @@
+// SimNode: one simulated compute node.
+//
+// Owns the per-socket MSR files, the hardware UFS governors, the PMU
+// counters and the RAPL/INM energy counters. The simulation engine drives
+// it one application iteration at a time; EARL/EARD talk to it only
+// through the same narrow interfaces they would use on real hardware
+// (P-state request, MSR writes, counter reads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "simhw/config.hpp"
+#include "simhw/counters.hpp"
+#include "simhw/demand.hpp"
+#include "simhw/hw_ufs.hpp"
+#include "simhw/inm.hpp"
+#include "simhw/msr.hpp"
+#include "simhw/perf_model.hpp"
+#include "simhw/power_model.hpp"
+#include "simhw/rapl.hpp"
+
+namespace ear::simhw {
+
+/// Run-to-run measurement/execution variation, applied per iteration.
+struct NoiseModel {
+  double time_sigma = 0.004;   // relative jitter on iteration time
+  double power_sigma = 0.005;  // relative jitter on node power
+};
+
+/// What one executed iteration looked like (ground truth; EARL sees only
+/// the counter deltas).
+struct IterationOutcome {
+  PerfResult perf;
+  PowerBreakdown power;
+  common::Freq uncore_freq;  // time-averaged over the iteration
+  common::Joules energy;     // DC node energy of the iteration
+};
+
+class SimNode {
+ public:
+  SimNode(NodeConfig cfg, std::uint64_t seed,
+          NoiseModel noise = {}, HwUfsParams ufs = {});
+
+  // --- Control interfaces (what EARD exposes) ---------------------------
+  /// Request a P-state for all cores (EAR pins the whole node).
+  void set_cpu_pstate(Pstate p);
+  void set_cpu_freq(common::Freq f) { set_cpu_pstate(cfg_.pstates.pstate_for(f)); }
+  [[nodiscard]] Pstate cpu_pstate() const { return pstate_; }
+  [[nodiscard]] common::Freq cpu_freq() const { return cfg_.pstates.freq(pstate_); }
+
+  /// Per-socket MSR access (privileged; EARD is the only caller in the
+  /// real system). Writing UNCORE_RATIO_LIMIT constrains the governor.
+  [[nodiscard]] MsrFile& msr(std::size_t socket);
+  [[nodiscard]] const MsrFile& msr(std::size_t socket) const;
+  /// Convenience: write the same uncore window on every socket.
+  void set_uncore_limit_all(const UncoreRatioLimit& limit);
+  [[nodiscard]] UncoreRatioLimit uncore_limit() const;
+
+  // --- Measurement interfaces -------------------------------------------
+  [[nodiscard]] const PmuCounters& counters() const { return counters_; }
+  [[nodiscard]] const RaplDomains& rapl() const { return rapl_; }
+  [[nodiscard]] const NodeManagerCounter& inm() const { return inm_; }
+  [[nodiscard]] common::Secs clock() const { return clock_; }
+
+  // --- Simulation driver -------------------------------------------------
+  /// Execute one application iteration under the current settings.
+  IterationOutcome execute_iteration(const WorkDemand& demand);
+
+  /// Advance idle time (no application work; cores idle).
+  void idle(common::Secs dt);
+
+  [[nodiscard]] const NodeConfig& config() const { return cfg_; }
+  /// Current (last-period) uncore frequency of socket 0.
+  [[nodiscard]] common::Freq uncore_freq() const;
+
+ private:
+  /// Run the HW governor for the periods covering `duration` and return
+  /// the time-averaged uncore frequency it produced.
+  common::Freq run_governor(const UfsInputs& in, common::Secs duration);
+
+  NodeConfig cfg_;
+  NoiseModel noise_;
+  common::Rng rng_;
+  Pstate pstate_;
+  std::vector<MsrFile> msrs_;
+  std::vector<HwUfsGovernor> governors_;
+  PmuCounters counters_;
+  RaplDomains rapl_;
+  NodeManagerCounter inm_;
+  common::Secs clock_{};
+  // Governor inputs observed on the previous iteration (it is reactive).
+  UfsInputs last_inputs_;
+};
+
+}  // namespace ear::simhw

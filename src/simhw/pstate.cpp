@@ -1,0 +1,79 @@
+#include "simhw/pstate.hpp"
+
+#include "common/error.hpp"
+
+namespace ear::simhw {
+
+PstateTable::PstateTable(Freq turbo, Freq nominal, Freq min, Freq step,
+                         Freq avx512_all_core_cap)
+    : avx512_cap_(avx512_all_core_cap) {
+  EAR_CHECK_MSG(turbo >= nominal && nominal >= min, "turbo >= nominal >= min");
+  EAR_CHECK_MSG(step.as_khz() > 0, "pstate step must be positive");
+  freqs_.push_back(turbo);
+  for (Freq f = nominal; f >= min; f = f - step) {
+    freqs_.push_back(f);
+    if (f == min) break;  // Freq subtraction saturates at 0; avoid wrap.
+  }
+  EAR_CHECK_MSG(freqs_.back() == min, "min must be reachable from nominal in steps");
+  EAR_CHECK_MSG(avx512_cap_ <= nominal && avx512_cap_ >= min,
+                "AVX512 cap must lie within the table");
+}
+
+Freq PstateTable::freq(Pstate p) const {
+  EAR_CHECK_MSG(p < freqs_.size(), "pstate out of range");
+  return freqs_[p];
+}
+
+Pstate PstateTable::pstate_for(Freq f) const {
+  if (f >= freqs_.front()) return 0;
+  // Find the highest frequency not exceeding f. Skip turbo (index 0): a
+  // request below turbo maps into the nominal-and-down ladder.
+  for (Pstate p = 1; p < freqs_.size(); ++p) {
+    if (freqs_[p] <= f) return p;
+  }
+  return freqs_.size() - 1;
+}
+
+UncoreRange::UncoreRange(Freq min, Freq max, Freq step)
+    : min_(min), max_(max), step_(step) {
+  EAR_CHECK_MSG(max >= min, "uncore max >= min");
+  EAR_CHECK_MSG(step.as_khz() > 0, "uncore step must be positive");
+  EAR_CHECK_MSG((max.as_khz() - min.as_khz()) % step.as_khz() == 0,
+                "uncore range must be an integer number of steps");
+}
+
+std::size_t UncoreRange::num_steps() const {
+  return static_cast<std::size_t>((max_.as_khz() - min_.as_khz()) /
+                                  step_.as_khz()) +
+         1;
+}
+
+Freq UncoreRange::clamp(Freq f) const {
+  if (f <= min_) return min_;
+  if (f >= max_) return max_;
+  // Snap down onto the grid.
+  const auto offset = (f.as_khz() - min_.as_khz()) / step_.as_khz();
+  return Freq::khz(min_.as_khz() + offset * step_.as_khz());
+}
+
+Freq UncoreRange::step_down(Freq f) const {
+  const Freq g = clamp(f);
+  return g <= min_ ? min_ : Freq::khz(g.as_khz() - step_.as_khz());
+}
+
+Freq UncoreRange::step_up(Freq f) const {
+  const Freq g = clamp(f);
+  return g >= max_ ? max_ : Freq::khz(g.as_khz() + step_.as_khz());
+}
+
+std::vector<Freq> UncoreRange::descending() const {
+  std::vector<Freq> out;
+  out.reserve(num_steps());
+  for (Freq f = max_;; f = Freq::khz(f.as_khz() - step_.as_khz())) {
+    out.push_back(f);
+    if (f == min_) break;
+  }
+  return out;
+}
+
+}  // namespace ear::simhw

@@ -1,0 +1,93 @@
+// P-state tables for the simulated processor.
+//
+// EAR's convention (which we follow): pstate 0 is the turbo frequency,
+// pstate 1 the nominal (base) frequency, and higher indices step down in
+// 100 MHz increments. E.g. for the Xeon Gold 6148 used in the paper:
+//   pstate 0 = 2.41 GHz (turbo request), 1 = 2.40, 2 = 2.30, 3 = 2.20, ...
+// AVX512 all-core execution is capped at a lower licence frequency
+// (2.2 GHz on the 6148, i.e. pstate 3 — exactly as §V-A of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ear::simhw {
+
+using common::Freq;
+
+/// Index into a PstateTable. Smaller index = higher frequency.
+using Pstate = std::size_t;
+
+class PstateTable {
+ public:
+  /// Builds the EAR-style table: `turbo` at index 0, then `nominal` down to
+  /// `min` in `step` decrements.
+  PstateTable(Freq turbo, Freq nominal, Freq min, Freq step,
+              Freq avx512_all_core_cap);
+
+  /// Default: the Skylake 6148 ladder (2.41 turbo, 2.40 nominal, 1.0 min,
+  /// 100 MHz steps, 2.2 GHz AVX512 all-core cap).
+  PstateTable()
+      : PstateTable(Freq::ghz(2.41), Freq::ghz(2.40), Freq::ghz(1.0),
+                    Freq::mhz(100), Freq::ghz(2.2)) {}
+
+  [[nodiscard]] std::size_t size() const { return freqs_.size(); }
+  [[nodiscard]] Freq freq(Pstate p) const;
+  [[nodiscard]] Freq turbo() const { return freqs_.front(); }
+  [[nodiscard]] Freq nominal() const { return freqs_.size() > 1 ? freqs_[1] : freqs_[0]; }
+  [[nodiscard]] Freq min() const { return freqs_.back(); }
+  [[nodiscard]] Pstate nominal_pstate() const { return freqs_.size() > 1 ? 1 : 0; }
+  [[nodiscard]] Pstate min_pstate() const { return freqs_.size() - 1; }
+
+  /// Closest pstate whose frequency is <= `f` (or the fastest one if `f`
+  /// exceeds turbo).
+  [[nodiscard]] Pstate pstate_for(Freq f) const;
+
+  /// The AVX512 all-core licence cap applied to a requested frequency.
+  [[nodiscard]] Freq avx512_cap() const { return avx512_cap_; }
+  [[nodiscard]] Freq avx512_effective(Freq requested) const {
+    return requested < avx512_cap_ ? requested : avx512_cap_;
+  }
+  /// The pstate the AVX512 cap corresponds to (pstate 3 on the 6148).
+  [[nodiscard]] Pstate avx512_pstate() const { return pstate_for(avx512_cap_); }
+
+  [[nodiscard]] const std::vector<Freq>& all() const { return freqs_; }
+
+ private:
+  std::vector<Freq> freqs_;
+  Freq avx512_cap_;
+};
+
+/// Uncore (IMC) frequency range: min..max in fixed (100 MHz) steps.
+class UncoreRange {
+ public:
+  UncoreRange(Freq min, Freq max, Freq step);
+
+  /// Default: the paper's Skylake window, 1.2-2.4 GHz in 100 MHz bins.
+  UncoreRange()
+      : UncoreRange(Freq::ghz(1.2), Freq::ghz(2.4), Freq::mhz(100)) {}
+
+  [[nodiscard]] Freq min() const { return min_; }
+  [[nodiscard]] Freq max() const { return max_; }
+  [[nodiscard]] Freq step() const { return step_; }
+  [[nodiscard]] std::size_t num_steps() const;
+
+  /// Clamp to the supported range and snap down to the step grid.
+  [[nodiscard]] Freq clamp(Freq f) const;
+  /// One step below `f`, clamped at min().
+  [[nodiscard]] Freq step_down(Freq f) const;
+  /// One step above `f`, clamped at max().
+  [[nodiscard]] Freq step_up(Freq f) const;
+  /// All grid frequencies from max to min (descending), as the Fig. 1
+  /// sweeps enumerate them.
+  [[nodiscard]] std::vector<Freq> descending() const;
+
+ private:
+  Freq min_;
+  Freq max_;
+  Freq step_;
+};
+
+}  // namespace ear::simhw

@@ -1,0 +1,62 @@
+// RAPL energy counter emulation.
+//
+// Real RAPL exposes 32-bit counters in units of 2^-ESU joules (ESU = 14 on
+// Skylake, i.e. ~61 uJ) that wrap around every few hundred kJ. We keep that
+// behaviour: consumers must compute wrap-aware deltas, and the library's
+// accounting layer is tested against wraps — a classic field bug in energy
+// tooling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ear::simhw {
+
+using common::Joules;
+using common::Watts;
+
+/// One wrapping RAPL energy counter (PKG or DRAM domain).
+class RaplCounter {
+ public:
+  /// Skylake energy-status unit: 2^-14 J.
+  static constexpr double kJoulesPerUnit = 1.0 / 16384.0;
+  static constexpr std::uint64_t kWrap = 1ULL << 32;
+
+  /// Accumulate energy into the counter (simulator side).
+  void deposit(Joules e);
+
+  /// Raw 32-bit register value as MSR reads would return it.
+  [[nodiscard]] std::uint32_t raw() const {
+    return static_cast<std::uint32_t>(units_ % kWrap);
+  }
+
+  /// Wrap-aware difference between two raw readings, in joules.
+  [[nodiscard]] static Joules delta(std::uint32_t before,
+                                    std::uint32_t after);
+
+ private:
+  std::uint64_t units_ = 0;  // unwrapped, internal only
+  double residue_ = 0.0;     // sub-unit remainder
+};
+
+/// The RAPL domains EAR reads per node: PKG per socket plus DRAM.
+class RaplDomains {
+ public:
+  explicit RaplDomains(std::size_t sockets) : pkg_(sockets) {}
+
+  void deposit_pkg(std::size_t socket, Joules e);
+  void deposit_dram(Joules e);
+
+  [[nodiscard]] std::size_t sockets() const { return pkg_.size(); }
+  [[nodiscard]] const RaplCounter& pkg(std::size_t socket) const;
+  [[nodiscard]] const RaplCounter& dram() const { return dram_; }
+
+ private:
+  std::vector<RaplCounter> pkg_;
+  RaplCounter dram_;
+};
+
+}  // namespace ear::simhw

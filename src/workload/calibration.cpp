@@ -1,0 +1,189 @@
+#include "workload/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "simhw/perf_model.hpp"
+#include "simhw/power_model.hpp"
+
+namespace ear::workload {
+
+using common::ConfigError;
+using simhw::Freq;
+using simhw::NodeConfig;
+using simhw::UfsInputs;
+using simhw::WorkDemand;
+
+namespace {
+
+/// Predict where the HW governor settles for this workload at the nominal
+/// request. Utilisation depends on the governor's own choice (available
+/// bandwidth shrinks with the uncore clock), so iterate to a fixed point.
+Freq steady_hw_uncore(const NodeConfig& cfg, const simhw::HwUfsParams& ufs,
+                      const CalibrationTargets& t, Freq f_cpu, Freq f_eff) {
+  Freq f_imc = cfg.uncore.max();
+  for (int i = 0; i < 4; ++i) {
+    const double avail = simhw::available_bandwidth_gbps(cfg.memory, f_imc);
+    const UfsInputs in{
+        .requested_core_freq = f_cpu,
+        .effective_core_freq = f_eff,
+        .bw_utilisation = avail > 0.0 ? t.gbps / avail : 0.0,
+        .relaxed_fraction = t.relaxed_share * t.comm_fraction,
+        .active_cores = t.active_cores,
+        .epb = 6,
+    };
+    const Freq next = simhw::hw_ufs_steady_target(cfg, ufs, in);
+    if (next == f_imc) break;
+    f_imc = next;
+  }
+  return f_imc;
+}
+
+}  // namespace
+
+Calibrated calibrate(const NodeConfig& cfg, const CalibrationTargets& t,
+                     const simhw::HwUfsParams& ufs) {
+  if (t.iterations == 0 || t.total_seconds <= 0.0) {
+    throw ConfigError("calibrate: need positive runtime and iterations");
+  }
+  if (t.active_cores == 0 || t.active_cores > cfg.total_cores()) {
+    throw ConfigError("calibrate: active_cores out of range for node");
+  }
+  if (t.comm_fraction + t.gpu_fraction >= 0.995) {
+    throw ConfigError("calibrate: no busy time left after waits");
+  }
+  if (t.cpi <= 0.0 || t.dc_power_watts <= 0.0) {
+    throw ConfigError("calibrate: CPI and power targets must be positive");
+  }
+
+  const double t_iter =
+      t.total_seconds / static_cast<double>(t.iterations);
+  const double comm_s = t.comm_fraction * t_iter;
+  const double gpu_s = t.gpu_fraction * t_iter;
+  const double t_wait = comm_s + gpu_s;
+  const double t_busy = t_iter - t_wait;
+  const double bytes = t.gbps * 1e9 * t_iter;
+
+  const Freq f_cpu = cfg.pstates.nominal();
+  const double f_hz = f_cpu.as_hz();
+  const Freq f_avx = cfg.pstates.avx512_effective(f_cpu);
+  // Governor-visible effective clock: VPI-weighted blend (see hw_ufs.hpp).
+  const Freq f_eff = Freq::khz(static_cast<std::uint64_t>(
+      (1.0 - t.vpi) * static_cast<double>(f_cpu.as_khz()) +
+      t.vpi * static_cast<double>(f_avx.as_khz())));
+  // Effective compute clock: AVX512 instructions run licence-capped.
+  const double f_hat =
+      1.0 / ((1.0 - t.vpi) / f_hz + t.vpi / f_avx.as_hz());
+
+  const Freq f_imc = steady_hw_uncore(cfg, ufs, t, f_cpu, f_eff);
+
+  // Roofline feasibility at the calibration operating point.
+  const double avail_gbps = simhw::available_bandwidth_gbps(cfg.memory, f_imc);
+  const double t_bw = bytes / (avail_gbps * 1e9);
+  if (t_bw > t_busy) {
+    throw ConfigError("calibrate: bandwidth target exceeds what the node "
+                      "can move in the busy time (" +
+                      std::to_string(t.gbps) + " GB/s)");
+  }
+
+  // --- Cycle budget: make the observed CPI come out exactly. ------------
+  const double b = std::clamp(t.mem_stall_share, 0.0, 0.95);
+  const double cycles_pc =
+      (1.0 - b) * t_busy * f_hat + b * t_busy * f_hz + t_wait * f_hz;
+  const double inst_pc_total = cycles_pc / t.cpi;
+  const double inst_spin_cfg = cfg.spin_ipc * t_wait * f_hz;
+
+  double spin_override = 0.0;
+  double inst_app = 0.0;
+  if (t_wait > 0.0 && inst_spin_cfg > 0.9 * inst_pc_total) {
+    // Wait-dominated workload (GPU kernels): the spin loop's IPC is what
+    // determines the CPI; tune it and keep a sliver of application work.
+    inst_app = 0.10 * inst_pc_total;
+    spin_override = (inst_pc_total - inst_app) / (t_wait * f_hz);
+  } else {
+    inst_app = inst_pc_total - inst_spin_cfg;
+  }
+  if (inst_app <= 0.0) {
+    throw ConfigError("calibrate: CPI target leaves no application "
+                      "instructions (CPI too small for the wait share)");
+  }
+
+  // --- Stall latency: realise the memory-stall share and its split. -----
+  const double transactions = bytes / 64.0;
+  double t_lat = b * t_busy;
+  double lat_fixed_ns = 0.0;
+  double lat_uncore_cycles = 0.0;
+  double t_compute = t_busy - t_lat;
+  if (transactions > 0.0 && t_lat > 0.0) {
+    // Total serialised stall budget per transaction at the calibration
+    // point, split per the uncore share knob.
+    const double l_txn =
+        t_lat * static_cast<double>(t.active_cores) / transactions;
+    const double u = std::clamp(t.uncore_stall_share, 0.0, 1.0);
+    lat_uncore_cycles = u * l_txn * f_imc.as_hz();
+    lat_fixed_ns = (1.0 - u) * l_txn * 1e9;
+  } else {
+    t_lat = 0.0;
+    t_compute = t_busy;
+  }
+  EAR_CHECK_MSG(t_compute > 0.0, "calibration produced no compute time");
+  const double cpi_core = t_compute * f_hat / inst_app;
+
+  WorkDemand demand{
+      .instructions_per_core = inst_app,
+      .vpi = t.vpi,
+      .cpi_core = cpi_core,
+      .bytes = bytes,
+      .lat_fixed_ns_per_txn = lat_fixed_ns,
+      .lat_uncore_cycles_per_txn = lat_uncore_cycles,
+      .comm_seconds = comm_s,
+      .gpu_seconds = gpu_s,
+      .gpus_busy = t.gpus_busy,
+      .relaxed_wait_fraction = t.relaxed_share * t.comm_fraction,
+      .active_cores = t.active_cores,
+      .power_activity = 1.0,
+      .spin_ipc_override = spin_override,
+  };
+
+  // --- Power: solve the core-activity scalar (linear in it), then let the
+  // GPU busy power absorb any residue the cores cannot (GPU nodes). ------
+  NodeConfig out_cfg = cfg;
+  const auto perf = simhw::evaluate_iteration(out_cfg, demand, f_cpu, f_imc);
+
+  demand.power_activity = 1.0;
+  const double p_one =
+      simhw::evaluate_power(out_cfg, demand, perf, f_cpu, f_imc).total().value;
+  demand.power_activity = 0.5;
+  const double p_half =
+      simhw::evaluate_power(out_cfg, demand, perf, f_cpu, f_imc).total().value;
+  const double slope = 2.0 * (p_one - p_half);  // dP/d(activity)
+  const double p_zero = p_one - slope;
+
+  double activity =
+      slope > 1e-9 ? (t.dc_power_watts - p_zero) / slope : 1.0;
+  const double clamped = std::clamp(activity, 0.05, 4.0);
+  demand.power_activity = clamped;
+
+  if (std::fabs(activity - clamped) > 1e-9 && t.gpus_busy > 0) {
+    const double p_now =
+        simhw::evaluate_power(out_cfg, demand, perf, f_cpu, f_imc)
+            .total()
+            .value;
+    const double residual = t.dc_power_watts - p_now;
+    const double busy_frac =
+        std::min(1.0, gpu_s / perf.iter_time.value);
+    const double denom = static_cast<double>(t.gpus_busy) * busy_frac;
+    if (denom > 1e-9) {
+      out_cfg.power.gpu_busy_watts = std::max(
+          out_cfg.power.gpu_idle_watts,
+          out_cfg.power.gpu_busy_watts + residual / denom);
+    }
+  }
+
+  return Calibrated{.demand = demand,
+                    .config = std::move(out_cfg),
+                    .expected_hw_uncore = f_imc};
+}
+
+}  // namespace ear::workload

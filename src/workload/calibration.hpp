@@ -1,0 +1,67 @@
+// Calibration: solve WorkDemand parameters so that a workload reproduces
+// published nominal-frequency measurements (runtime, CPI, GB/s, DC power)
+// on the simulated node, then responds to CPU/uncore frequency changes
+// according to its declared boundedness knobs.
+//
+// This is the substitution layer for the paper's real applications: we do
+// not have BQCD/GROMACS/HPCG binaries or the BSC cluster, but the EAR
+// policies only observe signatures, so a demand vector that (a) matches
+// the paper's Table I/II/V observables at nominal and (b) has the right
+// compute/latency/bandwidth split reproduces the policy-relevant response
+// surface.
+#pragma once
+
+#include "simhw/config.hpp"
+#include "simhw/demand.hpp"
+#include "simhw/hw_ufs.hpp"
+
+namespace ear::workload {
+
+/// Published (or estimated) per-node observables at the nominal CPU
+/// frequency with hardware UFS, plus boundedness knobs that shape the
+/// response to frequency changes.
+struct CalibrationTargets {
+  double total_seconds = 100.0;  // nominal runtime of the whole app
+  std::size_t iterations = 100;  // outer-loop iterations (per phase)
+  double cpi = 0.5;              // observed cycles/instruction
+  double gbps = 10.0;            // observed per-node memory bandwidth
+  double dc_power_watts = 330.0; // average DC node power
+  double vpi = 0.0;              // AVX512 instruction fraction
+  /// Fraction of each iteration spent waiting in MPI (non-overlapped).
+  double comm_fraction = 0.0;
+  /// Share of MPI wait time with C-state entry (relaxed waits).
+  double relaxed_share = 0.5;
+  /// Share of the busy time that is memory *stall* (latency) time at the
+  /// nominal operating point. Controls the CPU-frequency sensitivity:
+  /// stalls do not speed up with the core clock.
+  double mem_stall_share = 0.1;
+  /// Share of each transaction's stall latency that is clocked by the
+  /// uncore. Controls the *uncore*-frequency sensitivity independently of
+  /// mem_stall_share: the product (stall share x uncore share) determines
+  /// where the paper's CPI/GB-s guards halt the explicit UFS search.
+  double uncore_stall_share = 0.5;
+  /// GPU kernel share of each iteration (the owning core busy-waits).
+  double gpu_fraction = 0.0;
+  std::size_t gpus_busy = 0;
+  std::size_t active_cores = 40;
+};
+
+/// Result: the demand vector plus a node config whose power constants may
+/// have been adjusted (GPU busy power) to absorb what the core-activity
+/// scalar cannot.
+struct Calibrated {
+  simhw::WorkDemand demand;
+  simhw::NodeConfig config;
+  /// The uncore frequency the HW governor is expected to settle at for
+  /// this workload at nominal (useful to verify Table IV/VI baselines).
+  simhw::Freq expected_hw_uncore;
+};
+
+/// Solve the demand for `targets` on `cfg`. Throws ConfigError if the
+/// targets are physically inconsistent (e.g. more bandwidth than the node
+/// can move, or a CPI that leaves no room for application instructions).
+[[nodiscard]] Calibrated calibrate(const simhw::NodeConfig& cfg,
+                                   const CalibrationTargets& targets,
+                                   const simhw::HwUfsParams& ufs = {});
+
+}  // namespace ear::workload

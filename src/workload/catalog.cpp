@@ -1,0 +1,278 @@
+#include "workload/catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace ear::workload {
+
+using common::ConfigError;
+
+namespace {
+
+// Boundedness knobs per workload. mem_stall_share (b) sets the
+// CPU-frequency sensitivity (stalls don't scale with the core clock);
+// uncore_stall_share (u) sets how much of each stall is uncore-clocked.
+// The product S = b*(1-wait)*u determines where a 2% CPI guard halts the
+// explicit-UFS descent: the search sits at the last frequency f with
+//   S * f_ref * (1/f - 1/f_ref) <= unc_policy_th.
+// The values below were derived from the paper's Table IV/VI averages.
+std::vector<CatalogEntry> build_catalog() {
+  std::vector<CatalogEntry> v;
+
+  // ---- Table II: single-node kernels -----------------------------------
+  v.push_back({
+      .name = "bt-mz.c.omp",
+      .description = "NAS BT-MZ class C, OpenMP, 40 threads (Table II)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 1,
+      .ranks_per_node = 1,
+      .threads_per_rank = 40,
+      .is_mpi = false,
+      .targets = {.total_seconds = 145, .iterations = 100, .cpi = 0.39,
+                  .gbps = 28, .dc_power_watts = 332, .vpi = 0.05,
+                  .comm_fraction = 0.02, .relaxed_share = 0.0,
+                  .mem_stall_share = 0.20, .uncore_stall_share = 0.46,
+                  .active_cores = 40},
+  });
+  v.push_back({
+      .name = "sp-mz.c.omp",
+      .description = "NAS SP-MZ class C, OpenMP, 40 threads (Table II)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 1,
+      .ranks_per_node = 1,
+      .threads_per_rank = 40,
+      .is_mpi = false,
+      .targets = {.total_seconds = 264, .iterations = 150, .cpi = 0.53,
+                  .gbps = 78, .dc_power_watts = 358, .vpi = 0.08,
+                  .comm_fraction = 0.02, .relaxed_share = 0.0,
+                  .mem_stall_share = 0.30, .uncore_stall_share = 0.41,
+                  .active_cores = 40},
+  });
+  v.push_back({
+      .name = "bt.cuda.d",
+      .description = "NPB-CUDA BT class D, 1 core + 1 V100 (Table II)",
+      .node_kind = NodeKind::kSkylake6142mGpu,
+      .nodes = 1,
+      .ranks_per_node = 1,
+      .threads_per_rank = 1,
+      .is_mpi = false,
+      .targets = {.total_seconds = 465, .iterations = 300, .cpi = 0.49,
+                  .gbps = 0.09, .dc_power_watts = 305, .vpi = 0.0,
+                  .comm_fraction = 0.0, .mem_stall_share = 0.30,
+                  .uncore_stall_share = 0.5, .gpu_fraction = 0.97,
+                  .gpus_busy = 1, .active_cores = 1},
+  });
+  v.push_back({
+      .name = "lu.cuda.d",
+      .description = "NPB-CUDA LU class D, 1 core + 1 V100 (Table II)",
+      .node_kind = NodeKind::kSkylake6142mGpu,
+      .nodes = 1,
+      .ranks_per_node = 1,
+      .threads_per_rank = 1,
+      .is_mpi = false,
+      .targets = {.total_seconds = 256, .iterations = 150, .cpi = 0.54,
+                  .gbps = 0.19, .dc_power_watts = 290, .vpi = 0.0,
+                  .comm_fraction = 0.0, .mem_stall_share = 0.30,
+                  .uncore_stall_share = 0.5, .gpu_fraction = 0.96,
+                  .gpus_busy = 1, .active_cores = 1},
+  });
+  v.push_back({
+      .name = "dgemm",
+      .description = "MKL DGEMM, 40 threads, VPI=100% (Table II)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 1,
+      .ranks_per_node = 1,
+      .threads_per_rank = 40,
+      .is_mpi = false,
+      .targets = {.total_seconds = 160, .iterations = 100, .cpi = 0.45,
+                  .gbps = 98, .dc_power_watts = 369, .vpi = 1.0,
+                  .comm_fraction = 0.0, .mem_stall_share = 0.25,
+                  .uncore_stall_share = 1.0, .active_cores = 40},
+  });
+
+  // ---- Table I: motivation kernels (MPI variants) -----------------------
+  v.push_back({
+      .name = "bt-mz.c.mpi",
+      .description = "NAS BT-MZ class C, 160 ranks on 4 nodes (Table I)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 4,
+      .ranks_per_node = 40,
+      .threads_per_rank = 1,
+      .targets = {.total_seconds = 150, .iterations = 100, .cpi = 0.38,
+                  .gbps = 10.19, .dc_power_watts = 330, .vpi = 0.05,
+                  .comm_fraction = 0.05, .mem_stall_share = 0.12,
+                  .uncore_stall_share = 0.50, .active_cores = 40},
+  });
+  v.push_back({
+      .name = "lu.d",
+      .description = "NAS LU class D, 2 ranks x 40 threads on 2 nodes "
+                     "(Table I)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 2,
+      .ranks_per_node = 1,
+      .threads_per_rank = 40,
+      .targets = {.total_seconds = 300, .iterations = 150, .cpi = 1.04,
+                  .gbps = 75.93, .dc_power_watts = 340, .vpi = 0.06,
+                  .comm_fraction = 0.03, .mem_stall_share = 0.42,
+                  .uncore_stall_share = 0.50, .active_cores = 40},
+  });
+
+  // ---- Table V: MPI applications ----------------------------------------
+  v.push_back({
+      .name = "bqcd",
+      .description = "Berlin QCD, 40 ranks x 4 threads, 4 nodes (Table V)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 4,
+      .ranks_per_node = 10,
+      .threads_per_rank = 4,
+      .targets = {.total_seconds = 130.54, .iterations = 80, .cpi = 0.68,
+                  .gbps = 10.98, .dc_power_watts = 302.15, .vpi = 0.10,
+                  .comm_fraction = 0.10, .mem_stall_share = 0.19,
+                  .uncore_stall_share = 1.0, .active_cores = 40},
+  });
+  v.push_back({
+      .name = "bt-mz.d",
+      .description = "NAS BT-MZ class D, 160 ranks, 4 nodes (Table V)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 4,
+      .ranks_per_node = 40,
+      .threads_per_rank = 1,
+      .targets = {.total_seconds = 465.01, .iterations = 250, .cpi = 0.38,
+                  .gbps = 6.60, .dc_power_watts = 320.74, .vpi = 0.05,
+                  .comm_fraction = 0.06, .mem_stall_share = 0.12,
+                  .uncore_stall_share = 0.49, .active_cores = 40},
+  });
+  v.push_back({
+      .name = "gromacs-i",
+      .description = "GROMACS ion_channel, 160 ranks, 4 nodes (Table V)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 4,
+      .ranks_per_node = 40,
+      .threads_per_rank = 1,
+      .targets = {.total_seconds = 313.92, .iterations = 200, .cpi = 0.48,
+                  .gbps = 10.39, .dc_power_watts = 319.35, .vpi = 0.30,
+                  .comm_fraction = 0.15, .mem_stall_share = 0.24,
+                  .uncore_stall_share = 0.20, .active_cores = 40},
+  });
+  v.push_back({
+      .name = "gromacs-ii",
+      .description = "GROMACS lignocellulose-rf, 640 ranks, 16 nodes "
+                     "(Table V)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 16,
+      .ranks_per_node = 40,
+      .threads_per_rank = 1,
+      .targets = {.total_seconds = 390.60, .iterations = 250, .cpi = 0.63,
+                  .gbps = 13.34, .dc_power_watts = 315.48, .vpi = 0.30,
+                  .comm_fraction = 0.35, .mem_stall_share = 0.23,
+                  .uncore_stall_share = 0.20, .active_cores = 40},
+  });
+  v.push_back({
+      .name = "hpcg",
+      .description = "HPCG benchmark, 160 ranks, 4 nodes (Table V)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 4,
+      .ranks_per_node = 40,
+      .threads_per_rank = 1,
+      .targets = {.total_seconds = 169.61, .iterations = 100, .cpi = 3.13,
+                  .gbps = 177.45, .dc_power_watts = 339.88, .vpi = 0.10,
+                  .comm_fraction = 0.10, .mem_stall_share = 0.85,
+                  .uncore_stall_share = 0.39, .active_cores = 40},
+  });
+  v.push_back({
+      .name = "pop",
+      .description = "Parallel Ocean Program v2, 384 ranks, 10 nodes "
+                     "(Table V)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 10,
+      .ranks_per_node = 39,
+      .threads_per_rank = 1,
+      .targets = {.total_seconds = 1533.03, .iterations = 800, .cpi = 0.72,
+                  .gbps = 100.66, .dc_power_watts = 347.18, .vpi = 0.05,
+                  .comm_fraction = 0.15, .mem_stall_share = 0.38,
+                  .uncore_stall_share = 0.28, .active_cores = 39},
+  });
+  v.push_back({
+      .name = "dumses",
+      .description = "DUMSES MHD code, 512 ranks, 13 nodes (Table V)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 13,
+      .ranks_per_node = 40,
+      .threads_per_rank = 1,
+      .targets = {.total_seconds = 813.21, .iterations = 400, .cpi = 1.08,
+                  .gbps = 119.07, .dc_power_watts = 333.69, .vpi = 0.05,
+                  .comm_fraction = 0.12, .mem_stall_share = 0.62,
+                  .uncore_stall_share = 0.22, .active_cores = 40},
+  });
+  v.push_back({
+      .name = "afid",
+      .description = "AFiD Rayleigh-Benard flow, 576 ranks, 15 nodes "
+                     "(Table V)",
+      .node_kind = NodeKind::kSkylake6148,
+      .nodes = 15,
+      .ranks_per_node = 39,
+      .threads_per_rank = 1,
+      .targets = {.total_seconds = 268.22, .iterations = 150, .cpi = 0.77,
+                  .gbps = 115.20, .dc_power_watts = 333.65, .vpi = 0.05,
+                  .comm_fraction = 0.11, .mem_stall_share = 0.40,
+                  .uncore_stall_share = 0.51, .active_cores = 39},
+  });
+  return v;
+}
+
+}  // namespace
+
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> entries = build_catalog();
+  return entries;
+}
+
+const CatalogEntry& find_entry(const std::string& name) {
+  for (const auto& e : catalog()) {
+    if (e.name == name) return e;
+  }
+  throw ConfigError("unknown catalog entry: " + name);
+}
+
+simhw::NodeConfig node_config_for(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSkylake6148:
+      return simhw::make_skylake_6148_node();
+    case NodeKind::kSkylake6142mGpu:
+      return simhw::make_skylake_6142m_gpu_node();
+  }
+  throw ConfigError("unknown node kind");
+}
+
+AppModel make_app(const CatalogEntry& entry) {
+  const simhw::NodeConfig base = node_config_for(entry.node_kind);
+  Calibrated cal = calibrate(base, entry.targets);
+  AppModel app;
+  app.name = entry.name;
+  app.node_config = std::move(cal.config);
+  app.nodes = entry.nodes;
+  app.ranks_per_node = entry.ranks_per_node;
+  app.threads_per_rank = entry.threads_per_rank;
+  app.is_mpi = entry.is_mpi;
+  app.phases.push_back(Phase{
+      .name = "main",
+      .demand = cal.demand,
+      .iterations = entry.targets.iterations,
+      .mpi_pattern = entry.mpi_pattern,
+  });
+  return app;
+}
+
+AppModel make_app(const std::string& name) {
+  return make_app(find_entry(name));
+}
+
+std::vector<std::string> kernel_names() {
+  return {"bt-mz.c.omp", "sp-mz.c.omp", "bt.cuda.d", "lu.cuda.d", "dgemm"};
+}
+
+std::vector<std::string> application_names() {
+  return {"bqcd",       "bt-mz.d", "gromacs-i", "gromacs-ii",
+          "hpcg",       "pop",     "dumses",    "afid"};
+}
+
+}  // namespace ear::workload

@@ -1,0 +1,51 @@
+// The paper's workload catalog.
+//
+// Every kernel and application the evaluation uses (Tables I, II, V),
+// expressed as calibration targets against the published nominal-frequency
+// observables plus boundedness knobs chosen so the policy-relevant
+// responses (which P-state min_energy picks, where the eUFS guards halt)
+// land where the paper's Tables IV/VI report them. See DESIGN.md §2 for
+// the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/calibration.hpp"
+#include "workload/phase.hpp"
+
+namespace ear::workload {
+
+/// Which node type a catalog entry runs on.
+enum class NodeKind { kSkylake6148, kSkylake6142mGpu };
+
+struct CatalogEntry {
+  std::string name;
+  std::string description;
+  NodeKind node_kind = NodeKind::kSkylake6148;
+  std::size_t nodes = 1;
+  std::size_t ranks_per_node = 40;
+  std::size_t threads_per_rank = 1;
+  bool is_mpi = true;
+  CalibrationTargets targets;
+  std::vector<std::uint32_t> mpi_pattern = {101, 102, 102, 103};
+};
+
+/// All catalog entries, in the order the paper's tables list them.
+[[nodiscard]] const std::vector<CatalogEntry>& catalog();
+
+/// Lookup by name; throws ConfigError for unknown names.
+[[nodiscard]] const CatalogEntry& find_entry(const std::string& name);
+
+/// Calibrate an entry and assemble the runnable application model.
+[[nodiscard]] AppModel make_app(const CatalogEntry& entry);
+[[nodiscard]] AppModel make_app(const std::string& name);
+
+/// The node config an entry's node kind maps to.
+[[nodiscard]] simhw::NodeConfig node_config_for(NodeKind kind);
+
+// Convenience accessors for the named groups the benches iterate over.
+[[nodiscard]] std::vector<std::string> kernel_names();       // Table II
+[[nodiscard]] std::vector<std::string> application_names();  // Table V
+
+}  // namespace ear::workload

@@ -1,0 +1,62 @@
+// Application models: a workload is a sequence of phases, each phase a
+// number of identical outer-loop iterations described by a WorkDemand.
+// This mirrors how EARL sees applications — iterative codes with one or a
+// few distinct computational behaviours (signatures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simhw/config.hpp"
+#include "simhw/demand.hpp"
+
+namespace ear::workload {
+
+/// One computational phase: `iterations` repetitions of `demand`.
+struct Phase {
+  std::string name;
+  simhw::WorkDemand demand;
+  std::size_t iterations = 0;
+  /// MPI call pattern one iteration emits per rank (event ids as a PMPI
+  /// interposer would hash them); DynAIS detects the loop from the stream.
+  std::vector<std::uint32_t> mpi_pattern = {101, 102, 102, 103};
+};
+
+/// A complete application model, bound to the node type it runs on.
+struct AppModel {
+  std::string name;
+  simhw::NodeConfig node_config;
+  std::size_t nodes = 1;
+  std::size_t ranks_per_node = 1;
+  std::size_t threads_per_rank = 1;
+  bool is_mpi = true;  // non-MPI apps drive EARL in time-guided mode
+  /// Load imbalance across nodes: node i executes
+  /// (1 + imbalance * i / (nodes-1)) times the per-iteration work of
+  /// node 0. Real decompositions are rarely perfectly balanced; the job's
+  /// wall time follows the slowest node.
+  double imbalance = 0.0;
+  std::vector<Phase> phases;
+
+  /// The demand node `node_index` executes for `phase` (imbalance-scaled).
+  [[nodiscard]] simhw::WorkDemand node_demand(const Phase& phase,
+                                              std::size_t node_index) const {
+    simhw::WorkDemand d = phase.demand;
+    if (imbalance != 0.0 && nodes > 1) {
+      const double scale = 1.0 + imbalance * static_cast<double>(node_index) /
+                                     static_cast<double>(nodes - 1);
+      d.instructions_per_core *= scale;
+      d.bytes *= scale;
+    }
+    return d;
+  }
+
+  [[nodiscard]] std::size_t total_iterations() const {
+    std::size_t n = 0;
+    for (const auto& p : phases) n += p.iterations;
+    return n;
+  }
+  [[nodiscard]] std::size_t total_ranks() const { return nodes * ranks_per_node; }
+};
+
+}  // namespace ear::workload

@@ -1,0 +1,45 @@
+// Synthetic workload generation: parametric demands for property tests and
+// the training set for the energy-model learning phase (EAR's "learning
+// applications" — kernels spanning the CPI x TPI x VPI space).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/phase.hpp"
+
+namespace ear::workload {
+
+/// Compact knobs for a synthetic single-phase workload.
+struct SyntheticSpec {
+  double iter_seconds = 1.0;     // approximate iteration time at nominal
+  double cpi_core = 0.5;         // core-only CPI
+  double gbps = 20.0;            // node traffic at nominal
+  double stall_share = 0.1;      // fraction of busy time in memory stalls
+  double uncore_share = 0.5;     // uncore-clocked part of the stalls
+  double vpi = 0.0;
+  double comm_fraction = 0.0;
+  double power_activity = 1.0;
+  std::size_t active_cores = 40;
+  std::size_t iterations = 50;
+};
+
+/// Build a demand realising `spec` on `cfg` at nominal frequency.
+[[nodiscard]] simhw::WorkDemand make_demand(const simhw::NodeConfig& cfg,
+                                            const SyntheticSpec& spec);
+
+/// Single-phase app around make_demand.
+[[nodiscard]] AppModel make_synthetic_app(const simhw::NodeConfig& cfg,
+                                          const SyntheticSpec& spec,
+                                          std::string name = "synthetic");
+
+/// Two-phase app that switches behaviour mid-run (compute-heavy phase then
+/// memory-heavy phase); exercises EARL's signature-change handling.
+[[nodiscard]] AppModel make_phase_change_app(const simhw::NodeConfig& cfg,
+                                             std::size_t iters_per_phase);
+
+/// The learning-phase training set: a grid of synthetic workloads that
+/// spans compute-bound to bandwidth-bound and scalar to AVX512-heavy.
+[[nodiscard]] std::vector<SyntheticSpec> learning_suite();
+
+}  // namespace ear::workload

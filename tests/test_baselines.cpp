@@ -1,0 +1,103 @@
+#include "policies/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/basic_model.hpp"
+#include "simhw/config.hpp"
+
+namespace ear::policies {
+namespace {
+
+using common::Freq;
+
+PolicyContext make_ctx() {
+  const auto cfg = simhw::make_skylake_6148_node();
+  auto table = std::make_shared<models::CoefficientTable>(cfg.pstates.size());
+  return PolicyContext{
+      .pstates = cfg.pstates,
+      .uncore = cfg.uncore,
+      .model = std::make_shared<models::BasicModel>(cfg.pstates, table),
+      .settings = PolicySettings{},
+  };
+}
+
+metrics::Signature sig(double cpi, double gbps, double imc = 2.39) {
+  metrics::Signature s;
+  s.valid = true;
+  s.iter_time_s = 1.0;
+  s.cpi = cpi;
+  s.gbps = gbps;
+  s.avg_imc_freq_ghz = imc;
+  s.dc_power_w = 320.0;
+  return s;
+}
+
+TEST(Ups, LeavesCpuAtNominal) {
+  UpsPolicy policy(make_ctx());
+  NodeFreqs out;
+  policy.apply(sig(0.5, 50.0), out);
+  EXPECT_EQ(out.cpu_pstate, 1u);
+}
+
+TEST(Ups, StepsDownWhileIpcHolds) {
+  UpsPolicy policy(make_ctx());
+  NodeFreqs out;
+  EXPECT_EQ(policy.apply(sig(0.5, 50.0), out), PolicyState::kContinue);
+  const Freq first = out.imc_max;
+  EXPECT_EQ(policy.apply(sig(0.5, 50.0), out), PolicyState::kContinue);
+  EXPECT_LT(out.imc_max, first);
+}
+
+TEST(Ups, StepsBackUpOnIpcDegradation) {
+  UpsPolicy policy(make_ctx());
+  NodeFreqs out;
+  policy.apply(sig(0.50, 50.0), out);
+  policy.apply(sig(0.50, 50.0), out);
+  const Freq before = out.imc_max;
+  // +4% CPI = -3.8% IPC: beyond the 2% budget.
+  EXPECT_EQ(policy.apply(sig(0.52, 50.0), out), PolicyState::kReady);
+  EXPECT_EQ(out.imc_max, before + Freq::mhz(100));
+}
+
+TEST(Ups, ValidateDetectsPhaseChange) {
+  UpsPolicy policy(make_ctx());
+  NodeFreqs out;
+  policy.apply(sig(0.5, 50.0), out);
+  EXPECT_TRUE(policy.validate(sig(0.5, 50.0)));
+  EXPECT_FALSE(policy.validate(sig(0.5, 20.0)));
+}
+
+TEST(Ups, RestartResets) {
+  UpsPolicy policy(make_ctx());
+  NodeFreqs out;
+  policy.apply(sig(0.5, 50.0), out);
+  policy.restart();
+  policy.apply(sig(0.5, 50.0), out);  // re-anchors the reference
+  EXPECT_EQ(out.cpu_pstate, 1u);
+}
+
+TEST(Duf, TracksBandwidthBudget) {
+  DufPolicy policy(make_ctx());
+  NodeFreqs out;
+  EXPECT_EQ(policy.apply(sig(0.5, 100.0), out), PolicyState::kContinue);
+  const Freq first = out.imc_max;
+  EXPECT_EQ(policy.apply(sig(0.5, 100.0), out), PolicyState::kContinue);
+  EXPECT_LT(out.imc_max, first);
+  // Bandwidth collapse: back up and settle.
+  EXPECT_EQ(policy.apply(sig(0.5, 90.0), out), PolicyState::kReady);
+}
+
+TEST(Duf, FloorTerminates) {
+  DufPolicy policy(make_ctx());
+  NodeFreqs out;
+  PolicyState st = policy.apply(sig(0.5, 1.0, 1.3), out);
+  int guard = 0;
+  while (st == PolicyState::kContinue && guard++ < 20) {
+    st = policy.apply(sig(0.5, 1.0), out);
+  }
+  EXPECT_EQ(st, PolicyState::kReady);
+  EXPECT_EQ(out.imc_max, Freq::ghz(1.2));
+}
+
+}  // namespace
+}  // namespace ear::policies

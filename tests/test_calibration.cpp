@@ -1,0 +1,155 @@
+// Calibration is the load-bearing substitution: every catalog entry must
+// reproduce its published nominal observables on the simulated node. These
+// tests sweep the whole catalog (parameterised) and check CPI, GB/s, DC
+// power and runtime against the paper's Tables I, II and V.
+#include "workload/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "metrics/accumulator.hpp"
+#include "simhw/node.hpp"
+#include "workload/catalog.hpp"
+
+namespace ear::workload {
+namespace {
+
+using metrics::Signature;
+
+/// Measure an app's nominal-frequency signature on a noise-free node.
+Signature measure(const AppModel& app, std::size_t iters = 20) {
+  simhw::SimNode node(app.node_config, 3,
+                      simhw::NoiseModel{.time_sigma = 0, .power_sigma = 0});
+  const auto& demand = app.phases.front().demand;
+  node.execute_iteration(demand);  // governor warm-up
+  const auto begin = metrics::Snapshot::take(node);
+  for (std::size_t i = 0; i < iters; ++i) node.execute_iteration(demand);
+  return metrics::compute_signature(begin, metrics::Snapshot::take(node),
+                                    iters);
+}
+
+class CatalogCalibration : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogCalibration, ReproducesPublishedObservables) {
+  const CatalogEntry& entry = find_entry(GetParam());
+  const AppModel app = make_app(entry);
+  const Signature sig = measure(app);
+  ASSERT_TRUE(sig.valid);
+
+  const auto& t = entry.targets;
+  EXPECT_NEAR(sig.cpi, t.cpi, 0.03 * t.cpi + 0.01)
+      << "CPI off for " << entry.name;
+  EXPECT_NEAR(sig.gbps, t.gbps, 0.03 * t.gbps + 0.02)
+      << "GB/s off for " << entry.name;
+  EXPECT_NEAR(sig.dc_power_w, t.dc_power_watts, 0.03 * t.dc_power_watts)
+      << "DC power off for " << entry.name;
+  const double t_iter =
+      t.total_seconds / static_cast<double>(t.iterations);
+  EXPECT_NEAR(sig.iter_time_s, t_iter, 0.02 * t_iter)
+      << "iteration time off for " << entry.name;
+  // Spin instructions executed during MPI/GPU waits dilute the observed
+  // VPI below the application's own fraction; it must never exceed it.
+  EXPECT_LE(sig.vpi, t.vpi + 0.02) << "VPI too high for " << entry.name;
+  EXPECT_GE(sig.vpi, t.vpi * 0.4 - 0.01) << "VPI too low for " << entry.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEntries, CatalogCalibration,
+    ::testing::Values("bt-mz.c.omp", "sp-mz.c.omp", "bt.cuda.d", "lu.cuda.d",
+                      "dgemm", "bt-mz.c.mpi", "lu.d", "bqcd", "bt-mz.d",
+                      "gromacs-i", "gromacs-ii", "hpcg", "pop", "dumses",
+                      "afid"));
+
+TEST(Calibration, HwUncorePredictionMatchesGovernor) {
+  // The calibration's expected_hw_uncore must agree with what the node's
+  // governor actually settles at (modulo dither).
+  for (const char* name : {"bt-mz.d", "dgemm", "hpcg"}) {
+    const CatalogEntry& entry = find_entry(name);
+    const auto base = node_config_for(entry.node_kind);
+    const Calibrated cal = calibrate(base, entry.targets);
+    const AppModel app = make_app(entry);
+    const Signature sig = measure(app);
+    EXPECT_NEAR(sig.avg_imc_freq_ghz, cal.expected_hw_uncore.as_ghz(), 0.06)
+        << name;
+  }
+}
+
+TEST(Calibration, RejectsImpossibleBandwidth) {
+  CalibrationTargets t;
+  t.gbps = 500.0;  // beyond the node's peak
+  t.cpi = 1.0;
+  EXPECT_THROW((void)calibrate(simhw::make_skylake_6148_node(), t),
+               common::ConfigError);
+}
+
+TEST(Calibration, RejectsWaitOnlyIteration) {
+  CalibrationTargets t;
+  t.comm_fraction = 0.6;
+  t.gpu_fraction = 0.5;
+  EXPECT_THROW((void)calibrate(simhw::make_skylake_6148_node(), t),
+               common::ConfigError);
+}
+
+TEST(Calibration, RejectsBadCounts) {
+  CalibrationTargets t;
+  t.iterations = 0;
+  EXPECT_THROW((void)calibrate(simhw::make_skylake_6148_node(), t),
+               common::ConfigError);
+  t.iterations = 10;
+  t.active_cores = 0;
+  EXPECT_THROW((void)calibrate(simhw::make_skylake_6148_node(), t),
+               common::ConfigError);
+  t.active_cores = 999;
+  EXPECT_THROW((void)calibrate(simhw::make_skylake_6148_node(), t),
+               common::ConfigError);
+}
+
+TEST(Calibration, SpinOverrideForWaitDominatedApps) {
+  const CatalogEntry& cuda = find_entry("bt.cuda.d");
+  const Calibrated cal =
+      calibrate(node_config_for(cuda.node_kind), cuda.targets);
+  // CPI 0.49 with 97% GPU wait requires a tuned spin IPC.
+  EXPECT_GT(cal.demand.spin_ipc_override, 0.0);
+}
+
+TEST(Calibration, GpuPowerAbsorbsResidual) {
+  // One active core cannot explain a 305 W node; the GPU busy power must
+  // have been adjusted above idle.
+  const CatalogEntry& cuda = find_entry("bt.cuda.d");
+  const Calibrated cal =
+      calibrate(node_config_for(cuda.node_kind), cuda.targets);
+  EXPECT_GT(cal.config.power.gpu_busy_watts,
+            cal.config.power.gpu_idle_watts);
+}
+
+TEST(Catalog, LookupAndGroups) {
+  EXPECT_EQ(find_entry("hpcg").name, "hpcg");
+  EXPECT_THROW((void)find_entry("nope"), common::ConfigError);
+  EXPECT_EQ(kernel_names().size(), 5u);
+  EXPECT_EQ(application_names().size(), 8u);
+  EXPECT_EQ(catalog().size(), 15u);
+  for (const auto& name : application_names()) {
+    EXPECT_NO_THROW((void)find_entry(name));
+  }
+}
+
+TEST(Catalog, AppModelAssembly) {
+  const AppModel app = make_app("bt-mz.d");
+  EXPECT_EQ(app.nodes, 4u);
+  EXPECT_EQ(app.ranks_per_node, 40u);
+  EXPECT_TRUE(app.is_mpi);
+  ASSERT_EQ(app.phases.size(), 1u);
+  EXPECT_EQ(app.phases.front().iterations, 250u);
+  EXPECT_FALSE(app.phases.front().mpi_pattern.empty());
+  EXPECT_EQ(app.total_iterations(), 250u);
+  EXPECT_EQ(app.total_ranks(), 160u);
+}
+
+TEST(Catalog, CudaAppsAreTimeGuided) {
+  EXPECT_FALSE(make_app("bt.cuda.d").is_mpi);
+  EXPECT_FALSE(make_app("dgemm").is_mpi);
+  EXPECT_TRUE(make_app("pop").is_mpi);
+}
+
+}  // namespace
+}  // namespace ear::workload

@@ -1,0 +1,72 @@
+#include "metrics/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/accumulator.hpp"
+#include "simhw/node.hpp"
+#include "workload/catalog.hpp"
+
+namespace ear::metrics {
+namespace {
+
+Signature sig(double cpi, double tpi, double gbps, double vpi = 0.0,
+              double wait = 0.0) {
+  Signature s;
+  s.valid = true;
+  s.cpi = cpi;
+  s.tpi = tpi;
+  s.gbps = gbps;
+  s.vpi = vpi;
+  s.wait_fraction = wait;
+  return s;
+}
+
+TEST(Classify, SyntheticCorners) {
+  EXPECT_EQ(classify(sig(0.4, 0.002, 8.0)), WorkloadClass::kCpuBound);
+  EXPECT_EQ(classify(sig(3.1, 0.09, 177.0)), WorkloadClass::kMemoryBound);
+  EXPECT_EQ(classify(sig(0.5, 0.0001, 0.1, 0.0, 0.97)),
+            WorkloadClass::kBusyWait);
+  EXPECT_EQ(classify(sig(0.45, 0.01, 98.0, 0.9)),
+            WorkloadClass::kVectorised);
+  EXPECT_EQ(classify(sig(0.8, 0.007, 60.0)), WorkloadClass::kMixed);
+}
+
+TEST(Classify, StringNames) {
+  EXPECT_STREQ(to_string(WorkloadClass::kCpuBound), "cpu-bound");
+  EXPECT_STREQ(to_string(WorkloadClass::kBusyWait), "busy-wait");
+}
+
+/// Measure each catalog entry's nominal signature and check it lands in
+/// the class the paper assigns it (§VI-B).
+class CatalogClasses
+    : public ::testing::TestWithParam<std::pair<const char*, WorkloadClass>> {
+};
+
+TEST_P(CatalogClasses, MatchesPaperTaxonomy) {
+  const auto& [name, expected] = GetParam();
+  const workload::AppModel app = workload::make_app(name);
+  simhw::SimNode node(app.node_config, 9,
+                      simhw::NoiseModel{.time_sigma = 0, .power_sigma = 0});
+  const auto& d = app.phases.front().demand;
+  node.execute_iteration(d);
+  const auto begin = Snapshot::take(node);
+  for (int i = 0; i < 10; ++i) node.execute_iteration(d);
+  const auto s = compute_signature(begin, Snapshot::take(node), 10);
+  EXPECT_EQ(classify(s), expected) << name << ": " << s.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, CatalogClasses,
+    ::testing::Values(
+        std::pair{"bt-mz.d", WorkloadClass::kCpuBound},
+        std::pair{"bqcd", WorkloadClass::kCpuBound},
+        std::pair{"hpcg", WorkloadClass::kMemoryBound},
+        std::pair{"pop", WorkloadClass::kMemoryBound},
+        std::pair{"dumses", WorkloadClass::kMemoryBound},
+        std::pair{"afid", WorkloadClass::kMemoryBound},
+        std::pair{"bt.cuda.d", WorkloadClass::kBusyWait},
+        std::pair{"lu.cuda.d", WorkloadClass::kBusyWait},
+        std::pair{"dgemm", WorkloadClass::kVectorised}));
+
+}  // namespace
+}  // namespace ear::metrics

@@ -1,0 +1,97 @@
+#include "models/coeff_io.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/learning.hpp"
+#include "simhw/config.hpp"
+
+namespace ear::models {
+namespace {
+
+using common::ConfigError;
+
+TEST(CoeffIo, RoundTripsLearnedTable) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  const LearnedModels learned = learn_models(cfg);
+
+  std::stringstream buf;
+  save_coefficients(*learned.coefficients, buf);
+  const auto loaded = load_coefficients(buf);
+
+  ASSERT_EQ(loaded->num_pstates(), learned.coefficients->num_pstates());
+  for (simhw::Pstate f = 0; f < loaded->num_pstates(); ++f) {
+    for (simhw::Pstate t = 0; t < loaded->num_pstates(); ++t) {
+      const auto& a = learned.coefficients->at(f, t);
+      const auto& b = loaded->at(f, t);
+      EXPECT_TRUE(b.available);
+      EXPECT_DOUBLE_EQ(a.a, b.a) << f << "->" << t;
+      EXPECT_DOUBLE_EQ(a.b, b.b);
+      EXPECT_DOUBLE_EQ(a.c, b.c);
+      EXPECT_DOUBLE_EQ(a.d, b.d);
+      EXPECT_DOUBLE_EQ(a.e, b.e);
+      EXPECT_DOUBLE_EQ(a.f, b.f);
+    }
+  }
+}
+
+TEST(CoeffIo, LoadedTableDrivesIdenticalPredictions) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  const LearnedModels learned = learn_models(cfg);
+  std::stringstream buf;
+  save_coefficients(*learned.coefficients, buf);
+  const auto loaded = load_coefficients(buf);
+  const BasicModel model(cfg.pstates, loaded);
+
+  metrics::Signature sig;
+  sig.valid = true;
+  sig.iter_time_s = 1.0;
+  sig.cpi = 0.7;
+  sig.tpi = 0.02;
+  sig.dc_power_w = 330.0;
+  for (simhw::Pstate to : {2u, 5u, 11u}) {
+    const auto a = learned.basic->predict(sig, 1, to);
+    const auto b = model.predict(sig, 1, to);
+    EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+    EXPECT_DOUBLE_EQ(a.power_w, b.power_w);
+  }
+}
+
+TEST(CoeffIo, HeaderValidation) {
+  std::istringstream bad1("not-coefficients v1\npstates 4\n");
+  EXPECT_THROW((void)load_coefficients(bad1), ConfigError);
+  std::istringstream bad2("ear-coefficients v9\npstates 4\n");
+  EXPECT_THROW((void)load_coefficients(bad2), ConfigError);
+  std::istringstream bad3("ear-coefficients v1\nnope 4\n");
+  EXPECT_THROW((void)load_coefficients(bad3), ConfigError);
+  std::istringstream bad4("ear-coefficients v1\npstates 0\n");
+  EXPECT_THROW((void)load_coefficients(bad4), ConfigError);
+}
+
+TEST(CoeffIo, EntryValidation) {
+  std::istringstream oob(
+      "ear-coefficients v1\npstates 2\n0 5 1 0 0 1 0 0\n");
+  EXPECT_THROW((void)load_coefficients(oob), ConfigError);
+  std::istringstream truncated(
+      "ear-coefficients v1\npstates 2\n0 1 1 0 0 1\n");
+  EXPECT_THROW((void)load_coefficients(truncated), ConfigError);
+}
+
+TEST(CoeffIo, EmptyBodyKeepsIdentityDiagonalOnly) {
+  std::istringstream in("ear-coefficients v1\npstates 3\n");
+  const auto table = load_coefficients(in);
+  EXPECT_TRUE(table->at(1, 1).available);
+  EXPECT_FALSE(table->at(0, 1).available);
+}
+
+TEST(CoeffIo, FileHelpersReportErrors) {
+  EXPECT_THROW((void)load_coefficients_file("/nonexistent/coeffs"), ConfigError);
+  CoefficientTable t(2);
+  EXPECT_THROW(save_coefficients_file(t, "/nonexistent/dir/coeffs"),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ear::models

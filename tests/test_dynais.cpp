@@ -1,0 +1,200 @@
+#include "dynais/dynais.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ear::dynais {
+namespace {
+
+/// Feed a pattern `reps` times and collect statuses.
+std::vector<Status> feed(LevelDetector& d,
+                         const std::vector<std::uint32_t>& pattern,
+                         int reps) {
+  std::vector<Status> out;
+  for (int r = 0; r < reps; ++r) {
+    for (auto e : pattern) out.push_back(d.push(e));
+  }
+  return out;
+}
+
+TEST(LevelDetector, DetectsSimplePeriod) {
+  LevelDetector d(Config{});
+  const auto statuses = feed(d, {1, 2, 3, 4}, 6);
+  // Loop declared after min_repeats+1 = 3 occurrences.
+  int new_loops = 0, new_iters = 0;
+  for (auto s : statuses) {
+    new_loops += s == Status::kNewLoop;
+    new_iters += s == Status::kNewIteration;
+  }
+  EXPECT_EQ(new_loops, 1);
+  EXPECT_GE(new_iters, 2);
+  EXPECT_TRUE(d.in_loop());
+  EXPECT_EQ(d.period(), 4u);
+}
+
+TEST(LevelDetector, IterationCadenceMatchesPeriod) {
+  LevelDetector d(Config{});
+  feed(d, {7, 8, 9}, 3);  // detection warm-up
+  ASSERT_TRUE(d.in_loop());
+  // From here, exactly one NewIteration every 3 events.
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(d.push(7), Status::kInLoop);
+    EXPECT_EQ(d.push(8), Status::kInLoop);
+    EXPECT_EQ(d.push(9), Status::kNewIteration);
+  }
+}
+
+TEST(LevelDetector, PicksSmallestPeriod) {
+  // 1,1,1,... is period 1, not 2 or 3.
+  LevelDetector d(Config{});
+  for (int i = 0; i < 10; ++i) d.push(1);
+  EXPECT_EQ(d.period(), 1u);
+}
+
+TEST(LevelDetector, BreaksOnForeignEvent) {
+  LevelDetector d(Config{});
+  feed(d, {1, 2}, 4);
+  ASSERT_TRUE(d.in_loop());
+  EXPECT_EQ(d.push(99), Status::kEndLoop);
+  EXPECT_FALSE(d.in_loop());
+  EXPECT_EQ(d.period(), 0u);
+}
+
+TEST(LevelDetector, RedetectsAfterBreak) {
+  LevelDetector d(Config{});
+  feed(d, {1, 2}, 4);
+  d.push(99);
+  EXPECT_FALSE(d.in_loop());
+  feed(d, {5, 6, 7}, 4);
+  EXPECT_TRUE(d.in_loop());
+  EXPECT_EQ(d.period(), 3u);
+}
+
+TEST(LevelDetector, SignatureStableWithinLoop) {
+  LevelDetector d(Config{});
+  feed(d, {1, 2, 3}, 3);
+  ASSERT_TRUE(d.in_loop());
+  const auto sig = d.loop_signature();
+  feed(d, {1, 2, 3}, 3);
+  EXPECT_EQ(d.loop_signature(), sig);
+  EXPECT_NE(sig, 0u);
+}
+
+TEST(LevelDetector, DifferentLoopsDifferentSignatures) {
+  LevelDetector a(Config{}), b(Config{});
+  feed(a, {1, 2, 3}, 4);
+  feed(b, {4, 5, 6}, 4);
+  ASSERT_TRUE(a.in_loop() && b.in_loop());
+  EXPECT_NE(a.loop_signature(), b.loop_signature());
+}
+
+TEST(LevelDetector, Reset) {
+  LevelDetector d(Config{});
+  feed(d, {1, 2}, 5);
+  ASSERT_TRUE(d.in_loop());
+  d.reset();
+  EXPECT_FALSE(d.in_loop());
+  EXPECT_EQ(d.period(), 0u);
+}
+
+TEST(LevelDetector, ConfigValidation) {
+  Config c;
+  c.window = 8;
+  c.max_period = 10;  // 10 * 3 > 8
+  EXPECT_THROW(LevelDetector d(c), common::InvariantError);
+  c.window = 2;
+  c.max_period = 1;
+  EXPECT_THROW(LevelDetector d2(c), common::InvariantError);
+}
+
+/// Property: any repeating pattern with period <= max_period is detected
+/// within (min_repeats+1) occurrences and reports the exact period --
+/// unless a shorter inner period explains the data (pure repetition).
+class PeriodSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PeriodSweep, DetectsExactPeriod) {
+  const std::size_t period = GetParam();
+  std::vector<std::uint32_t> pattern;
+  for (std::size_t i = 0; i < period; ++i) {
+    pattern.push_back(100 + static_cast<std::uint32_t>(i));
+  }
+  LevelDetector d(Config{});
+  feed(d, pattern, 4);
+  ASSERT_TRUE(d.in_loop());
+  EXPECT_EQ(d.period(), period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 24));
+
+TEST(Dynais, ReportsOutermostBoundary) {
+  Dynais dyn;
+  Dynais::Result last{};
+  for (int r = 0; r < 6; ++r) {
+    for (std::uint32_t e : {1u, 2u, 3u, 4u}) last = dyn.push(e);
+  }
+  EXPECT_TRUE(dyn.in_loop());
+  // The last event of a pattern is an iteration boundary; once the outer
+  // level locks on (period 1 in signature space), it owns the report.
+  EXPECT_EQ(last.status, Status::kNewIteration);
+  EXPECT_EQ(last.level, 1u);
+  EXPECT_EQ(last.period, 1u);
+}
+
+TEST(Dynais, BoundaryCadenceOncePerPattern) {
+  Dynais dyn;
+  int boundaries = 0;
+  for (int r = 0; r < 20; ++r) {
+    for (std::uint32_t e : {1u, 2u, 3u, 4u}) {
+      const auto res = dyn.push(e);
+      boundaries += res.status == Status::kNewIteration ||
+                    res.status == Status::kNewLoop;
+    }
+  }
+  // One boundary per pattern occurrence after warm-up (~2-3 lost).
+  EXPECT_GE(boundaries, 16);
+  EXPECT_LE(boundaries, 20);
+}
+
+TEST(Dynais, OuterLoopDetectedAtLevelOne) {
+  // Repeated inner loop bodies with identical signatures form a period-1
+  // loop of signatures at level 1.
+  Dynais dyn;
+  bool saw_level1 = false;
+  for (int r = 0; r < 30; ++r) {
+    for (std::uint32_t e : {1u, 2u, 3u}) {
+      const auto res = dyn.push(e);
+      if (res.level == 1 && (res.status == Status::kNewLoop ||
+                             res.status == Status::kNewIteration)) {
+        saw_level1 = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_level1);
+}
+
+TEST(Dynais, ResetClearsAllLevels) {
+  Dynais dyn;
+  for (int r = 0; r < 10; ++r) {
+    for (std::uint32_t e : {1u, 2u}) dyn.push(e);
+  }
+  ASSERT_TRUE(dyn.in_loop());
+  dyn.reset();
+  EXPECT_FALSE(dyn.in_loop());
+}
+
+TEST(Dynais, NonPeriodicStreamNeverDetects) {
+  Dynais dyn;
+  // Strictly increasing event ids: no repetition at any period.
+  for (std::uint32_t e = 0; e < 200; ++e) {
+    const auto res = dyn.push(e);
+    EXPECT_EQ(res.status, Status::kNoLoop);
+  }
+  EXPECT_FALSE(dyn.in_loop());
+}
+
+}  // namespace
+}  // namespace ear::dynais

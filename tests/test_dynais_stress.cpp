@@ -1,0 +1,108 @@
+// DynAIS stress tests: randomised periodic patterns, pattern changes,
+// long streams, and determinism.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dynais/dynais.hpp"
+
+namespace ear::dynais {
+namespace {
+
+/// Random pattern of `period` distinct events.
+std::vector<std::uint32_t> random_pattern(common::Rng& rng,
+                                          std::size_t period) {
+  std::vector<std::uint32_t> p;
+  p.reserve(period);
+  for (std::size_t i = 0; i < period; ++i) {
+    p.push_back(1000 + static_cast<std::uint32_t>(rng.below(50)) * 31 +
+                static_cast<std::uint32_t>(i));
+  }
+  return p;
+}
+
+class RandomPeriod : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPeriod, DetectsAndCountsIterations) {
+  common::Rng rng(GetParam());
+  const std::size_t period = 2 + rng.below(15);
+  const auto pattern = random_pattern(rng, period);
+  LevelDetector d(Config{});
+  int iterations = 0;
+  const int reps = 40;
+  for (int r = 0; r < reps; ++r) {
+    for (auto e : pattern) {
+      const Status s = d.push(e);
+      iterations += s == Status::kNewIteration || s == Status::kNewLoop;
+    }
+  }
+  ASSERT_TRUE(d.in_loop()) << "period " << period;
+  // Detection costs min_repeats+1 occurrences; afterwards every
+  // occurrence is one boundary. The detected period may be a divisor of
+  // the nominal one when the random pattern self-repeats.
+  EXPECT_GE(iterations, reps - 4);
+  EXPECT_LE(d.period(), period);
+  EXPECT_EQ(period % d.period(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPeriod,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST(DynaisStress, SequentialPatternChanges) {
+  // The detector must follow an application through many distinct loops.
+  Dynais dyn;
+  common::Rng rng(99);
+  for (int phase = 0; phase < 10; ++phase) {
+    const auto pattern = random_pattern(rng, 3 + phase % 5);
+    bool detected = false;
+    for (int r = 0; r < 30; ++r) {
+      for (auto e : pattern) {
+        const auto res = dyn.push(e);
+        detected |= res.status == Status::kNewIteration;
+      }
+    }
+    EXPECT_TRUE(detected) << "phase " << phase;
+  }
+}
+
+TEST(DynaisStress, LongStreamStaysLocked) {
+  LevelDetector d(Config{});
+  const std::vector<std::uint32_t> pattern = {7, 8, 9, 8, 7};
+  int end_loops = 0;
+  for (int r = 0; r < 20000; ++r) {
+    for (auto e : pattern) end_loops += d.push(e) == Status::kEndLoop;
+  }
+  EXPECT_EQ(end_loops, 0);
+  EXPECT_TRUE(d.in_loop());
+}
+
+TEST(DynaisStress, Deterministic) {
+  Dynais a, b;
+  common::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto e = static_cast<std::uint32_t>(rng.below(6));
+    const auto ra = a.push(e);
+    const auto rb = b.push(e);
+    ASSERT_EQ(ra.status, rb.status);
+    ASSERT_EQ(ra.level, rb.level);
+    ASSERT_EQ(ra.period, rb.period);
+  }
+}
+
+TEST(DynaisStress, PeriodBeyondMaxNotDetected) {
+  Config cfg;
+  LevelDetector d(cfg);
+  std::vector<std::uint32_t> pattern;
+  for (std::size_t i = 0; i < cfg.max_period + 1; ++i) {
+    pattern.push_back(500 + static_cast<std::uint32_t>(i));
+  }
+  for (int r = 0; r < 20; ++r) {
+    for (auto e : pattern) d.push(e);
+  }
+  EXPECT_FALSE(d.in_loop());
+}
+
+}  // namespace
+}  // namespace ear::dynais

@@ -1,0 +1,113 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eard/accounting.hpp"
+#include "eard/eard.hpp"
+#include "simhw/config.hpp"
+
+namespace ear::eard {
+namespace {
+
+using common::Freq;
+
+simhw::SimNode make_node() {
+  return simhw::SimNode(simhw::make_skylake_6148_node(), 21,
+                        simhw::NoiseModel{.time_sigma = 0, .power_sigma = 0});
+}
+
+simhw::WorkDemand demand() {
+  simhw::WorkDemand d;
+  d.instructions_per_core = 2e9;
+  d.cpi_core = 0.5;
+  d.bytes = 20e9;
+  d.active_cores = 40;
+  return d;
+}
+
+TEST(NodeDaemon, SetFreqsAppliesBothScopes) {
+  auto node = make_node();
+  NodeDaemon daemon(node);
+  daemon.set_freqs(policies::NodeFreqs{.cpu_pstate = 4,
+                                       .imc_max = Freq::ghz(1.8),
+                                       .imc_min = Freq::ghz(1.2)});
+  EXPECT_EQ(node.cpu_pstate(), 4u);
+  EXPECT_EQ(node.uncore_limit().max_freq, Freq::ghz(1.8));
+  EXPECT_EQ(node.uncore_limit().min_freq, Freq::ghz(1.2));
+}
+
+TEST(NodeDaemon, SkipsRedundantMsrWrites) {
+  auto node = make_node();
+  NodeDaemon daemon(node);
+  const policies::NodeFreqs f{.cpu_pstate = 1,
+                              .imc_max = Freq::ghz(2.0),
+                              .imc_min = Freq::ghz(1.2)};
+  daemon.set_freqs(f);
+  const auto writes_after_first = daemon.msr_writes();
+  daemon.set_freqs(f);  // identical window: no MSR traffic
+  EXPECT_EQ(daemon.msr_writes(), writes_after_first);
+  daemon.set_freqs(policies::NodeFreqs{.cpu_pstate = 1,
+                                       .imc_max = Freq::ghz(1.9),
+                                       .imc_min = Freq::ghz(1.2)});
+  EXPECT_GT(daemon.msr_writes(), writes_after_first);
+}
+
+TEST(NodeDaemon, SnapshotSeesCounters) {
+  auto node = make_node();
+  NodeDaemon daemon(node);
+  const auto before = daemon.snapshot();
+  node.execute_iteration(demand());
+  const auto after = daemon.snapshot();
+  EXPECT_GT(after.pmu.instructions, before.pmu.instructions);
+  EXPECT_GT(after.clock_s, before.clock_s);
+}
+
+TEST(Accounting, RecordsJobEnergy) {
+  auto node = make_node();
+  Accounting acct;
+  const auto rec = acct.job_started(7, "bt-mz.d", "min_energy_eufs", 0, node);
+  for (int i = 0; i < 5; ++i) node.execute_iteration(demand());
+  acct.job_ended(rec, node);
+
+  ASSERT_EQ(acct.records().size(), 1u);
+  const JobRecord& r = acct.records().front();
+  EXPECT_EQ(r.job_id, 7u);
+  EXPECT_GT(r.elapsed_s(), 0.0);
+  EXPECT_GT(r.energy_j(), 0.0);
+  EXPECT_GT(r.avg_power_w(), 100.0);
+  EXPECT_LT(r.avg_power_w(), 500.0);
+  EXPECT_NEAR(acct.job_energy_j(7), r.energy_j(), 1e-9);
+  EXPECT_DOUBLE_EQ(acct.job_energy_j(99), 0.0);
+}
+
+TEST(Accounting, MultiNodeAggregation) {
+  auto n0 = make_node();
+  auto n1 = make_node();
+  Accounting acct;
+  const auto r0 = acct.job_started(1, "app", "me", 0, n0);
+  const auto r1 = acct.job_started(1, "app", "me", 1, n1);
+  for (int i = 0; i < 3; ++i) {
+    n0.execute_iteration(demand());
+    n1.execute_iteration(demand());
+  }
+  acct.job_ended(r0, n0);
+  acct.job_ended(r1, n1);
+  EXPECT_GT(acct.job_energy_j(1), acct.records()[0].energy_j());
+}
+
+TEST(Accounting, CsvDump) {
+  auto node = make_node();
+  Accounting acct;
+  const auto rec = acct.job_started(3, "hpcg", "min_energy", 2, node);
+  node.execute_iteration(demand());
+  acct.job_ended(rec, node);
+  std::ostringstream out;
+  acct.write_csv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("job_id,app,policy,node"), std::string::npos);
+  EXPECT_NE(s.find("hpcg"), std::string::npos);
+  EXPECT_NE(s.find("min_energy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ear::eard

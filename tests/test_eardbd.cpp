@@ -1,0 +1,109 @@
+#include "eard/eardbd.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ear::eard {
+namespace {
+
+JobRecord record(std::uint64_t job, const std::string& app,
+                 const std::string& policy, std::size_t node,
+                 double seconds, double joules) {
+  JobRecord r;
+  r.job_id = job;
+  r.app_name = app;
+  r.policy_name = policy;
+  r.node_index = node;
+  r.start_clock_s = 100.0;
+  r.end_clock_s = 100.0 + seconds;
+  r.start_joules = 5000;
+  r.end_joules = 5000 + static_cast<std::uint64_t>(joules);
+  return r;
+}
+
+JobDatabase sample_db() {
+  JobDatabase db;
+  db.ingest(record(1, "hpcg", "min_energy_eufs", 0, 100, 33000));
+  db.ingest(record(1, "hpcg", "min_energy_eufs", 1, 100, 34000));
+  db.ingest(record(2, "hpcg", "monitoring", 0, 90, 31000));
+  db.ingest(record(3, "bqcd", "min_energy_eufs", 0, 130, 39000));
+  return db;
+}
+
+TEST(JobDatabase, ByApplicationAggregates) {
+  const auto by_app = sample_db().by_application();
+  ASSERT_EQ(by_app.size(), 2u);
+  const auto& hpcg = by_app.at("hpcg");
+  EXPECT_EQ(hpcg.jobs, 2u);          // jobs 1 and 2
+  EXPECT_EQ(hpcg.node_records, 3u);  // two nodes + one node
+  EXPECT_DOUBLE_EQ(hpcg.total_energy_j, 98000.0);
+  EXPECT_DOUBLE_EQ(hpcg.total_node_seconds, 290.0);
+  EXPECT_NEAR(hpcg.avg_power_w(), 98000.0 / 290.0, 1e-9);
+  EXPECT_EQ(by_app.at("bqcd").jobs, 1u);
+}
+
+TEST(JobDatabase, ByPolicyAggregates) {
+  const auto by_policy = sample_db().by_policy();
+  EXPECT_EQ(by_policy.at("min_energy_eufs").node_records, 3u);
+  EXPECT_EQ(by_policy.at("monitoring").node_records, 1u);
+}
+
+TEST(JobDatabase, TopConsumers) {
+  const auto top = sample_db().top_consumers(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, "hpcg");
+  EXPECT_DOUBLE_EQ(top[0].second, 98000.0);
+  EXPECT_EQ(sample_db().top_consumers(10).size(), 2u);
+}
+
+TEST(JobDatabase, Query) {
+  const auto db = sample_db();
+  EXPECT_EQ(db.query("hpcg").size(), 3u);
+  EXPECT_EQ(db.query("bqcd").size(), 1u);
+  EXPECT_EQ(db.query("").size(), 4u);
+  EXPECT_TRUE(db.query("nothing").empty());
+}
+
+TEST(JobDatabase, SaveLoadRoundTrip) {
+  const auto db = sample_db();
+  std::stringstream buf;
+  db.save(buf);
+
+  JobDatabase loaded;
+  loaded.load(buf);
+  ASSERT_EQ(loaded.size(), db.size());
+  const auto a = db.by_application();
+  const auto b = loaded.by_application();
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [app, stats] : a) {
+    EXPECT_DOUBLE_EQ(stats.total_energy_j, b.at(app).total_energy_j);
+    EXPECT_EQ(stats.jobs, b.at(app).jobs);
+  }
+}
+
+TEST(JobDatabase, LoadValidation) {
+  JobDatabase db;
+  std::istringstream no_header("1,hpcg,me,0,0,1,0,10\n");
+  EXPECT_THROW(db.load(no_header), common::ConfigError);
+  std::istringstream short_row(
+      "job_id,app,policy,node,start_s,end_s,start_j,end_j\n1,hpcg,me\n");
+  EXPECT_THROW(db.load(short_row), common::ConfigError);
+  std::istringstream bad_field(
+      "job_id,app,policy,node,start_s,end_s,start_j,end_j\n"
+      "x,hpcg,me,0,0,1,0,10\n");
+  EXPECT_THROW(db.load(bad_field), common::ConfigError);
+}
+
+TEST(JobDatabase, LoadAppends) {
+  JobDatabase db = sample_db();
+  std::stringstream buf;
+  sample_db().save(buf);
+  db.load(buf);
+  EXPECT_EQ(db.size(), 8u);
+}
+
+}  // namespace
+}  // namespace ear::eard

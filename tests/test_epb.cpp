@@ -1,0 +1,47 @@
+// IA32_ENERGY_PERF_BIAS end-to-end: a powersave-leaning EPB biases the
+// hardware UFS loop one bin lower in its tracking regimes (§IV mentions
+// EPB as one of the governor's inputs).
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "workload/catalog.hpp"
+
+namespace ear::sim {
+namespace {
+
+TEST(Epb, PowersaveLowersTrackedUncore) {
+  // DGEMM sits in the AVX-throttle tracking regime (~2.0 GHz uncore);
+  // EPB >= 8 shaves one bin.
+  const workload::AppModel app = workload::make_app("dgemm");
+  ExperimentConfig balanced{.app = app, .earl = settings_no_policy(),
+                            .seed = 9};
+  ExperimentConfig powersave = balanced;
+  powersave.energy_perf_bias = 10;
+  const auto b = run_experiment(balanced);
+  const auto p = run_experiment(powersave);
+  EXPECT_NEAR(b.avg_imc_ghz - p.avg_imc_ghz, 0.10, 0.03);
+  EXPECT_LT(p.avg_dc_power_w, b.avg_dc_power_w);
+}
+
+TEST(Epb, NoEffectInPinnedMaxRegime) {
+  // BT-MZ at nominal pins the uncore at the maximum regardless of EPB.
+  const workload::AppModel app = workload::make_app("bt-mz.d");
+  ExperimentConfig cfg{.app = app, .earl = settings_no_policy(), .seed = 9};
+  cfg.energy_perf_bias = 10;
+  const auto res = run_experiment(cfg);
+  EXPECT_NEAR(res.avg_imc_ghz, 2.39, 0.02);
+}
+
+TEST(Epb, PerformanceBiasIsDefaultBehaviour) {
+  const workload::AppModel app = workload::make_app("dgemm");
+  ExperimentConfig def{.app = app, .earl = settings_no_policy(), .seed = 9};
+  ExperimentConfig perf = def;
+  perf.energy_perf_bias = 0;  // performance
+  const auto d = run_experiment(def);
+  const auto p = run_experiment(perf);
+  EXPECT_NEAR(d.avg_imc_ghz, p.avg_imc_ghz, 0.02);
+}
+
+}  // namespace
+}  // namespace ear::sim

@@ -1,0 +1,159 @@
+#include "policies/imc_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "simhw/config.hpp"
+
+namespace ear::policies {
+namespace {
+
+using common::Freq;
+
+simhw::UncoreRange range() {
+  return simhw::UncoreRange(Freq::ghz(1.2), Freq::ghz(2.4), Freq::mhz(100));
+}
+
+metrics::Signature sig(double cpi, double gbps, double imc_ghz = 2.39) {
+  metrics::Signature s;
+  s.valid = true;
+  s.iter_time_s = 1.0;
+  s.cpi = cpi;
+  s.gbps = gbps;
+  s.avg_imc_freq_ghz = imc_ghz;
+  s.dc_power_w = 320.0;
+  return s;
+}
+
+TEST(ImcSearch, HwGuidedStartsBelowHwSelection) {
+  ImcSearch search(range(), 0.02, /*hw_guided=*/true);
+  // HW average of 2.39 clamps to the 2.3 grid bin; first trial is 2.2.
+  const Freq first = search.start(sig(0.5, 10.0, 2.39));
+  EXPECT_EQ(first, Freq::ghz(2.2));
+  EXPECT_TRUE(search.started());
+}
+
+TEST(ImcSearch, HwGuidedUsesHwValueNotMax) {
+  ImcSearch search(range(), 0.02, true);
+  // The paper's DGEMM case: HW sits at ~1.98; the search starts there.
+  const Freq first = search.start(sig(0.45, 98.0, 1.98));
+  EXPECT_EQ(first, Freq::ghz(1.8));  // clamp(1.98)=1.9, one bin below
+}
+
+TEST(ImcSearch, NonGuidedStartsAtMax) {
+  ImcSearch search(range(), 0.02, /*hw_guided=*/false);
+  const Freq first = search.start(sig(0.45, 98.0, 1.98));
+  EXPECT_EQ(first, Freq::ghz(2.4));
+}
+
+TEST(ImcSearch, ContinuesWhileGuardsHold) {
+  ImcSearch search(range(), 0.02, true);
+  search.start(sig(0.5, 10.0, 2.39));
+  const auto d = search.step(sig(0.5, 10.0));  // unchanged metrics
+  EXPECT_EQ(d.verdict, ImcSearch::Verdict::kContinue);
+  EXPECT_EQ(d.imc_max, Freq::ghz(2.1));
+}
+
+TEST(ImcSearch, CpiGuardRevertsLastStep) {
+  ImcSearch search(range(), 0.02, true);
+  search.start(sig(0.50, 10.0, 2.39));
+  auto d = search.step(sig(0.505, 10.0));  // +1% CPI: fine
+  EXPECT_EQ(d.verdict, ImcSearch::Verdict::kContinue);
+  d = search.step(sig(0.52, 10.0));  // +4% CPI: tripped
+  EXPECT_EQ(d.verdict, ImcSearch::Verdict::kDone);
+  // Reverts to the last good setting (the 2.2 trial, not the 2.1 one).
+  EXPECT_EQ(d.imc_max, Freq::ghz(2.2));
+}
+
+TEST(ImcSearch, GbpsGuardRevertsLastStep) {
+  ImcSearch search(range(), 0.02, true);
+  search.start(sig(0.50, 100.0, 2.39));
+  auto d = search.step(sig(0.50, 99.5));  // -0.5%: fine
+  EXPECT_EQ(d.verdict, ImcSearch::Verdict::kContinue);
+  d = search.step(sig(0.50, 95.0));  // -5%: tripped
+  EXPECT_EQ(d.verdict, ImcSearch::Verdict::kDone);
+  EXPECT_EQ(d.imc_max, Freq::ghz(2.2));
+}
+
+TEST(ImcSearch, ImmediateTripRevertsToHwValue) {
+  ImcSearch search(range(), 0.02, true);
+  search.start(sig(0.50, 100.0, 2.39));
+  const auto d = search.step(sig(0.60, 80.0));  // first trial already bad
+  EXPECT_EQ(d.verdict, ImcSearch::Verdict::kDone);
+  EXPECT_EQ(d.imc_max, Freq::ghz(2.3));  // the HW-selected bin
+}
+
+TEST(ImcSearch, StopsAtFloor) {
+  ImcSearch search(range(), 0.02, true);
+  search.start(sig(0.5, 1.0, 1.35));  // HW already very low
+  // 1.35 clamps to 1.3; first trial 1.2 (the floor).
+  EXPECT_EQ(search.current_trial(), Freq::ghz(1.2));
+  const auto d = search.step(sig(0.5, 1.0));
+  EXPECT_EQ(d.verdict, ImcSearch::Verdict::kDone);
+  EXPECT_EQ(d.imc_max, Freq::ghz(1.2));
+}
+
+TEST(ImcSearch, FullDescentStepCount) {
+  ImcSearch search(range(), 0.02, false);
+  search.start(sig(0.5, 1.0, 2.39));
+  std::size_t steps = 0;
+  ImcSearch::Decision d;
+  do {
+    d = search.step(sig(0.5, 1.0));
+    ++steps;
+  } while (d.verdict == ImcSearch::Verdict::kContinue);
+  // Non-guided from 2.4 to the 1.2 floor: 12 reductions + final check.
+  EXPECT_EQ(d.imc_max, Freq::ghz(1.2));
+  EXPECT_EQ(steps, 13u);
+  EXPECT_EQ(search.steps_taken(), 13u);
+}
+
+TEST(ImcSearch, GuidedConvergesFasterThanNonGuided) {
+  // The paper's argument for the HW-guided strategy (§V-B).
+  const auto count_steps = [](bool guided) {
+    ImcSearch search(range(), 0.02, guided);
+    search.start(sig(0.5, 10.0, 1.98));
+    std::size_t steps = 0;
+    // Guards trip below 1.5 GHz in this scenario.
+    for (;;) {
+      ++steps;
+      const double cpi = search.current_trial() < Freq::ghz(1.5)
+                             ? 0.53
+                             : 0.5;
+      const auto d = search.step(sig(cpi, 10.0));
+      if (d.verdict == ImcSearch::Verdict::kDone) break;
+    }
+    return steps;
+  };
+  EXPECT_LT(count_steps(true), count_steps(false));
+}
+
+TEST(ImcSearch, ResetForgetsEverything) {
+  ImcSearch search(range(), 0.02, true);
+  search.start(sig(0.5, 10.0, 2.39));
+  search.step(sig(0.5, 10.0));
+  search.reset();
+  EXPECT_FALSE(search.started());
+  EXPECT_EQ(search.steps_taken(), 0u);
+}
+
+TEST(ImcSearch, StepBeforeStartThrows) {
+  ImcSearch search(range(), 0.02, true);
+  EXPECT_THROW((void)search.step(sig(0.5, 10.0)), common::InvariantError);
+}
+
+TEST(ImcSearch, InvalidReferenceRejected) {
+  ImcSearch search(range(), 0.02, true);
+  metrics::Signature bad;
+  EXPECT_THROW(search.start(bad), common::InvariantError);
+}
+
+TEST(ImcSearch, ZeroThresholdStopsOnAnyDegradation) {
+  ImcSearch search(range(), 0.0, true);
+  search.start(sig(0.50, 10.0, 2.39));
+  const auto d = search.step(sig(0.5001, 10.0));
+  EXPECT_EQ(d.verdict, ImcSearch::Verdict::kDone);
+}
+
+}  // namespace
+}  // namespace ear::policies

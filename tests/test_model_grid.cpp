@@ -1,0 +1,148 @@
+// Exhaustive grid properties of the performance/power models: across the
+// full (CPU P-state x uncore bin) operating space, for several workload
+// shapes, the physical invariants must hold everywhere.
+#include <gtest/gtest.h>
+
+#include "simhw/perf_model.hpp"
+#include "simhw/power_model.hpp"
+#include "workload/synthetic.hpp"
+
+namespace ear::simhw {
+namespace {
+
+const NodeConfig& cfg() {
+  static const NodeConfig c = make_skylake_6148_node();
+  return c;
+}
+
+struct Shape {
+  const char* name;
+  workload::SyntheticSpec spec;
+};
+
+std::vector<Shape> shapes() {
+  workload::SyntheticSpec compute;
+  compute.cpi_core = 0.4;
+  compute.gbps = 5.0;
+  compute.stall_share = 0.03;
+  workload::SyntheticSpec memory;
+  memory.cpi_core = 0.8;
+  memory.gbps = 150.0;
+  memory.stall_share = 0.65;
+  memory.uncore_share = 0.5;
+  workload::SyntheticSpec avx;
+  avx.cpi_core = 0.45;
+  avx.gbps = 60.0;
+  avx.stall_share = 0.2;
+  avx.vpi = 1.0;
+  workload::SyntheticSpec comm;
+  comm.cpi_core = 0.5;
+  comm.gbps = 20.0;
+  comm.stall_share = 0.15;
+  comm.comm_fraction = 0.3;
+  return {{"compute", compute}, {"memory", memory}, {"avx512", avx},
+          {"comm", comm}};
+}
+
+class GridTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridTest, FullOperatingSpaceInvariants) {
+  const Shape shape = shapes()[static_cast<std::size_t>(GetParam())];
+  const auto demand = workload::make_demand(cfg(), shape.spec);
+
+  for (Pstate p = 0; p < cfg().pstates.size(); ++p) {
+    const Freq f_cpu = cfg().pstates.freq(p);
+    double prev_time = 0.0;
+    double prev_uncore_power = 1e12;
+    for (const Freq f_imc : cfg().uncore.descending()) {
+      const auto perf = evaluate_iteration(cfg(), demand, f_cpu, f_imc);
+      const auto power = evaluate_power(cfg(), demand, perf, f_cpu, f_imc);
+
+      // Physicality.
+      ASSERT_GT(perf.iter_time.value, 0.0);
+      ASSERT_GT(perf.cpi, 0.0);
+      ASSERT_GE(perf.bw_utilisation, 0.0);
+      ASSERT_LE(perf.bw_utilisation, 1.0 + 1e-9);
+      ASSERT_GT(power.total().value, power.package().value);
+      ASSERT_GT(power.cores.value, 0.0);
+
+      // Monotonicity along the uncore axis (descending frequency):
+      // time never shrinks, uncore power strictly falls.
+      ASSERT_GE(perf.iter_time.value, prev_time - 1e-12)
+          << shape.name << " p" << p << " " << f_imc.str();
+      ASSERT_LT(power.uncore.value, prev_uncore_power)
+          << shape.name << " p" << p << " " << f_imc.str();
+      prev_time = perf.iter_time.value;
+      prev_uncore_power = power.uncore.value;
+    }
+  }
+}
+
+TEST_P(GridTest, TimeMonotoneAlongCpuAxis) {
+  const Shape shape = shapes()[static_cast<std::size_t>(GetParam())];
+  const auto demand = workload::make_demand(cfg(), shape.spec);
+  for (const Freq f_imc :
+       {Freq::ghz(2.4), Freq::ghz(1.8), Freq::ghz(1.2)}) {
+    double prev = 0.0;
+    for (Pstate p = 0; p < cfg().pstates.size(); ++p) {
+      const auto perf =
+          evaluate_iteration(cfg(), demand, cfg().pstates.freq(p), f_imc);
+      ASSERT_GE(perf.iter_time.value, prev - 1e-12)
+          << shape.name << " p" << p << " imc " << f_imc.str();
+      prev = perf.iter_time.value;
+    }
+  }
+}
+
+TEST_P(GridTest, EvaluationIsPure) {
+  // Same inputs -> bit-identical outputs (the model has no hidden state).
+  const Shape shape = shapes()[static_cast<std::size_t>(GetParam())];
+  const auto demand = workload::make_demand(cfg(), shape.spec);
+  const auto a =
+      evaluate_iteration(cfg(), demand, Freq::ghz(2.1), Freq::ghz(1.7));
+  const auto b =
+      evaluate_iteration(cfg(), demand, Freq::ghz(2.1), Freq::ghz(1.7));
+  EXPECT_DOUBLE_EQ(a.iter_time.value, b.iter_time.value);
+  EXPECT_DOUBLE_EQ(a.cpi, b.cpi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridTest, ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return shapes()[static_cast<std::size_t>(
+                                               info.param)]
+                               .name;
+                         });
+
+TEST(GridEnergy, UncoreEnergyOptimumIsInterior ) {
+  // For a latency-sensitive memory workload, whole-run energy as a
+  // function of the uncore frequency has an interior optimum (the
+  // paper's Fig. 1(b) shape) — neither endpoint wins.
+  workload::SyntheticSpec spec;
+  spec.cpi_core = 0.9;
+  spec.gbps = 80.0;
+  spec.stall_share = 0.45;
+  spec.uncore_share = 0.5;
+  const auto demand = workload::make_demand(cfg(), spec);
+
+  double best_energy = 1e18, energy_max = 0.0, energy_min = 0.0;
+  Freq best = cfg().uncore.max();
+  for (const Freq f : cfg().uncore.descending()) {
+    const auto perf = evaluate_iteration(cfg(), demand, Freq::ghz(2.4), f);
+    const auto power =
+        evaluate_power(cfg(), demand, perf, Freq::ghz(2.4), f);
+    const double e = perf.iter_time.value * power.total().value;
+    if (f == cfg().uncore.max()) energy_max = e;
+    if (f == cfg().uncore.min()) energy_min = e;
+    if (e < best_energy) {
+      best_energy = e;
+      best = f;
+    }
+  }
+  EXPECT_GT(best, cfg().uncore.min());
+  EXPECT_LT(best, cfg().uncore.max());
+  EXPECT_LT(best_energy, energy_max);
+  EXPECT_LT(best_energy, energy_min);
+}
+
+}  // namespace
+}  // namespace ear::simhw

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mpisim/comm_model.hpp"
+#include "mpisim/layout.hpp"
+
+namespace ear::mpisim {
+namespace {
+
+TEST(Layout, BlockDistribution) {
+  const ProcessLayout l(4, 40);
+  EXPECT_EQ(l.total_ranks(), 160u);
+  EXPECT_EQ(l.node_of_rank(0), 0u);
+  EXPECT_EQ(l.node_of_rank(39), 0u);
+  EXPECT_EQ(l.node_of_rank(40), 1u);
+  EXPECT_EQ(l.node_of_rank(159), 3u);
+}
+
+TEST(Layout, Masters) {
+  const ProcessLayout l(4, 40);
+  EXPECT_EQ(l.master_rank(0), 0u);
+  EXPECT_EQ(l.master_rank(2), 80u);
+  EXPECT_TRUE(l.is_master(0));
+  EXPECT_TRUE(l.is_master(120));
+  EXPECT_FALSE(l.is_master(1));
+}
+
+TEST(Layout, RanksOnNode) {
+  const ProcessLayout l(2, 3);
+  const auto ranks = l.ranks_on_node(1);
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_EQ(ranks[0], 3u);
+  EXPECT_EQ(ranks[2], 5u);
+}
+
+TEST(Layout, BoundsChecked) {
+  const ProcessLayout l(2, 3);
+  EXPECT_THROW((void)l.node_of_rank(6), common::InvariantError);
+  EXPECT_THROW((void)l.master_rank(2), common::InvariantError);
+  EXPECT_THROW(ProcessLayout(0, 1), common::InvariantError);
+}
+
+TEST(CommModel, P2pLatencyPlusBandwidth) {
+  const CommModel m;
+  const double small = m.p2p_seconds(8);
+  const double big = m.p2p_seconds(1 << 20);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(big, small);
+  // A 1 MiB message at 100 Gb/s is dominated by the bandwidth term.
+  EXPECT_NEAR(big, 2.0e-6 + (1 << 20) / 12.5e9, 1e-9);
+}
+
+TEST(CommModel, AllreduceGrowsLogarithmically) {
+  const CommModel m;
+  const double r2 = m.allreduce_seconds(2, 1024);
+  const double r16 = m.allreduce_seconds(16, 1024);
+  const double r1024 = m.allreduce_seconds(1024, 1024);
+  EXPECT_NEAR(r16 / r2, 4.0, 0.01);      // log2(16)/log2(2)
+  EXPECT_NEAR(r1024 / r2, 10.0, 0.01);   // log2(1024)/log2(2)
+  EXPECT_DOUBLE_EQ(m.allreduce_seconds(1, 1024), 0.0);
+}
+
+TEST(CommModel, BarrierIsSmallAllreduce) {
+  const CommModel m;
+  EXPECT_DOUBLE_EQ(m.barrier_seconds(8), m.allreduce_seconds(8, 8));
+}
+
+}  // namespace
+}  // namespace ear::mpisim

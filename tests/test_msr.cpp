@@ -1,0 +1,86 @@
+#include "simhw/msr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ear::simhw {
+namespace {
+
+using common::Freq;
+
+TEST(UncoreRatioLimit, EncodeMatchesSdmLayout) {
+  // 2.4 GHz max = ratio 24 in bits 6:0; 1.2 GHz min = ratio 12 in 14:8.
+  const UncoreRatioLimit lim{.max_freq = Freq::ghz(2.4),
+                             .min_freq = Freq::ghz(1.2)};
+  EXPECT_EQ(lim.encode(), (12ull << 8) | 24ull);
+}
+
+TEST(UncoreRatioLimit, DecodeRoundTrip) {
+  const UncoreRatioLimit lim{.max_freq = Freq::ghz(1.8),
+                             .min_freq = Freq::ghz(1.2)};
+  EXPECT_EQ(UncoreRatioLimit::decode(lim.encode()), lim);
+}
+
+/// Round-trip across the full 100 MHz grid the hardware supports.
+class RatioRoundTrip
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RatioRoundTrip, EncodeDecode) {
+  const auto [min_bins, max_bins] = GetParam();
+  const UncoreRatioLimit lim{
+      .max_freq = Freq::mhz(static_cast<std::uint64_t>(max_bins) * 100),
+      .min_freq = Freq::mhz(static_cast<std::uint64_t>(min_bins) * 100)};
+  EXPECT_EQ(UncoreRatioLimit::decode(lim.encode()), lim);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RatioRoundTrip,
+    ::testing::Values(std::pair{12, 24}, std::pair{12, 12}, std::pair{24, 24},
+                      std::pair{12, 13}, std::pair{20, 23}, std::pair{0, 127},
+                      std::pair{15, 18}));
+
+TEST(UncoreRatioLimit, OverflowingRatioThrows) {
+  const UncoreRatioLimit lim{.max_freq = Freq::ghz(20.0),  // ratio 200 > 127
+                             .min_freq = Freq::ghz(1.2)};
+  EXPECT_THROW((void)lim.encode(), common::InvariantError);
+}
+
+TEST(MsrFile, UnknownRegisterReadsZero) {
+  const MsrFile msr;
+  EXPECT_EQ(msr.read(0x123), 0u);
+}
+
+TEST(MsrFile, WriteThenRead) {
+  MsrFile msr;
+  msr.write(0x1B0, 6);
+  EXPECT_EQ(msr.read(0x1B0), 6u);
+  EXPECT_EQ(msr.write_count(), 1u);
+}
+
+TEST(MsrFile, UncoreLimitTypedAccess) {
+  MsrFile msr;
+  const UncoreRatioLimit lim{.max_freq = Freq::ghz(2.0),
+                             .min_freq = Freq::ghz(1.2)};
+  msr.set_uncore_limit(lim);
+  EXPECT_EQ(msr.uncore_limit(), lim);
+  EXPECT_EQ(msr.read(kMsrUncoreRatioLimit), lim.encode());
+}
+
+TEST(MsrFile, PinnedWindowMinEqualsMax) {
+  MsrFile msr;
+  msr.set_uncore_limit({.max_freq = Freq::ghz(1.7),
+                        .min_freq = Freq::ghz(1.7)});
+  const auto lim = msr.uncore_limit();
+  EXPECT_EQ(lim.min_freq, lim.max_freq);
+}
+
+TEST(MsrFile, InvertedWindowRejected) {
+  MsrFile msr;
+  EXPECT_THROW(msr.set_uncore_limit({.max_freq = Freq::ghz(1.2),
+                                     .min_freq = Freq::ghz(2.4)}),
+               common::InvariantError);
+}
+
+}  // namespace
+}  // namespace ear::simhw

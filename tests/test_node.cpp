@@ -1,0 +1,161 @@
+#include "simhw/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "simhw/cluster.hpp"
+
+namespace ear::simhw {
+namespace {
+
+using common::Freq;
+using common::Secs;
+
+NoiseModel quiet() { return NoiseModel{.time_sigma = 0.0, .power_sigma = 0.0}; }
+
+WorkDemand demand() {
+  WorkDemand d;
+  d.instructions_per_core = 2.0e9;
+  d.cpi_core = 0.5;
+  d.bytes = 30e9;
+  d.active_cores = 40;
+  return d;
+}
+
+TEST(SimNode, StartsAtNominalWithOpenWindow) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  EXPECT_EQ(node.cpu_freq(), Freq::ghz(2.4));
+  const auto lim = node.uncore_limit();
+  EXPECT_EQ(lim.max_freq, Freq::ghz(2.4));
+  EXPECT_EQ(lim.min_freq, Freq::ghz(1.2));
+}
+
+TEST(SimNode, ExecuteAdvancesClockAndCounters) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  const auto out = node.execute_iteration(demand());
+  EXPECT_GT(out.perf.iter_time.value, 0.0);
+  EXPECT_DOUBLE_EQ(node.clock().value, out.perf.iter_time.value);
+  EXPECT_GT(node.counters().instructions, 0.0);
+  EXPECT_GT(node.counters().cycles, 0.0);
+  EXPECT_GT(node.counters().cas_transactions, 0.0);
+  EXPECT_GT(node.inm().exact().value, 0.0);
+}
+
+TEST(SimNode, EnergyEqualsPowerTimesTime) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  const auto out = node.execute_iteration(demand());
+  EXPECT_NEAR(out.energy.value,
+              out.power.total().value * out.perf.iter_time.value, 1e-6);
+}
+
+TEST(SimNode, PstateChangesTakeEffect) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  const auto fast = node.execute_iteration(demand());
+  node.set_cpu_pstate(15);  // 1.0 GHz
+  EXPECT_EQ(node.cpu_freq(), Freq::ghz(1.0));
+  const auto slow = node.execute_iteration(demand());
+  EXPECT_GT(slow.perf.iter_time.value, fast.perf.iter_time.value * 1.5);
+}
+
+TEST(SimNode, PinnedUncoreWindowIsObeyed) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  node.set_uncore_limit_all({.max_freq = Freq::ghz(1.5),
+                             .min_freq = Freq::ghz(1.5)});
+  const auto out = node.execute_iteration(demand());
+  EXPECT_EQ(out.uncore_freq, Freq::ghz(1.5));
+}
+
+TEST(SimNode, WindowMaxLimitsGovernor) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  node.set_uncore_limit_all({.max_freq = Freq::ghz(1.8),
+                             .min_freq = Freq::ghz(1.2)});
+  for (int i = 0; i < 5; ++i) {
+    const auto out = node.execute_iteration(demand());
+    EXPECT_LE(out.uncore_freq, Freq::ghz(1.8));
+  }
+}
+
+TEST(SimNode, LowerUncoreLowersPower) {
+  SimNode a(make_skylake_6148_node(), 1, quiet());
+  SimNode b(make_skylake_6148_node(), 1, quiet());
+  b.set_uncore_limit_all({.max_freq = Freq::ghz(1.2),
+                          .min_freq = Freq::ghz(1.2)});
+  const auto pa = a.execute_iteration(demand());
+  const auto pb = b.execute_iteration(demand());
+  EXPECT_LT(pb.power.total().value, pa.power.total().value);
+}
+
+TEST(SimNode, AvgFrequencyCountersTrackSettings) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  for (int i = 0; i < 10; ++i) node.execute_iteration(demand());
+  const auto& c = node.counters();
+  const double avg_cpu = c.cpu_freq_cycles / c.elapsed_seconds / 1e6;
+  const double avg_imc = c.imc_freq_cycles / c.elapsed_seconds / 1e6;
+  EXPECT_NEAR(avg_cpu, 2.39, 0.02);  // droop below the 2.40 request
+  EXPECT_NEAR(avg_imc, 2.39, 0.02);  // dither below the 2.40 limit
+}
+
+TEST(SimNode, WaitSecondsAccumulated) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  WorkDemand d = demand();
+  d.comm_seconds = 0.25;
+  node.execute_iteration(d);
+  EXPECT_NEAR(node.counters().wait_seconds, 0.25, 1e-9);
+}
+
+TEST(SimNode, IdleConsumesBaselinePower) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  node.idle(Secs{10.0});
+  EXPECT_DOUBLE_EQ(node.clock().value, 10.0);
+  const double watts = node.inm().exact().value / 10.0;
+  EXPECT_GT(watts, 50.0);
+  EXPECT_LT(watts, 200.0);  // far below a busy node
+}
+
+TEST(SimNode, RaplPkgAndDramAccumulate) {
+  SimNode node(make_skylake_6148_node(), 1, quiet());
+  node.execute_iteration(demand());
+  EXPECT_GT(node.rapl().pkg(0).raw(), 0u);
+  EXPECT_GT(node.rapl().pkg(1).raw(), 0u);
+  EXPECT_GT(node.rapl().dram().raw(), 0u);
+}
+
+TEST(SimNode, NoiseProducesRunVariation) {
+  SimNode a(make_skylake_6148_node(), 1);
+  SimNode b(make_skylake_6148_node(), 2);
+  const auto ra = a.execute_iteration(demand());
+  const auto rb = b.execute_iteration(demand());
+  EXPECT_NE(ra.perf.iter_time.value, rb.perf.iter_time.value);
+  // ...but only slightly (sub-percent sigma).
+  EXPECT_NEAR(ra.perf.iter_time.value, rb.perf.iter_time.value,
+              0.05 * ra.perf.iter_time.value);
+}
+
+TEST(SimNode, DeterministicForEqualSeeds) {
+  SimNode a(make_skylake_6148_node(), 7);
+  SimNode b(make_skylake_6148_node(), 7);
+  for (int i = 0; i < 5; ++i) {
+    const auto ra = a.execute_iteration(demand());
+    const auto rb = b.execute_iteration(demand());
+    EXPECT_DOUBLE_EQ(ra.perf.iter_time.value, rb.perf.iter_time.value);
+    EXPECT_DOUBLE_EQ(ra.power.total().value, rb.power.total().value);
+  }
+}
+
+TEST(Cluster, IndependentlySeededNodes) {
+  Cluster cluster(make_skylake_6148_node(), 3, 42);
+  const auto r0 = cluster.node(0).execute_iteration(demand());
+  const auto r1 = cluster.node(1).execute_iteration(demand());
+  EXPECT_NE(r0.perf.iter_time.value, r1.perf.iter_time.value);
+  EXPECT_EQ(cluster.size(), 3u);
+  EXPECT_GT(cluster.total_energy().value, 0.0);
+  EXPECT_GT(cluster.max_clock().value, 0.0);
+}
+
+TEST(Cluster, EmptyClusterRejected) {
+  EXPECT_THROW(Cluster(make_skylake_6148_node(), 0, 1),
+               common::InvariantError);
+}
+
+}  // namespace
+}  // namespace ear::simhw

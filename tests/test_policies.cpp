@@ -1,0 +1,330 @@
+// Policy unit tests against a deterministic analytic model, so every
+// selection can be verified by hand: time scales on the non-stalled
+// share, power on a configurable dynamic share.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "policies/min_energy.hpp"
+#include "policies/min_energy_eufs.hpp"
+#include "policies/min_time.hpp"
+#include "policies/monitoring.hpp"
+#include "policies/registry.hpp"
+#include "simhw/config.hpp"
+
+namespace ear::policies {
+namespace {
+
+using common::Freq;
+
+/// Analytic model: T' = T * ((1-c) + c * f/f'), P' = P * ((1-d) + d * f'/f)
+/// with compute share c and dynamic-power share d.
+class FakeModel : public models::EnergyModel {
+ public:
+  FakeModel(simhw::PstateTable pstates, double compute_share,
+            double dyn_share)
+      : pstates_(std::move(pstates)),
+        c_(compute_share),
+        d_(dyn_share) {}
+
+  [[nodiscard]] std::string name() const override { return "fake"; }
+  [[nodiscard]] models::Prediction predict(const metrics::Signature& sig,
+                                           simhw::Pstate from,
+                                           simhw::Pstate to) const override {
+    const double f = pstates_.freq(from).as_ghz();
+    const double ft = pstates_.freq(to).as_ghz();
+    models::Prediction p;
+    p.time_s = sig.iter_time_s * ((1.0 - c_) + c_ * f / ft);
+    p.power_w = sig.dc_power_w * ((1.0 - d_) + d_ * ft / f);
+    p.cpi = sig.cpi;
+    return p;
+  }
+
+ private:
+  simhw::PstateTable pstates_;
+  double c_, d_;
+};
+
+PolicyContext make_ctx(double compute_share, double dyn_share,
+                       PolicySettings settings = {}) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  return PolicyContext{
+      .pstates = cfg.pstates,
+      .uncore = cfg.uncore,
+      .model = std::make_shared<FakeModel>(cfg.pstates, compute_share,
+                                           dyn_share),
+      .settings = settings,
+  };
+}
+
+metrics::Signature nominal_sig(double imc_ghz = 2.39) {
+  metrics::Signature s;
+  s.valid = true;
+  s.iter_time_s = 1.0;
+  s.cpi = 0.5;
+  s.tpi = 0.01;
+  s.gbps = 50.0;
+  s.dc_power_w = 320.0;
+  s.avg_cpu_freq_ghz = 2.39;
+  s.avg_imc_freq_ghz = imc_ghz;
+  return s;
+}
+
+// ----------------------------------------------------------------------
+// min_energy (basic linear search)
+// ----------------------------------------------------------------------
+
+TEST(MinEnergySearch, ComputeBoundStaysAtDefault) {
+  // Fully compute-bound with a small dynamic share: slowing down costs
+  // more time than it saves power -> energy minimal at nominal.
+  const auto ctx = make_ctx(/*compute=*/1.0, /*dyn=*/0.3);
+  const auto sel = select_min_energy_pstate(*ctx.model, ctx.pstates,
+                                            nominal_sig(), 1, 1, 0.05);
+  EXPECT_EQ(sel.pstate, 1u);
+}
+
+TEST(MinEnergySearch, MemoryBoundDescendsToPenaltyLimit) {
+  // 10% compute share: each pstate costs little time but saves real
+  // power; the search descends until the 5% predicted-penalty bound.
+  const auto ctx = make_ctx(0.10, 0.5);
+  const auto sel = select_min_energy_pstate(*ctx.model, ctx.pstates,
+                                            nominal_sig(), 1, 1, 0.05);
+  EXPECT_GT(sel.pstate, 4u);  // well below nominal
+  EXPECT_LE(sel.predicted_time_s, 1.05);
+}
+
+TEST(MinEnergySearch, PenaltyBoundRespected) {
+  for (double th : {0.01, 0.03, 0.05, 0.10}) {
+    const auto ctx = make_ctx(0.3, 0.6);
+    const auto sel = select_min_energy_pstate(*ctx.model, ctx.pstates,
+                                              nominal_sig(), 1, 1, th);
+    EXPECT_LE(sel.predicted_time_s, 1.0 * (1.0 + th) + 1e-12)
+        << "threshold " << th;
+  }
+}
+
+TEST(MinEnergySearch, TighterThresholdNeverDeeper) {
+  const auto ctx = make_ctx(0.3, 0.6);
+  simhw::Pstate prev = 0;
+  for (double th : {0.01, 0.02, 0.05, 0.10}) {
+    const auto sel = select_min_energy_pstate(*ctx.model, ctx.pstates,
+                                              nominal_sig(), 1, 1, th);
+    EXPECT_GE(sel.pstate, prev);
+    prev = sel.pstate;
+  }
+}
+
+TEST(MinEnergyPolicy, AppliesAndValidates) {
+  auto ctx = make_ctx(0.2, 0.5);
+  MinEnergyPolicy policy(std::move(ctx));
+  NodeFreqs out;
+  EXPECT_EQ(policy.apply(nominal_sig(), out), PolicyState::kReady);
+  EXPECT_GT(policy.current_pstate(), 1u);
+  // Uncore window stays fully open: basic ME leaves UFS to the hardware.
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.4));
+  EXPECT_EQ(out.imc_min, Freq::ghz(1.2));
+
+  // First validation anchors; a matching signature passes.
+  metrics::Signature at_new = nominal_sig();
+  at_new.iter_time_s = 1.04;
+  EXPECT_TRUE(policy.validate(at_new));
+  EXPECT_TRUE(policy.validate(at_new));
+  // A >15% CPI shift is a phase change.
+  metrics::Signature shifted = at_new;
+  shifted.cpi = 0.65;
+  EXPECT_FALSE(policy.validate(shifted));
+}
+
+TEST(MinEnergyPolicy, ValidationFailsOnBrokenTimePromise) {
+  auto ctx = make_ctx(0.2, 0.5);
+  MinEnergyPolicy policy(std::move(ctx));
+  NodeFreqs out;
+  policy.apply(nominal_sig(), out);
+  metrics::Signature slow = nominal_sig();
+  slow.iter_time_s = 1.5;  // far beyond the promise
+  EXPECT_FALSE(policy.validate(slow));
+}
+
+TEST(MinEnergyPolicy, RestartReturnsToDefault) {
+  auto ctx = make_ctx(0.1, 0.6);
+  MinEnergyPolicy policy(std::move(ctx));
+  NodeFreqs out;
+  policy.apply(nominal_sig(), out);
+  ASSERT_GT(policy.current_pstate(), 1u);
+  policy.restart();
+  EXPECT_EQ(policy.current_pstate(), 1u);
+  EXPECT_EQ(policy.default_freqs().cpu_pstate, 1u);
+}
+
+// ----------------------------------------------------------------------
+// min_energy with explicit UFS (the Fig. 2 state machine)
+// ----------------------------------------------------------------------
+
+TEST(MinEnergyEufs, ShortcutToImcSearchWhenDefaultSelected) {
+  // Compute-bound: CPU stays at default -> policy jumps straight to
+  // IMC_FREQ_SEL with the in-hand signature as reference (Fig. 2).
+  auto ctx = make_ctx(1.0, 0.3);
+  MinEnergyEufsPolicy policy(std::move(ctx));
+  NodeFreqs out;
+  EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kCpuFreqSel);
+  EXPECT_EQ(policy.apply(nominal_sig(), out), PolicyState::kContinue);
+  EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kImcFreqSel);
+  EXPECT_EQ(out.cpu_pstate, 1u);
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.2));  // one bin below HW's 2.39
+  EXPECT_EQ(out.imc_min, Freq::ghz(1.2));  // only the max moves (§V-B)
+}
+
+TEST(MinEnergyEufs, CompRefPathWhenCpuReduced) {
+  auto ctx = make_ctx(0.1, 0.6);
+  MinEnergyEufsPolicy policy(std::move(ctx));
+  NodeFreqs out;
+  EXPECT_EQ(policy.apply(nominal_sig(), out), PolicyState::kContinue);
+  EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kCompRef);
+  EXPECT_GT(out.cpu_pstate, 1u);
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.4));  // HW in control for the ref
+
+  // Reference signature at the new frequency enters the IMC search.
+  metrics::Signature ref = nominal_sig(2.0);  // HW tracked the uncore
+  ref.iter_time_s = 1.03;
+  EXPECT_EQ(policy.apply(ref, out), PolicyState::kContinue);
+  EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kImcFreqSel);
+  EXPECT_EQ(out.imc_max, Freq::ghz(1.9));
+}
+
+TEST(MinEnergyEufs, SearchConvergesAndHolds) {
+  auto ctx = make_ctx(1.0, 0.3);
+  MinEnergyEufsPolicy policy(std::move(ctx));
+  NodeFreqs out;
+  policy.apply(nominal_sig(), out);  // -> IMC search, trial 2.2
+
+  // Two healthy steps, then a CPI degradation beyond 2%.
+  metrics::Signature healthy = nominal_sig();
+  EXPECT_EQ(policy.apply(healthy, out), PolicyState::kContinue);
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.1));
+  EXPECT_EQ(policy.apply(healthy, out), PolicyState::kContinue);
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.0));
+  metrics::Signature degraded = nominal_sig();
+  degraded.cpi = 0.52;  // +4%
+  EXPECT_EQ(policy.apply(degraded, out), PolicyState::kReady);
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.1));  // reverted one bin
+  EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kStable);
+
+  // Stable: consistent signatures validate, a phase change does not.
+  EXPECT_TRUE(policy.validate(degraded));
+  EXPECT_TRUE(policy.validate(degraded));
+  metrics::Signature phase = degraded;
+  phase.gbps = 10.0;
+  EXPECT_FALSE(policy.validate(phase));
+}
+
+TEST(MinEnergyEufs, PhaseChangeDuringSearchRestarts) {
+  auto ctx = make_ctx(1.0, 0.3);
+  MinEnergyEufsPolicy policy(std::move(ctx));
+  NodeFreqs out;
+  policy.apply(nominal_sig(), out);
+  ASSERT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kImcFreqSel);
+  metrics::Signature other = nominal_sig();
+  other.cpi = 1.2;  // way beyond the 15% signature-change threshold
+  EXPECT_EQ(policy.apply(other, out), PolicyState::kContinue);
+  EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kCpuFreqSel);
+  EXPECT_EQ(out, policy.default_freqs());
+}
+
+TEST(MinEnergyEufs, NonGuidedVariantStartsAtMax) {
+  PolicySettings s;
+  s.hw_guided_imc = false;
+  auto ctx = make_ctx(1.0, 0.3, s);
+  MinEnergyEufsPolicy policy(std::move(ctx));
+  NodeFreqs out;
+  policy.apply(nominal_sig(2.0), out);  // HW had chosen 2.0...
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.4));  // ...but NG starts at max
+  EXPECT_EQ(policy.name(), "min_energy_ngufs");
+}
+
+TEST(MinEnergyEufs, NameReflectsGuidance) {
+  auto ctx = make_ctx(1.0, 0.3);
+  EXPECT_EQ(MinEnergyEufsPolicy(std::move(ctx)).name(), "min_energy_eufs");
+}
+
+// ----------------------------------------------------------------------
+// min_time
+// ----------------------------------------------------------------------
+
+TEST(MinTime, StartsBelowNominal) {
+  auto ctx = make_ctx(1.0, 0.3);
+  MinTimePolicy policy(std::move(ctx), false);
+  EXPECT_EQ(policy.default_freqs().cpu_pstate, 5u);  // nominal + 4
+}
+
+TEST(MinTime, ComputeBoundClimbsToTurbo) {
+  // Perfect frequency scaling: every step gains time 1:1 -> climb fully.
+  auto ctx = make_ctx(1.0, 0.3);
+  MinTimePolicy policy(std::move(ctx), false);
+  metrics::Signature sig = nominal_sig();
+  sig.avg_cpu_freq_ghz = 2.0;
+  EXPECT_EQ(policy.select_pstate(sig), 0u);
+}
+
+TEST(MinTime, MemoryBoundStaysPut) {
+  // 5% compute share: raising the clock gains almost nothing.
+  auto ctx = make_ctx(0.05, 0.3);
+  MinTimePolicy policy(std::move(ctx), false);
+  EXPECT_EQ(policy.select_pstate(nominal_sig()), 5u);
+}
+
+TEST(MinTime, AppliesReadyWithoutEufs) {
+  auto ctx = make_ctx(1.0, 0.3);
+  MinTimePolicy policy(std::move(ctx), false);
+  NodeFreqs out;
+  EXPECT_EQ(policy.apply(nominal_sig(), out), PolicyState::kReady);
+  EXPECT_EQ(out.cpu_pstate, 0u);
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.4));
+}
+
+TEST(MinTime, EufsVariantRunsImcSearch) {
+  auto ctx = make_ctx(1.0, 0.3);
+  MinTimePolicy policy(std::move(ctx), true);
+  NodeFreqs out;
+  // First apply selects a faster pstate -> COMP_REF -> IMC search.
+  EXPECT_EQ(policy.apply(nominal_sig(), out), PolicyState::kContinue);
+  EXPECT_EQ(policy.apply(nominal_sig(), out), PolicyState::kContinue);
+  // Now stepping down the uncore.
+  EXPECT_LT(out.imc_max, Freq::ghz(2.4));
+  EXPECT_EQ(policy.name(), "min_time_eufs");
+}
+
+// ----------------------------------------------------------------------
+// monitoring + registry
+// ----------------------------------------------------------------------
+
+TEST(Monitoring, NeverChangesAnything) {
+  auto ctx = make_ctx(0.1, 0.9);
+  MonitoringPolicy policy(std::move(ctx));
+  NodeFreqs out;
+  EXPECT_EQ(policy.apply(nominal_sig(), out), PolicyState::kReady);
+  EXPECT_EQ(out.cpu_pstate, 1u);
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.4));
+  EXPECT_TRUE(policy.validate(nominal_sig()));
+}
+
+TEST(Registry, AllAdvertisedNamesConstruct) {
+  for (const auto& name : policy_names()) {
+    auto policy = make_policy(name, make_ctx(0.5, 0.5));
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_policy("bogus", make_ctx(0.5, 0.5)),
+               common::ConfigError);
+}
+
+TEST(Registry, GuidanceFlagForcedByName) {
+  auto ng = make_policy("min_energy_ngufs", make_ctx(0.5, 0.5));
+  EXPECT_EQ(ng->name(), "min_energy_ngufs");
+  auto g = make_policy("min_energy_eufs", make_ctx(0.5, 0.5));
+  EXPECT_EQ(g->name(), "min_energy_eufs");
+}
+
+}  // namespace
+}  // namespace ear::policies

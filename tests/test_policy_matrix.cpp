@@ -1,0 +1,90 @@
+// Property matrix: every (application x policy) combination must satisfy
+// the global invariants — the run completes, frequencies stay within the
+// hardware's ranges, penalties stay bounded, and no policy wastes more
+// than noise-level energy versus the no-policy baseline.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "policies/registry.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/runner.hpp"
+#include "workload/catalog.hpp"
+
+namespace ear::sim {
+namespace {
+
+const AveragedResult& reference_for(const std::string& app) {
+  static std::map<std::string, AveragedResult> cache;
+  auto it = cache.find(app);
+  if (it == cache.end()) {
+    ExperimentConfig cfg{.app = workload::make_app(app),
+                         .earl = settings_no_policy(),
+                         .seed = 77};
+    it = cache.emplace(app, run_averaged(cfg, 2)).first;
+  }
+  return it->second;
+}
+
+using Case = std::tuple<std::string, std::string>;
+
+class PolicyMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PolicyMatrix, GlobalInvariantsHold) {
+  const auto& [app_name, policy] = GetParam();
+  const workload::AppModel app = workload::make_app(app_name);
+
+  earl::EarlSettings settings = settings_me_eufs(0.05, 0.02);
+  settings.policy = policy;
+  ExperimentConfig cfg{.app = app, .earl = settings, .seed = 77};
+  const AveragedResult res = run_averaged(cfg, 2);
+  const AveragedResult& ref = reference_for(app_name);
+  const Comparison c = compare(ref, res);
+
+  // Physical sanity.
+  EXPECT_GT(res.total_time_s, 0.0);
+  EXPECT_GT(res.total_energy_j, 0.0);
+  EXPECT_GE(res.avg_cpu_ghz, 0.9);
+  EXPECT_LE(res.avg_cpu_ghz, 2.45);
+  EXPECT_GE(res.avg_imc_ghz, 1.15);
+  EXPECT_LE(res.avg_imc_ghz, 2.41);
+
+  // Behavioural bounds. min_time starts from a much lower default
+  // frequency, so its transient penalty budget is wider.
+  const bool is_min_time = policy.rfind("min_time", 0) == 0;
+  const double penalty_bound = is_min_time ? 30.0 : 9.0;
+  EXPECT_LE(c.time_penalty_pct, penalty_bound)
+      << app_name << " under " << policy;
+  // No configuration may *cost* energy beyond noise (the whole point of
+  // an energy-management framework).
+  EXPECT_GE(c.energy_saving_pct, is_min_time ? -8.0 : -1.5)
+      << app_name << " under " << policy;
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const auto& app : workload::application_names()) {
+    for (const char* policy :
+         {"monitoring", "min_energy", "min_energy_eufs", "min_energy_ngufs",
+          "ups", "duf"}) {
+      cases.emplace_back(app, policy);
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s =
+      std::get<0>(info.param) + "_" + std::get<1>(info.param);
+  for (char& ch : s) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, PolicyMatrix,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace ear::sim

@@ -1,0 +1,173 @@
+#include "simhw/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simhw/perf_model.hpp"
+
+namespace ear::simhw {
+namespace {
+
+using common::Freq;
+
+NodeConfig cfg() { return make_skylake_6148_node(); }
+
+WorkDemand busy_demand() {
+  WorkDemand d;
+  d.instructions_per_core = 2.0e9;
+  d.cpi_core = 0.5;
+  d.bytes = 40e9;
+  d.active_cores = 40;
+  return d;
+}
+
+PowerBreakdown eval(const NodeConfig& c, const WorkDemand& d, Freq f_cpu,
+                    Freq f_imc) {
+  const auto perf = evaluate_iteration(c, d, f_cpu, f_imc);
+  return evaluate_power(c, d, perf, f_cpu, f_imc);
+}
+
+TEST(Voltage, LinearInFrequency) {
+  const PowerModel pm{};
+  EXPECT_NEAR(core_voltage(pm, Freq::ghz(2.4)), 0.62 + 0.16 * 2.4, 1e-12);
+  EXPECT_LT(core_voltage(pm, Freq::ghz(1.0)), core_voltage(pm, Freq::ghz(2.4)));
+  EXPECT_LT(uncore_voltage(pm, Freq::ghz(1.2)),
+            uncore_voltage(pm, Freq::ghz(2.4)));
+}
+
+TEST(PowerModel, AllComponentsPositive) {
+  const NodeConfig c = cfg();
+  const auto p = eval(c, busy_demand(), Freq::ghz(2.4), Freq::ghz(2.4));
+  EXPECT_GT(p.base.value, 0.0);
+  EXPECT_GT(p.cores.value, 0.0);
+  EXPECT_GT(p.uncore.value, 0.0);
+  EXPECT_GT(p.dram.value, 0.0);
+  EXPECT_DOUBLE_EQ(p.gpu.value, 0.0);  // no GPUs on this node
+  EXPECT_NEAR(p.total().value,
+              p.base.value + p.cores.value + p.uncore.value + p.dram.value,
+              1e-9);
+  EXPECT_NEAR(p.package().value, p.cores.value + p.uncore.value, 1e-9);
+}
+
+TEST(PowerModel, CorePowerMonotoneInCpuFreq) {
+  const NodeConfig c = cfg();
+  double prev = 1e9;
+  for (Pstate p = 0; p < c.pstates.size(); ++p) {
+    const auto pw =
+        eval(c, busy_demand(), c.pstates.freq(p), Freq::ghz(2.4));
+    EXPECT_LE(pw.cores.value, prev + 1e-9);
+    prev = pw.cores.value;
+  }
+}
+
+TEST(PowerModel, UncorePowerMonotoneInUncoreFreq) {
+  const NodeConfig c = cfg();
+  double prev = 0.0;
+  for (const Freq f : c.uncore.descending()) {
+    const auto pw = eval(c, busy_demand(), Freq::ghz(2.4), f);
+    // descending() goes max->min: power must decrease along it.
+    if (prev > 0.0) {
+      EXPECT_LT(pw.uncore.value, prev);
+    }
+    prev = pw.uncore.value;
+  }
+}
+
+TEST(PowerModel, UncoreSwingIsSubstantial) {
+  // The paper's explicit UFS banks on a double-digit-watt uncore swing.
+  const NodeConfig c = cfg();
+  const auto hi = eval(c, busy_demand(), Freq::ghz(2.4), Freq::ghz(2.4));
+  const auto lo = eval(c, busy_demand(), Freq::ghz(2.4), Freq::ghz(1.2));
+  const double swing = hi.uncore.value - lo.uncore.value;
+  EXPECT_GT(swing, 30.0);
+  EXPECT_LT(swing, 90.0);
+}
+
+TEST(PowerModel, BaselineIndependentOfFrequencies) {
+  const NodeConfig c = cfg();
+  const auto a = eval(c, busy_demand(), Freq::ghz(2.4), Freq::ghz(2.4));
+  const auto b = eval(c, busy_demand(), Freq::ghz(1.0), Freq::ghz(1.2));
+  EXPECT_DOUBLE_EQ(a.base.value, b.base.value);
+}
+
+TEST(PowerModel, PckShareOfDcVaries) {
+  // Table VII's premise: PKG power is a non-constant fraction of DC power.
+  const NodeConfig c = cfg();
+  const auto hi = eval(c, busy_demand(), Freq::ghz(2.4), Freq::ghz(2.4));
+  const auto lo = eval(c, busy_demand(), Freq::ghz(2.4), Freq::ghz(1.2));
+  const double share_hi = hi.package().value / hi.total().value;
+  const double share_lo = lo.package().value / lo.total().value;
+  EXPECT_GT(share_hi, share_lo);
+  // And the relative PKG saving exceeds the relative DC saving.
+  const double dc_save = 1.0 - lo.total().value / hi.total().value;
+  const double pck_save = 1.0 - lo.package().value / hi.package().value;
+  EXPECT_GT(pck_save, dc_save);
+}
+
+TEST(PowerModel, DramTracksBandwidth) {
+  const NodeConfig c = cfg();
+  WorkDemand light = busy_demand();
+  light.bytes = 1e9;
+  WorkDemand heavy = busy_demand();
+  heavy.bytes = 200e9;
+  const auto pl = eval(c, light, Freq::ghz(2.4), Freq::ghz(2.4));
+  const auto ph = eval(c, heavy, Freq::ghz(2.4), Freq::ghz(2.4));
+  EXPECT_GT(ph.dram.value, pl.dram.value);
+}
+
+TEST(PowerModel, IdleCoresCheap) {
+  const NodeConfig c = cfg();
+  WorkDemand one = busy_demand();
+  one.instructions_per_core = 2.0e9;
+  one.active_cores = 1;
+  one.bytes = 1e8;
+  const auto p1 = eval(c, one, Freq::ghz(2.4), Freq::ghz(2.4));
+  const auto p40 = eval(c, busy_demand(), Freq::ghz(2.4), Freq::ghz(2.4));
+  EXPECT_LT(p1.cores.value, p40.cores.value / 4.0);
+}
+
+TEST(PowerModel, PowerActivityScalesLinearly) {
+  const NodeConfig c = cfg();
+  WorkDemand d = busy_demand();
+  d.power_activity = 1.0;
+  const auto perf = evaluate_iteration(c, d, Freq::ghz(2.4), Freq::ghz(2.4));
+  const double p1 =
+      evaluate_power(c, d, perf, Freq::ghz(2.4), Freq::ghz(2.4)).total().value;
+  d.power_activity = 2.0;
+  const double p2 =
+      evaluate_power(c, d, perf, Freq::ghz(2.4), Freq::ghz(2.4)).total().value;
+  d.power_activity = 3.0;
+  const double p3 =
+      evaluate_power(c, d, perf, Freq::ghz(2.4), Freq::ghz(2.4)).total().value;
+  EXPECT_NEAR(p3 - p2, p2 - p1, 1e-9);
+  EXPECT_GT(p2, p1);
+}
+
+TEST(PowerModel, GpuAccounting) {
+  const NodeConfig c = make_skylake_6142m_gpu_node();
+  WorkDemand d;
+  d.instructions_per_core = 1e6;
+  d.cpi_core = 0.5;
+  d.gpu_seconds = 0.95;
+  d.gpus_busy = 1;
+  d.active_cores = 1;
+  const auto perf = evaluate_iteration(c, d, Freq::ghz(2.6), Freq::ghz(2.4));
+  const auto p = evaluate_power(c, d, perf, Freq::ghz(2.6), Freq::ghz(2.4));
+  // Two GPUs idle floor plus one busy for ~95% of the iteration.
+  const double idle_floor = 2.0 * c.power.gpu_idle_watts;
+  EXPECT_GT(p.gpu.value, idle_floor);
+  EXPECT_LT(p.gpu.value,
+            idle_floor + (c.power.gpu_busy_watts - c.power.gpu_idle_watts));
+
+  WorkDemand no_gpu = d;
+  no_gpu.gpu_seconds = 0.0;
+  no_gpu.gpus_busy = 0;
+  no_gpu.comm_seconds = 0.95;  // keep the same wall time
+  const auto perf2 =
+      evaluate_iteration(c, no_gpu, Freq::ghz(2.6), Freq::ghz(2.4));
+  const auto p2 =
+      evaluate_power(c, no_gpu, perf2, Freq::ghz(2.6), Freq::ghz(2.4));
+  EXPECT_NEAR(p2.gpu.value, idle_floor, 1e-9);
+}
+
+}  // namespace
+}  // namespace ear::simhw

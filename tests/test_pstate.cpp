@@ -1,0 +1,112 @@
+#include "simhw/pstate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ear::simhw {
+namespace {
+
+using common::Freq;
+
+PstateTable skylake() {
+  return PstateTable(Freq::ghz(2.41), Freq::ghz(2.40), Freq::ghz(1.0),
+                     Freq::mhz(100), Freq::ghz(2.2));
+}
+
+TEST(PstateTable, EarConvention) {
+  const PstateTable t = skylake();
+  EXPECT_EQ(t.freq(0), Freq::ghz(2.41));  // turbo
+  EXPECT_EQ(t.freq(1), Freq::ghz(2.40));  // nominal
+  EXPECT_EQ(t.freq(2), Freq::ghz(2.30));
+  EXPECT_EQ(t.min(), Freq::ghz(1.0));
+  EXPECT_EQ(t.size(), 16u);  // turbo + 2.4..1.0
+  EXPECT_EQ(t.nominal_pstate(), 1u);
+  EXPECT_EQ(t.min_pstate(), 15u);
+}
+
+TEST(PstateTable, PstateForExactAndBetween) {
+  const PstateTable t = skylake();
+  EXPECT_EQ(t.pstate_for(Freq::ghz(2.40)), 1u);
+  EXPECT_EQ(t.pstate_for(Freq::ghz(2.30)), 2u);
+  // Between bins: highest frequency not exceeding the request.
+  EXPECT_EQ(t.pstate_for(Freq::ghz(2.35)), 2u);
+  // Above turbo clamps to the fastest.
+  EXPECT_EQ(t.pstate_for(Freq::ghz(3.0)), 0u);
+  // Below the floor clamps to the slowest.
+  EXPECT_EQ(t.pstate_for(Freq::mhz(500)), 15u);
+}
+
+TEST(PstateTable, Avx512Cap) {
+  const PstateTable t = skylake();
+  EXPECT_EQ(t.avx512_cap(), Freq::ghz(2.2));
+  // The paper: pstate 3 corresponds to the 2.2 GHz AVX512 licence.
+  EXPECT_EQ(t.avx512_pstate(), 3u);
+  EXPECT_EQ(t.avx512_effective(Freq::ghz(2.4)), Freq::ghz(2.2));
+  EXPECT_EQ(t.avx512_effective(Freq::ghz(1.8)), Freq::ghz(1.8));
+}
+
+TEST(PstateTable, InvalidConstructions) {
+  EXPECT_THROW(PstateTable(Freq::ghz(2.0), Freq::ghz(2.4), Freq::ghz(1.0),
+                           Freq::mhz(100), Freq::ghz(2.0)),
+               common::InvariantError);  // turbo < nominal
+  EXPECT_THROW(PstateTable(Freq::ghz(2.41), Freq::ghz(2.4), Freq::ghz(1.0),
+                           Freq::mhz(100), Freq::ghz(0.5)),
+               common::InvariantError);  // avx cap outside table
+}
+
+TEST(UncoreRange, BasicProperties) {
+  const UncoreRange u(Freq::ghz(1.2), Freq::ghz(2.4), Freq::mhz(100));
+  EXPECT_EQ(u.num_steps(), 13u);
+  EXPECT_EQ(u.clamp(Freq::ghz(3.0)), Freq::ghz(2.4));
+  EXPECT_EQ(u.clamp(Freq::ghz(1.0)), Freq::ghz(1.2));
+  EXPECT_EQ(u.clamp(Freq::ghz(1.85)), Freq::ghz(1.8));  // snap down
+  EXPECT_EQ(u.step_down(Freq::ghz(2.4)), Freq::ghz(2.3));
+  EXPECT_EQ(u.step_down(Freq::ghz(1.2)), Freq::ghz(1.2));
+  EXPECT_EQ(u.step_up(Freq::ghz(1.2)), Freq::ghz(1.3));
+  EXPECT_EQ(u.step_up(Freq::ghz(2.4)), Freq::ghz(2.4));
+}
+
+TEST(UncoreRange, DescendingEnumeration) {
+  const UncoreRange u(Freq::ghz(1.2), Freq::ghz(2.4), Freq::mhz(100));
+  const auto all = u.descending();
+  ASSERT_EQ(all.size(), 13u);
+  EXPECT_EQ(all.front(), Freq::ghz(2.4));
+  EXPECT_EQ(all.back(), Freq::ghz(1.2));
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_EQ(all[i - 1] - all[i], Freq::mhz(100));
+  }
+}
+
+TEST(UncoreRange, InvalidRangeThrows) {
+  EXPECT_THROW(UncoreRange(Freq::ghz(2.4), Freq::ghz(1.2), Freq::mhz(100)),
+               common::InvariantError);
+  EXPECT_THROW(UncoreRange(Freq::ghz(1.2), Freq::ghz(2.45), Freq::mhz(100)),
+               common::InvariantError);  // not an integer number of steps
+}
+
+/// Property sweep: step_down/step_up are inverses inside the range and
+/// clamp is idempotent on every grid frequency.
+class UncoreGridTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UncoreGridTest, StepAndClampInvariants) {
+  const UncoreRange u(Freq::ghz(1.2), Freq::ghz(2.4), Freq::mhz(100));
+  const Freq f = Freq::khz(GetParam());
+  EXPECT_EQ(u.clamp(f), f);
+  if (f > u.min()) {
+    EXPECT_EQ(u.step_up(u.step_down(f)), f);
+  }
+  if (f < u.max()) {
+    EXPECT_EQ(u.step_down(u.step_up(f)), f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBins, UncoreGridTest,
+    ::testing::Values(1'200'000u, 1'300'000u, 1'400'000u, 1'500'000u,
+                      1'600'000u, 1'700'000u, 1'800'000u, 1'900'000u,
+                      2'000'000u, 2'100'000u, 2'200'000u, 2'300'000u,
+                      2'400'000u));
+
+}  // namespace
+}  // namespace ear::simhw

@@ -1,0 +1,72 @@
+// Reporting helpers: paper-style cells, series rendering and the preset
+// configurations the benches rely on.
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/presets.hpp"
+
+namespace ear::sim {
+namespace {
+
+TEST(Report, VsPaperCells) {
+  EXPECT_EQ(vs_paper(2.384, 2.38), "2.38 (paper 2.38)");
+  EXPECT_EQ(vs_paper(145.2, 145.0, 0), "145 (paper 145)");
+  EXPECT_EQ(vs_paper_pct(4.69, 4.7), "+4.7% (paper +4.7%)");
+  EXPECT_EQ(vs_paper_pct(-1.25, 0.0), "-1.2% (paper +0.0%)");
+}
+
+TEST(Report, SeriesRendering) {
+  Series a{.name = "save %", .x = {2.4, 2.3}, .y = {0.0, 1.5}};
+  Series b{.name = "penalty %", .x = {2.4, 2.3}, .y = {0.0, 0.2}};
+  // Smoke: prints to stdout without throwing; length mismatch throws.
+  EXPECT_NO_THROW(print_series("t", "GHz", {a, b}));
+  b.y.pop_back();
+  EXPECT_THROW(print_series("t", "GHz", {a, b}), common::InvariantError);
+  EXPECT_THROW(print_series("t", "GHz", {}), common::InvariantError);
+}
+
+TEST(Report, ComparisonRow) {
+  common::AsciiTable t;
+  t.columns({"config", "time penalty", "power saving", "energy saving",
+             "GB/s penalty", "ratio"});
+  Comparison c;
+  c.time_penalty_pct = 2.0;
+  c.energy_saving_pct = 6.0;
+  c.power_saving_pct = 7.9;
+  c.gbps_penalty_pct = 1.9;
+  add_comparison_row(t, "ME+eU", c);
+  const std::string s = t.render();
+  EXPECT_NE(s.find("ME+eU"), std::string::npos);
+  EXPECT_NE(s.find("+6.00%"), std::string::npos);
+  EXPECT_NE(s.find("3.00"), std::string::npos);  // ratio 6/2
+}
+
+TEST(Presets, MatchPaperConfigurations) {
+  const auto nop = settings_no_policy();
+  EXPECT_EQ(nop.policy, "monitoring");
+  EXPECT_DOUBLE_EQ(nop.signature_interval_s, 10.0);
+
+  const auto me = settings_me(0.03);
+  EXPECT_EQ(me.policy, "min_energy");
+  EXPECT_DOUBLE_EQ(me.policy_settings.cpu_policy_th, 0.03);
+
+  const auto eu = settings_me_eufs(0.05, 0.02);
+  EXPECT_EQ(eu.policy, "min_energy_eufs");
+  EXPECT_TRUE(eu.policy_settings.hw_guided_imc);
+  EXPECT_DOUBLE_EQ(eu.policy_settings.unc_policy_th, 0.02);
+  EXPECT_DOUBLE_EQ(eu.policy_settings.sig_change_th, 0.15);  // §V-B
+  EXPECT_EQ(eu.model, "avx512");
+
+  const auto ng = settings_me_ngufs(0.05, 0.02);
+  EXPECT_EQ(ng.policy, "min_energy_ngufs");
+  EXPECT_FALSE(ng.policy_settings.hw_guided_imc);
+
+  EXPECT_EQ(settings_min_time(false).policy, "min_time");
+  EXPECT_EQ(settings_min_time(true).policy, "min_time_eufs");
+  EXPECT_EQ(settings_controller("ups").policy, "ups");
+}
+
+}  // namespace
+}  // namespace ear::sim

@@ -1,0 +1,127 @@
+#include "metrics/accumulator.hpp"
+#include "metrics/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simhw/node.hpp"
+#include "workload/synthetic.hpp"
+
+namespace ear::metrics {
+namespace {
+
+simhw::NoiseModel quiet() { return {.time_sigma = 0.0, .power_sigma = 0.0}; }
+
+TEST(SignatureChanged, ThresholdSemantics) {
+  Signature a;
+  a.cpi = 1.0;
+  a.gbps = 100.0;
+  a.valid = true;
+  Signature b = a;
+  EXPECT_FALSE(signature_changed(a, b));
+  b.cpi = 1.10;  // +10% < 15%
+  EXPECT_FALSE(signature_changed(a, b));
+  b.cpi = 1.20;  // +20% > 15%
+  EXPECT_TRUE(signature_changed(a, b));
+  b.cpi = 1.0;
+  b.gbps = 80.0;  // -20%
+  EXPECT_TRUE(signature_changed(a, b));
+  EXPECT_FALSE(signature_changed(a, b, /*threshold=*/0.25));
+}
+
+TEST(SignatureChanged, InvalidAlwaysChanged) {
+  Signature a, b;
+  a.valid = true;
+  EXPECT_TRUE(signature_changed(a, b));
+  EXPECT_TRUE(signature_changed(b, a));
+}
+
+TEST(SignatureChanged, ZeroReferenceHandled) {
+  Signature a, b;
+  a.valid = b.valid = true;
+  a.cpi = b.cpi = 1.0;
+  a.gbps = 0.0;
+  b.gbps = 0.0;
+  EXPECT_FALSE(signature_changed(a, b));
+  b.gbps = 5.0;
+  EXPECT_TRUE(signature_changed(a, b));
+}
+
+TEST(Accumulator, DerivesMetricsFromCounterDeltas) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  simhw::SimNode node(cfg, 1, quiet());
+  workload::SyntheticSpec spec;
+  spec.iter_seconds = 1.0;
+  spec.cpi_core = 0.5;
+  spec.gbps = 50.0;
+  spec.stall_share = 0.2;
+  spec.comm_fraction = 0.1;
+  const auto demand = workload::make_demand(cfg, spec);
+
+  node.execute_iteration(demand);  // settle the governor
+  const auto begin = Snapshot::take(node);
+  for (int i = 0; i < 12; ++i) node.execute_iteration(demand);
+  const auto sig = compute_signature(begin, Snapshot::take(node), 12);
+
+  ASSERT_TRUE(sig.valid);
+  EXPECT_NEAR(sig.iter_time_s, 1.0, 0.03);
+  EXPECT_NEAR(sig.gbps, 50.0, 1.5);
+  EXPECT_NEAR(sig.wait_fraction, 0.1, 0.01);
+  EXPECT_GT(sig.cpi, 0.0);
+  EXPECT_GT(sig.tpi, 0.0);
+  EXPECT_GT(sig.dc_power_w, 100.0);
+  EXPECT_EQ(sig.iterations, 12u);
+  EXPECT_NEAR(sig.avg_cpu_freq_ghz, 2.39, 0.02);
+}
+
+TEST(Accumulator, InvalidForEmptyWindow) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  simhw::SimNode node(cfg, 1, quiet());
+  const auto snap = Snapshot::take(node);
+  const auto sig = compute_signature(snap, snap, 5);
+  EXPECT_FALSE(sig.valid);
+  const auto sig2 = compute_signature(snap, snap, 0);
+  EXPECT_FALSE(sig2.valid);
+}
+
+TEST(Accumulator, InmQuantisationNeedsLongWindows) {
+  // Over a sub-second window the INM counter may not have published yet;
+  // the signature must come back invalid rather than report zero power.
+  const auto cfg = simhw::make_skylake_6148_node();
+  simhw::SimNode node(cfg, 1, quiet());
+  workload::SyntheticSpec spec;
+  spec.iter_seconds = 0.2;
+  const auto demand = workload::make_demand(cfg, spec);
+  const auto begin = Snapshot::take(node);
+  node.execute_iteration(demand);  // 0.2 s < 1 s publication period
+  const auto sig = compute_signature(begin, Snapshot::take(node), 1);
+  EXPECT_FALSE(sig.valid);
+}
+
+TEST(Accumulator, PowerMatchesGroundTruthOnLongWindow) {
+  const auto cfg = simhw::make_skylake_6148_node();
+  simhw::SimNode node(cfg, 1, quiet());
+  workload::SyntheticSpec spec;
+  spec.iter_seconds = 1.0;
+  const auto demand = workload::make_demand(cfg, spec);
+  const auto begin = Snapshot::take(node);
+  for (int i = 0; i < 20; ++i) node.execute_iteration(demand);
+  const auto end = Snapshot::take(node);
+  const auto sig = compute_signature(begin, end, 20);
+  const double truth =
+      node.inm().exact().value / node.clock().value;
+  EXPECT_NEAR(sig.dc_power_w, truth, truth * 0.01);
+}
+
+TEST(Signature, StrIsInformative) {
+  Signature s;
+  s.iter_time_s = 1.5;
+  s.cpi = 0.48;
+  s.gbps = 10.4;
+  s.dc_power_w = 320.0;
+  const std::string str = s.str();
+  EXPECT_NE(str.find("cpi=0.480"), std::string::npos);
+  EXPECT_NE(str.find("320.0W"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ear::metrics

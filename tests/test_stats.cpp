@@ -1,0 +1,138 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ear::common {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, Weighted) {
+  RunningStats s;
+  s.add_weighted(10.0, 3.0);
+  s.add_weighted(20.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 12.5);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 4.0);
+}
+
+TEST(RunningStats, RejectsNonPositiveWeight) {
+  RunningStats s;
+  EXPECT_THROW(s.add_weighted(1.0, 0.0), InvariantError);
+  EXPECT_THROW(s.add_weighted(1.0, -1.0), InvariantError);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  const std::vector<double> xs = {1, 5, 2, 8, 3, 9, 4, 4, 7};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 4 ? a : b).add(xs[i]);
+    all.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Changes, RelativeAndPercent) {
+  EXPECT_DOUBLE_EQ(relative_change(100.0, 110.0), 0.1);
+  EXPECT_DOUBLE_EQ(percent_change(100.0, 90.0), -10.0);
+  EXPECT_DOUBLE_EQ(relative_change(0.0, 5.0), 0.0);  // guarded
+}
+
+TEST(MeanOf, Basics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(LeastSquares, ExactLinearFit) {
+  // y = 2x + 3 with rows [x, 1].
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double x : {0.0, 1.0, 2.0, 5.0}) {
+    rows.push_back({x, 1.0});
+    y.push_back(2.0 * x + 3.0);
+  }
+  const auto beta = least_squares(rows, y);
+  ASSERT_EQ(beta.size(), 2u);
+  EXPECT_NEAR(beta[0], 2.0, 1e-9);
+  EXPECT_NEAR(beta[1], 3.0, 1e-9);
+}
+
+TEST(LeastSquares, ThreeRegressors) {
+  // y = 0.9*a - 2*b + 7.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  const double as[] = {1, 2, 3, 4, 5, 6};
+  const double bs[] = {0.5, 0.1, 0.9, 0.3, 0.7, 0.2};
+  for (int i = 0; i < 6; ++i) {
+    rows.push_back({as[i], bs[i], 1.0});
+    y.push_back(0.9 * as[i] - 2.0 * bs[i] + 7.0);
+  }
+  const auto beta = least_squares(rows, y);
+  EXPECT_NEAR(beta[0], 0.9, 1e-9);
+  EXPECT_NEAR(beta[1], -2.0, 1e-9);
+  EXPECT_NEAR(beta[2], 7.0, 1e-9);
+}
+
+TEST(LeastSquares, OverdeterminedMinimisesResidual) {
+  // Noisy y = x: the fit should land near slope 1.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 1; i <= 10; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    y.push_back(static_cast<double>(i) + ((i % 2) ? 0.1 : -0.1));
+  }
+  const auto beta = least_squares(rows, y);
+  EXPECT_NEAR(beta[0], 1.0, 0.01);
+}
+
+TEST(LeastSquares, SingularThrows) {
+  // Two identical regressors -> singular normal equations.
+  std::vector<std::vector<double>> rows = {{1.0, 1.0}, {2.0, 2.0},
+                                           {3.0, 3.0}};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)least_squares(rows, y), ConfigError);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  std::vector<std::vector<double>> rows = {{1.0, 2.0}};
+  std::vector<double> y = {1.0};
+  EXPECT_THROW((void)least_squares(rows, y), InvariantError);
+}
+
+}  // namespace
+}  // namespace ear::common

@@ -1,0 +1,126 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "simhw/perf_model.hpp"
+
+namespace ear::workload {
+namespace {
+
+const simhw::NodeConfig& cfg() {
+  static const auto c = simhw::make_skylake_6148_node();
+  return c;
+}
+
+TEST(Synthetic, RealisesRequestedIterationTime) {
+  SyntheticSpec spec;
+  spec.iter_seconds = 0.7;
+  spec.cpi_core = 0.6;
+  spec.gbps = 30.0;
+  spec.stall_share = 0.2;
+  const auto d = make_demand(cfg(), spec);
+  const auto r = simhw::evaluate_iteration(cfg(), d, cfg().pstates.nominal(),
+                                           cfg().uncore.max());
+  EXPECT_NEAR(r.iter_time.value, 0.7, 0.02);
+  EXPECT_NEAR(r.gbps, 30.0, 1.0);
+}
+
+TEST(Synthetic, StallShareShapesResponse) {
+  SyntheticSpec mem;
+  mem.stall_share = 0.7;
+  mem.gbps = 100.0;
+  SyntheticSpec comp;
+  comp.stall_share = 0.02;
+  comp.gbps = 100.0;
+  const auto dm = make_demand(cfg(), mem);
+  const auto dc = make_demand(cfg(), comp);
+  // Halving the CPU clock hurts the compute-bound variant far more.
+  const auto f_lo = common::Freq::ghz(1.2);
+  const double mem_ratio =
+      simhw::evaluate_iteration(cfg(), dm, f_lo, cfg().uncore.max())
+          .iter_time.value /
+      simhw::evaluate_iteration(cfg(), dm, cfg().pstates.nominal(),
+                                cfg().uncore.max())
+          .iter_time.value;
+  const double comp_ratio =
+      simhw::evaluate_iteration(cfg(), dc, f_lo, cfg().uncore.max())
+          .iter_time.value /
+      simhw::evaluate_iteration(cfg(), dc, cfg().pstates.nominal(),
+                                cfg().uncore.max())
+          .iter_time.value;
+  EXPECT_LT(mem_ratio, comp_ratio);
+  EXPECT_NEAR(comp_ratio, 2.0, 0.1);
+}
+
+TEST(Synthetic, UncoreShareShapesUncoreResponse) {
+  SyntheticSpec hi;
+  hi.stall_share = 0.4;
+  hi.uncore_share = 1.0;
+  hi.gbps = 60.0;
+  SyntheticSpec lo = hi;
+  lo.uncore_share = 0.0;
+  const auto dh = make_demand(cfg(), hi);
+  const auto dl = make_demand(cfg(), lo);
+  const auto f_nom = cfg().pstates.nominal();
+  const double hi_ratio =
+      simhw::evaluate_iteration(cfg(), dh, f_nom, common::Freq::ghz(1.2))
+          .iter_time.value /
+      simhw::evaluate_iteration(cfg(), dh, f_nom, cfg().uncore.max())
+          .iter_time.value;
+  const double lo_ratio =
+      simhw::evaluate_iteration(cfg(), dl, f_nom, common::Freq::ghz(1.2))
+          .iter_time.value /
+      simhw::evaluate_iteration(cfg(), dl, f_nom, cfg().uncore.max())
+          .iter_time.value;
+  EXPECT_GT(hi_ratio, lo_ratio + 0.05);
+  EXPECT_NEAR(lo_ratio, 1.0, 0.02);
+}
+
+TEST(Synthetic, InvalidSpecsRejected) {
+  SyntheticSpec bad;
+  bad.active_cores = 0;
+  EXPECT_THROW((void)make_demand(cfg(), bad), common::InvariantError);
+  bad = SyntheticSpec{};
+  bad.iter_seconds = 0.0;
+  EXPECT_THROW((void)make_demand(cfg(), bad), common::InvariantError);
+  bad = SyntheticSpec{};
+  bad.comm_fraction = 1.0;
+  EXPECT_THROW((void)make_demand(cfg(), bad), common::InvariantError);
+}
+
+TEST(Synthetic, AppAssembly) {
+  SyntheticSpec spec;
+  spec.iterations = 33;
+  const auto app = make_synthetic_app(cfg(), spec, "probe");
+  EXPECT_EQ(app.name, "probe");
+  EXPECT_EQ(app.total_iterations(), 33u);
+  EXPECT_TRUE(app.is_mpi);
+}
+
+TEST(Synthetic, PhaseChangeAppHasTwoDistinctPhases) {
+  const auto app = make_phase_change_app(cfg(), 25);
+  ASSERT_EQ(app.phases.size(), 2u);
+  EXPECT_NE(app.phases[0].mpi_pattern, app.phases[1].mpi_pattern);
+  EXPECT_GT(app.phases[1].demand.bytes, app.phases[0].demand.bytes * 5);
+}
+
+TEST(Synthetic, LearningSuiteCoversTheSpace) {
+  const auto suite = learning_suite();
+  EXPECT_GE(suite.size(), 12u);
+  double min_cpi = 1e9, max_cpi = 0.0, min_gbps = 1e9, max_gbps = 0.0;
+  for (const auto& s : suite) {
+    min_cpi = std::min(min_cpi, s.cpi_core);
+    max_cpi = std::max(max_cpi, s.cpi_core);
+    min_gbps = std::min(min_gbps, s.gbps);
+    max_gbps = std::max(max_gbps, s.gbps);
+    EXPECT_DOUBLE_EQ(s.vpi, 0.0);  // scalar-only training (see DESIGN.md)
+  }
+  EXPECT_LT(min_cpi, 0.5);
+  EXPECT_GT(max_cpi, 1.0);
+  EXPECT_LT(min_gbps, 10.0);
+  EXPECT_GT(max_gbps, 100.0);
+}
+
+}  // namespace
+}  // namespace ear::workload

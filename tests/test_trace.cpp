@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "workload/catalog.hpp"
+
+namespace ear::sim {
+namespace {
+
+RunResult small_run() {
+  ExperimentConfig cfg{.app = workload::make_app("bqcd"),
+                       .earl = settings_me_eufs(0.03, 0.02),
+                       .seed = 3};
+  return run_experiment(cfg);
+}
+
+TEST(Trace, TimelineCsvShape) {
+  const RunResult res = small_run();
+  std::ostringstream out;
+  write_timeline_csv(res, out);
+  const std::string s = out.str();
+  EXPECT_EQ(s.rfind("t_s,cpu_ghz,imc_ghz,dc_power_w\n", 0), 0u);
+  // One line per timeline point plus the header.
+  const auto lines = std::count(s.begin(), s.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), res.timeline.size() + 1);
+}
+
+TEST(Trace, TimelineIsMonotonicInTime) {
+  const RunResult res = small_run();
+  ASSERT_GT(res.timeline.size(), 10u);
+  double prev = -1.0;
+  for (const auto& p : res.timeline) {
+    EXPECT_GT(p.t_s, prev);
+    prev = p.t_s;
+    EXPECT_GT(p.dc_power_w, 0.0);
+    EXPECT_GT(p.cpu_ghz, 0.9);
+    EXPECT_GE(p.imc_ghz, 1.1);
+  }
+}
+
+TEST(Trace, TimelineShowsUncoreDescent) {
+  const RunResult res = small_run();
+  // BQCD under eUFS: the uncore starts near max and ends lower.
+  EXPECT_GT(res.timeline.front().imc_ghz, 2.3);
+  EXPECT_LT(res.timeline.back().imc_ghz, 2.3);
+}
+
+TEST(Trace, NodesCsvShape) {
+  const RunResult res = small_run();
+  std::ostringstream out;
+  write_nodes_csv(res, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("node,elapsed_s,energy_j"), std::string::npos);
+  const auto lines = std::count(s.begin(), s.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), res.nodes.size() + 1);
+}
+
+}  // namespace
+}  // namespace ear::sim

@@ -1,0 +1,227 @@
+// ear_sim — command-line driver for the library.
+//
+//   ear_sim list
+//       Show the workload catalog and available policies.
+//   ear_sim run <app> [--policy NAME] [--cpu-th X] [--unc-th X]
+//                     [--runs N] [--seed N] [--trace FILE]
+//                     [--budget WATTS] [--compare]
+//       Run one application; --compare adds the no-policy reference and
+//       prints penalties/savings; --budget engages the EARGM cluster
+//       power manager; --trace writes the node-0 timeline CSV.
+//   ear_sim sweep <app> [--cpu-pstate P]
+//       Fixed-uncore sweep (the paper's Fig. 1 protocol).
+//   ear_sim learn [--gpu-node]
+//       Run the learning phase and dump the coefficient table.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/args.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "policies/registry.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "models/coeff_io.hpp"
+#include "sim/trace.hpp"
+#include "workload/catalog.hpp"
+#include "workload/spec_file.hpp"
+
+namespace {
+
+using namespace ear;
+
+int usage() {
+  std::printf(
+      "usage: ear_sim <command> [options]\n"
+      "  list                      catalog workloads and policies\n"
+      "  run <app> [--policy P] [--cpu-th X] [--unc-th X] [--runs N]\n"
+      "            [--seed N] [--trace FILE] [--budget W] [--compare]\n"
+      "            [--workload-file FILE]\n"
+      "  sweep <app> [--cpu-pstate P]   fixed-uncore sweep (Fig. 1)\n"
+      "  learn [--gpu-node] [--save FILE]  learning phase + coefficients\n");
+  return 2;
+}
+
+int cmd_list() {
+  common::AsciiTable apps("Workload catalog");
+  apps.columns({"name", "nodes", "ranks/node", "MPI", "description"},
+               {common::Align::kLeft, common::Align::kRight,
+                common::Align::kRight, common::Align::kLeft,
+                common::Align::kLeft});
+  for (const auto& e : workload::catalog()) {
+    apps.add_row({e.name, std::to_string(e.nodes),
+                  std::to_string(e.ranks_per_node),
+                  e.is_mpi ? "yes" : "no", e.description});
+  }
+  apps.print();
+  std::printf("\npolicies:");
+  for (const auto& p : policies::policy_names()) std::printf(" %s", p.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+earl::EarlSettings settings_from(const common::ArgParser& args) {
+  const std::string policy = args.get("policy", std::string("min_energy_eufs"));
+  earl::EarlSettings s = sim::settings_me_eufs(args.get("cpu-th", 0.05),
+                                               args.get("unc-th", 0.02));
+  s.policy = policy;
+  return s;
+}
+
+/// Resolve an app by name, from --workload-file if given, else the
+/// built-in catalog.
+workload::AppModel resolve_app(const common::ArgParser& args,
+                               const std::string& name) {
+  const std::string file = args.get("workload-file", std::string());
+  if (file.empty()) return workload::make_app(name);
+  for (const auto& e : workload::load_spec_file(file)) {
+    if (e.name == name) return workload::make_app(e);
+  }
+  throw common::ConfigError("workload '" + name + "' not found in " + file);
+}
+
+int cmd_run(const common::ArgParser& args) {
+  const std::string app_name = args.positional_or(1, "");
+  if (app_name.empty()) return usage();
+  const workload::AppModel app = resolve_app(args, app_name);
+
+  sim::ExperimentConfig cfg{
+      .app = app,
+      .earl = settings_from(args),
+      .seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}))};
+  if (args.has("budget")) {
+    cfg.eargm = eargm::EargmConfig{
+        .cluster_budget_w = args.get("budget", 0.0)};
+  }
+  const auto runs = static_cast<std::size_t>(args.get("runs", std::int64_t{3}));
+
+  const sim::RunResult one = sim::run_experiment(cfg);
+  const sim::AveragedResult avg = sim::run_averaged(cfg, runs);
+
+  std::printf("%s under %s: time %.1fs (+/- %.1f), power %.1fW, energy "
+              "%.0fkJ, CPU %.2f GHz, IMC %.2f GHz\n",
+              app_name.c_str(), cfg.earl.policy.c_str(), avg.total_time_s,
+              avg.time_stddev_s, avg.avg_dc_power_w,
+              avg.total_energy_j / 1000, avg.avg_cpu_ghz, avg.avg_imc_ghz);
+  if (cfg.eargm) {
+    std::printf("EARGM: %zu throttle events, final limit p%zu, aggregate "
+                "%.0fW vs budget %.0fW\n",
+                one.eargm_throttles, one.eargm_final_limit,
+                avg.avg_dc_power_w * static_cast<double>(app.nodes),
+                cfg.eargm->cluster_budget_w);
+  }
+
+  if (args.flag("compare")) {
+    sim::ExperimentConfig ref_cfg = cfg;
+    ref_cfg.earl = sim::settings_no_policy();
+    ref_cfg.eargm.reset();
+    const auto ref = sim::run_averaged(ref_cfg, runs);
+    const auto c = sim::compare(ref, avg);
+    common::AsciiTable table;
+    table.columns({"vs no-policy", "time penalty", "power saving",
+                   "energy saving", "GB/s penalty", "ratio"});
+    sim::add_comparison_row(table, cfg.earl.policy, c);
+    table.print();
+  }
+
+  const std::string trace = args.get("trace", std::string());
+  if (!trace.empty()) {
+    std::ofstream out(trace);
+    if (!out) throw common::ConfigError("cannot open " + trace);
+    sim::write_timeline_csv(one, out);
+    std::printf("timeline written to %s (%zu points)\n", trace.c_str(),
+                one.timeline.size());
+  }
+  return 0;
+}
+
+int cmd_sweep(const common::ArgParser& args) {
+  const std::string app_name = args.positional_or(1, "");
+  if (app_name.empty()) return usage();
+  const workload::AppModel app = resolve_app(args, app_name);
+  const auto pstate = static_cast<simhw::Pstate>(
+      args.get("cpu-pstate",
+               static_cast<std::int64_t>(app.node_config.pstates
+                                             .nominal_pstate())));
+
+  auto run_pinned = [&](std::optional<simhw::UncoreRatioLimit> window) {
+    sim::ExperimentConfig cfg{.app = app,
+                              .earl = sim::settings_no_policy(),
+                              .seed = 3};
+    cfg.attach_earl = false;
+    cfg.fixed_cpu_pstate = pstate;
+    cfg.fixed_uncore_window = window;
+    return sim::run_averaged(cfg, 3);
+  };
+  const auto ref = run_pinned(std::nullopt);
+  sim::Series time_pen{.name = "time penalty %"};
+  sim::Series power_save{.name = "power save %"};
+  sim::Series energy_save{.name = "energy save %"};
+  for (const common::Freq f : app.node_config.uncore.descending()) {
+    const auto res =
+        run_pinned(simhw::UncoreRatioLimit{.max_freq = f, .min_freq = f});
+    const auto c = sim::compare(ref, res);
+    time_pen.x.push_back(f.as_ghz());
+    time_pen.y.push_back(c.time_penalty_pct);
+    power_save.x.push_back(f.as_ghz());
+    power_save.y.push_back(c.power_saving_pct);
+    energy_save.x.push_back(f.as_ghz());
+    energy_save.y.push_back(c.energy_saving_pct);
+  }
+  sim::print_series(app_name + " @ CPU " +
+                        app.node_config.pstates.freq(pstate).str(),
+                    "uncore GHz", {time_pen, power_save, energy_save});
+  return 0;
+}
+
+int cmd_learn(const common::ArgParser& args) {
+  const auto cfg = args.flag("gpu-node")
+                       ? simhw::make_skylake_6142m_gpu_node()
+                       : simhw::make_skylake_6148_node();
+  const auto& learned = sim::cached_models(cfg);
+  std::printf("learned coefficients for %s (%zu pstates), projections "
+              "from nominal:\n",
+              cfg.name.c_str(), cfg.pstates.size());
+  common::AsciiTable table;
+  table.columns({"to", "GHz", "A", "B", "C", "D", "E", "F"});
+  const simhw::Pstate from = cfg.pstates.nominal_pstate();
+  for (simhw::Pstate p = 0; p < cfg.pstates.size(); ++p) {
+    const auto& k = learned.coefficients->at(from, p);
+    table.add_row({std::to_string(p),
+                   common::AsciiTable::ghz(cfg.pstates.freq(p).as_ghz()),
+                   common::AsciiTable::num(k.a, 4),
+                   common::AsciiTable::num(k.b, 2),
+                   common::AsciiTable::num(k.c, 2),
+                   common::AsciiTable::num(k.d, 4),
+                   common::AsciiTable::num(k.e, 3),
+                   common::AsciiTable::num(k.f, 4)});
+  }
+  table.print();
+  const std::string save = args.get("save", std::string());
+  if (!save.empty()) {
+    models::save_coefficients_file(*learned.coefficients, save);
+    std::printf("coefficient table written to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const common::ArgParser args(argc, argv, {"compare", "gpu-node"});
+    const std::string cmd = args.positional_or(0, "");
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "learn") return cmd_learn(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ear_sim: %s\n", e.what());
+    return 1;
+  }
+}
