@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_model.cpp" "bench/CMakeFiles/bench_ablation_model.dir/bench_ablation_model.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_model.dir/bench_ablation_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ear_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/earl/CMakeFiles/ear_earl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynais/CMakeFiles/ear_dynais.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/ear_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eargm/CMakeFiles/ear_eargm.dir/DependInfo.cmake"
+  "/root/repo/build/src/eard/CMakeFiles/ear_eard.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/ear_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ear_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ear_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ear_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ear_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

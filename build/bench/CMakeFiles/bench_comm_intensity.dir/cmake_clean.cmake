@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_intensity.dir/bench_comm_intensity.cpp.o"
+  "CMakeFiles/bench_comm_intensity.dir/bench_comm_intensity.cpp.o.d"
+  "bench_comm_intensity"
+  "bench_comm_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

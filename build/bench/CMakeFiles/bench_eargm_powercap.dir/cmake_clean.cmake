@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eargm_powercap.dir/bench_eargm_powercap.cpp.o"
+  "CMakeFiles/bench_eargm_powercap.dir/bench_eargm_powercap.cpp.o.d"
+  "bench_eargm_powercap"
+  "bench_eargm_powercap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eargm_powercap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bqcd.dir/bench_fig3_bqcd.cpp.o"
+  "CMakeFiles/bench_fig3_bqcd.dir/bench_fig3_bqcd.cpp.o.d"
+  "bench_fig3_bqcd"
+  "bench_fig3_bqcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bqcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

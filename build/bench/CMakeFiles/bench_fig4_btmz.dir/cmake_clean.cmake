@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_btmz.dir/bench_fig4_btmz.cpp.o"
+  "CMakeFiles/bench_fig4_btmz.dir/bench_fig4_btmz.cpp.o.d"
+  "bench_fig4_btmz"
+  "bench_fig4_btmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_btmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hpcg_pop.dir/bench_fig7_hpcg_pop.cpp.o"
+  "CMakeFiles/bench_fig7_hpcg_pop.dir/bench_fig7_hpcg_pop.cpp.o.d"
+  "bench_fig7_hpcg_pop"
+  "bench_fig7_hpcg_pop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hpcg_pop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dumses_afid.dir/bench_fig8_dumses_afid.cpp.o"
+  "CMakeFiles/bench_fig8_dumses_afid.dir/bench_fig8_dumses_afid.cpp.o.d"
+  "bench_fig8_dumses_afid"
+  "bench_fig8_dumses_afid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dumses_afid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

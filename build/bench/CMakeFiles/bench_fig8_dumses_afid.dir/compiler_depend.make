@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_dumses_afid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_dumses_afid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_min_time.dir/bench_min_time.cpp.o"
+  "CMakeFiles/bench_min_time.dir/bench_min_time.cpp.o.d"
+  "bench_min_time"
+  "bench_min_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_min_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_kernel_savings.dir/bench_table3_kernel_savings.cpp.o"
+  "CMakeFiles/bench_table3_kernel_savings.dir/bench_table3_kernel_savings.cpp.o.d"
+  "bench_table3_kernel_savings"
+  "bench_table3_kernel_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_kernel_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

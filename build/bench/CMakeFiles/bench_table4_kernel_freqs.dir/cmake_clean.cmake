@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_kernel_freqs.dir/bench_table4_kernel_freqs.cpp.o"
+  "CMakeFiles/bench_table4_kernel_freqs.dir/bench_table4_kernel_freqs.cpp.o.d"
+  "bench_table4_kernel_freqs"
+  "bench_table4_kernel_freqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_kernel_freqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_app_freqs.dir/bench_table6_app_freqs.cpp.o"
+  "CMakeFiles/bench_table6_app_freqs.dir/bench_table6_app_freqs.cpp.o.d"
+  "bench_table6_app_freqs"
+  "bench_table6_app_freqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_app_freqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

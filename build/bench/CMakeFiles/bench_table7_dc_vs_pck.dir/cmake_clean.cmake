@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_dc_vs_pck.dir/bench_table7_dc_vs_pck.cpp.o"
+  "CMakeFiles/bench_table7_dc_vs_pck.dir/bench_table7_dc_vs_pck.cpp.o.d"
+  "bench_table7_dc_vs_pck"
+  "bench_table7_dc_vs_pck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_dc_vs_pck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_dc_vs_pck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_campaign.dir/cluster_campaign.cpp.o"
+  "CMakeFiles/cluster_campaign.dir/cluster_campaign.cpp.o.d"
+  "cluster_campaign"
+  "cluster_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("simhw")
+subdirs("workload")
+subdirs("mpisim")
+subdirs("dynais")
+subdirs("metrics")
+subdirs("models")
+subdirs("policies")
+subdirs("earl")
+subdirs("eard")
+subdirs("eargm")
+subdirs("sim")

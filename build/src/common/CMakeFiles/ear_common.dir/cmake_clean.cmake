@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_common.dir/args.cpp.o"
+  "CMakeFiles/ear_common.dir/args.cpp.o.d"
+  "CMakeFiles/ear_common.dir/csv.cpp.o"
+  "CMakeFiles/ear_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ear_common.dir/log.cpp.o"
+  "CMakeFiles/ear_common.dir/log.cpp.o.d"
+  "CMakeFiles/ear_common.dir/stats.cpp.o"
+  "CMakeFiles/ear_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ear_common.dir/table.cpp.o"
+  "CMakeFiles/ear_common.dir/table.cpp.o.d"
+  "CMakeFiles/ear_common.dir/units.cpp.o"
+  "CMakeFiles/ear_common.dir/units.cpp.o.d"
+  "libear_common.a"
+  "libear_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_dynais.dir/dynais.cpp.o"
+  "CMakeFiles/ear_dynais.dir/dynais.cpp.o.d"
+  "libear_dynais.a"
+  "libear_dynais.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_dynais.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

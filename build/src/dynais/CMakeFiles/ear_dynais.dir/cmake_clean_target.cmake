@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libear_dynais.a"
+)

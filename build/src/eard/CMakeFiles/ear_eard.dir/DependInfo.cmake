@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eard/accounting.cpp" "src/eard/CMakeFiles/ear_eard.dir/accounting.cpp.o" "gcc" "src/eard/CMakeFiles/ear_eard.dir/accounting.cpp.o.d"
+  "/root/repo/src/eard/eard.cpp" "src/eard/CMakeFiles/ear_eard.dir/eard.cpp.o" "gcc" "src/eard/CMakeFiles/ear_eard.dir/eard.cpp.o.d"
+  "/root/repo/src/eard/eardbd.cpp" "src/eard/CMakeFiles/ear_eard.dir/eardbd.cpp.o" "gcc" "src/eard/CMakeFiles/ear_eard.dir/eardbd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simhw/CMakeFiles/ear_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ear_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/ear_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ear_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ear_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_eard.dir/accounting.cpp.o"
+  "CMakeFiles/ear_eard.dir/accounting.cpp.o.d"
+  "CMakeFiles/ear_eard.dir/eard.cpp.o"
+  "CMakeFiles/ear_eard.dir/eard.cpp.o.d"
+  "CMakeFiles/ear_eard.dir/eardbd.cpp.o"
+  "CMakeFiles/ear_eard.dir/eardbd.cpp.o.d"
+  "libear_eard.a"
+  "libear_eard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_eard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

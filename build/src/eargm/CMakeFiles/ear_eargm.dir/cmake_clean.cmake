@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_eargm.dir/eargm.cpp.o"
+  "CMakeFiles/ear_eargm.dir/eargm.cpp.o.d"
+  "libear_eargm.a"
+  "libear_eargm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_eargm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_earl.dir/library.cpp.o"
+  "CMakeFiles/ear_earl.dir/library.cpp.o.d"
+  "CMakeFiles/ear_earl.dir/session.cpp.o"
+  "CMakeFiles/ear_earl.dir/session.cpp.o.d"
+  "libear_earl.a"
+  "libear_earl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_earl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

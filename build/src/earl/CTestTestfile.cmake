@@ -1,0 +1,6 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/earl
+# Build directory: /root/repo/build/src/earl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.

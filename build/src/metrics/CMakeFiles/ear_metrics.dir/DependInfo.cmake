@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/accumulator.cpp" "src/metrics/CMakeFiles/ear_metrics.dir/accumulator.cpp.o" "gcc" "src/metrics/CMakeFiles/ear_metrics.dir/accumulator.cpp.o.d"
+  "/root/repo/src/metrics/classify.cpp" "src/metrics/CMakeFiles/ear_metrics.dir/classify.cpp.o" "gcc" "src/metrics/CMakeFiles/ear_metrics.dir/classify.cpp.o.d"
+  "/root/repo/src/metrics/signature.cpp" "src/metrics/CMakeFiles/ear_metrics.dir/signature.cpp.o" "gcc" "src/metrics/CMakeFiles/ear_metrics.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simhw/CMakeFiles/ear_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_metrics.dir/accumulator.cpp.o"
+  "CMakeFiles/ear_metrics.dir/accumulator.cpp.o.d"
+  "CMakeFiles/ear_metrics.dir/classify.cpp.o"
+  "CMakeFiles/ear_metrics.dir/classify.cpp.o.d"
+  "CMakeFiles/ear_metrics.dir/signature.cpp.o"
+  "CMakeFiles/ear_metrics.dir/signature.cpp.o.d"
+  "libear_metrics.a"
+  "libear_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/avx512_model.cpp" "src/models/CMakeFiles/ear_models.dir/avx512_model.cpp.o" "gcc" "src/models/CMakeFiles/ear_models.dir/avx512_model.cpp.o.d"
+  "/root/repo/src/models/basic_model.cpp" "src/models/CMakeFiles/ear_models.dir/basic_model.cpp.o" "gcc" "src/models/CMakeFiles/ear_models.dir/basic_model.cpp.o.d"
+  "/root/repo/src/models/coeff_io.cpp" "src/models/CMakeFiles/ear_models.dir/coeff_io.cpp.o" "gcc" "src/models/CMakeFiles/ear_models.dir/coeff_io.cpp.o.d"
+  "/root/repo/src/models/coefficients.cpp" "src/models/CMakeFiles/ear_models.dir/coefficients.cpp.o" "gcc" "src/models/CMakeFiles/ear_models.dir/coefficients.cpp.o.d"
+  "/root/repo/src/models/learning.cpp" "src/models/CMakeFiles/ear_models.dir/learning.cpp.o" "gcc" "src/models/CMakeFiles/ear_models.dir/learning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/ear_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ear_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ear_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

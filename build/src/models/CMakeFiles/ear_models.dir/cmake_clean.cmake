@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_models.dir/avx512_model.cpp.o"
+  "CMakeFiles/ear_models.dir/avx512_model.cpp.o.d"
+  "CMakeFiles/ear_models.dir/basic_model.cpp.o"
+  "CMakeFiles/ear_models.dir/basic_model.cpp.o.d"
+  "CMakeFiles/ear_models.dir/coeff_io.cpp.o"
+  "CMakeFiles/ear_models.dir/coeff_io.cpp.o.d"
+  "CMakeFiles/ear_models.dir/coefficients.cpp.o"
+  "CMakeFiles/ear_models.dir/coefficients.cpp.o.d"
+  "CMakeFiles/ear_models.dir/learning.cpp.o"
+  "CMakeFiles/ear_models.dir/learning.cpp.o.d"
+  "libear_models.a"
+  "libear_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

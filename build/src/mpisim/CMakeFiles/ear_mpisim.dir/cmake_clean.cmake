@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_mpisim.dir/comm_model.cpp.o"
+  "CMakeFiles/ear_mpisim.dir/comm_model.cpp.o.d"
+  "CMakeFiles/ear_mpisim.dir/layout.cpp.o"
+  "CMakeFiles/ear_mpisim.dir/layout.cpp.o.d"
+  "libear_mpisim.a"
+  "libear_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

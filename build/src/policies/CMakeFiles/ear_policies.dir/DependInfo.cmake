@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/baselines.cpp" "src/policies/CMakeFiles/ear_policies.dir/baselines.cpp.o" "gcc" "src/policies/CMakeFiles/ear_policies.dir/baselines.cpp.o.d"
+  "/root/repo/src/policies/imc_search.cpp" "src/policies/CMakeFiles/ear_policies.dir/imc_search.cpp.o" "gcc" "src/policies/CMakeFiles/ear_policies.dir/imc_search.cpp.o.d"
+  "/root/repo/src/policies/min_energy.cpp" "src/policies/CMakeFiles/ear_policies.dir/min_energy.cpp.o" "gcc" "src/policies/CMakeFiles/ear_policies.dir/min_energy.cpp.o.d"
+  "/root/repo/src/policies/min_energy_eufs.cpp" "src/policies/CMakeFiles/ear_policies.dir/min_energy_eufs.cpp.o" "gcc" "src/policies/CMakeFiles/ear_policies.dir/min_energy_eufs.cpp.o.d"
+  "/root/repo/src/policies/min_time.cpp" "src/policies/CMakeFiles/ear_policies.dir/min_time.cpp.o" "gcc" "src/policies/CMakeFiles/ear_policies.dir/min_time.cpp.o.d"
+  "/root/repo/src/policies/registry.cpp" "src/policies/CMakeFiles/ear_policies.dir/registry.cpp.o" "gcc" "src/policies/CMakeFiles/ear_policies.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/ear_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ear_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ear_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ear_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_policies.dir/baselines.cpp.o"
+  "CMakeFiles/ear_policies.dir/baselines.cpp.o.d"
+  "CMakeFiles/ear_policies.dir/imc_search.cpp.o"
+  "CMakeFiles/ear_policies.dir/imc_search.cpp.o.d"
+  "CMakeFiles/ear_policies.dir/min_energy.cpp.o"
+  "CMakeFiles/ear_policies.dir/min_energy.cpp.o.d"
+  "CMakeFiles/ear_policies.dir/min_energy_eufs.cpp.o"
+  "CMakeFiles/ear_policies.dir/min_energy_eufs.cpp.o.d"
+  "CMakeFiles/ear_policies.dir/min_time.cpp.o"
+  "CMakeFiles/ear_policies.dir/min_time.cpp.o.d"
+  "CMakeFiles/ear_policies.dir/registry.cpp.o"
+  "CMakeFiles/ear_policies.dir/registry.cpp.o.d"
+  "libear_policies.a"
+  "libear_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

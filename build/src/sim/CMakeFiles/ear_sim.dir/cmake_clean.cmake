@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_sim.dir/experiment.cpp.o"
+  "CMakeFiles/ear_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/ear_sim.dir/presets.cpp.o"
+  "CMakeFiles/ear_sim.dir/presets.cpp.o.d"
+  "CMakeFiles/ear_sim.dir/report.cpp.o"
+  "CMakeFiles/ear_sim.dir/report.cpp.o.d"
+  "CMakeFiles/ear_sim.dir/runner.cpp.o"
+  "CMakeFiles/ear_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/ear_sim.dir/schedule.cpp.o"
+  "CMakeFiles/ear_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/ear_sim.dir/trace.cpp.o"
+  "CMakeFiles/ear_sim.dir/trace.cpp.o.d"
+  "libear_sim.a"
+  "libear_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

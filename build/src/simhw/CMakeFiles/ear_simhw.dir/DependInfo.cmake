@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simhw/cluster.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/cluster.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/cluster.cpp.o.d"
+  "/root/repo/src/simhw/config.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/config.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/config.cpp.o.d"
+  "/root/repo/src/simhw/hw_ufs.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/hw_ufs.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/hw_ufs.cpp.o.d"
+  "/root/repo/src/simhw/inm.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/inm.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/inm.cpp.o.d"
+  "/root/repo/src/simhw/msr.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/msr.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/msr.cpp.o.d"
+  "/root/repo/src/simhw/node.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/node.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/node.cpp.o.d"
+  "/root/repo/src/simhw/perf_model.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/perf_model.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/perf_model.cpp.o.d"
+  "/root/repo/src/simhw/power_model.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/power_model.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/power_model.cpp.o.d"
+  "/root/repo/src/simhw/pstate.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/pstate.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/pstate.cpp.o.d"
+  "/root/repo/src/simhw/rapl.cpp" "src/simhw/CMakeFiles/ear_simhw.dir/rapl.cpp.o" "gcc" "src/simhw/CMakeFiles/ear_simhw.dir/rapl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

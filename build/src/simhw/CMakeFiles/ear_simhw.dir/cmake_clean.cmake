@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_simhw.dir/cluster.cpp.o"
+  "CMakeFiles/ear_simhw.dir/cluster.cpp.o.d"
+  "CMakeFiles/ear_simhw.dir/config.cpp.o"
+  "CMakeFiles/ear_simhw.dir/config.cpp.o.d"
+  "CMakeFiles/ear_simhw.dir/hw_ufs.cpp.o"
+  "CMakeFiles/ear_simhw.dir/hw_ufs.cpp.o.d"
+  "CMakeFiles/ear_simhw.dir/inm.cpp.o"
+  "CMakeFiles/ear_simhw.dir/inm.cpp.o.d"
+  "CMakeFiles/ear_simhw.dir/msr.cpp.o"
+  "CMakeFiles/ear_simhw.dir/msr.cpp.o.d"
+  "CMakeFiles/ear_simhw.dir/node.cpp.o"
+  "CMakeFiles/ear_simhw.dir/node.cpp.o.d"
+  "CMakeFiles/ear_simhw.dir/perf_model.cpp.o"
+  "CMakeFiles/ear_simhw.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ear_simhw.dir/power_model.cpp.o"
+  "CMakeFiles/ear_simhw.dir/power_model.cpp.o.d"
+  "CMakeFiles/ear_simhw.dir/pstate.cpp.o"
+  "CMakeFiles/ear_simhw.dir/pstate.cpp.o.d"
+  "CMakeFiles/ear_simhw.dir/rapl.cpp.o"
+  "CMakeFiles/ear_simhw.dir/rapl.cpp.o.d"
+  "libear_simhw.a"
+  "libear_simhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_simhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

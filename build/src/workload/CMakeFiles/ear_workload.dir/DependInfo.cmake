@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/calibration.cpp" "src/workload/CMakeFiles/ear_workload.dir/calibration.cpp.o" "gcc" "src/workload/CMakeFiles/ear_workload.dir/calibration.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/ear_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/ear_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/spec_file.cpp" "src/workload/CMakeFiles/ear_workload.dir/spec_file.cpp.o" "gcc" "src/workload/CMakeFiles/ear_workload.dir/spec_file.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/ear_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/ear_workload.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simhw/CMakeFiles/ear_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_workload.dir/calibration.cpp.o"
+  "CMakeFiles/ear_workload.dir/calibration.cpp.o.d"
+  "CMakeFiles/ear_workload.dir/catalog.cpp.o"
+  "CMakeFiles/ear_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/ear_workload.dir/spec_file.cpp.o"
+  "CMakeFiles/ear_workload.dir/spec_file.cpp.o.d"
+  "CMakeFiles/ear_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/ear_workload.dir/synthetic.cpp.o.d"
+  "libear_workload.a"
+  "libear_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coeff_io.dir/test_coeff_io.cpp.o"
+  "CMakeFiles/test_coeff_io.dir/test_coeff_io.cpp.o.d"
+  "test_coeff_io"
+  "test_coeff_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coeff_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_io.dir/test_common_io.cpp.o"
+  "CMakeFiles/test_common_io.dir/test_common_io.cpp.o.d"
+  "test_common_io"
+  "test_common_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynais.dir/test_dynais.cpp.o"
+  "CMakeFiles/test_dynais.dir/test_dynais.cpp.o.d"
+  "test_dynais"
+  "test_dynais.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynais.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

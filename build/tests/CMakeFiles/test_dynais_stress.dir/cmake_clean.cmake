@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynais_stress.dir/test_dynais_stress.cpp.o"
+  "CMakeFiles/test_dynais_stress.dir/test_dynais_stress.cpp.o.d"
+  "test_dynais_stress"
+  "test_dynais_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynais_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

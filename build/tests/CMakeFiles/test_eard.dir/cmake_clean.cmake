@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eard.dir/test_eard.cpp.o"
+  "CMakeFiles/test_eard.dir/test_eard.cpp.o.d"
+  "test_eard"
+  "test_eard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

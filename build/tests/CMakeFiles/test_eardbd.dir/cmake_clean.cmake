@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eardbd.dir/test_eardbd.cpp.o"
+  "CMakeFiles/test_eardbd.dir/test_eardbd.cpp.o.d"
+  "test_eardbd"
+  "test_eardbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eardbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

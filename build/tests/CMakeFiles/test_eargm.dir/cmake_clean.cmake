@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eargm.dir/test_eargm.cpp.o"
+  "CMakeFiles/test_eargm.dir/test_eargm.cpp.o.d"
+  "test_eargm"
+  "test_eargm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eargm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

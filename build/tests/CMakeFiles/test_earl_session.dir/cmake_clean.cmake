@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_earl_session.dir/test_earl_session.cpp.o"
+  "CMakeFiles/test_earl_session.dir/test_earl_session.cpp.o.d"
+  "test_earl_session"
+  "test_earl_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_earl_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

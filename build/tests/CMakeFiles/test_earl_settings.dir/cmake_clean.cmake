@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_earl_settings.dir/test_earl_settings.cpp.o"
+  "CMakeFiles/test_earl_settings.dir/test_earl_settings.cpp.o.d"
+  "test_earl_settings"
+  "test_earl_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_earl_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epb.dir/test_epb.cpp.o"
+  "CMakeFiles/test_epb.dir/test_epb.cpp.o.d"
+  "test_epb"
+  "test_epb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halt_point.dir/test_halt_point.cpp.o"
+  "CMakeFiles/test_halt_point.dir/test_halt_point.cpp.o.d"
+  "test_halt_point"
+  "test_halt_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halt_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

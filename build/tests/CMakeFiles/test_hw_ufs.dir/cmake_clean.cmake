@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_ufs.dir/test_hw_ufs.cpp.o"
+  "CMakeFiles/test_hw_ufs.dir/test_hw_ufs.cpp.o.d"
+  "test_hw_ufs"
+  "test_hw_ufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_ufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_icelake.dir/test_icelake.cpp.o"
+  "CMakeFiles/test_icelake.dir/test_icelake.cpp.o.d"
+  "test_icelake"
+  "test_icelake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_icelake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imbalance.dir/test_imbalance.cpp.o"
+  "CMakeFiles/test_imbalance.dir/test_imbalance.cpp.o.d"
+  "test_imbalance"
+  "test_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imc_raise.dir/test_imc_raise.cpp.o"
+  "CMakeFiles/test_imc_raise.dir/test_imc_raise.cpp.o.d"
+  "test_imc_raise"
+  "test_imc_raise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imc_raise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

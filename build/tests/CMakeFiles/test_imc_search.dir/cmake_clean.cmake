@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imc_search.dir/test_imc_search.cpp.o"
+  "CMakeFiles/test_imc_search.dir/test_imc_search.cpp.o.d"
+  "test_imc_search"
+  "test_imc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

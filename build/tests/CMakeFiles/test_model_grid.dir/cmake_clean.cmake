@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_grid.dir/test_model_grid.cpp.o"
+  "CMakeFiles/test_model_grid.dir/test_model_grid.cpp.o.d"
+  "test_model_grid"
+  "test_model_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msr_lock.dir/test_msr_lock.cpp.o"
+  "CMakeFiles/test_msr_lock.dir/test_msr_lock.cpp.o.d"
+  "test_msr_lock"
+  "test_msr_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msr_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_matrix.dir/test_policy_matrix.cpp.o"
+  "CMakeFiles/test_policy_matrix.dir/test_policy_matrix.cpp.o.d"
+  "test_policy_matrix"
+  "test_policy_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pstate.dir/test_pstate.cpp.o"
+  "CMakeFiles/test_pstate.dir/test_pstate.cpp.o.d"
+  "test_pstate"
+  "test_pstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

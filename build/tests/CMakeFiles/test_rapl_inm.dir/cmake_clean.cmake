@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rapl_inm.dir/test_rapl_inm.cpp.o"
+  "CMakeFiles/test_rapl_inm.dir/test_rapl_inm.cpp.o.d"
+  "test_rapl_inm"
+  "test_rapl_inm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rapl_inm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_file.dir/test_spec_file.cpp.o"
+  "CMakeFiles/test_spec_file.dir/test_spec_file.cpp.o.d"
+  "test_spec_file"
+  "test_spec_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ear_sim_cli.dir/ear_sim.cpp.o"
+  "CMakeFiles/ear_sim_cli.dir/ear_sim.cpp.o.d"
+  "ear_sim"
+  "ear_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ear_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
