@@ -7,23 +7,32 @@ int main() {
   using namespace ear;
   bench::banner("Ablation: ME+eU vs controller baselines (UPS/DUF style)");
 
-  for (const char* name : {"bt-mz.d", "hpcg", "gromacs-i"}) {
+  // The whole {app x policy} grid runs as one parallel campaign.
+  const std::vector<std::string> apps = {"bt-mz.d", "hpcg", "gromacs-i"};
+  const std::vector<earl::EarlSettings> grid = {
+      sim::settings_no_policy(), sim::settings_me_eufs(0.05, 0.02),
+      sim::settings_controller("ups", 0.02),
+      sim::settings_controller("duf", 0.02)};
+  std::vector<sim::ExperimentConfig> cfgs;
+  for (const auto& name : apps) {
     const workload::AppModel app = workload::make_app(name);
-    const auto ref = bench::run(app, sim::settings_no_policy());
-    common::AsciiTable table(name);
+    for (const auto& s : grid) {
+      cfgs.push_back(sim::ExperimentConfig{.app = app, .earl = s,
+                                           .seed = bench::kSeed});
+    }
+  }
+  const auto results = bench::run_grid(std::move(cfgs));
+
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const auto& ref = results[a * grid.size()];
+    common::AsciiTable table(apps[a]);
     table.columns({"policy", "time penalty", "power saving",
                    "energy saving", "GB/s penalty", "ratio"});
-    sim::add_comparison_row(
-        table, "ME+eU",
-        sim::compare(ref, bench::run(app, sim::settings_me_eufs(0.05, 0.02))));
-    sim::add_comparison_row(
-        table, "UPS-style",
-        sim::compare(ref,
-                     bench::run(app, sim::settings_controller("ups", 0.02))));
-    sim::add_comparison_row(
-        table, "DUF-style",
-        sim::compare(ref,
-                     bench::run(app, sim::settings_controller("duf", 0.02))));
+    const char* labels[] = {"ME+eU", "UPS-style", "DUF-style"};
+    for (std::size_t p = 1; p < grid.size(); ++p) {
+      sim::add_comparison_row(table, labels[p - 1],
+                              sim::compare(ref, results[a * grid.size() + p]));
+    }
     table.print();
   }
   std::printf(

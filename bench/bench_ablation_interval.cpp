@@ -12,23 +12,28 @@ int main() {
   bench::banner("Ablation: signature interval (bt-mz.d, ME+eU 5%/2%)");
 
   const workload::AppModel app = workload::make_app("bt-mz.d");
-  sim::ExperimentConfig ref_cfg{.app = app,
-                                .earl = sim::settings_no_policy(),
-                                .seed = bench::kSeed};
-  const auto ref = sim::run_averaged(ref_cfg, bench::kRuns);
+  const std::vector<double> intervals = {4.0, 10.0, 20.0, 40.0};
+
+  // Reference + every interval as one parallel campaign grid.
+  std::vector<earl::EarlSettings> grid = {sim::settings_no_policy()};
+  for (double interval : intervals) {
+    earl::EarlSettings settings = sim::settings_me_eufs(0.05, 0.02);
+    settings.signature_interval_s = interval;
+    grid.push_back(settings);
+  }
+  const auto results = bench::run_grid(app, grid);
+  const auto& ref = results[0];
 
   common::AsciiTable table;
   table.columns({"interval (s)", "signatures", "avg IMC", "time penalty",
                  "energy saving"});
-  for (double interval : {4.0, 10.0, 20.0, 40.0}) {
-    earl::EarlSettings settings = sim::settings_me_eufs(0.05, 0.02);
-    settings.signature_interval_s = interval;
-    sim::ExperimentConfig cfg{.app = app, .earl = settings,
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    sim::ExperimentConfig cfg{.app = app, .earl = grid[i + 1],
                               .seed = bench::kSeed};
     const auto one = sim::run_experiment(cfg);
-    const auto avg = sim::run_averaged(cfg, bench::kRuns);
+    const auto& avg = results[i + 1];
     const auto c = sim::compare(ref, avg);
-    table.add_row({common::AsciiTable::num(interval, 0),
+    table.add_row({common::AsciiTable::num(intervals[i], 0),
                    std::to_string(one.nodes.front().signatures),
                    common::AsciiTable::ghz(avg.avg_imc_ghz),
                    common::AsciiTable::pct(c.time_penalty_pct),

@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "metrics/accumulator.hpp"
 #include "sim/experiment.hpp"
 #include "workload/synthetic.hpp"
@@ -60,25 +61,38 @@ int main() {
   const auto cfg = simhw::make_skylake_6148_node();
   const auto& learned = sim::cached_models(cfg);
 
-  common::AsciiTable table;
-  table.columns({"workload", "model", "time MAPE", "energy MAPE"});
   struct Case {
     const char* name;
     double vpi;
   };
-  for (const Case c : {Case{"scalar", 0.0}, Case{"mixed vpi=0.5", 0.5},
-                       Case{"avx512 vpi=1.0", 1.0}}) {
+  const std::vector<Case> cases = {Case{"scalar", 0.0},
+                                   Case{"mixed vpi=0.5", 0.5},
+                                   Case{"avx512 vpi=1.0", 1.0}};
+
+  // Each (workload, model) evaluation sweeps 8 target P-states with a
+  // dozen iterations per measurement — fan the six out over the cores.
+  std::vector<Mape> mapes(cases.size() * 2);
+  common::parallel_for(mapes.size(), [&](std::size_t i) {
     workload::SyntheticSpec spec;
     spec.iter_seconds = 0.8;
     spec.cpi_core = 0.5;
     spec.gbps = 30.0;
     spec.stall_share = 0.15;
-    spec.vpi = c.vpi;
+    spec.vpi = cases[i / 2].vpi;
     spec.power_activity = 0.4;
     const auto demand = workload::make_demand(cfg, spec);
-    const Mape basic = evaluate(*learned.basic, cfg, demand);
-    const Mape avx = evaluate(*learned.avx512, cfg, demand);
-    table.add_row({c.name, "basic",
+    const models::EnergyModel& model =
+        i % 2 == 0 ? static_cast<const models::EnergyModel&>(*learned.basic)
+                   : static_cast<const models::EnergyModel&>(*learned.avx512);
+    mapes[i] = evaluate(model, cfg, demand);
+  });
+
+  common::AsciiTable table;
+  table.columns({"workload", "model", "time MAPE", "energy MAPE"});
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const Mape& basic = mapes[2 * c];
+    const Mape& avx = mapes[2 * c + 1];
+    table.add_row({cases[c].name, "basic",
                    common::AsciiTable::pct(basic.time, 2),
                    common::AsciiTable::pct(basic.energy, 2)});
     table.add_row({"", "avx512", common::AsciiTable::pct(avx.time, 2),

@@ -14,25 +14,33 @@ int main() {
                 "(bt-mz.d, cpu 5%, unc 2%)");
 
   const workload::AppModel app = workload::make_app("bt-mz.d");
+  const std::vector<double> sigmas = {0.0, 0.002, 0.004, 0.008, 0.016};
+
+  // {sigma x (reference, policy)} grid at 5 runs per point, in parallel.
+  std::vector<sim::ExperimentConfig> cfgs;
+  for (double sigma : sigmas) {
+    const simhw::NoiseModel noise{.time_sigma = sigma,
+                                  .power_sigma = sigma};
+    cfgs.push_back(sim::ExperimentConfig{.app = app,
+                                         .earl = sim::settings_no_policy(),
+                                         .seed = bench::kSeed,
+                                         .noise = noise});
+    cfgs.push_back(
+        sim::ExperimentConfig{.app = app,
+                              .earl = sim::settings_me_eufs(0.05, 0.02),
+                              .seed = bench::kSeed,
+                              .noise = noise});
+  }
+  const auto results = bench::run_grid(std::move(cfgs), 5);
 
   common::AsciiTable table;
   table.columns({"time sigma", "avg IMC (GHz)", "time penalty",
                  "energy saving"});
-  for (double sigma : {0.0, 0.002, 0.004, 0.008, 0.016}) {
-    const simhw::NoiseModel noise{.time_sigma = sigma,
-                                  .power_sigma = sigma};
-    sim::ExperimentConfig ref_cfg{.app = app,
-                                  .earl = sim::settings_no_policy(),
-                                  .seed = bench::kSeed,
-                                  .noise = noise};
-    sim::ExperimentConfig cfg{.app = app,
-                              .earl = sim::settings_me_eufs(0.05, 0.02),
-                              .seed = bench::kSeed,
-                              .noise = noise};
-    const auto ref = sim::run_averaged(ref_cfg, 5);
-    const auto res = sim::run_averaged(cfg, 5);
+  for (std::size_t i = 0; i < sigmas.size(); ++i) {
+    const auto& ref = results[2 * i];
+    const auto& res = results[2 * i + 1];
     const auto c = sim::compare(ref, res);
-    table.add_row({common::AsciiTable::num(sigma, 3),
+    table.add_row({common::AsciiTable::num(sigmas[i], 3),
                    common::AsciiTable::ghz(res.avg_imc_ghz),
                    common::AsciiTable::pct(c.time_penalty_pct),
                    common::AsciiTable::pct(c.energy_saving_pct)});

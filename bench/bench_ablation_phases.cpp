@@ -17,23 +17,27 @@ int main() {
   const auto cfg = simhw::make_skylake_6148_node();
   const workload::AppModel app = workload::make_phase_change_app(cfg, 120);
 
-  sim::ExperimentConfig ref_cfg{.app = app,
-                                .earl = sim::settings_no_policy(),
-                                .seed = bench::kSeed};
-  const auto ref = sim::run_averaged(ref_cfg, bench::kRuns);
+  const std::vector<double> thresholds = {0.03, 0.15, 0.60};
+
+  // Reference + thresholds as one parallel campaign grid.
+  std::vector<earl::EarlSettings> grid = {sim::settings_no_policy()};
+  for (double th : thresholds) {
+    earl::EarlSettings settings = sim::settings_me_eufs(0.05, 0.02);
+    settings.policy_settings.sig_change_th = th;
+    grid.push_back(settings);
+  }
+  const auto results = bench::run_grid(app, grid);
+  const auto& ref = results[0];
 
   common::AsciiTable table;
   table.columns({"sig_change_th", "signatures", "time penalty",
                  "energy saving"});
-  for (double th : {0.03, 0.15, 0.60}) {
-    earl::EarlSettings settings = sim::settings_me_eufs(0.05, 0.02);
-    settings.policy_settings.sig_change_th = th;
-    sim::ExperimentConfig cfg2{.app = app, .earl = settings,
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    sim::ExperimentConfig cfg2{.app = app, .earl = grid[i + 1],
                                .seed = bench::kSeed};
     const auto one = sim::run_experiment(cfg2);
-    const auto avg = sim::run_averaged(cfg2, bench::kRuns);
-    const auto c = sim::compare(ref, avg);
-    table.add_row({common::AsciiTable::num(th, 2),
+    const auto c = sim::compare(ref, results[i + 1]);
+    table.add_row({common::AsciiTable::num(thresholds[i], 2),
                    std::to_string(one.nodes.front().signatures),
                    common::AsciiTable::pct(c.time_penalty_pct),
                    common::AsciiTable::pct(c.energy_saving_pct)});

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "sim/experiment.hpp"
 
 namespace {
@@ -41,14 +42,23 @@ SearchOutcome run_once(const workload::AppModel& app,
 int main() {
   bench::banner("Ablation: HW-guided vs non-guided uncore search");
 
+  // {app x strategy} pairs fan out over all cores (EAR_SIM_JOBS to cap).
+  const std::vector<std::string> apps = {"bt-mz.d", "gromacs-i", "dgemm"};
+  std::vector<SearchOutcome> outcomes(apps.size() * 2);
+  common::parallel_for(outcomes.size(), [&](std::size_t i) {
+    const workload::AppModel app = workload::make_app(apps[i / 2]);
+    outcomes[i] = run_once(app, i % 2 == 0
+                                    ? sim::settings_me_eufs(0.05, 0.02)
+                                    : sim::settings_me_ngufs(0.05, 0.02));
+  });
+
   common::AsciiTable table;
   table.columns({"app", "strategy", "converge (s)", "final IMC (GHz)",
                  "job energy (kJ)"});
-  for (const char* name : {"bt-mz.d", "gromacs-i", "dgemm"}) {
-    const workload::AppModel app = workload::make_app(name);
-    const auto guided = run_once(app, sim::settings_me_eufs(0.05, 0.02));
-    const auto nguided = run_once(app, sim::settings_me_ngufs(0.05, 0.02));
-    table.add_row({name, "HW-guided",
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const auto& guided = outcomes[2 * a];
+    const auto& nguided = outcomes[2 * a + 1];
+    table.add_row({apps[a], "HW-guided",
                    common::AsciiTable::num(guided.converge_s, 1),
                    common::AsciiTable::num(guided.final_imc, 2),
                    common::AsciiTable::num(guided.energy_j / 1000, 1)});

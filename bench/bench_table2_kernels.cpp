@@ -19,11 +19,21 @@ int main() {
       {"dgemm", "MKL", 160, 0.45, 98, 369},
   };
 
+  // One campaign point per kernel, evaluated in parallel.
+  std::vector<sim::ExperimentConfig> cfgs;
+  for (const Row& r : rows) {
+    cfgs.push_back(sim::ExperimentConfig{.app = workload::make_app(r.app),
+                                         .earl = sim::settings_no_policy(),
+                                         .seed = bench::kSeed});
+  }
+  const auto results = bench::run_grid(std::move(cfgs));
+
   common::AsciiTable table;
   table.columns({"kernel", "model", "time (s)", "CPI", "GB/s",
                  "avg DC power (W)"});
-  for (const Row& r : rows) {
-    const auto res = bench::run(r.app, sim::settings_no_policy());
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Row& r = rows[i];
+    const auto& res = results[i];
     table.add_row({r.app, r.model,
                    sim::vs_paper(res.total_time_s, r.paper_time, 0),
                    sim::vs_paper(res.cpi, r.paper_cpi),

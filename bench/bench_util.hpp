@@ -6,8 +6,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
+#include "sim/campaign.hpp"
 #include "sim/presets.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
@@ -30,6 +32,35 @@ inline sim::AveragedResult run(const std::string& app_name,
   return run(workload::make_app(app_name), settings);
 }
 
+/// Run a grid of configs through the parallel campaign engine (jobs from
+/// EAR_SIM_JOBS, default all cores). Results are in input order and
+/// bitwise identical to running each config through run() serially.
+inline std::vector<sim::AveragedResult> run_grid(
+    std::vector<sim::ExperimentConfig> cfgs, std::size_t runs = kRuns) {
+  sim::Campaign campaign;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    campaign.add(std::to_string(i), std::move(cfgs[i]), runs);
+  }
+  campaign.run();
+  std::vector<sim::AveragedResult> out;
+  out.reserve(campaign.results().size());
+  for (const auto& r : campaign.results()) out.push_back(r.avg);
+  return out;
+}
+
+/// Grid over (app x settings): one campaign point per pair, kRuns each.
+inline std::vector<sim::AveragedResult> run_grid(
+    const workload::AppModel& app,
+    const std::vector<earl::EarlSettings>& settings_grid) {
+  std::vector<sim::ExperimentConfig> cfgs;
+  cfgs.reserve(settings_grid.size());
+  for (const auto& s : settings_grid) {
+    cfgs.push_back(sim::ExperimentConfig{.app = app, .earl = s,
+                                         .seed = kSeed});
+  }
+  return run_grid(std::move(cfgs));
+}
+
 /// The standard trio the paper compares (per-app thresholds).
 struct Trio {
   sim::AveragedResult no_policy;
@@ -40,11 +71,10 @@ struct Trio {
 inline Trio run_trio(const std::string& app_name, double cpu_th,
                      double unc_th) {
   const workload::AppModel app = workload::make_app(app_name);
-  return Trio{
-      .no_policy = run(app, sim::settings_no_policy()),
-      .me = run(app, sim::settings_me(cpu_th)),
-      .me_eufs = run(app, sim::settings_me_eufs(cpu_th, unc_th)),
-  };
+  auto res = run_grid(app, {sim::settings_no_policy(),
+                            sim::settings_me(cpu_th),
+                            sim::settings_me_eufs(cpu_th, unc_th)});
+  return Trio{.no_policy = res[0], .me = res[1], .me_eufs = res[2]};
 }
 
 inline void banner(const char* what) {

@@ -24,6 +24,17 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Collision-resistant derivation of a per-run seed from a user seed and
+/// a run index. A linear rule (seed + r*stride) aliases whenever two user
+/// seeds differ by a multiple of the stride; mixing each input through
+/// the full SplitMix64 finalizer first destroys that arithmetic
+/// structure, so distinct (seed, run) pairs get unrelated streams.
+constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t run) {
+  SplitMix64 a(seed);
+  SplitMix64 b(a.next() ^ (run + 0x9e3779b97f4a7c15ULL));
+  return b.next();
+}
+
 /// xoshiro256** generator with convenience floating-point draws.
 class Rng {
  public:

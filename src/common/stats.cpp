@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -48,7 +49,13 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double relative_change(double reference, double value) {
-  return reference == 0.0 ? 0.0 : (value - reference) / reference;
+  // A zero reference has no meaningful relative change; returning 0.0
+  // here used to report "no change" for *any* value. NaN is a signalled
+  // sentinel the formatting layer renders as "n/a".
+  if (reference == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return (value - reference) / reference;
 }
 
 double percent_change(double reference, double value) {

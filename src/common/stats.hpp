@@ -36,10 +36,12 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Relative change (new - ref) / ref; 0 when ref == 0.
+/// Relative change (new - ref) / ref. A zero reference yields quiet NaN:
+/// "X% of nothing" is undefined, and the old silent-0.0 answer hid real
+/// regressions behind a fake "no change".
 [[nodiscard]] double relative_change(double reference, double value);
 
-/// Relative change expressed in percent.
+/// Relative change expressed in percent (NaN when reference == 0).
 [[nodiscard]] double percent_change(double reference, double value);
 
 /// Arithmetic mean of a sequence; 0 for empty input.

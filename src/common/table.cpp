@@ -1,6 +1,7 @@
 #include "common/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -79,12 +80,14 @@ void AsciiTable::print(std::FILE* out) const {
 }
 
 std::string AsciiTable::num(double v, int precision) {
+  if (!std::isfinite(v)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);
   return buf;
 }
 
 std::string AsciiTable::pct(double v, int precision) {
+  if (!std::isfinite(v)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%+.*f%%", precision, v);
   return buf;

@@ -53,6 +53,10 @@ PolicyState MinEnergyEufsPolicy::apply(const metrics::Signature& sig,
                                        NodeFreqs& out) {
   switch (stage_) {
     case Stage::kCpuFreqSel: {
+      // The signature in hand was measured at `current_` — which is the
+      // policy default only until sync_constraints re-anchors it on an
+      // EARGM clamp (or its release).
+      const Pstate measured_at = current_;
       const CpuSelection sel = select_min_energy_pstate(
           *ctx_.model, ctx_.pstates, sig, current_,
           std::max(default_pstate_, limit_),
@@ -61,9 +65,12 @@ PolicyState MinEnergyEufsPolicy::apply(const metrics::Signature& sig,
       expected_time_s_ = sel.predicted_time_s;
       EAR_LOG_DEBUG("policy", "eufs: cpu_sel -> pstate %zu (%.2f GHz)",
                     sel.pstate, ctx_.pstates.freq(sel.pstate).as_ghz());
-      if (sel.pstate == default_pstate_) {
+      if (sel.pstate == measured_at) {
         // No CPU change: the signature in hand is already the reference
-        // at the selected frequency (Fig. 2's shortcut edge).
+        // at the selected frequency (Fig. 2's shortcut edge). Comparing
+        // against the measurement frequency — not the policy default —
+        // keeps the IMC guards anchored at the frequency in force even
+        // after an EARGM clamp re-anchored current_ (§V-B).
         return enter_imc_search(sig, out);
       }
       out = open_window(ctx_, sel.pstate);

@@ -1,0 +1,119 @@
+#include "sim/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ear::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::size_t Campaign::add(CampaignPoint point) {
+  EAR_CHECK_MSG(point.runs > 0, "campaign point needs at least one run");
+  points_.push_back(std::move(point));
+  return points_.size() - 1;
+}
+
+std::size_t Campaign::add(std::string label, ExperimentConfig cfg,
+                          std::size_t runs) {
+  return add(CampaignPoint{.label = std::move(label),
+                           .cfg = std::move(cfg),
+                           .runs = runs});
+}
+
+const std::vector<CampaignResult>& Campaign::run() {
+  // Flatten the grid to (point, run) tasks so a campaign with few points
+  // but several runs each still fills the pool.
+  struct Task {
+    std::size_t point;
+    std::size_t run;
+  };
+  std::vector<Task> tasks;
+  std::vector<std::vector<RunResult>> slots(points_.size());
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    slots[p].resize(points_[p].runs);
+    for (std::size_t r = 0; r < points_[p].runs; ++r) {
+      tasks.push_back(Task{.point = p, .run = r});
+    }
+  }
+
+  std::vector<double> run_seconds(points_.size(), 0.0);
+  std::vector<std::atomic<std::size_t>> remaining(points_.size());
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    remaining[p].store(points_[p].runs, std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> points_done{0};
+  std::mutex mu;  // guards run_seconds accumulation + progress output
+
+  const auto t0 = Clock::now();
+  common::parallel_for(
+      tasks.size(),
+      [&](std::size_t i) {
+        const Task& t = tasks[i];
+        const CampaignPoint& point = points_[t.point];
+        const auto start = Clock::now();
+        slots[t.point][t.run] =
+            run_experiment(config_for_run(point.cfg, t.run));
+        const double elapsed = seconds_since(start);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          run_seconds[t.point] += elapsed;
+        }
+        if (remaining[t.point].fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          const std::size_t done =
+              points_done.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (opts_.progress) {
+            std::lock_guard<std::mutex> lock(mu);
+            std::fprintf(stderr,
+                         "[campaign %zu/%zu] %s: %zu runs, %.2fs\n", done,
+                         points_.size(), point.label.c_str(), point.runs,
+                         run_seconds[t.point]);
+          }
+        }
+      },
+      opts_.jobs);
+
+  results_.clear();
+  results_.reserve(points_.size());
+  for (std::size_t p = 0; p < points_.size(); ++p) {
+    results_.push_back(CampaignResult{.label = points_[p].label,
+                                      .avg = reduce_runs(slots[p]),
+                                      .run_seconds = run_seconds[p]});
+  }
+  wall_s_ = seconds_since(t0);
+  return results_;
+}
+
+common::RunningStats Campaign::time_stats() const {
+  common::RunningStats stats;
+  for (const CampaignResult& r : results_) {
+    common::RunningStats one;
+    one.add(r.avg.total_time_s);
+    stats.merge(one);
+  }
+  return stats;
+}
+
+std::vector<CampaignResult> run_campaign(std::vector<CampaignPoint> points,
+                                         CampaignOptions opts) {
+  Campaign campaign(opts);
+  for (auto& p : points) campaign.add(std::move(p));
+  campaign.run();
+  return campaign.results();
+}
+
+}  // namespace ear::sim

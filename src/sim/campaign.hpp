@@ -1,0 +1,84 @@
+// Campaign engine: fan a grid of experiment points — the paper's
+// {workload x policy x frequency} sweeps — out across worker threads.
+//
+// Every table and figure in the paper is an average over repeated runs
+// of many independent configurations; the grid is embarrassingly
+// parallel. The engine schedules at (point, run) granularity so even a
+// short list of points keeps all cores busy, and reduces each point's
+// runs in run-index order with sim::reduce_runs — results are therefore
+// bitwise identical for any job count, including the serial one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/runner.hpp"
+
+namespace ear::sim {
+
+/// One grid point: a config run `runs` times and averaged.
+struct CampaignPoint {
+  std::string label;
+  ExperimentConfig cfg;
+  std::size_t runs = 3;
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 = EAR_SIM_JOBS env var or hardware concurrency.
+  std::size_t jobs = 0;
+  /// Print a per-point completion line (label + timing) to stderr.
+  bool progress = false;
+};
+
+/// Outcome of one point, in the order the points were added.
+struct CampaignResult {
+  std::string label;
+  AveragedResult avg;
+  /// Wall-clock the point's runs cost, summed over runs (thread-seconds).
+  double run_seconds = 0.0;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions opts = {}) : opts_(opts) {}
+
+  /// Append a point; returns its index into results().
+  std::size_t add(CampaignPoint point);
+  std::size_t add(std::string label, ExperimentConfig cfg,
+                  std::size_t runs = 3);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<CampaignPoint>& points() const {
+    return points_;
+  }
+
+  /// Execute every (point, run) task across the worker pool and reduce.
+  /// Results are indexed exactly like the add() calls.
+  const std::vector<CampaignResult>& run();
+
+  /// Results of the last run() (empty before the first).
+  [[nodiscard]] const std::vector<CampaignResult>& results() const {
+    return results_;
+  }
+
+  /// Wall-clock of the last run() as observed by the caller.
+  [[nodiscard]] double wall_seconds() const { return wall_s_; }
+
+  /// Cross-point statistics over the per-point mean times of the last
+  /// run(), merged per point with RunningStats::merge.
+  [[nodiscard]] common::RunningStats time_stats() const;
+
+ private:
+  CampaignOptions opts_;
+  std::vector<CampaignPoint> points_;
+  std::vector<CampaignResult> results_;
+  double wall_s_ = 0.0;
+};
+
+/// Convenience: run a one-shot campaign over `points`.
+[[nodiscard]] std::vector<CampaignResult> run_campaign(
+    std::vector<CampaignPoint> points, CampaignOptions opts = {});
+
+}  // namespace ear::sim

@@ -1,5 +1,6 @@
 #include "sim/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/error.hpp"
@@ -8,6 +9,10 @@ namespace ear::sim {
 
 std::string vs_paper(double measured, double paper, int precision) {
   char buf[96];
+  if (!std::isfinite(measured)) {
+    std::snprintf(buf, sizeof buf, "n/a (paper %.*f)", precision, paper);
+    return buf;
+  }
   std::snprintf(buf, sizeof buf, "%.*f (paper %.*f)", precision, measured,
                 precision, paper);
   return buf;
@@ -16,6 +21,13 @@ std::string vs_paper(double measured, double paper, int precision) {
 std::string vs_paper_pct(double measured_pct, double paper_pct,
                          int precision) {
   char buf[96];
+  // percent_change signals an undefined (zero-reference) comparison with
+  // NaN; render it as n/a instead of a fake number.
+  if (!std::isfinite(measured_pct)) {
+    std::snprintf(buf, sizeof buf, "n/a (paper %+.*f%%)", precision,
+                  paper_pct);
+    return buf;
+  }
   std::snprintf(buf, sizeof buf, "%+.*f%% (paper %+.*f%%)", precision,
                 measured_pct, precision, paper_pct);
   return buf;

@@ -3,18 +3,26 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace ear::sim {
 
-AveragedResult run_averaged(const ExperimentConfig& cfg, std::size_t runs) {
-  EAR_CHECK_MSG(runs > 0, "need at least one run");
+ExperimentConfig config_for_run(const ExperimentConfig& cfg, std::size_t run) {
+  ExperimentConfig c = cfg;
+  // Mixed (not linear) derivation: seed + r*stride aliased whenever two
+  // user seeds differed by a multiple of the stride, silently sharing
+  // "independent" runs between campaign points.
+  c.seed = common::mix_seed(cfg.seed, run);
+  return c;
+}
+
+AveragedResult reduce_runs(std::span<const RunResult> runs) {
+  EAR_CHECK_MSG(!runs.empty(), "need at least one run");
   AveragedResult avg;
   common::RunningStats time_stats;
-  for (std::size_t r = 0; r < runs; ++r) {
-    ExperimentConfig c = cfg;
-    c.seed = cfg.seed + r * 0x9e37;
-    const RunResult res = run_experiment(c);
+  for (const RunResult& res : runs) {
     avg.total_time_s += res.total_time_s;
     avg.total_energy_j += res.total_energy_j;
     avg.avg_dc_power_w += res.avg_dc_power_w;
@@ -23,9 +31,14 @@ AveragedResult run_averaged(const ExperimentConfig& cfg, std::size_t runs) {
     avg.avg_imc_ghz += res.avg_imc_ghz;
     avg.cpi += res.cpi;
     avg.gbps += res.gbps;
-    time_stats.add(res.total_time_s);
+    // Cross-run aggregation goes through merge() so partial accumulators
+    // (e.g. per-shard stats from a distributed campaign) reduce through
+    // the exact same code path.
+    common::RunningStats one;
+    one.add(res.total_time_s);
+    time_stats.merge(one);
   }
-  const double k = static_cast<double>(runs);
+  const double k = static_cast<double>(runs.size());
   avg.total_time_s /= k;
   avg.total_energy_j /= k;
   avg.avg_dc_power_w /= k;
@@ -35,8 +48,21 @@ AveragedResult run_averaged(const ExperimentConfig& cfg, std::size_t runs) {
   avg.cpi /= k;
   avg.gbps /= k;
   avg.time_stddev_s = time_stats.stddev();
-  avg.runs = runs;
+  avg.runs = runs.size();
   return avg;
+}
+
+AveragedResult run_averaged(const ExperimentConfig& cfg, std::size_t runs,
+                            std::size_t jobs) {
+  EAR_CHECK_MSG(runs > 0, "need at least one run");
+  // Each run lands in its index's slot and the reduction walks the slots
+  // in order, so the result is bitwise identical for any job count.
+  std::vector<RunResult> results(runs);
+  common::parallel_for(
+      runs,
+      [&](std::size_t r) { results[r] = run_experiment(config_for_run(cfg, r)); },
+      jobs);
+  return reduce_runs(results);
 }
 
 Comparison compare(const AveragedResult& reference,
@@ -50,6 +76,9 @@ Comparison compare(const AveragedResult& reference,
       -common::percent_change(reference.total_energy_j, result.total_energy_j);
   c.pck_power_saving_pct = -common::percent_change(reference.avg_pkg_power_w,
                                                    result.avg_pkg_power_w);
+  // percent_change signals a zero reference with NaN; a workload that
+  // reports no memory traffic (GB/s ~ 0 references exist in the CUDA
+  // kernel rows) renders as "n/a" rather than a fake 0% penalty.
   c.gbps_penalty_pct = -common::percent_change(reference.gbps, result.gbps);
   const double edp_ref = reference.total_energy_j * reference.total_time_s;
   const double edp_res = result.total_energy_j * result.total_time_s;

@@ -3,7 +3,10 @@
 // comparisons all the tables and figures are built from.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "sim/experiment.hpp"
 
@@ -23,9 +26,24 @@ struct AveragedResult {
   std::size_t runs = 0;
 };
 
-/// Execute `runs` independent runs (seeds seed, seed+1, ...) and average.
+/// The config for run index `run` of a repeated experiment: the per-run
+/// seed is derived with common::mix_seed so distinct (user seed, run)
+/// pairs never share a random stream.
+[[nodiscard]] ExperimentConfig config_for_run(const ExperimentConfig& cfg,
+                                              std::size_t run);
+
+/// Reduce per-run results (in run-index order) to the paper-style mean.
+/// Shared by run_averaged and the parallel Campaign engine, so both
+/// produce bitwise-identical numbers for the same runs.
+[[nodiscard]] AveragedResult reduce_runs(std::span<const RunResult> runs);
+
+/// Execute `runs` independent runs (mixed per-run seeds) and average.
+/// `jobs` > 1 fans the runs out over threads (0 = all cores /
+/// EAR_SIM_JOBS); the reduction is always in run-index order, so the
+/// result does not depend on the job count.
 [[nodiscard]] AveragedResult run_averaged(const ExperimentConfig& cfg,
-                                          std::size_t runs = 3);
+                                          std::size_t runs = 3,
+                                          std::size_t jobs = 1);
 
 /// Penalties/savings of `result` relative to `reference` (positive saving
 /// = better than reference; positive penalty = worse), as the paper's
@@ -37,9 +55,11 @@ struct Comparison {
   double pck_power_saving_pct = 0.0;   // RAPL PKG power (Table VII)
   double gbps_penalty_pct = 0.0;
   /// Energy saved per time lost; the paper's "efficiency ratio".
+  /// NaN-safe: a zero or undefined time penalty has no defined ratio.
   [[nodiscard]] double efficiency_ratio() const {
-    return time_penalty_pct != 0.0 ? energy_saving_pct / time_penalty_pct
-                                   : 0.0;
+    return std::isfinite(time_penalty_pct) && time_penalty_pct != 0.0
+               ? energy_saving_pct / time_penalty_pct
+               : 0.0;
   }
   /// Energy-delay-product change in percent (negative = EDP improved):
   /// a threshold-free figure of merit for energy/performance trades.

@@ -1,0 +1,134 @@
+// The parallel campaign engine: determinism across job counts (the
+// tier-1 guarantee the bench/table reproductions rely on), per-run seed
+// derivation, and result ordering.
+#include "sim/campaign.hpp"
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/presets.hpp"
+#include "workload/catalog.hpp"
+
+namespace ear::sim {
+namespace {
+
+ExperimentConfig small_cfg(const char* app, std::uint64_t seed) {
+  return ExperimentConfig{.app = workload::make_app(app),
+                          .earl = settings_me_eufs(0.05, 0.02),
+                          .seed = seed};
+}
+
+/// Byte-exact equality over every scalar field of an AveragedResult.
+bool same_bytes(const AveragedResult& a, const AveragedResult& b) {
+  return std::memcmp(&a, &b, sizeof(AveragedResult)) == 0;
+}
+
+TEST(SeedMix, LinearAliasRegression) {
+  // The old derivation (seed + r * 0x9e37) made run r of seed s collide
+  // with run r+1 of seed s - 0x9e37: two "independent" campaign points
+  // shared whole random streams.
+  const std::uint64_t s = 1234;
+  EXPECT_NE(common::mix_seed(s, 1), common::mix_seed(s + 0x9e37, 0));
+  EXPECT_NE(common::mix_seed(s, 2), common::mix_seed(s + 2 * 0x9e37, 0));
+}
+
+TEST(SeedMix, NoCollisionsAcrossSmallGrid) {
+  // Distinct (user seed, run) pairs must give distinct run seeds, even
+  // for adversarially related user seeds.
+  std::set<std::uint64_t> seen;
+  std::size_t total = 0;
+  for (std::uint64_t base : {std::uint64_t{1}, std::uint64_t{7},
+                             std::uint64_t{7 + 0x9e37},
+                             std::uint64_t{7 + 2 * 0x9e37},
+                             std::uint64_t{1'000'000}}) {
+    for (std::uint64_t r = 0; r < 32; ++r) {
+      seen.insert(common::mix_seed(base, r));
+      ++total;
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(SeedMix, ConfigForRunUsesMix) {
+  const ExperimentConfig cfg = small_cfg("bt-mz.c.omp", 42);
+  EXPECT_EQ(config_for_run(cfg, 3).seed, common::mix_seed(42, 3));
+  EXPECT_NE(config_for_run(cfg, 0).seed, config_for_run(cfg, 1).seed);
+}
+
+TEST(Campaign, OneThreadAndManyThreadsBitwiseIdentical) {
+  // The tier-1 determinism guarantee: a campaign's reported numbers do
+  // not depend on the worker count.
+  auto build = [] {
+    std::vector<CampaignPoint> points;
+    points.push_back(CampaignPoint{.label = "a",
+                                   .cfg = small_cfg("bt-mz.c.omp", 1),
+                                   .runs = 2});
+    points.push_back(CampaignPoint{.label = "b",
+                                   .cfg = small_cfg("sp-mz.c.omp", 1),
+                                   .runs = 3});
+    points.push_back(CampaignPoint{.label = "c",
+                                   .cfg = small_cfg("dgemm", 9),
+                                   .runs = 2});
+    return points;
+  };
+  const auto serial = run_campaign(build(), CampaignOptions{.jobs = 1});
+  const auto parallel = run_campaign(build(), CampaignOptions{.jobs = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].label, parallel[i].label);
+    EXPECT_TRUE(same_bytes(serial[i].avg, parallel[i].avg)) << i;
+  }
+}
+
+TEST(Campaign, MatchesRunAveraged) {
+  // One campaign point must reproduce run_averaged exactly (shared
+  // reduce path) — the benches were ported on this promise.
+  const ExperimentConfig cfg = small_cfg("bt-mz.c.omp", 5);
+  const AveragedResult direct = run_averaged(cfg, 3);
+  Campaign campaign(CampaignOptions{.jobs = 2});
+  campaign.add("only", cfg, 3);
+  const auto& results = campaign.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(same_bytes(results[0].avg, direct));
+}
+
+TEST(Campaign, RunAveragedParallelMatchesSerial) {
+  const ExperimentConfig cfg = small_cfg("sp-mz.c.omp", 11);
+  EXPECT_TRUE(same_bytes(run_averaged(cfg, 4, 1), run_averaged(cfg, 4, 4)));
+}
+
+TEST(Campaign, ResultsInInsertionOrder) {
+  Campaign campaign(CampaignOptions{.jobs = 4});
+  EXPECT_EQ(campaign.add("first", small_cfg("dgemm", 1), 1), 0u);
+  EXPECT_EQ(campaign.add("second", small_cfg("bt-mz.c.omp", 1), 1), 1u);
+  EXPECT_EQ(campaign.size(), 2u);
+  const auto& results = campaign.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].label, "first");
+  EXPECT_EQ(results[1].label, "second");
+  EXPECT_GT(results[0].avg.total_time_s, 0.0);
+  EXPECT_GT(results[0].run_seconds, 0.0);
+  EXPECT_GT(campaign.wall_seconds(), 0.0);
+}
+
+TEST(Campaign, TimeStatsMergesAcrossPoints) {
+  Campaign campaign(CampaignOptions{.jobs = 2});
+  campaign.add("a", small_cfg("bt-mz.c.omp", 1), 1);
+  campaign.add("b", small_cfg("dgemm", 1), 1);
+  campaign.run();
+  const auto stats = campaign.time_stats();
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_GT(stats.mean(), 0.0);
+}
+
+TEST(Campaign, RejectsZeroRuns) {
+  Campaign campaign;
+  EXPECT_ANY_THROW(campaign.add("bad", small_cfg("dgemm", 1), 0));
+}
+
+}  // namespace
+}  // namespace ear::sim

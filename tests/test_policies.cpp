@@ -245,6 +245,70 @@ TEST(MinEnergyEufs, NameReflectsGuidance) {
   EXPECT_EQ(MinEnergyEufsPolicy(std::move(ctx)).name(), "min_energy_eufs");
 }
 
+TEST(MinEnergyEufs, ShortcutComparesAgainstMeasurementFrequency) {
+  // Regression for the Fig. 2 shortcut bug: after an EARGM clamp
+  // re-anchors current_, the CPU_FREQ_SEL shortcut must compare the
+  // selection against the frequency the in-hand signature was measured
+  // at — not the policy default. The buggy comparison adopted an IMC
+  // reference measured at the clamped frequency while the CPU was being
+  // moved back to nominal.
+  auto ctx = make_ctx(1.0, 0.3);  // compute-bound: selection -> default
+  MinEnergyEufsPolicy policy(std::move(ctx));
+
+  // EARGM clamps the node to p5 and the daemon applies it; the clamp is
+  // then lifted, but the CPU is still at p5 when the next signature
+  // (measured at p5) arrives.
+  policy.sync_constraints(/*applied=*/5, /*fastest_allowed=*/5);
+  EXPECT_EQ(policy.current_pstate(), 5u);
+  policy.sync_constraints(/*applied=*/5, /*fastest_allowed=*/1);
+
+  metrics::Signature at_p5 = nominal_sig();
+  at_p5.avg_cpu_freq_ghz = 2.0;  // clamped clock
+  at_p5.iter_time_s = 1.2;
+  NodeFreqs out;
+  EXPECT_EQ(policy.apply(at_p5, out), PolicyState::kContinue);
+
+  // The selection (default p1) differs from the measurement frequency
+  // (p5): the in-hand signature is NOT a valid IMC reference, so the
+  // policy must measure a fresh one at p1 before searching. Pre-fix this
+  // jumped straight to kImcFreqSel with the stale p5 signature.
+  EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kCompRef);
+  EXPECT_EQ(policy.current_pstate(), 1u);
+  EXPECT_EQ(out.cpu_pstate, 1u);
+  EXPECT_EQ(out.imc_max, Freq::ghz(2.4));  // HW in control for the ref
+
+  // The fresh reference measured at p1 seeds the IMC search.
+  metrics::Signature at_p1 = nominal_sig();
+  EXPECT_EQ(policy.apply(at_p1, out), PolicyState::kContinue);
+  EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kImcFreqSel);
+  EXPECT_EQ(policy.imc_search().reference().iter_time_s,
+            at_p1.iter_time_s);
+}
+
+TEST(MinEnergyEufs, ShortcutStillTakenWhenReanchoredSelectionHolds) {
+  // The complementary edge: the search selects exactly the re-anchored
+  // frequency, so the in-hand signature IS the reference at the selected
+  // frequency and the shortcut (now against current_) must fire even
+  // though the selection differs from the policy default.
+  PolicySettings s;
+  s.cpu_policy_th = 0.0;  // no headroom: stay at the measured frequency
+  auto ctx = make_ctx(1.0, 0.3, s);
+  MinEnergyEufsPolicy policy(std::move(ctx));
+
+  // Persistent EARGM clamp to p5: limit_ = 5 keeps the search at p5.
+  policy.sync_constraints(/*applied=*/5, /*fastest_allowed=*/5);
+
+  metrics::Signature at_p5 = nominal_sig();
+  at_p5.avg_cpu_freq_ghz = 2.0;
+  NodeFreqs out;
+  EXPECT_EQ(policy.apply(at_p5, out), PolicyState::kContinue);
+  EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kImcFreqSel);
+  EXPECT_EQ(policy.current_pstate(), 5u);
+  EXPECT_EQ(out.cpu_pstate, 5u);
+  // The IMC reference is the signature measured at the applied frequency.
+  EXPECT_EQ(policy.imc_search().reference().avg_cpu_freq_ghz, 2.0);
+}
+
 // ----------------------------------------------------------------------
 // min_time
 // ----------------------------------------------------------------------

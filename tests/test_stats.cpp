@@ -69,7 +69,14 @@ TEST(RunningStats, MergeWithEmpty) {
 TEST(Changes, RelativeAndPercent) {
   EXPECT_DOUBLE_EQ(relative_change(100.0, 110.0), 0.1);
   EXPECT_DOUBLE_EQ(percent_change(100.0, 90.0), -10.0);
-  EXPECT_DOUBLE_EQ(relative_change(0.0, 5.0), 0.0);  // guarded
+}
+
+TEST(Changes, ZeroReferenceSignalsNaN) {
+  // "X% of nothing" is undefined; the old 0.0 answer reported "no
+  // change" for any value against a zero reference.
+  EXPECT_TRUE(std::isnan(relative_change(0.0, 5.0)));
+  EXPECT_TRUE(std::isnan(percent_change(0.0, -3.0)));
+  EXPECT_TRUE(std::isnan(relative_change(0.0, 0.0)));
 }
 
 TEST(MeanOf, Basics) {

@@ -9,9 +9,14 @@
 //       prints penalties/savings; --budget engages the EARGM cluster
 //       power manager; --trace writes the node-0 timeline CSV.
 //   ear_sim sweep <app> [--cpu-pstate P]
-//       Fixed-uncore sweep (the paper's Fig. 1 protocol).
+//       Fixed-uncore sweep (the paper's Fig. 1 protocol); the sweep
+//       points fan out over the parallel campaign engine.
 //   ear_sim learn [--gpu-node]
 //       Run the learning phase and dump the coefficient table.
+//
+// All run/sweep commands accept --jobs N (0 = all cores); the
+// EAR_SIM_JOBS environment variable sets the default. Results are
+// bitwise independent of the job count.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -20,6 +25,7 @@
 #include "common/args.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "sim/campaign.hpp"
 #include "policies/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
@@ -40,9 +46,12 @@ int usage() {
       "  list                      catalog workloads and policies\n"
       "  run <app> [--policy P] [--cpu-th X] [--unc-th X] [--runs N]\n"
       "            [--seed N] [--trace FILE] [--budget W] [--compare]\n"
-      "            [--workload-file FILE]\n"
-      "  sweep <app> [--cpu-pstate P]   fixed-uncore sweep (Fig. 1)\n"
-      "  learn [--gpu-node] [--save FILE]  learning phase + coefficients\n");
+      "            [--workload-file FILE] [--jobs N]\n"
+      "  sweep <app> [--cpu-pstate P] [--jobs N]  fixed-uncore sweep "
+      "(Fig. 1)\n"
+      "  learn [--gpu-node] [--save FILE]  learning phase + coefficients\n"
+      "--jobs 0 (default) uses EAR_SIM_JOBS or all cores; any job count\n"
+      "produces bitwise-identical results.\n");
   return 2;
 }
 
@@ -98,9 +107,10 @@ int cmd_run(const common::ArgParser& args) {
         .cluster_budget_w = args.get("budget", 0.0)};
   }
   const auto runs = static_cast<std::size_t>(args.get("runs", std::int64_t{3}));
+  const auto jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{0}));
 
   const sim::RunResult one = sim::run_experiment(cfg);
-  const sim::AveragedResult avg = sim::run_averaged(cfg, runs);
+  const sim::AveragedResult avg = sim::run_averaged(cfg, runs, jobs);
 
   std::printf("%s under %s: time %.1fs (+/- %.1f), power %.1fW, energy "
               "%.0fkJ, CPU %.2f GHz, IMC %.2f GHz\n",
@@ -119,7 +129,7 @@ int cmd_run(const common::ArgParser& args) {
     sim::ExperimentConfig ref_cfg = cfg;
     ref_cfg.earl = sim::settings_no_policy();
     ref_cfg.eargm.reset();
-    const auto ref = sim::run_averaged(ref_cfg, runs);
+    const auto ref = sim::run_averaged(ref_cfg, runs, jobs);
     const auto c = sim::compare(ref, avg);
     common::AsciiTable table;
     table.columns({"vs no-policy", "time penalty", "power saving",
@@ -147,29 +157,42 @@ int cmd_sweep(const common::ArgParser& args) {
       args.get("cpu-pstate",
                static_cast<std::int64_t>(app.node_config.pstates
                                              .nominal_pstate())));
+  const auto jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{0}));
 
-  auto run_pinned = [&](std::optional<simhw::UncoreRatioLimit> window) {
+  auto pinned_cfg = [&](std::optional<simhw::UncoreRatioLimit> window) {
     sim::ExperimentConfig cfg{.app = app,
                               .earl = sim::settings_no_policy(),
                               .seed = 3};
     cfg.attach_earl = false;
     cfg.fixed_cpu_pstate = pstate;
     cfg.fixed_uncore_window = window;
-    return sim::run_averaged(cfg, 3);
+    return cfg;
   };
-  const auto ref = run_pinned(std::nullopt);
+
+  // Reference plus one point per 100 MHz uncore bin, all in parallel.
+  sim::Campaign campaign(sim::CampaignOptions{.jobs = jobs});
+  campaign.add("hw-ufs reference", pinned_cfg(std::nullopt), 3);
+  const auto bins = app.node_config.uncore.descending();
+  for (const common::Freq f : bins) {
+    campaign.add(
+        f.str(),
+        pinned_cfg(simhw::UncoreRatioLimit{.max_freq = f, .min_freq = f}),
+        3);
+  }
+  const auto& results = campaign.run();
+
+  const auto& ref = results[0].avg;
   sim::Series time_pen{.name = "time penalty %"};
   sim::Series power_save{.name = "power save %"};
   sim::Series energy_save{.name = "energy save %"};
-  for (const common::Freq f : app.node_config.uncore.descending()) {
-    const auto res =
-        run_pinned(simhw::UncoreRatioLimit{.max_freq = f, .min_freq = f});
-    const auto c = sim::compare(ref, res);
-    time_pen.x.push_back(f.as_ghz());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const auto c = sim::compare(ref, results[i + 1].avg);
+    const double ghz = bins[i].as_ghz();
+    time_pen.x.push_back(ghz);
     time_pen.y.push_back(c.time_penalty_pct);
-    power_save.x.push_back(f.as_ghz());
+    power_save.x.push_back(ghz);
     power_save.y.push_back(c.power_saving_pct);
-    energy_save.x.push_back(f.as_ghz());
+    energy_save.x.push_back(ghz);
     energy_save.y.push_back(c.energy_saving_pct);
   }
   sim::print_series(app_name + " @ CPU " +
