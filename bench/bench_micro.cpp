@@ -103,7 +103,7 @@ void BM_PolicyApply(benchmark::State& state) {
   sig.tpi = 0.02;
   sig.gbps = 40.0;
   sig.dc_power_w = 320.0;
-  sig.avg_imc_freq_ghz = 2.39;
+  sig.avg_imc_freq = common::Freq::ghz(2.39);
   for (auto _ : state) {
     policies::NodeFreqs out;
     benchmark::DoNotOptimize(policy->apply(sig, out));

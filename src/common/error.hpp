@@ -23,6 +23,14 @@ class InvariantError : public std::logic_error {
   explicit InvariantError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Thrown by the contract macros (common/contracts.hpp) in checked builds.
+/// Derives from InvariantError so callers that already handle invariant
+/// failures keep working unchanged.
+class ContractViolation : public InvariantError {
+ public:
+  explicit ContractViolation(const std::string& what) : InvariantError(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {

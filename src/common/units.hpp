@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/contracts.hpp"
+
 namespace ear::common {
 
 /// CPU or uncore clock frequency. Internally kHz so that 100 MHz P-state
@@ -37,7 +39,12 @@ class Freq {
 
   friend constexpr auto operator<=>(Freq a, Freq b) = default;
   friend constexpr Freq operator+(Freq a, Freq b) { return Freq{a.khz_ + b.khz_}; }
+  /// Subtracting a larger frequency is a precondition violation in
+  /// checked builds (EAR_CONTRACTS=ON, the default). When contracts are
+  /// compiled out (Release packaging) the result saturates at 0 kHz —
+  /// the historical behaviour — rather than wrapping the unsigned value.
   friend constexpr Freq operator-(Freq a, Freq b) {
+    EAR_EXPECT_MSG(a.khz_ >= b.khz_, "Freq subtraction underflow");
     return Freq{a.khz_ >= b.khz_ ? a.khz_ - b.khz_ : 0};
   }
 

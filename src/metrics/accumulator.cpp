@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace ear::metrics {
@@ -47,11 +48,20 @@ Signature compute_signature(const Snapshot& begin, const Snapshot& end,
           ? static_cast<double>(end.inm_joules - begin.inm_joules) /
                 published_span
           : 0.0;
-  if (d.elapsed_seconds > 0.0) {
-    sig.avg_cpu_freq_ghz = d.cpu_freq_cycles / d.elapsed_seconds / 1e6;
-    sig.avg_imc_freq_ghz = d.imc_freq_cycles / d.elapsed_seconds / 1e6;
-  }
+  sig.avg_cpu_freq = d.avg_cpu_freq();
+  sig.avg_imc_freq = d.avg_imc_freq();
   sig.valid = sig.dc_power_w > 0.0 && sig.cpi > 0.0;
+  // A signature is the only thing policies ever see; publishing one with
+  // a non-finite or negative rate would send every guard comparison and
+  // energy projection into silently-wrong territory.
+  EAR_ENSURE_MSG(std::isfinite(sig.cpi) && sig.cpi >= 0.0,
+                 "signature CPI must be finite and non-negative");
+  EAR_ENSURE_MSG(std::isfinite(sig.tpi) && sig.tpi >= 0.0,
+                 "signature TPI must be finite and non-negative");
+  EAR_ENSURE_MSG(std::isfinite(sig.gbps) && sig.gbps >= 0.0,
+                 "signature GB/s must be finite and non-negative");
+  EAR_ENSURE_MSG(std::isfinite(sig.dc_power_w) && sig.dc_power_w >= 0.0,
+                 "signature DC power must be finite and non-negative");
   return sig;
 }
 

@@ -11,7 +11,7 @@ std::string Signature::str() const {
                 "sig{t/it=%.3fs cpi=%.3f tpi=%.4f gbs=%.2f vpi=%.2f "
                 "power=%.1fW f=%.2f/%.2fGHz n=%zu}",
                 iter_time_s, cpi, tpi, gbps, vpi, dc_power_w,
-                avg_cpu_freq_ghz, avg_imc_freq_ghz, iterations);
+                avg_cpu_freq.as_ghz(), avg_imc_freq.as_ghz(), iterations);
   return buf;
 }
 

@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/units.hpp"
+
 namespace ear::metrics {
 
 struct Signature {
@@ -20,8 +22,8 @@ struct Signature {
   /// with the CPU clock.
   double wait_fraction = 0.0;
   double dc_power_w = 0.0;    // average DC node power over the window
-  double avg_cpu_freq_ghz = 0.0;
-  double avg_imc_freq_ghz = 0.0;
+  common::Freq avg_cpu_freq;  // APERF-style average core clock
+  common::Freq avg_imc_freq;  // average uncore (IMC) clock
   double elapsed_s = 0.0;     // window length
   std::size_t iterations = 0; // iterations covered by the window
   bool valid = false;

@@ -25,8 +25,7 @@ PolicyState UpsPolicy::apply(const metrics::Signature& sig, NodeFreqs& out) {
                   .imc_min = ctx_.uncore.min()};
   if (!ref_.valid) {
     ref_ = sig;
-    current_max_ = ctx_.uncore.step_down(
-        ctx_.uncore.clamp(Freq::ghz(sig.avg_imc_freq_ghz)));
+    current_max_ = ctx_.uncore.step_down(ctx_.uncore.clamp(sig.avg_imc_freq));
     out.imc_max = current_max_;
     return PolicyState::kContinue;
   }
@@ -75,8 +74,7 @@ PolicyState DufPolicy::apply(const metrics::Signature& sig, NodeFreqs& out) {
                   .imc_min = ctx_.uncore.min()};
   if (!ref_.valid) {
     ref_ = sig;
-    current_max_ =
-        ctx_.uncore.clamp(Freq::ghz(sig.avg_imc_freq_ghz));
+    current_max_ = ctx_.uncore.clamp(sig.avg_imc_freq);
     out.imc_max = current_max_;
     return PolicyState::kContinue;
   }

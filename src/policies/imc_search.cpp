@@ -1,5 +1,6 @@
 #include "policies/imc_search.hpp"
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace ear::policies {
@@ -23,14 +24,14 @@ void ImcSearch::reset() {
 }
 
 Freq ImcSearch::start(const metrics::Signature& ref) {
-  EAR_CHECK_MSG(ref.valid, "reference signature must be valid");
+  EAR_EXPECT_MSG(ref.valid, "reference signature must be valid");
   ref_ = ref;
   started_ = true;
   steps_ = 0;
   if (hw_guided_) {
     // The HW selection is the starting point and implicit "last good":
     // the first trial is one bin below the hardware's average choice.
-    const Freq hw = range_.clamp(Freq::ghz(ref.avg_imc_freq_ghz));
+    const Freq hw = range_.clamp(ref.avg_imc_freq);
     last_good_ = hw;
     trial_ = range_.step_down(hw);
   } else {
@@ -40,6 +41,8 @@ Freq ImcSearch::start(const metrics::Signature& ref) {
     last_good_ = range_.max();
     trial_ = range_.max();
   }
+  EAR_ENSURE_MSG(trial_ >= range_.min() && trial_ <= range_.max(),
+                 "trial frequency escaped the uncore window");
   return trial_;
 }
 
@@ -50,21 +53,29 @@ bool ImcSearch::guard_tripped(const metrics::Signature& sig) const {
 }
 
 ImcSearch::Decision ImcSearch::step(const metrics::Signature& sig) {
-  EAR_CHECK_MSG(started_, "step() before start()");
+  EAR_EXPECT_MSG(started_, "step() before start()");
   ++steps_;
+  // The walk lowers the maximum by one bin per signature, so it must
+  // settle after at most one visit per grid point.
+  EAR_INVARIANT_MSG(steps_ <= range_.num_steps(),
+                    "IMC search exceeded the uncore grid size");
+  Decision d;
   if (guard_tripped(sig)) {
     // Revert the last reduction and finish.
     trial_ = last_good_;
-    return Decision{.verdict = Verdict::kDone, .imc_max = last_good_};
-  }
-  if (trial_ <= range_.min()) {
+    d = Decision{.verdict = Verdict::kDone, .imc_max = last_good_};
+  } else if (trial_ <= range_.min()) {
     // Nothing left to try; keep the floor.
     last_good_ = trial_;
-    return Decision{.verdict = Verdict::kDone, .imc_max = trial_};
+    d = Decision{.verdict = Verdict::kDone, .imc_max = trial_};
+  } else {
+    last_good_ = trial_;
+    trial_ = range_.step_down(trial_);
+    d = Decision{.verdict = Verdict::kContinue, .imc_max = trial_};
   }
-  last_good_ = trial_;
-  trial_ = range_.step_down(trial_);
-  return Decision{.verdict = Verdict::kContinue, .imc_max = trial_};
+  EAR_ENSURE_MSG(d.imc_max >= range_.min() && d.imc_max <= range_.max(),
+                 "selected window maximum escaped the uncore range");
+  return d;
 }
 
 ImcRaise::ImcRaise(simhw::UncoreRange range, double gain_th)
@@ -84,18 +95,18 @@ void ImcRaise::reset() {
 }
 
 Freq ImcRaise::start(const metrics::Signature& ref) {
-  EAR_CHECK_MSG(ref.valid, "reference signature must be valid");
+  EAR_EXPECT_MSG(ref.valid, "reference signature must be valid");
   ref_ = ref;
   started_ = true;
   prev_time_s_ = ref.iter_time_s;
   // "No raise" means the window minimum stays at the hardware floor.
   last_good_ = range_.min();
-  trial_ = range_.step_up(range_.clamp(Freq::ghz(ref.avg_imc_freq_ghz)));
+  trial_ = range_.step_up(range_.clamp(ref.avg_imc_freq));
   return trial_;
 }
 
 ImcRaise::Decision ImcRaise::step(const metrics::Signature& sig) {
-  EAR_CHECK_MSG(started_, "step() before start()");
+  EAR_EXPECT_MSG(started_, "step() before start()");
   const bool improved =
       sig.iter_time_s < prev_time_s_ * (1.0 - gain_th_);
   if (!improved) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -21,17 +22,28 @@ NodeFreqs MinEnergyEufsPolicy::default_freqs() const {
 }
 
 void MinEnergyEufsPolicy::restart() {
-  stage_ = Stage::kCpuFreqSel;
+  transition(Stage::kCpuFreqSel);
   current_ = default_pstate_;
   imc_.reset();
   stable_ref_ = metrics::Signature{};
   expected_time_s_ = 0.0;
 }
 
+void MinEnergyEufsPolicy::transition(Stage to) {
+  EAR_INVARIANT_MSG(legal_transition(stage_, to),
+                    "illegal Fig. 2 stage transition");
+  // The IMC search may only begin once a reference signature is anchored
+  // (§V-B: the guards compare against it on every step).
+  EAR_INVARIANT_MSG(to != Stage::kImcFreqSel || imc_.started(),
+                    "entering IMC_FREQ_SEL without a reference signature");
+  stage_ = to;
+}
+
 PolicyState MinEnergyEufsPolicy::enter_imc_search(
     const metrics::Signature& ref, NodeFreqs& out) {
+  EAR_EXPECT_MSG(ref.valid, "IMC search reference must be a valid signature");
   const Freq trial = imc_.start(ref);
-  stage_ = Stage::kImcFreqSel;
+  transition(Stage::kImcFreqSel);
   out = NodeFreqs{.cpu_pstate = current_,
                   .imc_max = trial,
                   .imc_min = ctx_.uncore.min()};
@@ -74,7 +86,7 @@ PolicyState MinEnergyEufsPolicy::apply(const metrics::Signature& sig,
         return enter_imc_search(sig, out);
       }
       out = open_window(ctx_, sel.pstate);
-      stage_ = Stage::kCompRef;
+      transition(Stage::kCompRef);
       return PolicyState::kContinue;
     }
 
@@ -100,7 +112,7 @@ PolicyState MinEnergyEufsPolicy::apply(const metrics::Signature& sig,
       if (d.verdict == ImcSearch::Verdict::kDone) {
         EAR_LOG_DEBUG("policy", "eufs: imc settled at %s",
                       d.imc_max.str().c_str());
-        stage_ = Stage::kStable;
+        transition(Stage::kStable);
         stable_ref_ = metrics::Signature{};  // anchored on first validate
         return PolicyState::kReady;
       }
@@ -113,8 +125,7 @@ PolicyState MinEnergyEufsPolicy::apply(const metrics::Signature& sig,
       out = default_freqs();
       return PolicyState::kContinue;
   }
-  EAR_CHECK_MSG(false, "unreachable policy stage");
-  return PolicyState::kReady;
+  EAR_UNREACHABLE("policy stage outside the Fig. 2 state machine");
 }
 
 bool MinEnergyEufsPolicy::validate(const metrics::Signature& sig) {

@@ -41,7 +41,31 @@ class MinEnergyEufsPolicy : public Policy {
   [[nodiscard]] Pstate current_pstate() const { return current_; }
   [[nodiscard]] const ImcSearch& imc_search() const { return imc_; }
 
+  /// Fig. 2's legal edges. Any stage may restart to CPU_FREQ_SEL (phase
+  /// change / failed validation); the forward edges are exactly the
+  /// paper's: CPU_FREQ_SEL → COMP_REF (new CPU clock needs a fresh
+  /// reference), CPU_FREQ_SEL → IMC_FREQ_SEL (shortcut: signature in hand
+  /// is the reference), COMP_REF → IMC_FREQ_SEL, IMC_FREQ_SEL → STABLE.
+  [[nodiscard]] static constexpr bool legal_transition(Stage from, Stage to) {
+    if (to == Stage::kCpuFreqSel) return true;  // restart edge
+    switch (from) {
+      case Stage::kCpuFreqSel:
+        return to == Stage::kCompRef || to == Stage::kImcFreqSel;
+      case Stage::kCompRef:
+        return to == Stage::kImcFreqSel;
+      case Stage::kImcFreqSel:
+        return to == Stage::kStable;
+      case Stage::kStable:
+        return false;
+    }
+    return false;
+  }
+
  private:
+  /// All stage changes funnel through here; an illegal edge is a
+  /// contract violation.
+  void transition(Stage to);
+
   PolicyState enter_imc_search(const metrics::Signature& ref,
                                NodeFreqs& out);
 

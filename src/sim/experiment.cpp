@@ -152,8 +152,8 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
     r.avg_pkg_power_w =
         r.elapsed_s > 0.0 ? r.pkg_energy_j / r.elapsed_s : 0.0;
     if (c.elapsed_seconds > 0.0) {
-      r.avg_cpu_ghz = c.cpu_freq_cycles / c.elapsed_seconds / 1e6;
-      r.avg_imc_ghz = c.imc_freq_cycles / c.elapsed_seconds / 1e6;
+      r.avg_cpu_ghz = c.avg_cpu_freq().as_ghz();
+      r.avg_imc_ghz = c.avg_imc_freq().as_ghz();
       r.gbps = c.cas_transactions * 64.0 / c.elapsed_seconds / 1e9;
     }
     if (c.instructions > 0.0) {

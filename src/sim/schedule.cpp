@@ -132,8 +132,8 @@ ScheduleResult run_schedule(const ScheduleConfig& cfg) {
           cluster.node(spec.first_node + k).counters() -
           js.start_counters[k];
       if (d.elapsed_seconds > 0.0) {
-        cpu += d.cpu_freq_cycles / d.elapsed_seconds / 1e6;
-        imc += d.imc_freq_cycles / d.elapsed_seconds / 1e6;
+        cpu += d.avg_cpu_freq().as_ghz();
+        imc += d.avg_imc_freq().as_ghz();
       }
     }
     outcomes[j].avg_cpu_ghz = cpu / static_cast<double>(spec.app.nodes);

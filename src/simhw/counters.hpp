@@ -5,6 +5,8 @@
 
 #include <cstdint>
 
+#include "common/units.hpp"
+
 namespace ear::simhw {
 
 /// Monotonically increasing counters, node-aggregated (as EARD exposes
@@ -23,6 +25,17 @@ struct PmuCounters {
   /// accelerator hooks report it. Wait time does not scale with the CPU
   /// clock, which the energy model's time projection exploits.
   double wait_seconds = 0.0;
+
+  /// Average clocks over the accumulated window, derived from the
+  /// frequency integrals. These are the only supported way to read the
+  /// integrals as frequencies: consumers get a typed common::Freq, never
+  /// a raw GHz scalar. Zero if no time has been accumulated.
+  [[nodiscard]] common::Freq avg_cpu_freq() const {
+    return freq_from_integral(cpu_freq_cycles);
+  }
+  [[nodiscard]] common::Freq avg_imc_freq() const {
+    return freq_from_integral(imc_freq_cycles);
+  }
 
   PmuCounters& operator+=(const PmuCounters& o) {
     instructions += o.instructions;
@@ -45,6 +58,15 @@ struct PmuCounters {
     a.elapsed_seconds -= b.elapsed_seconds;
     a.wait_seconds -= b.wait_seconds;
     return a;
+  }
+
+ private:
+  /// The integrals accumulate kHz-weighted wall time, so the window
+  /// average rounds to the nearest kHz.
+  [[nodiscard]] common::Freq freq_from_integral(double khz_seconds) const {
+    if (elapsed_seconds <= 0.0) return common::Freq{};
+    return common::Freq::khz(
+        static_cast<std::uint64_t>(khz_seconds / elapsed_seconds + 0.5));
   }
 };
 

@@ -1,29 +1,48 @@
 #include "simhw/msr.hpp"
 
-#include "common/error.hpp"
+#include <algorithm>
+
+#include "common/contracts.hpp"
 
 namespace ear::simhw {
 
 namespace {
 // UNCORE_RATIO_LIMIT expresses frequencies as multiples of 100 MHz.
 constexpr std::uint64_t kRatioUnitKhz = 100'000;
+// Each ratio occupies a 7-bit field (SDM vol. 4: bits 6:0 and 14:8).
+constexpr std::uint64_t kRatioMask = 0x7F;
+// All bits software may set in MSR 0x620; the rest are reserved.
+constexpr std::uint64_t kUncoreRatioWritableBits =
+    (kRatioMask << 8) | kRatioMask;
+// IA32_ENERGY_PERF_BIAS carries a 4-bit hint (0 = performance, 15 =
+// energy) in bits 3:0.
+constexpr std::uint64_t kEpbMax = 15;
 
 std::uint64_t to_ratio(Freq f) { return f.as_khz() / kRatioUnitKhz; }
 Freq from_ratio(std::uint64_t r) { return Freq::khz(r * kRatioUnitKhz); }
 }  // namespace
 
 std::uint64_t UncoreRatioLimit::encode() const {
-  const std::uint64_t max_ratio = to_ratio(max_freq);
-  const std::uint64_t min_ratio = to_ratio(min_freq);
-  EAR_CHECK_MSG(max_ratio <= 0x7F && min_ratio <= 0x7F,
-                "uncore ratio exceeds 7-bit field");
+  std::uint64_t max_ratio = to_ratio(max_freq);
+  std::uint64_t min_ratio = to_ratio(min_freq);
+  // Checked builds reject ratios that do not fit the 7-bit fields and
+  // inverted windows; with contracts compiled out the ratios clamp to the
+  // field maximum so an out-of-range Freq can never spill into the
+  // neighbouring field (it used to corrupt the min field).
+  EAR_EXPECT_MSG(max_ratio <= kRatioMask && min_ratio <= kRatioMask,
+                 "uncore ratio exceeds 7-bit field");
+  EAR_EXPECT_MSG(min_freq <= max_freq, "uncore min must not exceed max");
+  max_ratio = std::min(max_ratio, kRatioMask);
+  min_ratio = std::min(min_ratio, kRatioMask);
   return (min_ratio << 8) | max_ratio;
 }
 
 UncoreRatioLimit UncoreRatioLimit::decode(std::uint64_t raw) {
+  EAR_EXPECT_MSG((raw & ~kUncoreRatioWritableBits) == 0,
+                 "reserved bits set in UNCORE_RATIO_LIMIT value");
   return UncoreRatioLimit{
-      .max_freq = from_ratio(raw & 0x7F),
-      .min_freq = from_ratio((raw >> 8) & 0x7F),
+      .max_freq = from_ratio(raw & kRatioMask),
+      .min_freq = from_ratio((raw >> 8) & kRatioMask),
   };
 }
 
@@ -33,6 +52,21 @@ std::uint64_t MsrFile::read(std::uint32_t addr) const {
 }
 
 void MsrFile::write(std::uint32_t addr, std::uint64_t value) {
+  // Model the SDM-documented layout of the registers we emulate: a write
+  // that sets reserved bits is a driver bug the real hardware would #GP
+  // on or silently mangle, so checked builds refuse it.
+  switch (addr) {
+    case kMsrUncoreRatioLimit:
+      EAR_EXPECT_MSG((value & ~kUncoreRatioWritableBits) == 0,
+                     "reserved bits set in UNCORE_RATIO_LIMIT write");
+      break;
+    case kMsrEnergyPerfBias:
+      EAR_EXPECT_MSG(value <= kEpbMax,
+                     "ENERGY_PERF_BIAS hint exceeds 4-bit range");
+      break;
+    default:
+      break;
+  }
   ++writes_;
   if (locked_.count(addr) != 0) return;  // silently dropped
   regs_[addr] = value;
@@ -49,8 +83,8 @@ UncoreRatioLimit MsrFile::uncore_limit() const {
 }
 
 void MsrFile::set_uncore_limit(const UncoreRatioLimit& limit) {
-  EAR_CHECK_MSG(limit.min_freq <= limit.max_freq,
-                "uncore min must not exceed max");
+  EAR_EXPECT_MSG(limit.min_freq <= limit.max_freq,
+                 "uncore min must not exceed max");
   write(kMsrUncoreRatioLimit, limit.encode());
 }
 

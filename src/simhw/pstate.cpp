@@ -10,9 +10,11 @@ PstateTable::PstateTable(Freq turbo, Freq nominal, Freq min, Freq step,
   EAR_CHECK_MSG(turbo >= nominal && nominal >= min, "turbo >= nominal >= min");
   EAR_CHECK_MSG(step.as_khz() > 0, "pstate step must be positive");
   freqs_.push_back(turbo);
-  for (Freq f = nominal; f >= min; f = f - step) {
+  for (Freq f = nominal;; f = f - step) {
     freqs_.push_back(f);
-    if (f == min) break;  // Freq subtraction saturates at 0; avoid wrap.
+    // Stop before stepping past (or under) min: Freq subtraction treats
+    // underflow as a contract violation.
+    if (f == min || f < min + step) break;
   }
   EAR_CHECK_MSG(freqs_.back() == min, "min must be reachable from nominal in steps");
   EAR_CHECK_MSG(avx512_cap_ <= nominal && avx512_cap_ >= min,

@@ -1,0 +1,21 @@
+// Fixture for the ear_lint self-test: banned calls and direct I/O in an
+// implementation file. Never compiled.
+#include <cstdio>
+#include <cstdlib>
+
+int fixture_noise() {
+  const int x = std::rand();      // LINT-EXPECT: banned-call
+  srand(42);                      // LINT-EXPECT: banned-call
+  printf("%d", x);                // LINT-EXPECT: banned-io
+  fprintf(stderr, "boom");        // LINT-EXPECT: banned-io
+  puts("done");                   // LINT-EXPECT: banned-io
+  std::cout << x;                 // LINT-EXPECT: banned-io
+  gettimeofday(&tv, nullptr);     // LINT-EXPECT: banned-call
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "ok");  // clean: buffer formatting
+  return x;
+}
+
+// A comment mentioning printf( or std::rand must not fire, and neither
+// must a string literal:
+const char* fixture_str = "std::cout << printf(gettimeofday)";

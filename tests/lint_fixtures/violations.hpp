@@ -1,0 +1,21 @@
+// Fixture for the ear_lint self-test. Never compiled: the self-test
+// checks that every annotated line is flagged with exactly the rule its
+// annotation names and that the un-annotated lines stay quiet.
+#pragma once
+
+#include "units.hpp"  // LINT-EXPECT: include-hygiene
+#include <stdio.h>    // LINT-EXPECT: include-hygiene
+#include <iostream>   // LINT-EXPECT: include-hygiene
+#include <cstdint>
+#include "common/units.hpp"
+
+struct FixtureSignature {
+  double avg_cpu_freq_ghz = 0.0;   // LINT-EXPECT: raw-freq-api
+  std::uint64_t base_khz = 0;      // LINT-EXPECT: raw-freq-api
+  unsigned bclk_mhz = 100;         // LINT-EXPECT: raw-freq-api
+  double dc_power_w = 0.0;             // clean: not a frequency
+  double slope_gbps_per_ghz = 105.0;   // clean: per-GHz ratio coefficient
+};
+
+double fixture_as_ghz_reader();  // clean: name does not end in a unit
+// double commented_out_ghz = 0.0; -- clean: inside a comment

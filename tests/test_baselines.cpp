@@ -27,7 +27,7 @@ metrics::Signature sig(double cpi, double gbps, double imc = 2.39) {
   s.iter_time_s = 1.0;
   s.cpi = cpi;
   s.gbps = gbps;
-  s.avg_imc_freq_ghz = imc;
+  s.avg_imc_freq = Freq::ghz(imc);
   s.dc_power_w = 320.0;
   return s;
 }

@@ -69,7 +69,7 @@ TEST(Calibration, HwUncorePredictionMatchesGovernor) {
     const Calibrated cal = calibrate(base, entry.targets);
     const AppModel app = make_app(entry);
     const Signature sig = measure(app);
-    EXPECT_NEAR(sig.avg_imc_freq_ghz, cal.expected_hw_uncore.as_ghz(), 0.06)
+    EXPECT_NEAR(sig.avg_imc_freq.as_ghz(), cal.expected_hw_uncore.as_ghz(), 0.06)
         << name;
   }
 }

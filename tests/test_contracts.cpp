@@ -1,0 +1,145 @@
+// The contract layer itself, plus negative tests proving the contracts
+// wired into simhw/policies/metrics actually fire in checked builds.
+#include "common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "metrics/accumulator.hpp"
+#include "policies/imc_search.hpp"
+#include "policies/min_energy_eufs.hpp"
+#include "simhw/msr.hpp"
+
+namespace ear {
+namespace {
+
+using common::ContractViolation;
+using common::Freq;
+
+// Skip the "fires" assertions when a build compiles the checks out
+// (-DEAR_CONTRACTS=OFF); the macro-parsing tests still run.
+#define SKIP_UNLESS_CHECKED()                                      \
+  if (!common::contracts_enabled())                                \
+  GTEST_SKIP() << "contracts compiled out in this configuration"
+
+TEST(Contracts, MacrosFireWithViolationKind) {
+  SKIP_UNLESS_CHECKED();
+  EXPECT_THROW(EAR_EXPECT(1 == 2), ContractViolation);
+  EXPECT_THROW(EAR_ENSURE_MSG(false, "broken"), ContractViolation);
+  EXPECT_THROW(EAR_INVARIANT(0 > 1), ContractViolation);
+  try {
+    EAR_EXPECT_MSG(2 + 2 == 5, "arithmetic still works");
+    FAIL() << "contract did not fire";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("arithmetic still works"),
+              std::string::npos);
+  }
+}
+
+TEST(Contracts, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(EAR_EXPECT(1 == 1));
+  EXPECT_NO_THROW(EAR_ENSURE(true));
+  EXPECT_NO_THROW(EAR_INVARIANT_MSG(2 + 2 == 4, "fine"));
+}
+
+TEST(Contracts, UnreachableIsActiveInEveryBuild) {
+  // EAR_UNREACHABLE does not depend on EAR_CONTRACTS: there is no
+  // degraded fallback for control flow that must not exist.
+  EXPECT_THROW(EAR_UNREACHABLE("must not get here"), ContractViolation);
+}
+
+TEST(Contracts, ViolationIsAnInvariantError) {
+  // Pre-contract callers catch InvariantError; the new exception must
+  // keep flowing into those handlers.
+  SKIP_UNLESS_CHECKED();
+  EXPECT_THROW(EAR_EXPECT(false), common::InvariantError);
+}
+
+// ---------------------------------------------------------------------
+// Contracts wired into the layers.
+// ---------------------------------------------------------------------
+
+TEST(ContractsFire, FreqSubtractionUnderflow) {
+  SKIP_UNLESS_CHECKED();
+  const Freq small = Freq::mhz(100);
+  const Freq big = Freq::ghz(1.0);
+  EXPECT_THROW((void)(small - big), ContractViolation);
+  EXPECT_EQ(big - small, Freq::mhz(900));  // in-range stays exact
+}
+
+TEST(ContractsFire, InvalidMsrWriteRejected) {
+  SKIP_UNLESS_CHECKED();
+  simhw::MsrFile msr;
+  // Reserved bit 7 set in UNCORE_RATIO_LIMIT.
+  EXPECT_THROW(msr.write(simhw::kMsrUncoreRatioLimit, 1ull << 7),
+               ContractViolation);
+  // Reserved high bits set.
+  EXPECT_THROW(msr.write(simhw::kMsrUncoreRatioLimit, 1ull << 15),
+               ContractViolation);
+  // ENERGY_PERF_BIAS is a 4-bit hint.
+  EXPECT_THROW(msr.write(simhw::kMsrEnergyPerfBias, 16), ContractViolation);
+  EXPECT_NO_THROW(msr.write(simhw::kMsrEnergyPerfBias, 15));
+}
+
+TEST(ContractsFire, ImcSearchStepBeforeStart) {
+  SKIP_UNLESS_CHECKED();
+  policies::ImcSearch search(simhw::UncoreRange{}, 0.02, true);
+  metrics::Signature sig;
+  sig.valid = true;
+  EXPECT_THROW((void)search.step(sig), ContractViolation);
+}
+
+TEST(ContractsFire, ImcSearchRejectsInvalidReference) {
+  SKIP_UNLESS_CHECKED();
+  policies::ImcSearch search(simhw::UncoreRange{}, 0.02, true);
+  const metrics::Signature invalid;  // valid = false
+  EXPECT_THROW((void)search.start(invalid), ContractViolation);
+}
+
+TEST(ContractsFire, SignatureMetricsMustBeSane) {
+  SKIP_UNLESS_CHECKED();
+  // A counter delta that runs backwards (cycles shrink while
+  // instructions grow) would publish a negative CPI; the postcondition
+  // on compute_signature refuses to let it escape.
+  metrics::Snapshot begin;
+  begin.pmu.cycles = 200.0;
+  metrics::Snapshot end;
+  end.pmu.cycles = 100.0;
+  end.pmu.instructions = 100.0;
+  end.inm_joules = 1000;
+  end.clock_s = 10.0;
+  EXPECT_THROW((void)metrics::compute_signature(begin, end, 5),
+               common::ContractViolation);
+}
+
+TEST(EufsStateMachine, LegalTransitionTable) {
+  using Policy = policies::MinEnergyEufsPolicy;
+  using Stage = Policy::Stage;
+  // Restart edge: every stage may fall back to CPU_FREQ_SEL.
+  for (Stage from : {Stage::kCpuFreqSel, Stage::kCompRef, Stage::kImcFreqSel,
+                     Stage::kStable}) {
+    EXPECT_TRUE(Policy::legal_transition(from, Stage::kCpuFreqSel));
+  }
+  // Fig. 2's forward edges.
+  EXPECT_TRUE(Policy::legal_transition(Stage::kCpuFreqSel, Stage::kCompRef));
+  EXPECT_TRUE(
+      Policy::legal_transition(Stage::kCpuFreqSel, Stage::kImcFreqSel));
+  EXPECT_TRUE(Policy::legal_transition(Stage::kCompRef, Stage::kImcFreqSel));
+  EXPECT_TRUE(Policy::legal_transition(Stage::kImcFreqSel, Stage::kStable));
+  // Everything else is illegal: no skipping the reference measurement,
+  // no re-entering the search from STABLE without a restart.
+  EXPECT_FALSE(Policy::legal_transition(Stage::kCpuFreqSel, Stage::kStable));
+  EXPECT_FALSE(Policy::legal_transition(Stage::kCompRef, Stage::kStable));
+  EXPECT_FALSE(Policy::legal_transition(Stage::kCompRef, Stage::kCompRef));
+  EXPECT_FALSE(
+      Policy::legal_transition(Stage::kImcFreqSel, Stage::kCompRef));
+  EXPECT_FALSE(
+      Policy::legal_transition(Stage::kImcFreqSel, Stage::kImcFreqSel));
+  EXPECT_FALSE(Policy::legal_transition(Stage::kStable, Stage::kCompRef));
+  EXPECT_FALSE(Policy::legal_transition(Stage::kStable, Stage::kImcFreqSel));
+  EXPECT_FALSE(Policy::legal_transition(Stage::kStable, Stage::kStable));
+}
+
+}  // namespace
+}  // namespace ear

@@ -25,7 +25,7 @@ metrics::Signature sig(double iter_time, double imc_ghz = 1.5) {
   s.iter_time_s = iter_time;
   s.cpi = 0.6;
   s.gbps = 20.0;
-  s.avg_imc_freq_ghz = imc_ghz;
+  s.avg_imc_freq = common::Freq::ghz(imc_ghz);
   s.dc_power_w = 320.0;
   return s;
 }

@@ -20,7 +20,7 @@ metrics::Signature sig(double cpi, double gbps, double imc_ghz = 2.39) {
   s.iter_time_s = 1.0;
   s.cpi = cpi;
   s.gbps = gbps;
-  s.avg_imc_freq_ghz = imc_ghz;
+  s.avg_imc_freq = common::Freq::ghz(imc_ghz);
   s.dc_power_w = 320.0;
   return s;
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace ear::simhw {
@@ -40,10 +41,38 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{12, 13}, std::pair{20, 23}, std::pair{0, 127},
                       std::pair{15, 18}));
 
-TEST(UncoreRatioLimit, OverflowingRatioThrows) {
+TEST(UncoreRatioLimit, OverflowingRatioRejectedOrClamped) {
+  // Regression: a ratio over 127 used to spill into bit 7 and corrupt
+  // the neighbouring field. Checked builds refuse it outright; with
+  // contracts compiled out the ratio saturates at the field maximum.
   const UncoreRatioLimit lim{.max_freq = Freq::ghz(20.0),  // ratio 200 > 127
                              .min_freq = Freq::ghz(1.2)};
-  EXPECT_THROW((void)lim.encode(), common::InvariantError);
+  if (common::contracts_enabled()) {
+    EXPECT_THROW((void)lim.encode(), common::InvariantError);
+  } else {
+    EXPECT_EQ(lim.encode(), (12ull << 8) | 0x7Full);
+  }
+}
+
+TEST(UncoreRatioLimit, TopRatioFillsFieldWithoutSpill) {
+  // Ratio 127 is the largest encodable value: all seven bits set, bit 7
+  // (reserved) and the min field untouched.
+  const UncoreRatioLimit lim{.max_freq = Freq::mhz(12'700),
+                             .min_freq = Freq::ghz(1.2)};
+  EXPECT_EQ(lim.encode(), (12ull << 8) | 0x7Full);
+  EXPECT_EQ(UncoreRatioLimit::decode(lim.encode()), lim);
+}
+
+TEST(MsrFile, ReservedBitWriteRejectedInCheckedBuilds) {
+  if (!common::contracts_enabled())
+    GTEST_SKIP() << "contracts compiled out";
+  MsrFile msr;
+  EXPECT_THROW(msr.write(kMsrUncoreRatioLimit, 0x80),  // bit 7 reserved
+               common::ContractViolation);
+  EXPECT_THROW(msr.write(kMsrUncoreRatioLimit, 0xFFFFull),
+               common::ContractViolation);
+  // A layout-correct raw value is accepted.
+  EXPECT_NO_THROW(msr.write(kMsrUncoreRatioLimit, (12ull << 8) | 24ull));
 }
 
 TEST(MsrFile, UnknownRegisterReadsZero) {

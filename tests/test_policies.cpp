@@ -64,8 +64,8 @@ metrics::Signature nominal_sig(double imc_ghz = 2.39) {
   s.tpi = 0.01;
   s.gbps = 50.0;
   s.dc_power_w = 320.0;
-  s.avg_cpu_freq_ghz = 2.39;
-  s.avg_imc_freq_ghz = imc_ghz;
+  s.avg_cpu_freq = Freq::ghz(2.39);
+  s.avg_imc_freq = Freq::ghz(imc_ghz);
   return s;
 }
 
@@ -263,7 +263,7 @@ TEST(MinEnergyEufs, ShortcutComparesAgainstMeasurementFrequency) {
   policy.sync_constraints(/*applied=*/5, /*fastest_allowed=*/1);
 
   metrics::Signature at_p5 = nominal_sig();
-  at_p5.avg_cpu_freq_ghz = 2.0;  // clamped clock
+  at_p5.avg_cpu_freq = Freq::ghz(2.0);  // clamped clock
   at_p5.iter_time_s = 1.2;
   NodeFreqs out;
   EXPECT_EQ(policy.apply(at_p5, out), PolicyState::kContinue);
@@ -299,14 +299,14 @@ TEST(MinEnergyEufs, ShortcutStillTakenWhenReanchoredSelectionHolds) {
   policy.sync_constraints(/*applied=*/5, /*fastest_allowed=*/5);
 
   metrics::Signature at_p5 = nominal_sig();
-  at_p5.avg_cpu_freq_ghz = 2.0;
+  at_p5.avg_cpu_freq = Freq::ghz(2.0);
   NodeFreqs out;
   EXPECT_EQ(policy.apply(at_p5, out), PolicyState::kContinue);
   EXPECT_EQ(policy.stage(), MinEnergyEufsPolicy::Stage::kImcFreqSel);
   EXPECT_EQ(policy.current_pstate(), 5u);
   EXPECT_EQ(out.cpu_pstate, 5u);
   // The IMC reference is the signature measured at the applied frequency.
-  EXPECT_EQ(policy.imc_search().reference().avg_cpu_freq_ghz, 2.0);
+  EXPECT_EQ(policy.imc_search().reference().avg_cpu_freq, Freq::ghz(2.0));
 }
 
 // ----------------------------------------------------------------------
@@ -324,7 +324,7 @@ TEST(MinTime, ComputeBoundClimbsToTurbo) {
   auto ctx = make_ctx(1.0, 0.3);
   MinTimePolicy policy(std::move(ctx), false);
   metrics::Signature sig = nominal_sig();
-  sig.avg_cpu_freq_ghz = 2.0;
+  sig.avg_cpu_freq = Freq::ghz(2.0);
   EXPECT_EQ(policy.select_pstate(sig), 0u);
 }
 

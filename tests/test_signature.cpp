@@ -70,7 +70,7 @@ TEST(Accumulator, DerivesMetricsFromCounterDeltas) {
   EXPECT_GT(sig.tpi, 0.0);
   EXPECT_GT(sig.dc_power_w, 100.0);
   EXPECT_EQ(sig.iterations, 12u);
-  EXPECT_NEAR(sig.avg_cpu_freq_ghz, 2.39, 0.02);
+  EXPECT_NEAR(sig.avg_cpu_freq.as_ghz(), 2.39, 0.02);
 }
 
 TEST(Accumulator, InvalidForEmptyWindow) {

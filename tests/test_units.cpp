@@ -19,16 +19,42 @@ TEST(Freq, RoundsToNearestKhz) {
   EXPECT_EQ(Freq::ghz(2.39999999).as_khz(), 2'400'000u);
 }
 
+TEST(Freq, GhzRoundingEdgeCases) {
+  // Values straddling a kHz boundary round to nearest, not down.
+  EXPECT_EQ(Freq::ghz(2.4999).as_khz(), 2'499'900u);
+  EXPECT_EQ(Freq::ghz(2.49999999).as_khz(), 2'500'000u);
+  EXPECT_EQ(Freq::ghz(0.0000006).as_khz(), 1u);  // rounds to nearest
+  EXPECT_EQ(Freq::ghz(0.0000004).as_khz(), 0u);
+}
+
+TEST(Freq, ImcGridRoundTripsThroughGhz) {
+  // Every 0.1 GHz IMC bin in the paper's window must survive the
+  // double → kHz → double round trip exactly: the MSR ratio encoding
+  // divides by 100 MHz and any drift would land in the wrong bin.
+  for (int r = 8; r <= 30; ++r) {
+    const Freq f = Freq::ghz(static_cast<double>(r) / 10.0);
+    EXPECT_EQ(f.as_khz(), static_cast<std::uint64_t>(r) * 100'000u) << r;
+    EXPECT_EQ(Freq::ghz(f.as_ghz()), f) << r;
+    EXPECT_EQ(f.as_mhz(), static_cast<std::uint64_t>(r) * 100u) << r;
+  }
+}
+
 TEST(Freq, Comparisons) {
   EXPECT_LT(Freq::ghz(1.2), Freq::ghz(2.4));
   EXPECT_EQ(Freq::mhz(2400), Freq::ghz(2.4));
   EXPECT_GE(Freq::ghz(2.4), Freq::mhz(2400));
 }
 
-TEST(Freq, SaturatingSubtraction) {
+TEST(Freq, SubtractionUnderflowIsAContractViolation) {
+  // Checked builds refuse the underflow; builds with contracts compiled
+  // out (-DEAR_CONTRACTS=OFF) keep the historical saturate-at-zero.
   const Freq small = Freq::mhz(100);
   const Freq big = Freq::ghz(1.0);
-  EXPECT_EQ((small - big).as_khz(), 0u);
+  if (contracts_enabled()) {
+    EXPECT_THROW((void)(small - big), ContractViolation);
+  } else {
+    EXPECT_EQ((small - big).as_khz(), 0u);
+  }
   EXPECT_EQ((big - small), Freq::mhz(900));
 }
 

@@ -1,0 +1,414 @@
+// ear_lint — the repo's domain linter.
+//
+// Generic tools cannot know that a `double *_ghz` crossing a header
+// boundary is a latent unit bug, or that MSR plumbing must never print to
+// stdout directly. This tool encodes those repo-specific rules and runs
+// as a CTest step (and in CI), so the conventions are enforced by the
+// build rather than by review:
+//
+//   raw-freq-api     Frequency-valued scalars (identifiers ending in
+//                    _ghz/_khz/_mhz with an arithmetic type) declared in
+//                    headers. Public plumbing must use common::Freq;
+//                    "per-GHz" ratio coefficients (identifiers containing
+//                    `_per_`) are dimensionless slopes and are exempt.
+//   banned-call      std::rand/srand (experiments must use the seeded
+//                    common/rng splitmix engine) and gettimeofday
+//                    (simulated time comes from the node clock).
+//   banned-io        printf/fprintf/puts/std::cout/std::cerr outside
+//                    common/log and common/table: all human-facing output
+//                    goes through the logging and table layers so it can
+//                    be silenced, captured and formatted consistently.
+//                    (snprintf into buffers is string formatting, not
+//                    I/O, and stays legal.)
+//   include-hygiene  Deprecated C headers (<stdio.h> vs <cstdio>),
+//                    non-module-qualified local includes ("units.hpp"
+//                    instead of "common/units.hpp"), and <iostream>
+//                    (static-init heavy; nothing in src/ needs it).
+//
+// Suppressions live in an explicit allowlist file (one
+// `path:rule[:substring]` per line); an allowlist entry that no longer
+// matches anything is itself an error, so suppressions cannot outlive
+// the code they excuse.
+//
+// Self-test mode (--self-test DIR) scans fixture files whose expected
+// violations are annotated in-line with `LINT-EXPECT: <rule>` comments
+// and verifies the findings match the annotations exactly — each rule is
+// proven to both fire and stay quiet.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // path relative to the scanned root
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string file;       // relative path the suppression applies to
+  std::string rule;       // rule id
+  std::string substring;  // optional: only lines containing this
+  std::size_t source_line = 0;
+  bool used = false;
+};
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Replace comments and string/char literal contents with spaces, keeping
+/// line structure intact so findings carry real line numbers.
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out = text;
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar };
+  St st = St::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::kString;
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n')
+          st = St::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// --------------------------------------------------------------------
+// Rules. Each gets the comment-stripped line; the raw line is only used
+// for LINT-EXPECT annotations and allowlist substring matches.
+// --------------------------------------------------------------------
+
+const std::regex kRawFreqDecl(
+    R"(\b(?:double|float|(?:std::)?u?int(?:8|16|32|64)_t|(?:std::)?size_t|unsigned(?:\s+long)?|long(?:\s+long)?)\s+((?:[A-Za-z_]\w*)?_(?:ghz|khz|mhz))\b)");
+const std::regex kBannedCall(R"(\b(?:std::rand\b|srand\s*\(|gettimeofday\s*\())");
+const std::regex kBannedIo(
+    R"((?:\b(?:printf|fprintf|puts)\s*\(|std::c(?:out|err)\b))");
+const std::regex kCHeader(
+    R"(#\s*include\s*<(assert|ctype|errno|limits|math|signal|stdarg|stddef|stdint|stdio|stdlib|string|time)\.h>)");
+const std::regex kLocalInclude(R"re(#\s*include\s*"([^"]+)")re");
+const std::regex kQuotedInclude(R"re(#\s*include\s*")re");
+const std::regex kIostream(R"(#\s*include\s*<iostream>)");
+
+/// Files that *are* the sanctioned output layer; banned-io does not apply.
+bool io_layer_file(const std::string& rel) {
+  return rel.rfind("common/log", 0) == 0 || rel.rfind("common/table", 0) == 0;
+}
+
+void scan_file(const std::string& rel, const std::string& text,
+               std::vector<Finding>* findings) {
+  const bool is_header = has_suffix(rel, ".hpp") || has_suffix(rel, ".h");
+  const std::vector<std::string> raw_lines = split_lines(text);
+  const std::vector<std::string> lines =
+      split_lines(strip_comments_and_strings(text));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::string& raw = raw_lines[i];
+    const std::size_t lineno = i + 1;
+    std::smatch m;
+
+    if (is_header && std::regex_search(line, m, kRawFreqDecl)) {
+      const std::string name = m[1].str();
+      if (name.find("_per_") == std::string::npos) {
+        findings->push_back({rel, lineno, "raw-freq-api",
+                             "raw frequency scalar `" + name +
+                                 "` in a header; use common::Freq"});
+      }
+    }
+    if (std::regex_search(line, m, kBannedCall)) {
+      findings->push_back({rel, lineno, "banned-call",
+                           "banned call `" + m[0].str() +
+                               "`; use common/rng or the simulated clock"});
+    }
+    if (!io_layer_file(rel) && std::regex_search(line, m, kBannedIo)) {
+      findings->push_back({rel, lineno, "banned-io",
+                           "direct output `" + m[0].str() +
+                               "`; route through common/log or common/table"});
+    }
+    if (std::regex_search(line, m, kCHeader)) {
+      findings->push_back({rel, lineno, "include-hygiene",
+                           "C header <" + m[1].str() + ".h>; use <c" +
+                               m[1].str() + ">"});
+    } else if (std::regex_search(line, m, kIostream)) {
+      findings->push_back({rel, lineno, "include-hygiene",
+                           "<iostream> is banned in src/; use common/log"});
+    } else if (std::regex_search(line, kQuotedInclude) &&
+               std::regex_search(raw, m, kLocalInclude)) {
+      // The stripper blanks string contents, so gate on the stripped
+      // line (a commented-out include must stay quiet) but read the
+      // path from the raw one.
+      const std::string inc = m[1].str();
+      if (inc.find('/') == std::string::npos) {
+        findings->push_back({rel, lineno, "include-hygiene",
+                             "local include \"" + inc +
+                                 "\" must be module-qualified "
+                                 "(e.g. \"common/" +
+                                 inc + "\")"});
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Allowlist.
+// --------------------------------------------------------------------
+
+bool parse_allowlist(const std::string& path, std::vector<AllowEntry>* out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open allowlist: " + path;
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    const std::string body = line.substr(first, last - first + 1);
+    const auto c1 = body.find(':');
+    if (c1 == std::string::npos) {
+      *error = path + ":" + std::to_string(lineno) +
+               ": expected `path:rule[:substring]`";
+      return false;
+    }
+    const auto c2 = body.find(':', c1 + 1);
+    AllowEntry e;
+    e.file = body.substr(0, c1);
+    e.rule = c2 == std::string::npos ? body.substr(c1 + 1)
+                                     : body.substr(c1 + 1, c2 - c1 - 1);
+    e.substring = c2 == std::string::npos ? "" : body.substr(c2 + 1);
+    e.source_line = lineno;
+    out->push_back(e);
+  }
+  return true;
+}
+
+bool allowed(const Finding& f, const std::string& raw_line,
+             std::vector<AllowEntry>* allow) {
+  bool hit = false;
+  for (AllowEntry& e : *allow) {
+    if (e.file != f.file || e.rule != f.rule) continue;
+    if (!e.substring.empty() &&
+        raw_line.find(e.substring) == std::string::npos)
+      continue;
+    e.used = true;
+    hit = true;  // keep marking every matching entry as used
+  }
+  return hit;
+}
+
+// --------------------------------------------------------------------
+// Driver.
+// --------------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ear_lint --root DIR [--allowlist FILE]\n"
+               "       ear_lint --self-test DIR\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string allowlist_path;
+  std::string selftest_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      roots.emplace_back(argv[++i]);
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      selftest_dir = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (roots.empty() && selftest_dir.empty()) return usage();
+  if (!selftest_dir.empty()) roots.assign(1, selftest_dir);
+
+  std::vector<AllowEntry> allow;
+  if (!allowlist_path.empty()) {
+    std::string error;
+    if (!parse_allowlist(allowlist_path, &allow, &error)) {
+      std::fprintf(stderr, "ear_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  int exit_code = 0;
+  std::size_t files_scanned = 0;
+  std::vector<Finding> reported;
+
+  for (const std::string& root : roots) {
+    if (!fs::is_directory(root)) {
+      std::fprintf(stderr, "ear_lint: not a directory: %s\n", root.c_str());
+      return 2;
+    }
+    // Deterministic order: collect, then sort.
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() && lintable(entry.path()))
+        files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path& path : files) {
+      ++files_scanned;
+      std::ifstream in(path);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string text = buf.str();
+      const std::string rel =
+          fs::relative(path, root).generic_string();
+      const std::vector<std::string> raw_lines = split_lines(text);
+
+      std::vector<Finding> findings;
+      scan_file(rel, text, &findings);
+
+      if (!selftest_dir.empty()) {
+        // Compare findings against the LINT-EXPECT annotations.
+        std::multiset<std::pair<std::size_t, std::string>> expected;
+        for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+          const std::string& raw = raw_lines[i];
+          std::size_t pos = 0;
+          static const std::string kTag = "LINT-EXPECT:";
+          while ((pos = raw.find(kTag, pos)) != std::string::npos) {
+            pos += kTag.size();
+            std::istringstream rules(raw.substr(pos));
+            std::string rule;
+            rules >> rule;
+            if (!rule.empty()) expected.insert({i + 1, rule});
+          }
+        }
+        for (const Finding& f : findings) {
+          const auto it = expected.find({f.line, f.rule});
+          if (it != expected.end()) {
+            expected.erase(it);
+          } else {
+            std::fprintf(stderr, "self-test: UNEXPECTED %s:%zu [%s] %s\n",
+                         f.file.c_str(), f.line, f.rule.c_str(),
+                         f.message.c_str());
+            exit_code = 1;
+          }
+        }
+        for (const auto& [line, rule] : expected) {
+          std::fprintf(stderr, "self-test: MISSED %s:%zu expected [%s]\n",
+                       rel.c_str(), line, rule.c_str());
+          exit_code = 1;
+        }
+        continue;
+      }
+
+      for (const Finding& f : findings) {
+        const std::string& raw =
+            f.line - 1 < raw_lines.size() ? raw_lines[f.line - 1] : f.file;
+        if (allowed(f, raw, &allow)) continue;
+        reported.push_back(f);
+      }
+    }
+  }
+
+  for (const Finding& f : reported) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+    exit_code = 1;
+  }
+  // A suppression that excuses nothing is stale and must be deleted, so
+  // the allowlist can only shrink unless a reviewed change grows it.
+  for (const AllowEntry& e : allow) {
+    if (!e.used) {
+      std::fprintf(stderr,
+                   "%s:%zu: stale allowlist entry `%s:%s%s` matches "
+                   "nothing; delete it\n",
+                   allowlist_path.c_str(), e.source_line, e.file.c_str(),
+                   e.rule.c_str(),
+                   e.substring.empty() ? "" : (":" + e.substring).c_str());
+      exit_code = 1;
+    }
+  }
+
+  if (exit_code == 0) {
+    std::fprintf(stderr, "ear_lint: %zu files clean\n", files_scanned);
+  }
+  return exit_code;
+}
