@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
+
 namespace ear::eard {
 
 void NodeDaemon::set_pstate_limit(simhw::Pstate slowest_allowed) {
@@ -14,12 +16,39 @@ void NodeDaemon::set_freqs(const policies::NodeFreqs& freqs) {
   // Larger index = lower frequency; the EARGM limit is the fastest
   // P-state the node may run.
   node_->set_cpu_pstate(std::max(freqs.cpu_pstate, limit_));
+  // Once the uncore path is known-bad the daemon stops issuing privileged
+  // writes it knows will be dropped: the register keeps whatever window
+  // the hardware UFS governor is running in (the HW-UFS fallback rung).
+  if (!uncore_healthy_) return;
   // Only write the MSR when the window actually changes; the real daemon
   // avoids redundant privileged writes the same way.
   const simhw::UncoreRatioLimit want{.max_freq = freqs.imc_max,
                                      .min_freq = freqs.imc_min};
   if (!(node_->uncore_limit() == want)) {
     node_->set_uncore_limit_all(want);
+    verify_uncore_write(want);
+  }
+}
+
+void NodeDaemon::verify_uncore_write(const simhw::UncoreRatioLimit& want) {
+  if (node_->uncore_limit() == want) return;
+  // Read-back mismatch: the write was issued but never landed. Drop the
+  // cached writability probe — a register locked after attach looks
+  // exactly like this — and re-probe to tell a transient glitch from a
+  // lock.
+  ++verify_failures_;
+  probed_uncore_ = false;
+  ++reprobes_;
+  if (uncore_writable()) {
+    // Transient drop: retry the window once. A second miss will be caught
+    // by the next set_freqs round.
+    node_->set_uncore_limit_all(want);
+    if (!(node_->uncore_limit() == want)) ++verify_failures_;
+  } else {
+    uncore_healthy_ = false;
+    EAR_LOG_WARN("eard",
+                 "UNCORE_RATIO_LIMIT writes no longer stick; entering "
+                 "HW-UFS fallback");
   }
 }
 
@@ -37,6 +66,13 @@ bool NodeDaemon::uncore_writable() {
       msr.read(simhw::kMsrUncoreRatioLimit) == probe.encode();
   msr.write(simhw::kMsrUncoreRatioLimit, original);  // restore
   return uncore_writable_;
+}
+
+bool NodeDaemon::reprobe() {
+  probed_uncore_ = false;
+  ++reprobes_;
+  uncore_healthy_ = uncore_writable();
+  return uncore_healthy_;
 }
 
 std::uint64_t NodeDaemon::msr_writes() const {

@@ -1,5 +1,7 @@
 #include "eargm/eargm.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -7,7 +9,9 @@ namespace ear::eargm {
 
 EargmManager::EargmManager(EargmConfig cfg,
                            std::vector<eard::NodeDaemon*> daemons)
-    : cfg_(cfg), daemons_(std::move(daemons)) {
+    : cfg_(cfg),
+      daemons_(std::move(daemons)),
+      last_known_w_(daemons_.size(), 0.0) {
   EAR_CHECK_MSG(cfg_.cluster_budget_w > 0.0,
                 "cluster budget must be positive");
   EAR_CHECK_MSG(!daemons_.empty(), "EARGM needs at least one node");
@@ -23,8 +27,26 @@ void EargmManager::update(std::span<const double> node_power_w) {
   EAR_CHECK_MSG(node_power_w.size() == daemons_.size(),
                 "one power reading per managed node");
   double total = 0.0;
-  for (double w : node_power_w) total += w;
+  std::size_t missing = 0;
+  for (std::size_t n = 0; n < node_power_w.size(); ++n) {
+    double w = node_power_w[n];
+    if (!std::isfinite(w)) {
+      // Missing report: hold the node's last known power instead of
+      // poisoning the aggregate (NaN) or under-counting it (0).
+      ++missing;
+      w = last_known_w_[n];
+    } else {
+      last_known_w_[n] = w;
+    }
+    total += w;
+  }
+  missed_readings_ += missing;
   last_total_w_ = total;
+  if (missing == node_power_w.size()) {
+    EAR_LOG_WARN("eargm", "no node reported this round; holding limit p%zu",
+                 limit_);
+    return;
+  }
 
   if (total > cfg_.cluster_budget_w * cfg_.trigger_margin) {
     if (limit_ < cfg_.deepest_limit) {

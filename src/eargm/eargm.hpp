@@ -36,12 +36,23 @@ class EargmManager {
   /// Feed one round of per-node average power readings (same order as
   /// the daemons). Adjusts the cluster-wide P-state limit by at most one
   /// step per call, as the real manager's control period does.
+  ///
+  /// A NaN reading means the node's report never arrived (daemon crash,
+  /// network dropout): the manager substitutes the node's last known
+  /// power — a fresh budget decision beats a stale one computed from a
+  /// partial sum — and counts the miss. A round with *no* readings at
+  /// all holds the current limit (the manager is blind; acting would be
+  /// guessing).
   void update(std::span<const double> node_power_w);
 
   [[nodiscard]] simhw::Pstate current_limit() const { return limit_; }
   [[nodiscard]] std::size_t throttle_events() const { return throttles_; }
   [[nodiscard]] std::size_t release_events() const { return releases_; }
   [[nodiscard]] double last_aggregate_w() const { return last_total_w_; }
+  /// Readings substituted with the node's last known value so far.
+  [[nodiscard]] std::size_t missed_readings() const {
+    return missed_readings_;
+  }
   [[nodiscard]] const EargmConfig& config() const { return cfg_; }
 
  private:
@@ -49,9 +60,11 @@ class EargmManager {
 
   EargmConfig cfg_;
   std::vector<eard::NodeDaemon*> daemons_;
+  std::vector<double> last_known_w_;  // per node; 0 until first reading
   simhw::Pstate limit_ = 0;
   std::size_t throttles_ = 0;
   std::size_t releases_ = 0;
+  std::size_t missed_readings_ = 0;
   double last_total_w_ = 0.0;
 };
 

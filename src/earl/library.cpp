@@ -50,9 +50,19 @@ std::unique_ptr<EarlSession> EarLibrary::attach(eard::NodeDaemon& daemon,
       .model = models::model_by_name(learned_, settings_.model),
       .settings = settings_.policy_settings,
   };
-  auto policy = policies::make_policy(policy_name, std::move(ctx));
-  return std::make_unique<EarlSession>(daemon, std::move(policy), settings_,
-                                       is_mpi);
+  auto policy = policies::make_policy(policy_name, ctx);
+  auto session = std::make_unique<EarlSession>(daemon, std::move(policy),
+                                               settings_, is_mpi);
+  // eUFS policies that attached healthy still need a way down: if the
+  // register gets locked mid-run the daemon notices via read-back
+  // verification and the session swaps to the CPU-only fallback.
+  if (uncore_fallback(policy_name) != policy_name) {
+    const std::string fb = uncore_fallback(policy_name);
+    session->set_fallback_factory([fb, ctx = std::move(ctx)]() {
+      return policies::make_policy(fb, ctx);
+    });
+  }
+  return session;
 }
 
 }  // namespace ear::earl

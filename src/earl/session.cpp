@@ -74,14 +74,87 @@ void EarlSession::maybe_close_window() {
                                   : settings_.time_guided_period_s;
   if (elapsed < interval || iterations_in_window_ == 0) return;
 
-  const metrics::Signature sig =
-      metrics::compute_signature(window_start_, now, iterations_in_window_);
+  metrics::WindowReject why = metrics::WindowReject::kNone;
+  const metrics::Signature sig = metrics::compute_signature(
+      window_start_, now, iterations_in_window_, &why);
   window_start_ = now;
   iterations_in_window_ = 0;
-  if (!sig.valid) return;
+  // The daemon may have concluded mid-run that uncore writes no longer
+  // stick; swap to the fallback policy before anything else consumes the
+  // window (the lock must be noticed even while windows are corrupted).
+  if (maybe_degrade()) return;
+  if (!sig.valid) {
+    note_reject(why == metrics::WindowReject::kNone
+                    ? metrics::WindowReject::kNoSignal
+                    : why);
+    return;
+  }
+  if (settings_.screening.enabled) {
+    if (screen_implausible(sig)) {
+      note_reject(metrics::WindowReject::kImplausible);
+      return;
+    }
+    if (signatures_ > 0 && screen_outlier(sig)) {
+      ++outlier_streak_;
+      if (outlier_streak_ < settings_.screening.reanchor_after) {
+        note_reject(metrics::WindowReject::kOutlier);
+        return;
+      }
+      // The "outlier" level has persisted: treat it as the new reality
+      // and re-anchor the Fig. 2 state machine on it rather than starve
+      // the policy on a genuine phase change.
+      outlier_streak_ = 0;
+      ++reanchors_;
+      policy_->restart();
+      state_ = State::kNodePolicy;
+      EAR_LOG_INFO("earl",
+                   "signature level shifted for good; re-anchoring at "
+                   "%.0f W",
+                   sig.dc_power_w);
+    } else {
+      outlier_streak_ = 0;
+    }
+  }
   last_signature_ = sig;
   ++signatures_;
   process_signature(sig);
+}
+
+void EarlSession::note_reject(metrics::WindowReject why) {
+  ++rejected_;
+  last_reject_ = why;
+  EAR_LOG_INFO("earl", "window rejected (%s); %zu rejected so far",
+               metrics::to_string(why), rejected_);
+}
+
+bool EarlSession::screen_implausible(const metrics::Signature& sig) const {
+  const ScreeningSettings& s = settings_.screening;
+  return sig.dc_power_w > s.max_power_w ||
+         sig.avg_cpu_freq > s.max_plausible_freq ||
+         sig.avg_imc_freq > s.max_plausible_freq;
+}
+
+bool EarlSession::screen_outlier(const metrics::Signature& sig) const {
+  const double factor = settings_.screening.outlier_factor;
+  const double ref = last_signature_.dc_power_w;
+  if (ref <= 0.0) return false;
+  return sig.dc_power_w > ref * factor || sig.dc_power_w < ref / factor;
+}
+
+bool EarlSession::maybe_degrade() {
+  if (!fallback_factory_ || daemon_->uncore_ok()) return false;
+  // The daemon stopped trusting the uncore register (mid-run lock): the
+  // eUFS search would steer a window nobody applies. Degrade to the
+  // CPU-only fallback policy and restart the state machine on it.
+  policy_ = fallback_factory_();
+  fallback_factory_ = nullptr;
+  ++fallbacks_;
+  EAR_LOG_WARN("earl",
+               "uncore writes stopped sticking mid-run; degrading to %s",
+               policy_->name().c_str());
+  daemon_->set_freqs(policy_->default_freqs());
+  state_ = State::kNodePolicy;
+  return true;
 }
 
 void EarlSession::process_signature(const metrics::Signature& sig) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "dynais/dynais.hpp"
@@ -46,9 +47,34 @@ class EarlSession {
     return signatures_;
   }
 
+  /// Windows that closed but were rejected — either unusable (zero
+  /// elapsed, retrograde counters) or screened out as implausible /
+  /// outliers — instead of being fed to the policy.
+  [[nodiscard]] std::size_t windows_rejected() const { return rejected_; }
+  [[nodiscard]] metrics::WindowReject last_reject() const {
+    return last_reject_;
+  }
+  /// Times the state machine re-anchored on a sustained new signature
+  /// level (reanchor_after consecutive outliers).
+  [[nodiscard]] std::size_t reanchors() const { return reanchors_; }
+
+  /// Mid-run degradation: when the daemon reports that uncore writes no
+  /// longer stick, the session swaps in the policy built by this factory
+  /// (the CPU-only fallback; see EarLibrary::attach) and restarts the
+  /// state machine. Registered once; consumed on first use.
+  void set_fallback_factory(std::function<policies::PolicyPtr()> factory) {
+    fallback_factory_ = std::move(factory);
+  }
+  [[nodiscard]] bool degraded() const { return fallbacks_ > 0; }
+  [[nodiscard]] std::size_t fallbacks() const { return fallbacks_; }
+
  private:
   void maybe_close_window();
   void process_signature(const metrics::Signature& sig);
+  void note_reject(metrics::WindowReject why);
+  [[nodiscard]] bool screen_implausible(const metrics::Signature& sig) const;
+  [[nodiscard]] bool screen_outlier(const metrics::Signature& sig) const;
+  bool maybe_degrade();
 
   eard::NodeDaemon* daemon_;
   policies::PolicyPtr policy_;
@@ -62,6 +88,13 @@ class EarlSession {
   std::size_t iterations_in_window_ = 0;
   metrics::Signature last_signature_{};
   std::size_t signatures_ = 0;
+
+  std::size_t rejected_ = 0;
+  metrics::WindowReject last_reject_ = metrics::WindowReject::kNone;
+  std::size_t outlier_streak_ = 0;
+  std::size_t reanchors_ = 0;
+  std::function<policies::PolicyPtr()> fallback_factory_;
+  std::size_t fallbacks_ = 0;
 };
 
 }  // namespace ear::earl

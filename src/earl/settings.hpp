@@ -4,15 +4,40 @@
 
 #include <string>
 
+#include "common/units.hpp"
 #include "dynais/dynais.hpp"
 #include "policies/policy_api.hpp"
 
 namespace ear::earl {
 
+/// Signature screening: windows that are physically implausible or
+/// discontinuous against the last accepted signature are rejected instead
+/// of being fed to the policy (noisy sensors would otherwise steer the
+/// frequency search; cf. the unreliability of analytic models under
+/// measurement noise). The bounds are deliberately loose — they must
+/// never fire on a clean run.
+struct ScreeningSettings {
+  bool enabled = true;
+  /// Absolute per-node DC power ceiling, watts (Skylake nodes draw a few
+  /// hundred watts; anything past this is a sensor fault).
+  double max_power_w = 5000.0;
+  /// Reject when power jumps by more than this factor (either direction)
+  /// relative to the last accepted signature.
+  double outlier_factor = 8.0;
+  /// Average frequencies above this are counter corruption (no Skylake
+  /// core or uncore clock approaches it).
+  common::Freq max_plausible_freq = common::Freq::ghz(8.0);
+  /// After this many consecutive outliers the new level is accepted as
+  /// reality: the state machine re-anchors (policy restart) instead of
+  /// starving on a genuine phase change.
+  std::size_t reanchor_after = 3;
+};
+
 struct EarlSettings {
   std::string policy = "min_energy_eufs";
   std::string model = "avx512";
   policies::PolicySettings policy_settings{};
+  ScreeningSettings screening{};
   /// Minimum signature window ("every 10 or more seconds", §III). The
   /// window closes at the first detected iteration boundary past this.
   double signature_interval_s = 10.0;

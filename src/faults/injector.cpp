@@ -1,0 +1,211 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ear::faults {
+
+struct FaultInjector::MsrTap : simhw::MsrWriteInterceptor {
+  MsrTap(FaultInjector* inj, std::size_t node, std::size_t socket)
+      : inj_(inj), node_(node), socket_(socket) {}
+  bool allow_write(std::uint32_t addr, std::uint64_t /*value*/) override {
+    return inj_->allow_msr_write(node_, socket_, addr);
+  }
+  FaultInjector* inj_;
+  std::size_t node_;
+  std::size_t socket_;
+};
+
+struct FaultInjector::SnapshotTap : eard::SnapshotFilter {
+  SnapshotTap(FaultInjector* inj, std::size_t node)
+      : inj_(inj), node_(node) {}
+  metrics::Snapshot filter(const metrics::Snapshot& clean) override {
+    return inj_->filter_snapshot(node_, clean);
+  }
+  FaultInjector* inj_;
+  std::size_t node_;
+};
+
+struct FaultInjector::NodeState {
+  simhw::SimNode* hw = nullptr;
+  eard::NodeDaemon* daemon = nullptr;
+  common::Rng rng{0};
+  std::vector<char> lock_done;    // per plan-spec index
+  metrics::Snapshot last_served{};
+  bool served_any = false;
+  std::uint64_t stuck_joules = 0;
+  bool inm_latched = false;
+};
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
+                             std::size_t nodes)
+    : plan_(plan), nodes_(nodes) {
+  for (std::size_t n = 0; n < nodes; ++n) {
+    // One stream per node: the fault sequence a node sees depends only on
+    // (seed, node), never on what other nodes drew.
+    nodes_[n].rng = common::Rng(common::mix_seed(seed, n));
+    nodes_[n].lock_done.assign(plan_.specs.size(), 0);
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  for (NodeState& st : nodes_) {
+    if (st.hw != nullptr) {
+      for (std::size_t s = 0; s < st.hw->config().sockets; ++s) {
+        st.hw->msr(s).set_interceptor(nullptr);
+      }
+    }
+    if (st.daemon != nullptr) st.daemon->set_snapshot_filter(nullptr);
+  }
+}
+
+void FaultInjector::attach(std::size_t index, simhw::SimNode& hw,
+                           eard::NodeDaemon& daemon) {
+  EAR_CHECK_MSG(index < nodes_.size(), "node index out of plan range");
+  NodeState& st = nodes_[index];
+  st.hw = &hw;
+  st.daemon = &daemon;
+  for (std::size_t s = 0; s < hw.config().sockets; ++s) {
+    msr_taps_.push_back(std::make_unique<MsrTap>(this, index, s));
+    hw.msr(s).set_interceptor(msr_taps_.back().get());
+  }
+  snapshot_taps_.push_back(std::make_unique<SnapshotTap>(this, index));
+  daemon.set_snapshot_filter(snapshot_taps_.back().get());
+}
+
+void FaultInjector::record(double t_s, std::size_t node,
+                           FaultFamily family) {
+  events_.push_back(FaultEvent{
+      .t_s = t_s, .node = static_cast<std::uint32_t>(node), .family = family});
+}
+
+bool FaultInjector::allow_msr_write(std::size_t node, std::size_t socket,
+                                    std::uint32_t addr) {
+  NodeState& st = nodes_[node];
+  const double t = st.hw->clock().value;
+  bool allowed = true;
+  for (const FaultSpec& f : plan_.specs) {
+    if (f.family != FaultFamily::kMsrDrop || f.reg != addr ||
+        !f.applies_to_node(node) || !f.applies_to_socket(socket) ||
+        !f.active_at(t)) {
+      continue;
+    }
+    if (st.rng.uniform() < f.probability) {
+      ++stats_.msr_drops;
+      record(t, node, FaultFamily::kMsrDrop);
+      allowed = false;
+    }
+  }
+  return allowed;
+}
+
+void FaultInjector::poll(std::size_t index) {
+  NodeState& st = nodes_[index];
+  EAR_CHECK_MSG(st.hw != nullptr, "poll on an unattached node");
+  const double t = st.hw->clock().value;
+  for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& f = plan_.specs[i];
+    if (f.family != FaultFamily::kMsrLock || !f.applies_to_node(index)) {
+      continue;
+    }
+    if (st.lock_done[i] != 0 || t < f.start_s) continue;
+    for (std::size_t s = 0; s < st.hw->config().sockets; ++s) {
+      if (f.applies_to_socket(s)) st.hw->msr(s).lock(f.reg);
+    }
+    st.lock_done[i] = 1;
+    ++stats_.msr_locks;
+    record(t, index, FaultFamily::kMsrLock);
+  }
+}
+
+bool FaultInjector::power_reading_dropped(std::size_t index) {
+  NodeState& st = nodes_[index];
+  const double t = st.hw->clock().value;
+  for (const FaultSpec& f : plan_.specs) {
+    if (f.family != FaultFamily::kNodeDropout || !f.applies_to_node(index) ||
+        !f.active_at(t)) {
+      continue;
+    }
+    if (f.probability >= 1.0 || st.rng.uniform() < f.probability) {
+      ++stats_.dropped_readings;
+      record(t, index, FaultFamily::kNodeDropout);
+      return true;
+    }
+  }
+  return false;
+}
+
+metrics::Snapshot FaultInjector::filter_snapshot(
+    std::size_t node, const metrics::Snapshot& clean) {
+  NodeState& st = nodes_[node];
+  metrics::Snapshot s = clean;
+  const double t = clean.clock_s;
+  bool stuck_active = false;
+  for (const FaultSpec& f : plan_.specs) {
+    if (!f.applies_to_node(node) || !f.active_at(t)) continue;
+    switch (f.family) {
+      case FaultFamily::kSnapshotDrop:
+        // The daemon missed this snapshot and re-serves the previous one
+        // (a stalled collector thread does exactly this).
+        if (st.served_any && st.rng.uniform() < f.probability) {
+          s = st.last_served;
+          ++stats_.snapshot_faults;
+          record(t, node, FaultFamily::kSnapshotDrop);
+        }
+        break;
+      case FaultFamily::kInmStuck:
+        // The energy counter freezes at its value when the window opens
+        // and recovers (jumping forward, still monotonic) after it.
+        if (!st.inm_latched) {
+          st.inm_latched = true;
+          st.stuck_joules = s.inm_joules;
+        }
+        stuck_active = true;
+        if (s.inm_joules != st.stuck_joules) {
+          s.inm_joules = st.stuck_joules;
+          ++stats_.snapshot_faults;
+          record(t, node, FaultFamily::kInmStuck);
+        }
+        break;
+      case FaultFamily::kInmNoise:
+        if (st.rng.uniform() < f.probability) {
+          const double burst = st.rng.uniform(-1.0, 1.0) * f.magnitude;
+          const double noisy = static_cast<double>(s.inm_joules) + burst;
+          s.inm_joules =
+              noisy <= 0.0 ? 0 : static_cast<std::uint64_t>(noisy);
+          ++stats_.snapshot_faults;
+          record(t, node, FaultFamily::kInmNoise);
+        }
+        break;
+      case FaultFamily::kPmuGlitch:
+        if (st.rng.uniform() < f.probability) {
+          const double m = f.magnitude > 0.0 ? f.magnitude : 1.0;
+          switch (st.rng.below(4)) {
+            case 0: s.clock_s += m; break;  // TSC jumps forward m seconds
+            case 1: s.clock_s -= m; break;  // ... or backward
+            case 2:  // APERF-style inflation of the core clock integral
+              s.pmu.cpu_freq_cycles *= 1.0 + m;
+              break;
+            case 3:  // uncore clock integral loses counts
+              s.pmu.imc_freq_cycles *= std::max(0.0, 1.0 - m);
+              break;
+          }
+          ++stats_.snapshot_faults;
+          record(t, node, FaultFamily::kPmuGlitch);
+        }
+        break;
+      case FaultFamily::kMsrDrop:
+      case FaultFamily::kMsrLock:
+      case FaultFamily::kNodeDropout:
+        break;  // handled on their own paths
+    }
+  }
+  if (!stuck_active) st.inm_latched = false;  // the sensor recovered
+  st.last_served = s;
+  st.served_any = true;
+  return s;
+}
+
+}  // namespace ear::faults

@@ -1,0 +1,75 @@
+// FaultInjector: applies a FaultPlan to a simulated cluster through the
+// hook points in simhw::MsrFile (write interception) and eard::NodeDaemon
+// (snapshot filtering), plus two polled paths driven by the experiment
+// loop (scheduled register locks, EARGM reading dropouts).
+//
+// Determinism: every node gets its own RNG stream derived from the
+// injector seed with common::mix_seed, and runs execute single-threaded,
+// so the same (seed, plan) pair always produces the identical fault
+// timeline — independent of how many worker threads a campaign uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eard/eard.hpp"
+#include "faults/fault_plan.hpp"
+#include "simhw/node.hpp"
+
+namespace ear::faults {
+
+class FaultInjector {
+ public:
+  /// The plan is captured by reference; it must outlive the injector
+  /// (run_experiment keeps it in the config).
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed,
+                std::size_t nodes);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Wire node `index` into the injector: installs an MSR write
+  /// interceptor on every socket and a snapshot filter on the daemon.
+  /// The injector must outlive the node and daemon hooks' use.
+  void attach(std::size_t index, simhw::SimNode& hw,
+              eard::NodeDaemon& daemon);
+
+  /// Apply scheduled one-shot faults (mid-run register locks) that are
+  /// due at node `index`'s current simulated clock. Called once per
+  /// iteration by the experiment loop.
+  void poll(std::size_t index);
+
+  /// EARGM-path fault: true when node `index`'s power reading for the
+  /// current round is scheduled to go missing.
+  [[nodiscard]] bool power_reading_dropped(std::size_t index);
+
+  /// Injected-fault counters (the detected/recovered fields stay zero;
+  /// run_experiment fills them from the resilience layers).
+  [[nodiscard]] const FaultReport& stats() const { return stats_; }
+  /// Chronological record of every injected fault occurrence.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  struct MsrTap;
+  struct SnapshotTap;
+  struct NodeState;
+
+  [[nodiscard]] bool allow_msr_write(std::size_t node, std::size_t socket,
+                                     std::uint32_t addr);
+  [[nodiscard]] metrics::Snapshot filter_snapshot(
+      std::size_t node, const metrics::Snapshot& clean);
+  void record(double t_s, std::size_t node, FaultFamily family);
+
+  const FaultPlan& plan_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::unique_ptr<MsrTap>> msr_taps_;
+  std::vector<std::unique_ptr<SnapshotTap>> snapshot_taps_;
+  FaultReport stats_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace ear::faults

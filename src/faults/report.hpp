@@ -1,0 +1,80 @@
+// Fault accounting shared between the injector (what was injected) and
+// the runtime (what was detected and recovered). Kept in a header of its
+// own so sim::RunResult can embed a report without pulling in the
+// injector machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ear::faults {
+
+/// The fault families the injector can schedule.
+enum class FaultFamily : std::uint8_t {
+  kMsrDrop,       // intermittent MSR write drops
+  kMsrLock,       // mid-run BIOS-style register lock
+  kInmStuck,      // node energy counter freezes (stuck-at)
+  kInmNoise,      // bursty DC-power sensor noise
+  kPmuGlitch,     // TSC jumps / APERF-MPERF corruption
+  kSnapshotDrop,  // daemon serves a stale counter snapshot
+  kNodeDropout,   // node power reading never reaches EARGM
+};
+
+/// One injected fault occurrence, for the deterministic timeline.
+struct FaultEvent {
+  double t_s = 0.0;
+  std::uint32_t node = 0;
+  FaultFamily family = FaultFamily::kMsrDrop;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Injected / detected / recovered counters for one run (or summed over
+/// runs). All fields are uint64 so the struct stays padding-free when
+/// embedded in memcmp-compared result structs.
+struct FaultReport {
+  // Injected (counted by the FaultInjector).
+  std::uint64_t msr_drops = 0;        // MSR writes swallowed
+  std::uint64_t msr_locks = 0;        // registers locked mid-run
+  std::uint64_t snapshot_faults = 0;  // corrupted/stale snapshots served
+  std::uint64_t dropped_readings = 0; // power readings hidden from EARGM
+
+  // Detected (counted by the resilience paths).
+  std::uint64_t verify_failures = 0;  // daemon read-back mismatches
+  std::uint64_t rejected_windows = 0; // EARL screening rejections
+  std::uint64_t missed_readings = 0;  // EARGM NaN substitutions
+
+  // Recovered (counted by the degradation / re-anchor paths).
+  std::uint64_t reprobes = 0;         // daemon probe-cache invalidations
+  std::uint64_t fallbacks = 0;        // sessions degraded to HW-UFS/CPU-only
+  std::uint64_t reanchors = 0;        // state machine re-anchored
+  std::uint64_t unsettled_nodes = 0;  // neither settled nor degraded
+
+  [[nodiscard]] std::uint64_t injected() const {
+    return msr_drops + msr_locks + snapshot_faults + dropped_readings;
+  }
+  [[nodiscard]] std::uint64_t detected() const {
+    return verify_failures + rejected_windows + missed_readings;
+  }
+  [[nodiscard]] std::uint64_t recovered() const {
+    return reprobes + fallbacks + reanchors;
+  }
+
+  FaultReport& operator+=(const FaultReport& o) {
+    msr_drops += o.msr_drops;
+    msr_locks += o.msr_locks;
+    snapshot_faults += o.snapshot_faults;
+    dropped_readings += o.dropped_readings;
+    verify_failures += o.verify_failures;
+    rejected_windows += o.rejected_windows;
+    missed_readings += o.missed_readings;
+    reprobes += o.reprobes;
+    fallbacks += o.fallbacks;
+    reanchors += o.reanchors;
+    unsettled_nodes += o.unsettled_nodes;
+    return *this;
+  }
+  friend bool operator==(const FaultReport&, const FaultReport&) = default;
+};
+
+}  // namespace ear::faults

@@ -16,13 +16,54 @@ Snapshot Snapshot::take(const simhw::SimNode& node) {
   };
 }
 
-Signature compute_signature(const Snapshot& begin, const Snapshot& end,
-                            std::size_t iterations) {
-  Signature sig;
-  const simhw::PmuCounters d = end.pmu - begin.pmu;
-  const double elapsed = end.clock_s - begin.clock_s;
-  if (elapsed <= 0.0 || iterations == 0) return sig;  // invalid
+const char* to_string(WindowReject r) {
+  switch (r) {
+    case WindowReject::kNone: return "none";
+    case WindowReject::kZeroElapsed: return "zero-elapsed";
+    case WindowReject::kZeroIterations: return "zero-iterations";
+    case WindowReject::kRetrograde: return "retrograde-counter";
+    case WindowReject::kNonFinite: return "non-finite";
+    case WindowReject::kNoSignal: return "no-signal";
+    case WindowReject::kImplausible: return "implausible";
+    case WindowReject::kOutlier: return "outlier";
+  }
+  return "unknown";
+}
 
+Signature compute_signature(const Snapshot& begin, const Snapshot& end,
+                            std::size_t iterations, WindowReject* reject) {
+  if (reject != nullptr) *reject = WindowReject::kNone;
+  auto invalid = [&](WindowReject why) {
+    if (reject != nullptr) *reject = why;
+    return Signature{};
+  };
+
+  const double elapsed = end.clock_s - begin.clock_s;
+  if (!std::isfinite(elapsed)) return invalid(WindowReject::kNonFinite);
+  if (elapsed <= 0.0) return invalid(WindowReject::kZeroElapsed);
+  if (iterations == 0) return invalid(WindowReject::kZeroIterations);
+
+  const simhw::PmuCounters d = end.pmu - begin.pmu;
+  // A corrupted snapshot can make a monotonic counter run backwards or
+  // non-finite. The deltas feed divisions and an unsigned cast (the
+  // average-frequency integrals), so they must be screened before any
+  // metric is derived — a negative double to uint64 cast is UB.
+  if (end.inm_joules < begin.inm_joules) {
+    return invalid(WindowReject::kRetrograde);
+  }
+  if (!std::isfinite(d.instructions) || !std::isfinite(d.cycles) ||
+      !std::isfinite(d.cas_transactions) || !std::isfinite(d.avx512_ops) ||
+      !std::isfinite(d.cpu_freq_cycles) ||
+      !std::isfinite(d.imc_freq_cycles)) {
+    return invalid(WindowReject::kNonFinite);
+  }
+  if (d.instructions < 0.0 || d.cycles < 0.0 || d.cas_transactions < 0.0 ||
+      d.avx512_ops < 0.0 || d.cpu_freq_cycles < 0.0 ||
+      d.imc_freq_cycles < 0.0) {
+    return invalid(WindowReject::kRetrograde);
+  }
+
+  Signature sig;
   sig.elapsed_s = elapsed;
   sig.iterations = iterations;
   sig.iter_time_s = elapsed / static_cast<double>(iterations);
@@ -39,8 +80,6 @@ Signature compute_signature(const Snapshot& begin, const Snapshot& end,
   // matching time base is the span between the boundaries the two
   // readings represent — dividing by the raw elapsed time would bias the
   // estimate by up to 1 s worth of power per window edge.
-  EAR_CHECK_MSG(end.inm_joules >= begin.inm_joules,
-                "INM counter must be monotonic");
   const double published_span =
       std::floor(end.clock_s) - std::floor(begin.clock_s);
   sig.dc_power_w =
@@ -51,6 +90,7 @@ Signature compute_signature(const Snapshot& begin, const Snapshot& end,
   sig.avg_cpu_freq = d.avg_cpu_freq();
   sig.avg_imc_freq = d.avg_imc_freq();
   sig.valid = sig.dc_power_w > 0.0 && sig.cpi > 0.0;
+  if (!sig.valid && reject != nullptr) *reject = WindowReject::kNoSignal;
   // A signature is the only thing policies ever see; publishing one with
   // a non-finite or negative rate would send every guard comparison and
   // energy projection into silently-wrong territory.

@@ -21,10 +21,29 @@ struct Snapshot {
   [[nodiscard]] static Snapshot take(const simhw::SimNode& node);
 };
 
+/// Why a measurement window could not be turned into (or was screened out
+/// as) a usable signature. The first block is detected while computing;
+/// the last two are EarlSession screening verdicts.
+enum class WindowReject : std::uint8_t {
+  kNone = 0,
+  kZeroElapsed,     // zero or negative elapsed time (clock went backwards)
+  kZeroIterations,  // no loop iterations covered
+  kRetrograde,      // a monotonic counter decreased (glitched snapshot)
+  kNonFinite,       // a derived metric came out non-finite
+  kNoSignal,        // window closed but carried no power/instruction data
+  kImplausible,     // screening: power/frequency beyond physical bounds
+  kOutlier,         // screening: discontinuous jump vs the last signature
+};
+
+[[nodiscard]] const char* to_string(WindowReject r);
+
 /// Compute the signature for the window between two snapshots covering
-/// `iterations` detected loop iterations.
+/// `iterations` detected loop iterations. An unusable window yields
+/// `valid == false`; when `reject` is non-null the reason is stored there
+/// (callers count and log instead of dropping windows silently).
 [[nodiscard]] Signature compute_signature(const Snapshot& begin,
                                           const Snapshot& end,
-                                          std::size_t iterations);
+                                          std::size_t iterations,
+                                          WindowReject* reject = nullptr);
 
 }  // namespace ear::metrics

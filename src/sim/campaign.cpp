@@ -43,8 +43,10 @@ const std::vector<CampaignResult>& Campaign::run() {
   };
   std::vector<Task> tasks;
   std::vector<std::vector<RunResult>> slots(points_.size());
+  std::vector<std::vector<std::string>> error_slots(points_.size());
   for (std::size_t p = 0; p < points_.size(); ++p) {
     slots[p].resize(points_[p].runs);
+    error_slots[p].resize(points_[p].runs);
     for (std::size_t r = 0; r < points_[p].runs; ++r) {
       tasks.push_back(Task{.point = p, .run = r});
     }
@@ -65,8 +67,20 @@ const std::vector<CampaignResult>& Campaign::run() {
         const Task& t = tasks[i];
         const CampaignPoint& point = points_[t.point];
         const auto start = Clock::now();
-        slots[t.point][t.run] =
-            run_experiment(config_for_run(point.cfg, t.run));
+        if (opts_.capture_errors) {
+          try {
+            slots[t.point][t.run] =
+                run_experiment(config_for_run(point.cfg, t.run));
+          } catch (const std::exception& e) {
+            const char* what = e.what();
+            error_slots[t.point][t.run] =
+                (what != nullptr && what[0] != '\0') ? what
+                                                     : "unknown error";
+          }
+        } else {
+          slots[t.point][t.run] =
+              run_experiment(config_for_run(point.cfg, t.run));
+        }
         const double elapsed = seconds_since(start);
         {
           std::lock_guard<std::mutex> lock(mu);
@@ -90,9 +104,24 @@ const std::vector<CampaignResult>& Campaign::run() {
   results_.clear();
   results_.reserve(points_.size());
   for (std::size_t p = 0; p < points_.size(); ++p) {
-    results_.push_back(CampaignResult{.label = points_[p].label,
-                                      .avg = reduce_runs(slots[p]),
-                                      .run_seconds = run_seconds[p]});
+    // Failed runs (capture_errors mode) are excluded from the reduction
+    // in run-index order, so the surviving average is still bitwise
+    // independent of the job count.
+    std::vector<RunResult> ok;
+    std::vector<std::string> errors;
+    ok.reserve(slots[p].size());
+    for (std::size_t r = 0; r < slots[p].size(); ++r) {
+      if (error_slots[p][r].empty()) {
+        ok.push_back(std::move(slots[p][r]));
+      } else {
+        errors.push_back(std::move(error_slots[p][r]));
+      }
+    }
+    results_.push_back(CampaignResult{
+        .label = points_[p].label,
+        .avg = ok.empty() ? AveragedResult{} : reduce_runs(ok),
+        .run_seconds = run_seconds[p],
+        .errors = std::move(errors)});
   }
   wall_s_ = seconds_since(t0);
   return results_;

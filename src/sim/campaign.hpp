@@ -30,6 +30,12 @@ struct CampaignOptions {
   std::size_t jobs = 0;
   /// Print a per-point completion line (label + timing) to stderr.
   bool progress = false;
+  /// Capture per-run exceptions instead of letting the first one abort
+  /// the whole campaign (chaos mode: a crash is a finding, not a reason
+  /// to lose every other point's results). Failed runs are excluded from
+  /// the reduction; their messages land in CampaignResult::errors in
+  /// run-index order.
+  bool capture_errors = false;
 };
 
 /// Outcome of one point, in the order the points were added.
@@ -38,6 +44,8 @@ struct CampaignResult {
   AveragedResult avg;
   /// Wall-clock the point's runs cost, summed over runs (thread-seconds).
   double run_seconds = 0.0;
+  /// Messages of runs that threw (capture_errors mode), run-index order.
+  std::vector<std::string> errors;
 };
 
 class Campaign {

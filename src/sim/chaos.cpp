@@ -1,0 +1,146 @@
+#include "sim/chaos.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "eargm/eargm.hpp"
+#include "sim/campaign.hpp"
+#include "sim/presets.hpp"
+#include "workload/catalog.hpp"
+
+namespace ear::sim {
+
+namespace {
+
+void check_finite(const AveragedResult& avg, const std::string& what,
+                  std::vector<std::string>* violations) {
+  auto bad = [&](const char* field, double v) {
+    violations->push_back(what + ": " + field + " is not finite/physical");
+    (void)v;
+  };
+  if (!std::isfinite(avg.total_time_s) || avg.total_time_s <= 0.0) {
+    bad("total time", avg.total_time_s);
+  }
+  if (!std::isfinite(avg.total_energy_j) || avg.total_energy_j <= 0.0) {
+    bad("total energy", avg.total_energy_j);
+  }
+  if (!std::isfinite(avg.avg_dc_power_w) || avg.avg_dc_power_w <= 0.0) {
+    bad("DC power", avg.avg_dc_power_w);
+  }
+  if (!std::isfinite(avg.avg_cpu_ghz) || avg.avg_cpu_ghz <= 0.0) {
+    bad("CPU frequency", avg.avg_cpu_ghz);
+  }
+}
+
+}  // namespace
+
+std::size_t ChaosReport::violation_count() const {
+  std::size_t n = 0;
+  for (const ChaosPointReport& p : points) n += p.violations.size();
+  return n;
+}
+
+ChaosReport run_chaos(const ChaosOptions& opts) {
+  EAR_CHECK_MSG(opts.plan != nullptr && !opts.plan->empty(),
+                "chaos mode needs a non-empty fault plan");
+  EAR_CHECK_MSG(!opts.policies.empty(), "chaos mode needs policies");
+  EAR_CHECK_MSG(opts.runs > 0, "chaos mode needs at least one run");
+  const workload::AppModel app = workload::make_app(opts.app);
+
+  Campaign campaign(
+      CampaignOptions{.jobs = opts.jobs, .capture_errors = true});
+  for (const std::string& policy : opts.policies) {
+    earl::EarlSettings settings = settings_me_eufs();
+    settings.policy = policy;
+    ExperimentConfig cfg{.app = app, .earl = settings, .seed = opts.seed};
+    if (opts.budget_w) {
+      cfg.eargm = eargm::EargmConfig{.cluster_budget_w = *opts.budget_w};
+    }
+    campaign.add("clean/" + policy, cfg, opts.runs);
+    cfg.fault_plan = opts.plan;
+    campaign.add("chaos/" + policy, cfg, opts.runs);
+  }
+  const std::vector<CampaignResult>& results = campaign.run();
+
+  ChaosReport report;
+  for (std::size_t i = 0; i < opts.policies.size(); ++i) {
+    const CampaignResult& clean = results[2 * i];
+    const CampaignResult& faulted = results[2 * i + 1];
+    ChaosPointReport point;
+    point.policy = opts.policies[i];
+    point.clean = clean.avg;
+    point.faulted = faulted.avg;
+
+    // Invariant: no crash — under faults or without them.
+    for (const std::string& e : clean.errors) {
+      point.violations.push_back("clean run crashed: " + e);
+    }
+    for (const std::string& e : faulted.errors) {
+      point.violations.push_back("faulted run crashed: " + e);
+    }
+    if (faulted.avg.runs > 0) {
+      // Invariant: everything the campaign reports stays finite.
+      check_finite(faulted.avg, "faulted", &point.violations);
+      if (clean.avg.runs > 0) {
+        point.vs_clean = compare(clean.avg, faulted.avg);
+        // Invariant: bounded penalty — faults degrade, never wedge.
+        if (!std::isfinite(point.vs_clean.time_penalty_pct) ||
+            point.vs_clean.time_penalty_pct >
+                opts.time_penalty_bound_pct) {
+          point.violations.push_back(
+              "time penalty " +
+              common::AsciiTable::pct(point.vs_clean.time_penalty_pct) +
+              " exceeds bound " +
+              common::AsciiTable::pct(opts.time_penalty_bound_pct));
+        }
+      }
+      // Invariant: settle or degrade, never go silent.
+      if (faulted.avg.faults.unsettled_nodes > 0) {
+        point.violations.push_back(
+            std::to_string(faulted.avg.faults.unsettled_nodes) +
+            " node session(s) neither settled nor degraded");
+      }
+    }
+    report.totals += faulted.avg.faults;
+    report.points.push_back(std::move(point));
+  }
+  return report;
+}
+
+void print_chaos_report(const ChaosReport& report) {
+  common::AsciiTable table("chaos campaign");
+  table.columns({"policy", "clean time", "chaos time", "penalty",
+                 "energy", "injected", "detected", "recovered", "status"},
+                {common::Align::kLeft, common::Align::kRight,
+                 common::Align::kRight, common::Align::kRight,
+                 common::Align::kRight, common::Align::kRight,
+                 common::Align::kRight, common::Align::kRight,
+                 common::Align::kLeft});
+  for (const ChaosPointReport& p : report.points) {
+    const faults::FaultReport& f = p.faulted.faults;
+    table.add_row(
+        {p.policy, common::AsciiTable::num(p.clean.total_time_s, 1) + "s",
+         common::AsciiTable::num(p.faulted.total_time_s, 1) + "s",
+         common::AsciiTable::pct(p.vs_clean.time_penalty_pct),
+         common::AsciiTable::pct(-p.vs_clean.energy_saving_pct),
+         std::to_string(f.injected()), std::to_string(f.detected()),
+         std::to_string(f.recovered()),
+         p.violations.empty()
+             ? "OK"
+             : std::to_string(p.violations.size()) + " violation(s)"});
+  }
+  table.print();
+
+  if (report.violation_count() > 0) {
+    common::AsciiTable bad("invariant violations");
+    bad.columns({"policy", "violation"},
+                {common::Align::kLeft, common::Align::kLeft});
+    for (const ChaosPointReport& p : report.points) {
+      for (const std::string& v : p.violations) bad.add_row({p.policy, v});
+    }
+    bad.print();
+  }
+}
+
+}  // namespace ear::sim

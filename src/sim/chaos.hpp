@@ -1,0 +1,69 @@
+// Chaos mode: run the policy matrix under a fault plan and check the
+// resilience invariants. For every policy the engine runs a clean point
+// and a faulted point with the same seeds, then verifies that
+//
+//   * no run crashed (exceptions are captured per run, not fatal),
+//   * every reported metric stayed finite and physical,
+//   * the time penalty of the faulted runs vs the clean runs stays
+//     under a configurable bound (faults degrade, never wedge), and
+//   * every EARL session either kept settling or cleanly degraded
+//     (the settle-or-degrade rule; see FaultReport::unsettled_nodes).
+//
+// The report carries injected / detected / recovered fault counts so a
+// campaign can show that the resilience layer actually exercised.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "sim/runner.hpp"
+
+namespace ear::sim {
+
+struct ChaosOptions {
+  std::string app = "bqcd";
+  /// The policy matrix: eUFS policies plus their CPU-only baselines.
+  std::vector<std::string> policies = {"min_energy_eufs", "min_energy",
+                                       "min_time", "monitoring"};
+  /// The fault plan to arm (required, non-empty).
+  std::shared_ptr<const faults::FaultPlan> plan;
+  std::uint64_t seed = 1;
+  std::size_t runs = 2;
+  std::size_t jobs = 0;
+  /// Invariant: faulted time must stay within this penalty of clean.
+  double time_penalty_bound_pct = 75.0;
+  /// Arm the EARGM cluster manager (clean and faulted points alike) —
+  /// required for node_dropout faults to have a consumer.
+  std::optional<double> budget_w;
+};
+
+struct ChaosPointReport {
+  std::string policy;
+  AveragedResult clean;
+  AveragedResult faulted;
+  Comparison vs_clean;
+  std::vector<std::string> violations;
+};
+
+struct ChaosReport {
+  std::vector<ChaosPointReport> points;
+  /// Fault counters summed over every faulted point.
+  faults::FaultReport totals;
+
+  [[nodiscard]] std::size_t violation_count() const;
+  [[nodiscard]] bool ok() const { return violation_count() == 0; }
+};
+
+/// Run the chaos campaign (deterministic for a given seed/plan/policy
+/// list, independent of the job count).
+[[nodiscard]] ChaosReport run_chaos(const ChaosOptions& opts);
+
+/// Render the chaos report as ASCII tables (one summary row per policy,
+/// plus a violation listing when anything failed).
+void print_chaos_report(const ChaosReport& report);
+
+}  // namespace ear::sim

@@ -1,12 +1,16 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "eard/accounting.hpp"
+#include "faults/injector.hpp"
 
 namespace ear::sim {
 
@@ -71,6 +75,18 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
                                              cfg.earl.policy, n,
                                              cluster.node(n)));
   }
+  // Arm the fault plan before EARL attaches, so attach-time probes
+  // already run through the hooks (a plan can make the very first
+  // writability probe fail, as a boot-time lock would).
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (cfg.fault_plan != nullptr && !cfg.fault_plan->empty()) {
+    injector = std::make_unique<faults::FaultInjector>(
+        *cfg.fault_plan, common::mix_seed(cfg.seed, 0xFA171EULL),
+        app.nodes);
+    for (std::size_t n = 0; n < app.nodes; ++n) {
+      injector->attach(n, cluster.node(n), daemons[n]);
+    }
+  }
   if (cfg.attach_earl) {
     for (auto& d : daemons) sessions.push_back(library.attach(d, app.is_mpi));
   }
@@ -110,9 +126,14 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
     }
     for (std::size_t it = 0; it < phase.iterations; ++it) {
       for (std::size_t n = 0; n < app.nodes; ++n) {
+        if (injector) injector->poll(n);  // scheduled locks fire here
         const auto outcome = cluster.node(n).execute_iteration(demands[n]);
         rapl[n].poll(cluster.node(n));
         round_power[n] = outcome.power.total().value;
+        if (injector && injector->power_reading_dropped(n)) {
+          // The node's report never reaches EARGM this round.
+          round_power[n] = std::numeric_limits<double>::quiet_NaN();
+        }
         if (n == 0) {
           out.imc_timeline.emplace_back(cluster.node(0).clock().value,
                                         outcome.uncore_freq.as_ghz());
@@ -137,6 +158,15 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
   if (manager) {
     out.eargm_throttles = manager->throttle_events();
     out.eargm_final_limit = manager->current_limit();
+    out.fault_report.missed_readings = manager->missed_readings();
+  }
+  if (injector) {
+    const faults::FaultReport& injected = injector->stats();
+    out.fault_report.msr_drops = injected.msr_drops;
+    out.fault_report.msr_locks = injected.msr_locks;
+    out.fault_report.snapshot_faults = injected.snapshot_faults;
+    out.fault_report.dropped_readings = injected.dropped_readings;
+    out.fault_events = injector->events();
   }
 
   // Aggregate.
@@ -161,8 +191,26 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
       r.tpi = c.cas_transactions / c.instructions;
       r.vpi = c.avx512_ops / c.instructions;
     }
-    if (cfg.attach_earl) r.signatures = sessions[n]->signatures_computed();
+    if (cfg.attach_earl) {
+      r.signatures = sessions[n]->signatures_computed();
+      r.rejected_windows = sessions[n]->windows_rejected();
+      r.reanchors = sessions[n]->reanchors();
+      r.degraded = sessions[n]->degraded();
+    }
     r.msr_writes = daemons[n].msr_writes();
+    r.verify_failures = daemons[n].verify_failures();
+    r.reprobes = daemons[n].reprobes();
+    out.fault_report.rejected_windows += r.rejected_windows;
+    out.fault_report.reanchors += r.reanchors;
+    out.fault_report.verify_failures += r.verify_failures;
+    out.fault_report.reprobes += r.reprobes;
+    out.fault_report.fallbacks += r.degraded ? 1 : 0;
+    // Settle-or-degrade: under an armed plan a session must either keep
+    // producing signatures or have cleanly fallen back; one that went
+    // silent without degrading is an invariant violation upstream.
+    if (injector && cfg.attach_earl && r.signatures == 0 && !r.degraded) {
+      ++out.fault_report.unsettled_nodes;
+    }
     out.nodes.push_back(r);
 
     out.total_time_s = std::max(out.total_time_s, r.elapsed_s);

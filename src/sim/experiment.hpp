@@ -3,12 +3,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "earl/library.hpp"
 #include "eargm/eargm.hpp"
+#include "faults/fault_plan.hpp"
 #include "simhw/cluster.hpp"
 #include "workload/phase.hpp"
 
@@ -30,6 +32,11 @@ struct ExperimentConfig {
   /// Programme IA32_ENERGY_PERF_BIAS on every socket (0 = performance,
   /// 15 = powersave; >= 8 biases the HW UFS loop one bin lower).
   std::optional<std::uint64_t> energy_perf_bias;
+  /// Arm a fault plan (chaos mode): a FaultInjector applies it through
+  /// the simhw/eard hook points for the whole run. Null (the default)
+  /// installs no hooks at all — results are bitwise identical to a build
+  /// without the fault layer.
+  std::shared_ptr<const faults::FaultPlan> fault_plan;
 };
 
 /// One sample of node 0's operating point (per application iteration).
@@ -55,6 +62,12 @@ struct NodeResult {
   double vpi = 0.0;
   std::size_t signatures = 0;
   std::uint64_t msr_writes = 0;
+  /// Resilience accounting (all zero on fault-free runs).
+  std::size_t rejected_windows = 0;
+  std::size_t reanchors = 0;
+  std::uint64_t verify_failures = 0;
+  std::uint64_t reprobes = 0;
+  bool degraded = false;  // session fell back to HW-UFS/CPU-only mid-run
 };
 
 /// Whole-job outcome.
@@ -75,6 +88,12 @@ struct RunResult {
   /// EARGM statistics when a cluster budget was configured.
   std::size_t eargm_throttles = 0;
   simhw::Pstate eargm_final_limit = 0;
+  /// Fault accounting: injected counts from the injector plus detected /
+  /// recovered counts from the resilience layers. All zero when no plan
+  /// was armed.
+  faults::FaultReport fault_report;
+  /// Chronological fault timeline (empty when no plan was armed).
+  std::vector<faults::FaultEvent> fault_events;
 };
 
 /// Execute one run. The learned models for the app's node type are cached

@@ -31,6 +31,7 @@ AveragedResult reduce_runs(std::span<const RunResult> runs) {
     avg.avg_imc_ghz += res.avg_imc_ghz;
     avg.cpi += res.cpi;
     avg.gbps += res.gbps;
+    avg.faults += res.fault_report;
     // Cross-run aggregation goes through merge() so partial accumulators
     // (e.g. per-shard stats from a distributed campaign) reduce through
     // the exact same code path.

@@ -24,6 +24,9 @@ struct AveragedResult {
   double gbps = 0.0;
   double time_stddev_s = 0.0;
   std::size_t runs = 0;
+  /// Fault counters summed (not averaged) over the runs; all zero when
+  /// no plan was armed.
+  faults::FaultReport faults;
 };
 
 /// The config for run index `run` of a repeated experiment: the per-run

@@ -68,6 +68,11 @@ void MsrFile::write(std::uint32_t addr, std::uint64_t value) {
       break;
   }
   ++writes_;
+  // Fault hook after validation: an injected drop models a write that was
+  // issued but never landed, indistinguishable (to software) from a lock.
+  if (interceptor_ != nullptr && !interceptor_->allow_write(addr, value)) {
+    return;
+  }
   if (locked_.count(addr) != 0) return;  // silently dropped
   regs_[addr] = value;
 }

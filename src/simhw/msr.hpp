@@ -38,6 +38,19 @@ struct UncoreRatioLimit {
                          const UncoreRatioLimit&) = default;
 };
 
+/// Fault-injection hook: when installed, every validated write is offered
+/// to the interceptor, which may swallow it (the fault layer models flaky
+/// MSR access this way). Null by default — the unarmed hot path costs a
+/// single pointer test.
+class MsrWriteInterceptor {
+ public:
+  virtual ~MsrWriteInterceptor() = default;
+  /// Return false to drop the write (it still counts as issued, exactly
+  /// like a write to a locked register).
+  [[nodiscard]] virtual bool allow_write(std::uint32_t addr,
+                                         std::uint64_t value) = 0;
+};
+
 /// Per-socket register file. Unknown registers read as 0, like a freshly
 /// cleared MSR; writes create them. Registers may be *locked* (as BIOSes
 /// lock UNCORE_RATIO_LIMIT on some platforms): writes to a locked
@@ -51,6 +64,12 @@ class MsrFile {
   void lock(std::uint32_t addr);
   [[nodiscard]] bool is_locked(std::uint32_t addr) const;
 
+  /// Install (or clear, with nullptr) the fault-injection write hook.
+  /// The interceptor must outlive its installation.
+  void set_interceptor(MsrWriteInterceptor* interceptor) {
+    interceptor_ = interceptor;
+  }
+
   /// Typed accessors for the uncore limit register.
   [[nodiscard]] UncoreRatioLimit uncore_limit() const;
   void set_uncore_limit(const UncoreRatioLimit& limit);
@@ -63,6 +82,7 @@ class MsrFile {
   std::unordered_map<std::uint32_t, std::uint64_t> regs_;
   std::unordered_set<std::uint32_t> locked_;
   std::uint64_t writes_ = 0;
+  MsrWriteInterceptor* interceptor_ = nullptr;
 };
 
 }  // namespace ear::simhw

@@ -19,3 +19,14 @@ int fixture_noise() {
 // A comment mentioning printf( or std::rand must not fire, and neither
 // must a string literal:
 const char* fixture_str = "std::cout << printf(gettimeofday)";
+
+void fixture_hw_mutation(ear::simhw::SimNode& node, std::mutex& mu) {
+  node.set_cpu_pstate(3);                  // LINT-EXPECT: hw-mutation
+  node.set_uncore_limit_all(window);       // LINT-EXPECT: hw-mutation
+  node.msr(0).write(0x620, 0x1818);        // LINT-EXPECT: hw-mutation
+  node.msr(s).lock(0x620);                 // LINT-EXPECT: hw-mutation
+  msr.write(0x1B0, 6);                     // LINT-EXPECT: hw-mutation
+  mu.lock();          // clean: a mutex, not an MSR
+  daemon.set_pstate_limit(2);              // clean: the daemon API
+  daemon.set_freqs(freqs);                 // clean: the daemon API
+}

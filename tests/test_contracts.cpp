@@ -98,10 +98,10 @@ TEST(ContractsFire, ImcSearchRejectsInvalidReference) {
 }
 
 TEST(ContractsFire, SignatureMetricsMustBeSane) {
-  SKIP_UNLESS_CHECKED();
   // A counter delta that runs backwards (cycles shrink while
-  // instructions grow) would publish a negative CPI; the postcondition
-  // on compute_signature refuses to let it escape.
+  // instructions grow) would publish a negative CPI. Retrograde counters
+  // are a sensor fault, not a programming error: the window is rejected
+  // with a reason instead of tearing the session down.
   metrics::Snapshot begin;
   begin.pmu.cycles = 200.0;
   metrics::Snapshot end;
@@ -109,8 +109,12 @@ TEST(ContractsFire, SignatureMetricsMustBeSane) {
   end.pmu.instructions = 100.0;
   end.inm_joules = 1000;
   end.clock_s = 10.0;
-  EXPECT_THROW((void)metrics::compute_signature(begin, end, 5),
-               common::ContractViolation);
+  metrics::WindowReject why = metrics::WindowReject::kNone;
+  const metrics::Signature sig = metrics::compute_signature(begin, end, 5, &why);
+  EXPECT_FALSE(sig.valid);
+  EXPECT_EQ(why, metrics::WindowReject::kRetrograde);
+  // The reject pointer is optional; the legacy call shape still works.
+  EXPECT_FALSE(metrics::compute_signature(begin, end, 5).valid);
 }
 
 TEST(EufsStateMachine, LegalTransitionTable) {

@@ -73,6 +73,69 @@ TEST(Eargm, RespectsDeepestLimit) {
   EXPECT_EQ(mgr.current_limit(), 3u);
 }
 
+TEST(Eargm, ExactTriggerBoundaryDoesNotThrottle) {
+  // The throttle comparison is strict: aggregate == budget * trigger is
+  // still *within* budget. budget 600 * trigger 1.0 = 600 exactly.
+  Fixture f;
+  EargmManager mgr({.cluster_budget_w = 600.0, .trigger_margin = 1.00},
+                   {&f.d0, &f.d1});
+  const double exact[] = {300.0, 300.0};
+  for (int i = 0; i < 5; ++i) mgr.update(exact);
+  EXPECT_EQ(mgr.current_limit(), 0u);
+  EXPECT_EQ(mgr.throttle_events(), 0u);
+  // One watt over the line and the comparison flips.
+  const double over[] = {300.5, 300.5};
+  mgr.update(over);
+  EXPECT_EQ(mgr.current_limit(), 1u);
+}
+
+TEST(Eargm, ExactReleaseBoundaryHolds) {
+  // The release comparison is strict too: aggregate == budget * release
+  // sits on the hysteresis band edge and must hold the limit.
+  Fixture f;
+  EargmManager mgr({.cluster_budget_w = 600.0, .release_margin = 0.90},
+                   {&f.d0, &f.d1});
+  const double high[] = {330.0, 330.0};
+  mgr.update(high);
+  ASSERT_EQ(mgr.current_limit(), 1u);
+  const double edge[] = {270.0, 270.0};  // exactly 540 = 600 * 0.90
+  for (int i = 0; i < 5; ++i) mgr.update(edge);
+  EXPECT_EQ(mgr.current_limit(), 1u);
+  EXPECT_EQ(mgr.release_events(), 0u);
+  const double below[] = {269.0, 270.0};  // strictly under: release
+  mgr.update(below);
+  EXPECT_EQ(mgr.current_limit(), 0u);
+  EXPECT_EQ(mgr.release_events(), 1u);
+}
+
+TEST(Eargm, MassiveOverrunStillStepsOnePstatePerUpdate) {
+  // 6.6x over budget: the control period still moves exactly one step per
+  // call, as the real manager's staged throttling does.
+  Fixture f;
+  EargmManager mgr({.cluster_budget_w = 100.0, .deepest_limit = 10},
+                   {&f.d0, &f.d1});
+  const double readings[] = {330.0, 330.0};
+  for (std::size_t i = 1; i <= 4; ++i) {
+    mgr.update(readings);
+    EXPECT_EQ(mgr.current_limit(), i);
+    EXPECT_EQ(mgr.throttle_events(), i);
+  }
+}
+
+TEST(Eargm, DeepestLimitFloorStopsThrottleAccounting) {
+  // Sustained over-budget load pins the limit at deepest_limit; further
+  // rounds neither deepen the cap nor inflate the throttle count.
+  Fixture f;
+  EargmManager mgr({.cluster_budget_w = 100.0, .deepest_limit = 3},
+                   {&f.d0, &f.d1});
+  const double readings[] = {330.0, 330.0};
+  for (int i = 0; i < 10; ++i) mgr.update(readings);
+  EXPECT_EQ(mgr.current_limit(), 3u);
+  EXPECT_EQ(mgr.throttle_events(), 3u);
+  EXPECT_EQ(f.d0.pstate_limit(), 3u);
+  EXPECT_EQ(f.d1.pstate_limit(), 3u);
+}
+
 TEST(Eargm, ConfigValidation) {
   Fixture f;
   EXPECT_THROW(EargmManager({.cluster_budget_w = 0.0}, {&f.d0}),

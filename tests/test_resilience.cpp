@@ -1,0 +1,318 @@
+// Resilience-layer tests: the daemon's write verification and probe-cache
+// invalidation (a register locked *mid-run* must be noticed — the probe
+// result used to be cached forever), the EARL session's window screening
+// and re-anchoring, the mid-run degradation to the CPU-only fallback, and
+// EARGM's tolerance to missing power reports.
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "earl/library.hpp"
+#include "eargm/eargm.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "workload/catalog.hpp"
+
+namespace ear {
+namespace {
+
+using common::Freq;
+
+simhw::SimNode make_node(std::uint64_t seed = 21) {
+  return simhw::SimNode(simhw::make_skylake_6148_node(), seed,
+                        simhw::NoiseModel{.time_sigma = 0, .power_sigma = 0});
+}
+
+policies::NodeFreqs freqs(double imc_max_ghz) {
+  return policies::NodeFreqs{.cpu_pstate = 4,
+                             .imc_max = Freq::ghz(imc_max_ghz),
+                             .imc_min = Freq::ghz(1.2)};
+}
+
+void lock_uncore(simhw::SimNode& node) {
+  for (std::size_t s = 0; s < node.config().sockets; ++s) {
+    node.msr(s).lock(simhw::kMsrUncoreRatioLimit);
+  }
+}
+
+// --- Satellite regression: the probe cache must not outlive reality ----
+
+TEST(UncoreProbeCache, MidRunLockInvalidatesCachedProbe) {
+  auto node = make_node();
+  eard::NodeDaemon daemon(node);
+  ASSERT_TRUE(daemon.uncore_writable());  // probed once, cached true
+
+  lock_uncore(node);  // BIOS-style lock lands mid-run
+  // The cache is stale — this is exactly the regression: a plain re-ask
+  // still answers from the cache.
+  EXPECT_TRUE(daemon.uncore_writable());
+  EXPECT_TRUE(daemon.uncore_ok());
+
+  // The next real write fails its read-back; that invalidates the cache,
+  // forces a re-probe, and concludes the path is gone.
+  daemon.set_freqs(freqs(1.8));
+  EXPECT_GT(daemon.verify_failures(), 0u);
+  EXPECT_GT(daemon.reprobes(), 0u);
+  EXPECT_FALSE(daemon.uncore_ok());
+  EXPECT_FALSE(daemon.uncore_writable());  // fresh probe result
+}
+
+TEST(UncoreProbeCache, UnhealthyDaemonStopsTouchingTheRegister) {
+  auto node = make_node();
+  eard::NodeDaemon daemon(node);
+  lock_uncore(node);
+  daemon.set_freqs(freqs(1.8));  // detects the lock
+  ASSERT_FALSE(daemon.uncore_ok());
+
+  const auto writes = daemon.msr_writes();
+  daemon.set_freqs(freqs(2.0));  // would be a new window; must be skipped
+  EXPECT_EQ(daemon.msr_writes(), writes);  // HW-UFS rung: no MSR traffic
+  EXPECT_EQ(node.cpu_pstate(), 4u);        // CPU control still works
+}
+
+TEST(UncoreProbeCache, ExplicitReprobeRefreshesHealth) {
+  auto node = make_node();
+  eard::NodeDaemon daemon(node);
+  ASSERT_TRUE(daemon.uncore_writable());
+  EXPECT_TRUE(daemon.reprobe());  // healthy platform: probe again, stays ok
+  EXPECT_EQ(daemon.reprobes(), 1u);
+  EXPECT_TRUE(daemon.uncore_ok());
+
+  lock_uncore(node);
+  EXPECT_FALSE(daemon.reprobe());  // the fresh probe sees the lock
+  EXPECT_FALSE(daemon.uncore_ok());
+  EXPECT_EQ(daemon.reprobes(), 2u);
+}
+
+// --- Mid-run degradation: lock -> detected -> CPU-only fallback --------
+
+struct SessionFixture {
+  explicit SessionFixture(earl::EarlSettings settings,
+                          const char* app_name = "bt-mz.d")
+      : app(workload::make_app(app_name)),
+        node(app.node_config, 11,
+             simhw::NoiseModel{.time_sigma = 0, .power_sigma = 0}),
+        daemon(node),
+        library(app.node_config, std::move(settings),
+                sim::cached_models(app.node_config)) {
+    session = library.attach(daemon, app.is_mpi);
+  }
+
+  void run(std::size_t n) {
+    const auto& phase = app.phases.front();
+    for (std::size_t i = 0; i < n; ++i) {
+      node.execute_iteration(phase.demand);
+      session->on_mpi_calls(phase.mpi_pattern);
+    }
+  }
+
+  workload::AppModel app;
+  simhw::SimNode node;
+  eard::NodeDaemon daemon;
+  earl::EarLibrary library;
+  std::unique_ptr<earl::EarlSession> session;
+};
+
+TEST(MidRunDegradation, LockDuringSearchFallsBackToCpuOnly) {
+  SessionFixture f(sim::settings_me_eufs(0.05, 0.02));
+  ASSERT_EQ(f.session->policy().name(), "min_energy_eufs");
+
+  // Let the session warm up (loop detection, first signatures), then lock
+  // the register while the uncore search is still stepping.
+  f.run(12);
+  lock_uncore(f.node);
+  f.run(80);
+
+  // The next attempted window change failed its read-back; the daemon
+  // went HW-UFS and the session swapped in the CPU-only fallback.
+  EXPECT_GT(f.daemon.verify_failures(), 0u);
+  EXPECT_FALSE(f.daemon.uncore_ok());
+  EXPECT_TRUE(f.session->degraded());
+  EXPECT_EQ(f.session->fallbacks(), 1u);
+  EXPECT_EQ(f.session->policy().name(), "min_energy");
+  // The degraded session keeps working: signatures keep coming.
+  const auto sigs = f.session->signatures_computed();
+  EXPECT_GT(sigs, 0u);
+  f.run(20);
+  EXPECT_GT(f.session->signatures_computed(), sigs);
+}
+
+TEST(MidRunDegradation, HealthyRunNeverDegrades) {
+  SessionFixture f(sim::settings_me_eufs(0.05, 0.02));
+  f.run(120);
+  EXPECT_FALSE(f.session->degraded());
+  EXPECT_EQ(f.session->policy().name(), "min_energy_eufs");
+  EXPECT_EQ(f.daemon.verify_failures(), 0u);
+  EXPECT_EQ(f.session->windows_rejected(), 0u);
+}
+
+// --- Session screening: reject, count, and re-anchor -------------------
+
+/// Serves INM readings that run backwards: every window is retrograde.
+struct RetrogradeInm : eard::SnapshotFilter {
+  std::uint64_t next = 1'000'000'000;
+  metrics::Snapshot filter(const metrics::Snapshot& clean) override {
+    metrics::Snapshot s = clean;
+    s.inm_joules = next;
+    next -= 1000;
+    return s;
+  }
+};
+
+TEST(SessionScreening, RetrogradeWindowsAreCountedNotFatal) {
+  SessionFixture f(sim::settings_me_eufs(0.05, 0.02));
+  RetrogradeInm filter;
+  f.daemon.set_snapshot_filter(&filter);
+  f.run(40);
+  f.daemon.set_snapshot_filter(nullptr);
+
+  EXPECT_EQ(f.session->signatures_computed(), 0u);
+  EXPECT_GT(f.session->windows_rejected(), 0u);
+  EXPECT_EQ(f.session->last_reject(), metrics::WindowReject::kRetrograde);
+  EXPECT_FALSE(f.session->degraded());  // sensor fault, not an MSR fault
+}
+
+/// Inflates the INM energy delta 1000x: implied DC power is megawatts.
+struct MegawattInm : eard::SnapshotFilter {
+  bool latched = false;
+  std::uint64_t base = 0;
+  metrics::Snapshot filter(const metrics::Snapshot& clean) override {
+    metrics::Snapshot s = clean;
+    if (!latched) {
+      latched = true;
+      base = clean.inm_joules;
+    }
+    s.inm_joules = base + (clean.inm_joules - base) * 1000;
+    return s;
+  }
+};
+
+TEST(SessionScreening, ImplausiblePowerIsScreenedOut) {
+  SessionFixture f(sim::settings_me_eufs(0.05, 0.02));
+  MegawattInm filter;
+  f.daemon.set_snapshot_filter(&filter);
+  f.run(40);
+  f.daemon.set_snapshot_filter(nullptr);
+
+  EXPECT_EQ(f.session->signatures_computed(), 0u);
+  EXPECT_GT(f.session->windows_rejected(), 0u);
+  EXPECT_EQ(f.session->last_reject(), metrics::WindowReject::kImplausible);
+}
+
+/// Clean for the first windows, then scales the INM delta by `factor`
+/// from a latched base: a sustained power-level shift, not a glitch.
+struct PowerShift : eard::SnapshotFilter {
+  PowerShift(double shift_after_s_in, double factor_in)
+      : shift_after_s(shift_after_s_in), factor(factor_in) {}
+  double shift_after_s;
+  double factor;
+  bool latched = false;
+  std::uint64_t base = 0;
+  metrics::Snapshot filter(const metrics::Snapshot& clean) override {
+    if (clean.clock_s < shift_after_s) return clean;
+    metrics::Snapshot s = clean;
+    if (!latched) {
+      latched = true;
+      base = clean.inm_joules;
+    }
+    const double scaled =
+        static_cast<double>(base) +
+        static_cast<double>(clean.inm_joules - base) * factor;
+    s.inm_joules = static_cast<std::uint64_t>(scaled);
+    return s;
+  }
+};
+
+TEST(SessionScreening, SustainedShiftReanchorsInsteadOfStarving) {
+  earl::EarlSettings settings = sim::settings_me_eufs(0.05, 0.02);
+  settings.screening.outlier_factor = 2.0;
+  settings.screening.reanchor_after = 3;
+  SessionFixture f(settings);
+  PowerShift filter(/*shift_after_s=*/40.0, /*factor=*/4.0);
+  f.daemon.set_snapshot_filter(&filter);
+  f.run(120);
+  f.daemon.set_snapshot_filter(nullptr);
+
+  // The first shifted windows are screened as outliers (the third in the
+  // streak is the one that re-anchors, and is accepted)...
+  EXPECT_GE(f.session->windows_rejected(), 2u);
+  // ...but the level persisted, so the session re-anchored and resumed
+  // accepting signatures at the new level.
+  EXPECT_EQ(f.session->reanchors(), 1u);
+  EXPECT_GT(f.session->signatures_computed(), 3u);
+}
+
+TEST(SessionScreening, ScreeningCanBeDisabled) {
+  earl::EarlSettings settings = sim::settings_me_eufs(0.05, 0.02);
+  settings.screening.enabled = false;
+  SessionFixture f(settings);
+  MegawattInm filter;
+  f.daemon.set_snapshot_filter(&filter);
+  f.run(40);
+  f.daemon.set_snapshot_filter(nullptr);
+  // With screening off the implausible windows sail straight through.
+  EXPECT_GT(f.session->signatures_computed(), 0u);
+}
+
+// --- EARGM: missing power reports --------------------------------------
+
+TEST(EargmResilience, NanReadingSubstitutesLastKnownPower) {
+  auto n0 = make_node(1);
+  auto n1 = make_node(2);
+  eard::NodeDaemon d0(n0), d1(n1);
+  eargm::EargmManager mgr({.cluster_budget_w = 700.0}, {&d0, &d1});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  const double full[] = {330.0, 330.0};
+  mgr.update(full);
+  EXPECT_DOUBLE_EQ(mgr.last_aggregate_w(), 660.0);
+  EXPECT_EQ(mgr.missed_readings(), 0u);
+
+  const double partial[] = {nan, 330.0};
+  mgr.update(partial);
+  EXPECT_DOUBLE_EQ(mgr.last_aggregate_w(), 660.0);  // 330 remembered
+  EXPECT_EQ(mgr.missed_readings(), 1u);
+  EXPECT_EQ(mgr.current_limit(), 0u);  // under budget either way
+}
+
+TEST(EargmResilience, MissingReportCannotMaskOverBudget) {
+  auto n0 = make_node(1);
+  auto n1 = make_node(2);
+  eard::NodeDaemon d0(n0), d1(n1);
+  eargm::EargmManager mgr({.cluster_budget_w = 600.0}, {&d0, &d1});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  const double full[] = {330.0, 330.0};
+  mgr.update(full);  // 660 > 600: throttle
+  ASSERT_EQ(mgr.current_limit(), 1u);
+  // One node goes silent while the cluster is still hot: the substituted
+  // last-known power keeps the aggregate honest and throttling proceeds.
+  const double partial[] = {330.0, nan};
+  mgr.update(partial);
+  EXPECT_EQ(mgr.current_limit(), 2u);
+  EXPECT_EQ(mgr.missed_readings(), 1u);
+}
+
+TEST(EargmResilience, BlindRoundHoldsTheLimit) {
+  auto n0 = make_node(1);
+  auto n1 = make_node(2);
+  eard::NodeDaemon d0(n0), d1(n1);
+  eargm::EargmManager mgr({.cluster_budget_w = 600.0}, {&d0, &d1});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  const double full[] = {330.0, 330.0};
+  mgr.update(full);
+  ASSERT_EQ(mgr.current_limit(), 1u);
+  const std::size_t throttles = mgr.throttle_events();
+
+  // No node reported at all: acting would be guessing — hold.
+  const double blind[] = {nan, nan};
+  mgr.update(blind);
+  EXPECT_EQ(mgr.current_limit(), 1u);
+  EXPECT_EQ(mgr.throttle_events(), throttles);
+  EXPECT_EQ(mgr.missed_readings(), 2u);
+}
+
+}  // namespace
+}  // namespace ear

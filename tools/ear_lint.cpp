@@ -24,6 +24,13 @@
 //                    non-module-qualified local includes ("units.hpp"
 //                    instead of "common/units.hpp"), and <iostream>
 //                    (static-init heavy; nothing in src/ needs it).
+//   hw-mutation      Direct SimNode/MsrFile mutation (set_cpu_pstate,
+//                    set_uncore_limit*, msr writes/locks) outside the
+//                    simhw/, eard/ and faults/ layers. Every privileged
+//                    hardware operation must go through the daemon — or
+//                    the fault injector, which is the only sanctioned
+//                    side door — so the EARD boundary and the fault hook
+//                    points stay airtight.
 //
 // Suppressions live in an explicit allowlist file (one
 // `path:rule[:substring]` per line); an allowlist entry that no longer
@@ -158,6 +165,19 @@ const std::regex kCHeader(
 const std::regex kLocalInclude(R"re(#\s*include\s*"([^"]+)")re");
 const std::regex kQuotedInclude(R"re(#\s*include\s*")re");
 const std::regex kIostream(R"(#\s*include\s*<iostream>)");
+// Hardware mutators: the SimNode control surface and raw MSR file
+// writes/locks (`msr(s).write(...)`, `node.msr(0).lock(...)`). The msr
+// pattern requires the member-call shape so `lock.lock()` on a mutex or
+// `locked_.insert` never match.
+const std::regex kHwMutation(
+    R"(\b(?:set_cpu_pstate|set_cpu_freq|set_uncore_limit(?:_all)?)\s*\(|\bmsrs?(?:\s*\([^()]*\))?\s*\.\s*(?:write|lock)\s*\()");
+
+/// Layers allowed to touch the hardware directly: the hardware model
+/// itself, the privileged daemon, and the fault injector.
+bool hw_layer_file(const std::string& rel) {
+  return rel.rfind("simhw/", 0) == 0 || rel.rfind("eard/", 0) == 0 ||
+         rel.rfind("faults/", 0) == 0;
+}
 
 /// Files that *are* the sanctioned output layer; banned-io does not apply.
 bool io_layer_file(const std::string& rel) {
@@ -193,6 +213,12 @@ void scan_file(const std::string& rel, const std::string& text,
       findings->push_back({rel, lineno, "banned-io",
                            "direct output `" + m[0].str() +
                                "`; route through common/log or common/table"});
+    }
+    if (!hw_layer_file(rel) && std::regex_search(line, m, kHwMutation)) {
+      findings->push_back(
+          {rel, lineno, "hw-mutation",
+           "direct hardware mutation `" + m[0].str() +
+               "`; go through eard::NodeDaemon (or the fault injector)"});
     }
     if (std::regex_search(line, m, kCHeader)) {
       findings->push_back({rel, lineno, "include-hygiene",

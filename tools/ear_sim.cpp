@@ -25,7 +25,9 @@
 #include "common/args.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "faults/fault_plan.hpp"
 #include "sim/campaign.hpp"
+#include "sim/chaos.hpp"
 #include "policies/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
@@ -50,6 +52,10 @@ int usage() {
       "  sweep <app> [--cpu-pstate P] [--jobs N]  fixed-uncore sweep "
       "(Fig. 1)\n"
       "  learn [--gpu-node] [--save FILE]  learning phase + coefficients\n"
+      "  chaos [app] --faults PLAN [--policies a,b] [--runs N] [--seed N]\n"
+      "        [--budget W] [--penalty-bound PCT] [--jobs N]\n"
+      "        policy matrix under a fault plan + invariant checks\n"
+      "        (also spelled: ear_sim --chaos --faults PLAN)\n"
       "--jobs 0 (default) uses EAR_SIM_JOBS or all cores; any job count\n"
       "produces bitwise-identical results.\n");
   return 2;
@@ -232,16 +238,65 @@ int cmd_learn(const common::ArgParser& args) {
   return 0;
 }
 
+int cmd_chaos(const common::ArgParser& args) {
+  const std::string plan_path = args.get("faults", std::string());
+  if (plan_path.empty()) {
+    std::fprintf(stderr, "ear_sim chaos: --faults PLAN is required\n");
+    return usage();
+  }
+  sim::ChaosOptions opts;
+  // Both "ear_sim chaos [app]" and "ear_sim --chaos [app]" are accepted;
+  // in the flag form there is no command positional to skip.
+  const std::size_t base = args.positional_or(0, "") == "chaos" ? 1 : 0;
+  opts.app = args.positional_or(base, opts.app);
+  opts.plan = std::make_shared<const faults::FaultPlan>(
+      faults::load_fault_plan(plan_path));
+  opts.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+  opts.runs = static_cast<std::size_t>(args.get("runs", std::int64_t{2}));
+  opts.jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{0}));
+  opts.time_penalty_bound_pct =
+      args.get("penalty-bound", opts.time_penalty_bound_pct);
+  if (args.has("budget")) opts.budget_w = args.get("budget", 0.0);
+  const std::string policies = args.get("policies", std::string());
+  if (!policies.empty()) {
+    opts.policies.clear();
+    std::size_t from = 0;
+    while (from <= policies.size()) {
+      const std::size_t comma = policies.find(',', from);
+      const std::string name =
+          policies.substr(from, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - from);
+      if (!name.empty()) opts.policies.push_back(name);
+      if (comma == std::string::npos) break;
+      from = comma + 1;
+    }
+  }
+
+  const sim::ChaosReport report = sim::run_chaos(opts);
+  sim::print_chaos_report(report);
+  std::printf("%s: %zu injected, %zu detected, %zu recovered, "
+              "%zu invariant violation(s)\n",
+              report.ok() ? "chaos campaign clean" : "CHAOS FAILURE",
+              static_cast<std::size_t>(report.totals.injected()),
+              static_cast<std::size_t>(report.totals.detected()),
+              static_cast<std::size_t>(report.totals.recovered()),
+              report.violation_count());
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const common::ArgParser args(argc, argv, {"compare", "gpu-node"});
+    const common::ArgParser args(argc, argv,
+                                 {"compare", "gpu-node", "chaos"});
     const std::string cmd = args.positional_or(0, "");
     if (cmd == "list") return cmd_list();
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "learn") return cmd_learn(args);
+    if (cmd == "chaos" || args.flag("chaos")) return cmd_chaos(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ear_sim: %s\n", e.what());
