@@ -26,12 +26,17 @@ void NodeDaemon::set_freqs(const policies::NodeFreqs& freqs) {
                                      .min_freq = freqs.imc_min};
   if (!(node_->uncore_limit() == want)) {
     node_->set_uncore_limit_all(want);
-    verify_uncore_write(want);
+    if (!verify_uncore_write(want)) {
+      // The window is not in force; the policy keeps running against
+      // whatever the register holds and the next set_freqs retries (or
+      // the unhealthy flag above short-circuits the write path).
+      EAR_LOG_DEBUG("eard", "uncore window write not in force after verify");
+    }
   }
 }
 
-void NodeDaemon::verify_uncore_write(const simhw::UncoreRatioLimit& want) {
-  if (node_->uncore_limit() == want) return;
+bool NodeDaemon::verify_uncore_write(const simhw::UncoreRatioLimit& want) {
+  if (node_->uncore_limit() == want) return true;
   // Read-back mismatch: the write was issued but never landed. Drop the
   // cached writability probe — a register locked after attach looks
   // exactly like this — and re-probe to tell a transient glitch from a
@@ -43,13 +48,15 @@ void NodeDaemon::verify_uncore_write(const simhw::UncoreRatioLimit& want) {
     // Transient drop: retry the window once. A second miss will be caught
     // by the next set_freqs round.
     node_->set_uncore_limit_all(want);
-    if (!(node_->uncore_limit() == want)) ++verify_failures_;
-  } else {
-    uncore_healthy_ = false;
-    EAR_LOG_WARN("eard",
-                 "UNCORE_RATIO_LIMIT writes no longer stick; entering "
-                 "HW-UFS fallback");
+    const bool landed = node_->uncore_limit() == want;
+    if (!landed) ++verify_failures_;
+    return landed;
   }
+  uncore_healthy_ = false;
+  EAR_LOG_WARN("eard",
+               "UNCORE_RATIO_LIMIT writes no longer stick; entering "
+               "HW-UFS fallback");
+  return false;
 }
 
 bool NodeDaemon::uncore_writable() {

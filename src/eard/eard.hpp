@@ -52,7 +52,7 @@ class NodeDaemon {
   /// Drop the cached probe and probe again; used by the degradation path
   /// to distinguish a transient write drop from a mid-run lock. Returns
   /// the fresh result and resets the health flag accordingly.
-  bool reprobe();
+  [[nodiscard]] bool reprobe();
 
   /// False once the daemon has concluded uncore writes no longer stick
   /// (mid-run lock); set_freqs stops touching the register and EARL
@@ -90,7 +90,10 @@ class NodeDaemon {
   [[nodiscard]] std::uint64_t reprobes() const { return reprobes_; }
 
  private:
-  void verify_uncore_write(const simhw::UncoreRatioLimit& want);
+  /// Read back the window just written and handle a mismatch (retry once
+  /// on a transient drop, or mark the uncore path unhealthy on a lock).
+  /// Returns whether `want` is in force afterwards.
+  [[nodiscard]] bool verify_uncore_write(const simhw::UncoreRatioLimit& want);
 
   simhw::SimNode* node_;
   SnapshotFilter* snapshot_filter_ = nullptr;

@@ -42,6 +42,9 @@ class ImcSearch {
   [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] const metrics::Signature& reference() const { return ref_; }
   [[nodiscard]] Freq current_trial() const { return trial_; }
+  /// The setting the search reverts to when a guard trips (introspection
+  /// for the model checker's revert-iff-breach property).
+  [[nodiscard]] Freq last_good() const { return last_good_; }
   [[nodiscard]] std::size_t steps_taken() const { return steps_; }
 
   void reset();

@@ -35,11 +35,16 @@ class MinEnergyEufsPolicy : public Policy {
   [[nodiscard]] NodeFreqs default_freqs() const override;
   void sync_constraints(Pstate applied, Pstate fastest_allowed) override;
 
-  /// Introspection for tests and the state-machine bench.
+  /// Introspection for tests, the state-machine bench and the model
+  /// checker (tools/ear_model).
   enum class Stage { kCpuFreqSel, kCompRef, kImcFreqSel, kStable };
   [[nodiscard]] Stage stage() const { return stage_; }
   [[nodiscard]] Pstate current_pstate() const { return current_; }
   [[nodiscard]] const ImcSearch& imc_search() const { return imc_; }
+  /// Validation anchor while STABLE (invalid until the first validate()).
+  [[nodiscard]] const metrics::Signature& stable_reference() const {
+    return stable_ref_;
+  }
 
   /// Fig. 2's legal edges. Any stage may restart to CPU_FREQ_SEL (phase
   /// change / failed validation); the forward edges are exactly the

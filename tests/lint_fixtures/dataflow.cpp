@@ -1,0 +1,91 @@
+// Fixture for the ear_lint self-test: the dataflow rule families
+// (nondet-iteration, unchecked-status). Never compiled — only scanned.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::unordered_map<std::string, double> totals_by_node;
+std::unordered_set<int> active_ranks;
+std::map<std::string, double> ordered_totals;
+
+double fixture_nondet_reduction() {
+  double sum = 0.0;
+  for (const auto& [name, value] : totals_by_node) {  // LINT-EXPECT: nondet-iteration
+    sum += value;
+  }
+  // Multi-line shape: the accumulator sits far below the loop header.
+  std::vector<int> order;
+  for (int rank :  // LINT-EXPECT: nondet-iteration
+       active_ranks) {
+    if (rank > 0) {
+      order.push_back(rank);
+    }
+  }
+  // Inline temporary, single-statement body.
+  double v = 0.0;
+  for (int x : std::unordered_set<int>{1, 2, 3})  // LINT-EXPECT: nondet-iteration
+    v *= x;
+  return sum + v;
+}
+
+double fixture_nondet_clean() {
+  // Ordered container: iteration order is defined; accumulation is fine.
+  double sum = 0.0;
+  for (const auto& [name, value] : ordered_totals) {
+    sum += value;
+  }
+  // Unordered container, but the body only reads — no order-sensitive
+  // sink, so no finding.
+  std::size_t n = 0;
+  for (const auto& [name, value] : totals_by_node) {
+    if (value > 0.0) n = name.size();
+  }
+  // Sorted copy first: the sanctioned pattern.
+  std::vector<int> sorted_ranks(active_ranks.begin(), active_ranks.end());
+  for (int rank : sorted_ranks) {
+    sum += rank;
+  }
+  return sum + static_cast<double>(n);
+}
+
+struct FakeDaemon {
+  bool reprobe();
+  bool uncore_writable() const;
+  bool uncore_ok() const;
+  bool verify_uncore_write(int want);
+};
+struct FakeMsr {
+  bool is_locked(int reg) const;
+};
+struct FakeNode {
+  FakeMsr& msr(int socket);
+};
+
+void fixture_unchecked_status(FakeDaemon& daemon, FakeNode& node, bool x) {
+  daemon.reprobe();                       // LINT-EXPECT: unchecked-status
+  daemon.verify_uncore_write(3);          // LINT-EXPECT: unchecked-status
+  node.msr(0).is_locked(0x620);           // LINT-EXPECT: unchecked-status
+  if (x) daemon.reprobe();                // LINT-EXPECT: unchecked-status
+
+  // Consumed in every sanctioned way: no findings.
+  const bool ok = daemon.reprobe();
+  if (!daemon.uncore_writable()) {
+    (void)daemon.reprobe();  // explicit discard
+  }
+  while (daemon.uncore_ok()) {
+    break;
+  }
+  const bool verified = ok && daemon.verify_uncore_write(2);
+  static_cast<void>(verified);
+}
+
+// Declarations and definitions of the status APIs themselves must stay
+// quiet: `name()` here is not a discarded call.
+bool FakeDaemon::reprobe() { return true; }
+bool FakeDaemon::uncore_writable() const { return true; }
+bool FakeDaemon::uncore_ok() const { return true; }
+bool FakeDaemon::verify_uncore_write(int want) { return want != 0; }
+bool FakeMsr::is_locked(int reg) const { return reg != 0; }

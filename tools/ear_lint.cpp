@@ -32,6 +32,23 @@
 //                    side door — so the EARD boundary and the fault hook
 //                    points stay airtight.
 //
+// Two dataflow-aware rule families run on a token stream (a real
+// tokenizer, not line regexes), because their shapes span lines:
+//
+//   nondet-iteration Range-for over an unordered_{map,set} whose body
+//                    feeds an accumulator or sequence (compound
+//                    assignment, push_back/emplace_back/append).
+//                    Iteration order is hash-seed dependent, so such a
+//                    loop silently breaks the repo's bitwise-determinism
+//                    guarantee (campaigns, reductions, signatures).
+//                    Iterate a sorted copy or an ordered container.
+//   unchecked-status Discarded return value of the [[nodiscard]]
+//                    daemon/MSR status APIs (reprobe, uncore_writable,
+//                    uncore_ok, verify_uncore_write, is_locked) as a
+//                    bare statement. A dropped status is how an MSR
+//                    lockdown goes unnoticed; check it or cast to
+//                    (void) deliberately.
+//
 // Suppressions live in an explicit allowlist file (one
 // `path:rule[:substring]` per line); an allowlist entry that no longer
 // matches anything is itself an error, so suppressions cannot outlive
@@ -41,7 +58,12 @@
 // violations are annotated in-line with `LINT-EXPECT: <rule>` comments
 // and verifies the findings match the annotations exactly — each rule is
 // proven to both fire and stay quiet.
+//
+// --json switches the finding output (stdout) to one JSON object per
+// line for editor/CI integration; the text format on stderr stays the
+// default.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -184,12 +206,306 @@ bool io_layer_file(const std::string& rel) {
   return rel.rfind("common/log", 0) == 0 || rel.rfind("common/table", 0) == 0;
 }
 
+// --------------------------------------------------------------------
+// Token stream for the dataflow rules. The line regexes above cannot see
+// shapes that span lines (a range-for header on one line, its
+// accumulator three lines below), so these rules lex the comment- and
+// string-stripped text into identifier/number/punctuator tokens with
+// line numbers and walk real nesting structure.
+// --------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  std::size_t line;
+};
+
+std::vector<Token> tokenize(const std::string& stripped) {
+  static const char* kPunct3[] = {"<<=", ">>=", "->*", "..."};
+  static const char* kPunct2[] = {"::", "->", "+=", "-=", "*=", "/=",
+                                  "%=", "|=", "&=", "^=", "==", "!=",
+                                  "<=", ">=", "&&", "||", "++", "--",
+                                  "<<", ">>"};
+  std::vector<Token> toks;
+  std::size_t line = 1;
+  const std::size_t n = stripped.size();
+  std::size_t i = 0;
+  const auto ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  const auto ident_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < n) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(stripped[j])) ++j;
+      toks.push_back({Token::Kind::kIdent, stripped.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // pp-number: digits, identifier chars, digit separators, dots and
+      // exponent signs.
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = stripped[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
+                    stripped[j - 1] == 'p' || stripped[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      toks.push_back({Token::Kind::kNumber, stripped.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    for (const char* p : kPunct3) {
+      if (stripped.compare(i, 3, p) == 0) {
+        toks.push_back({Token::Kind::kPunct, p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPunct2) {
+      if (stripped.compare(i, 2, p) == 0) {
+        toks.push_back({Token::Kind::kPunct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return toks;
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Index of the token matching the opener at `open` ('(', '[' or '{'),
+/// or kNpos. Counts only the same bracket kind, which is all the rules
+/// need.
+std::size_t match_forward(const std::vector<Token>& t, std::size_t open) {
+  const std::string& o = t[open].text;
+  const std::string close = o == "(" ? ")" : (o == "[" ? "]" : "}");
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == o)
+      ++depth;
+    else if (t[i].text == close && --depth == 0)
+      return i;
+  }
+  return kNpos;
+}
+
+/// Index of the token matching the closer at `close` (')' or ']'), or
+/// kNpos.
+std::size_t match_backward(const std::vector<Token>& t, std::size_t close) {
+  const std::string& c = t[close].text;
+  const std::string open = c == ")" ? "(" : "[";
+  std::size_t depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (t[i].text == c)
+      ++depth;
+    else if (t[i].text == open && --depth == 0)
+      return i;
+  }
+  return kNpos;
+}
+
+/// Skip a balanced template argument list starting at the '<' at `open`;
+/// returns the index just past the closing '>'. The tokenizer emits
+/// `>>` as one token, which in template context closes two levels.
+std::size_t skip_template_args(const std::vector<Token>& t, std::size_t open) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    const std::string& x = t[i].text;
+    if (x == "<") {
+      ++depth;
+    } else if (x == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (x == ">>") {
+      if (depth <= 2) return i + 1;
+      depth -= 2;
+    } else if (x == "(" || x == "[") {
+      const std::size_t m = match_forward(t, i);
+      if (m == kNpos) return kNpos;
+      i = m;
+    } else if (x == ";" || x == "{") {
+      return kNpos;  // not a template argument list after all
+    }
+  }
+  return kNpos;
+}
+
+/// nondet-iteration: range-for over an unordered container whose body
+/// accumulates or appends. Pass 1 collects names declared (anywhere in
+/// this file) with an unordered_{map,set} type; pass 2 walks every
+/// range-for and inspects the loop body's token stream.
+void scan_nondet_iteration(const std::string& rel,
+                           const std::vector<Token>& t,
+                           std::vector<Finding>* findings) {
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent ||
+        (t[i].text != "unordered_map" && t[i].text != "unordered_set"))
+      continue;
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") {
+      j = skip_template_args(t, j);
+      if (j == kNpos) continue;
+    }
+    while (j < t.size() &&
+           (t[j].text == "*" || t[j].text == "&" || t[j].text == "const"))
+      ++j;
+    if (j < t.size() && t[j].kind == Token::Kind::kIdent)
+      unordered_names.insert(t[j].text);
+  }
+
+  static const std::set<std::string> kCompound = {
+      "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="};
+  static const std::set<std::string> kAppend = {"push_back", "emplace_back",
+                                                "append"};
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "for" || t[i + 1].text != "(") continue;
+    const std::size_t close = match_forward(t, i + 1);
+    if (close == kNpos) continue;
+    // The range-for colon sits at parenthesis depth 1 (":" is a distinct
+    // token from "::", and "?:" does not appear in a for-range header).
+    std::size_t colon = kNpos;
+    std::size_t depth = 0;
+    for (std::size_t k = i + 1; k < close; ++k) {
+      if (t[k].text == "(")
+        ++depth;
+      else if (t[k].text == ")")
+        --depth;
+      else if (t[k].text == ":" && depth == 1) {
+        colon = k;
+        break;
+      }
+    }
+    if (colon == kNpos) continue;  // classic for
+    bool unordered = false;
+    for (std::size_t k = colon + 1; k < close; ++k) {
+      if (t[k].kind == Token::Kind::kIdent &&
+          (unordered_names.count(t[k].text) != 0 ||
+           t[k].text == "unordered_map" || t[k].text == "unordered_set"))
+        unordered = true;
+    }
+    if (!unordered) continue;
+    // Loop body: a compound statement or everything up to the next ';'.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (body_begin < t.size() && t[body_begin].text == "{") {
+      body_end = match_forward(t, body_begin);
+      if (body_end == kNpos) continue;
+    } else {
+      body_end = body_begin;
+      while (body_end < t.size() && t[body_end].text != ";") ++body_end;
+    }
+    for (std::size_t k = body_begin; k < body_end; ++k) {
+      const bool accumulates = kCompound.count(t[k].text) != 0;
+      const bool appends = t[k].kind == Token::Kind::kIdent &&
+                           kAppend.count(t[k].text) != 0 &&
+                           k + 1 < body_end && t[k + 1].text == "(";
+      if (accumulates || appends) {
+        findings->push_back(
+            {rel, t[i].line, "nondet-iteration",
+             "range-for over an unordered container feeds `" + t[k].text +
+                 "`; iteration order is hash-seed dependent — iterate a "
+                 "sorted copy to keep reductions bitwise deterministic"});
+        break;
+      }
+    }
+  }
+}
+
+/// unchecked-status: a [[nodiscard]] daemon/MSR status API called as a
+/// bare statement. The call chain is walked back to its first token;
+/// if the token before that is a statement boundary the value was
+/// dropped. `(void)` casts, assignments, conditions and arguments all
+/// consume the value and stay quiet.
+void scan_unchecked_status(const std::string& rel,
+                           const std::vector<Token>& t,
+                           std::vector<Finding>* findings) {
+  static const std::set<std::string> kStatusApis = {
+      "reprobe", "uncore_writable", "uncore_ok", "verify_uncore_write",
+      "is_locked"};
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent ||
+        kStatusApis.count(t[i].text) == 0 || t[i + 1].text != "(")
+      continue;
+    const std::size_t close = match_forward(t, i + 1);
+    if (close == kNpos || close + 1 >= t.size() ||
+        t[close + 1].text != ";")
+      continue;
+    // Walk back over the postfix chain (`node.msr(0).is_locked`) to the
+    // first token of the full expression statement.
+    std::size_t s = i;
+    while (s >= 2 && (t[s - 1].text == "." || t[s - 1].text == "->")) {
+      std::size_t q = s - 2;
+      if (t[q].text == ")" || t[q].text == "]") {
+        const std::size_t open = match_backward(t, q);
+        if (open == kNpos) break;
+        q = open;
+        if (q >= 1 && t[q - 1].kind == Token::Kind::kIdent) --q;
+      } else if (t[q].kind != Token::Kind::kIdent) {
+        break;
+      }
+      s = q;
+    }
+    bool boundary = s == 0;
+    if (!boundary) {
+      const std::string& b = t[s - 1].text;
+      if (b == ";" || b == "{" || b == "}" || b == "else" || b == "do") {
+        boundary = true;
+      } else if (b == ")") {
+        // Either a control-flow header (`if (x) d.reprobe();` — still a
+        // dropped status) or a cast. `(void)` is the sanctioned explicit
+        // discard; any other cast consumes the value too.
+        const std::size_t open = match_backward(t, s - 1);
+        if (open != kNpos && open >= 1) {
+          const std::string& kw = t[open - 1].text;
+          boundary = kw == "if" || kw == "while" || kw == "for" ||
+                     kw == "switch";
+        }
+      }
+    }
+    if (boundary) {
+      findings->push_back(
+          {rel, t[i].line, "unchecked-status",
+           "status of `" + t[i].text +
+               "()` is dropped; check it or cast to (void) deliberately"});
+    }
+  }
+}
+
 void scan_file(const std::string& rel, const std::string& text,
                std::vector<Finding>* findings) {
   const bool is_header = has_suffix(rel, ".hpp") || has_suffix(rel, ".h");
   const std::vector<std::string> raw_lines = split_lines(text);
-  const std::vector<std::string> lines =
-      split_lines(strip_comments_and_strings(text));
+  const std::string stripped = strip_comments_and_strings(text);
+  const std::vector<std::string> lines = split_lines(stripped);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& line = lines[i];
     const std::string& raw = raw_lines[i];
@@ -242,6 +558,15 @@ void scan_file(const std::string& rel, const std::string& text,
       }
     }
   }
+
+  // The dataflow rules walk the token stream of the whole file.
+  const std::vector<Token> toks = tokenize(stripped);
+  scan_nondet_iteration(rel, toks, findings);
+  scan_unchecked_status(rel, toks, findings);
+  std::stable_sort(findings->begin(), findings->end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
 }
 
 // --------------------------------------------------------------------
@@ -304,9 +629,35 @@ bool lintable(const fs::path& p) {
   return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void print_json_finding(const Finding& f) {
+  std::printf("{\"file\":\"%s\",\"rule\":\"%s\",\"line\":%zu,"
+              "\"message\":\"%s\"}\n",
+              json_escape(f.file).c_str(), json_escape(f.rule).c_str(),
+              f.line, json_escape(f.message).c_str());
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: ear_lint --root DIR [--allowlist FILE]\n"
+               "usage: ear_lint --root DIR [--allowlist FILE] [--json]\n"
                "       ear_lint --self-test DIR\n");
   return 2;
 }
@@ -317,6 +668,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string allowlist_path;
   std::string selftest_dir;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -325,6 +677,8 @@ int main(int argc, char** argv) {
       allowlist_path = argv[++i];
     } else if (arg == "--self-test" && i + 1 < argc) {
       selftest_dir = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else {
       return usage();
     }
@@ -415,25 +769,36 @@ int main(int argc, char** argv) {
   }
 
   for (const Finding& f : reported) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
-                 f.rule.c_str(), f.message.c_str());
+    if (json) {
+      print_json_finding(f);
+    } else {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                   f.rule.c_str(), f.message.c_str());
+    }
     exit_code = 1;
   }
   // A suppression that excuses nothing is stale and must be deleted, so
   // the allowlist can only shrink unless a reviewed change grows it.
   for (const AllowEntry& e : allow) {
     if (!e.used) {
-      std::fprintf(stderr,
-                   "%s:%zu: stale allowlist entry `%s:%s%s` matches "
-                   "nothing; delete it\n",
-                   allowlist_path.c_str(), e.source_line, e.file.c_str(),
-                   e.rule.c_str(),
-                   e.substring.empty() ? "" : (":" + e.substring).c_str());
+      if (json) {
+        print_json_finding({allowlist_path, e.source_line, "stale-allowlist",
+                            "entry `" + e.file + ":" + e.rule +
+                                (e.substring.empty() ? "" : ":" + e.substring) +
+                                "` matches nothing; delete it"});
+      } else {
+        std::fprintf(stderr,
+                     "%s:%zu: stale allowlist entry `%s:%s%s` matches "
+                     "nothing; delete it\n",
+                     allowlist_path.c_str(), e.source_line, e.file.c_str(),
+                     e.rule.c_str(),
+                     e.substring.empty() ? "" : (":" + e.substring).c_str());
+      }
       exit_code = 1;
     }
   }
 
-  if (exit_code == 0) {
+  if (exit_code == 0 && !json) {
     std::fprintf(stderr, "ear_lint: %zu files clean\n", files_scanned);
   }
   return exit_code;
