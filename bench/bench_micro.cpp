@@ -4,12 +4,16 @@
 // simulator's own iteration cost.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "dynais/dynais.hpp"
 #include "metrics/accumulator.hpp"
 #include "policies/min_energy_eufs.hpp"
 #include "policies/registry.hpp"
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
+#include "simhw/kernel_memo.hpp"
 #include "workload/catalog.hpp"
 #include "workload/synthetic.hpp"
 
@@ -38,6 +42,42 @@ void BM_DynaisPushNonPeriodic(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DynaisPushNonPeriodic);
+
+void BM_DynaisReferenceWorstCase(benchmark::State& state) {
+  // The pre-optimisation detector on the same all-distinct stream as
+  // BM_DynaisPushNonPeriodic: the in-repo "before" of the rewrite.
+  dynais::ReferenceDynais dyn;
+  std::uint32_t e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dyn.push(e++));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynaisReferenceWorstCase);
+
+void BM_DynaisWorstCase(benchmark::State& state) {
+  // Lock/break churn: streams that repeatedly almost lock on and then
+  // break stress the incremental detector's slowest path (the match-run
+  // rebuild after every loop exit) on top of the full-search events.
+  std::vector<std::uint32_t> events;
+  std::uint32_t junk = 1'000'000;
+  for (std::uint32_t p = 1; p <= 24; ++p) {
+    for (int round = 0; round < 4; ++round) {
+      for (std::uint32_t i = 0; i < 4 * p; ++i) {
+        // Periodic with one corruption right after the detector locks.
+        events.push_back(i == 3 * p ? junk++ : 100 + i % p);
+      }
+    }
+  }
+  dynais::Dynais dyn;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dyn.push(events[i]));
+    if (++i == events.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynaisWorstCase);
 
 void BM_PerfModelEvaluate(benchmark::State& state) {
   const auto cfg = simhw::make_skylake_6148_node();
@@ -111,6 +151,59 @@ void BM_PolicyApply(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PolicyApply);
+
+void BM_ImcSearchProjection(benchmark::State& state) {
+  // An IMC-window search projects the same demand across the whole
+  // uncore grid; with the memo the sweep is one table fill plus fetches.
+  const auto cfg = simhw::make_skylake_6148_node();
+  const auto demand = workload::make_demand(cfg, workload::SyntheticSpec{});
+  simhw::IterationMemo memo(cfg);
+  const auto freqs = cfg.uncore.descending();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto f : freqs) {
+      acc += memo.evaluate(cfg, demand, common::Freq::ghz(2.4), f)
+                 .iter_time.value;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * freqs.size()));
+}
+BENCHMARK(BM_ImcSearchProjection);
+
+void BM_CampaignSweep(benchmark::State& state) {
+  // A representative table sweep: three catalog workloads under two
+  // policy settings, two runs each, reduced exactly like the paper's
+  // tables. jobs = 1 keeps the measurement about per-run cost, not
+  // thread scheduling; models are pre-learned outside the loop.
+  const char* apps[] = {"bt-mz.c.omp", "sp-mz.c.omp", "dgemm"};
+  for (const char* app : apps) {
+    (void)sim::cached_models(workload::make_app(app).node_config);
+  }
+  for (auto _ : state) {
+    std::vector<sim::CampaignPoint> points;
+    for (const char* app : apps) {
+      points.push_back(sim::CampaignPoint{
+          .label = std::string(app) + "/me-eufs",
+          .cfg = sim::ExperimentConfig{.app = workload::make_app(app),
+                                       .earl =
+                                           sim::settings_me_eufs(0.05, 0.02),
+                                       .seed = 7},
+          .runs = 2});
+      points.push_back(sim::CampaignPoint{
+          .label = std::string(app) + "/monitoring",
+          .cfg = sim::ExperimentConfig{.app = workload::make_app(app),
+                                       .earl = sim::settings_no_policy(),
+                                       .seed = 7},
+          .runs = 2});
+    }
+    benchmark::DoNotOptimize(sim::run_campaign(
+        std::move(points),
+        sim::CampaignOptions{.jobs = 1, .timeline_stride = 8}));
+  }
+}
+BENCHMARK(BM_CampaignSweep)->Unit(benchmark::kMillisecond);
 
 void BM_FullExperimentBtMzC(benchmark::State& state) {
   const auto app = workload::make_app("bt-mz.c.omp");

@@ -71,12 +71,13 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t)>& body,
-                  std::size_t jobs) {
+                  std::size_t jobs, std::size_t grain) {
   const std::size_t threads = std::min(resolve_jobs(jobs), n);
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  const std::size_t step = grain == 0 ? 1 : grain;
 
   std::atomic<std::size_t> next{0};
   std::mutex err_mu;
@@ -84,17 +85,21 @@ void parallel_for(std::size_t n,
 
   auto drain = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        body(i);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
+      const std::size_t begin =
+          next.fetch_add(step, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + step, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          next.store(n, std::memory_order_relaxed);  // stop claiming work
+          return;
         }
-        next.store(n, std::memory_order_relaxed);  // stop claiming work
-        return;
       }
     }
   };

@@ -56,12 +56,14 @@ class ThreadPool {
 };
 
 /// Run body(i) for every i in [0, n) on up to `jobs` threads (0 = auto).
-/// Iterations are claimed dynamically from a shared counter; the calling
+/// Iterations are claimed dynamically from a shared counter in chunks of
+/// `grain` (0 behaves as 1); a grain above 1 amortises the atomic claim
+/// over cheap iterations while keeping the balancing dynamic. The calling
 /// thread participates, so jobs <= 1 is exactly a serial loop. The first
 /// exception thrown by any iteration is rethrown on the caller after all
 /// workers stop.
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t)>& body,
-                  std::size_t jobs = 0);
+                  std::size_t jobs = 0, std::size_t grain = 1);
 
 }  // namespace ear::common

@@ -1,5 +1,6 @@
 #include "sim/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -51,6 +52,19 @@ const std::vector<CampaignResult>& Campaign::run() {
       tasks.push_back(Task{.point = p, .run = r});
     }
   }
+  // Cost-aware dispatch: issue the most expensive runs first so a long
+  // point claimed late cannot straggle past the pool's drain (classic
+  // LPT makespan argument). Each task still writes its own (point, run)
+  // slot and the reduction below walks run-index order, so results are
+  // bitwise independent of the execution order.
+  const auto cost = [this](const Task& t) {
+    const workload::AppModel& app = points_[t.point].cfg.app;
+    return app.total_iterations() * app.nodes;
+  };
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [&](const Task& a, const Task& b) {
+                     return cost(a) > cost(b);
+                   });
 
   std::vector<double> run_seconds(points_.size(), 0.0);
   std::vector<std::atomic<std::size_t>> remaining(points_.size());
@@ -67,10 +81,13 @@ const std::vector<CampaignResult>& Campaign::run() {
         const Task& t = tasks[i];
         const CampaignPoint& point = points_[t.point];
         const auto start = Clock::now();
+        ExperimentConfig run_cfg = config_for_run(point.cfg, t.run);
+        if (opts_.timeline_stride > 1) {
+          run_cfg.timeline_stride = opts_.timeline_stride;
+        }
         if (opts_.capture_errors) {
           try {
-            slots[t.point][t.run] =
-                run_experiment(config_for_run(point.cfg, t.run));
+            slots[t.point][t.run] = run_experiment(run_cfg);
           } catch (const std::exception& e) {
             const char* what = e.what();
             error_slots[t.point][t.run] =
@@ -78,8 +95,7 @@ const std::vector<CampaignResult>& Campaign::run() {
                                                      : "unknown error";
           }
         } else {
-          slots[t.point][t.run] =
-              run_experiment(config_for_run(point.cfg, t.run));
+          slots[t.point][t.run] = run_experiment(run_cfg);
         }
         const double elapsed = seconds_since(start);
         {

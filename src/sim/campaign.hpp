@@ -36,6 +36,11 @@ struct CampaignOptions {
   /// the reduction; their messages land in CampaignResult::errors in
   /// run-index order.
   bool capture_errors = false;
+  /// Downsample every run's node-0 timelines to one sample in
+  /// `timeline_stride` (0/1 = keep all). Campaign reductions only read
+  /// the averaged scalars, so results are unchanged; set it high for
+  /// table sweeps where nobody plots the timelines.
+  std::size_t timeline_stride = 1;
 };
 
 /// Outcome of one point, in the order the points were added.

@@ -44,14 +44,26 @@ class RaplPoller {
 }  // namespace
 
 const models::LearnedModels& cached_models(const simhw::NodeConfig& cfg) {
+  // The global mutex only guards the (cheap) cache lookup; the expensive
+  // learn_models call runs under a per-entry once_flag, so two threads
+  // first-touching *different* node configs learn concurrently instead of
+  // convoying behind one lock. std::map keeps entry addresses stable
+  // across inserts, which is what lets the flag/models live outside the
+  // lock. Cold path only: one lookup per run_experiment.
+  struct Entry {
+    std::once_flag once;
+    models::LearnedModels models;
+  };
   static std::mutex mu;
-  static std::map<std::string, models::LearnedModels> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(cfg.name);
-  if (it == cache.end()) {
-    it = cache.emplace(cfg.name, models::learn_models(cfg)).first;
+  static std::map<std::string, Entry> cache;
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    entry = &cache[cfg.name];
   }
-  return it->second;
+  std::call_once(entry->once,
+                 [&] { entry->models = models::learn_models(cfg); });
+  return entry->models;
 }
 
 RunResult run_experiment(const ExperimentConfig& cfg) {
@@ -117,6 +129,15 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
   std::vector<double> round_power(app.nodes, 0.0);
 
   RunResult out;
+  // The iteration count is known upfront; size the node-0 timelines once
+  // instead of growing them geometrically through the run.
+  const std::size_t stride = std::max<std::size_t>(1, cfg.timeline_stride);
+  const std::size_t samples =
+      (app.total_iterations() + stride - 1) / stride;
+  out.imc_timeline.reserve(samples);
+  out.timeline.reserve(samples);
+  out.nodes.reserve(app.nodes);
+  std::size_t iter_index = 0;
   for (const auto& phase : app.phases) {
     // Imbalance-scaled per-node demands, computed once per phase.
     std::vector<simhw::WorkDemand> demands;
@@ -134,7 +155,7 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
           // The node's report never reaches EARGM this round.
           round_power[n] = std::numeric_limits<double>::quiet_NaN();
         }
-        if (n == 0) {
+        if (n == 0 && iter_index % stride == 0) {
           out.imc_timeline.emplace_back(cluster.node(0).clock().value,
                                         outcome.uncore_freq.as_ghz());
           out.timeline.push_back(TimelinePoint{
@@ -153,6 +174,7 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
         }
       }
       if (manager) manager->update(round_power);
+      ++iter_index;
     }
   }
   if (manager) {

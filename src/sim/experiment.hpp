@@ -37,6 +37,10 @@ struct ExperimentConfig {
   /// installs no hooks at all — results are bitwise identical to a build
   /// without the fault layer.
   std::shared_ptr<const faults::FaultPlan> fault_plan;
+  /// Keep every `timeline_stride`-th node-0 timeline sample (0/1 = all).
+  /// Campaign sweeps that only read the averaged scalars set this high to
+  /// skip the per-iteration timeline work; scalar results are unaffected.
+  std::size_t timeline_stride = 1;
 };
 
 /// One sample of node 0's operating point (per application iteration).

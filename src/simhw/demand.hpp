@@ -46,6 +46,9 @@ struct WorkDemand {
   /// loops differ (MPI poll vs CUDA stream sync), and the observed CPI of
   /// wait-dominated codes is 1/spin_ipc.
   double spin_ipc_override = 0.0;
+
+  /// Member-wise equality; the iteration memo keys its table on it.
+  friend bool operator==(const WorkDemand&, const WorkDemand&) = default;
 };
 
 }  // namespace ear::simhw

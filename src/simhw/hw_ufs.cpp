@@ -63,22 +63,53 @@ HwUfsGovernor::HwUfsGovernor(const NodeConfig& cfg, HwUfsParams params,
 
 Freq HwUfsGovernor::evaluate(const UfsInputs& in,
                              const UncoreRatioLimit& limit) {
-  const UncoreRange& range = cfg_->uncore;
-  Freq target = hw_ufs_steady_target(*cfg_, params_, in);
+  evaluate_periods(in, limit, 1);
+  return current_;
+}
 
-  // Dither: the real loop hunts around its setpoint, which is what makes
-  // measured averages land just below the limit (2.39 vs 2.40).
-  if (target > range.min() && rng_.uniform() < params_.dither_probability) {
-    target = range.step_down(target);
-  }
+double HwUfsGovernor::evaluate_periods(const UfsInputs& in,
+                                       const UncoreRatioLimit& limit,
+                                       std::size_t periods) {
+  if (periods == 0) return 0.0;
+  const UncoreRange& range = cfg_->uncore;
+  const Freq target = hw_ufs_steady_target(*cfg_, params_, in);
 
   // Respect the MSR window (this is how explicit UFS overrides the loop).
   const Freq lo = range.clamp(limit.min_freq);
   const Freq hi = range.clamp(limit.max_freq);
-  if (target < lo) target = lo;
-  if (target > hi) target = hi;
-  current_ = target;
-  return current_;
+  const auto window = [&](Freq f) {
+    if (f < lo) f = lo;
+    if (f > hi) f = hi;
+    return f;
+  };
+
+  // Only two outcomes exist per period: the steady target, or — when the
+  // dither gate can open — one bin below it (the real loop hunts around
+  // its setpoint, which is what makes measured averages land just below
+  // the limit, 2.39 vs 2.40). Precompute both windowed values; each
+  // period is then one rng draw and a select.
+  const Freq steady = window(target);
+  const bool can_dither = target > range.min();
+
+  // kHz values are integers well below 2^53 and at most a few hundred are
+  // summed, so every partial sum is exact and the total is bitwise
+  // identical to the per-period accumulation this replaces.
+  double sum_khz = 0.0;
+  if (!can_dither) {
+    // evaluate() consumes no draw in this case; neither do we.
+    sum_khz = static_cast<double>(steady.as_khz()) *
+              static_cast<double>(periods);
+    current_ = steady;
+    return sum_khz;
+  }
+  const Freq dithered = window(range.step_down(target));
+  Freq last = steady;
+  for (std::size_t i = 0; i < periods; ++i) {
+    last = rng_.uniform() < params_.dither_probability ? dithered : steady;
+    sum_khz += static_cast<double>(last.as_khz());
+  }
+  current_ = last;
+  return sum_khz;
 }
 
 }  // namespace ear::simhw

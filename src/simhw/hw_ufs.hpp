@@ -95,6 +95,17 @@ class HwUfsGovernor {
   /// 0x620 window.
   Freq evaluate(const UfsInputs& in, const UncoreRatioLimit& limit);
 
+  /// Evaluate `periods` consecutive control-loop periods under constant
+  /// inputs and return the sum of the selected frequencies in kHz.
+  /// Bitwise identical to calling evaluate() `periods` times and summing
+  /// `current().as_khz()` into a double: the steady-state target is a
+  /// pure function of the inputs, so it is computed once, and the rng
+  /// consumes exactly the draws evaluate() would (one per period when the
+  /// dither gate can open, none otherwise). `current()` afterwards is the
+  /// last period's selection. `periods == 0` is a no-op returning 0.
+  double evaluate_periods(const UfsInputs& in, const UncoreRatioLimit& limit,
+                          std::size_t periods);
+
   [[nodiscard]] Freq current() const { return current_; }
   [[nodiscard]] const HwUfsParams& params() const { return params_; }
 

@@ -1,0 +1,69 @@
+// IterationMemo: memoised evaluate_iteration() over the P-state × IMC grid.
+//
+// The analytic performance model is pure: for a fixed NodeConfig and
+// WorkDemand, the result depends only on (f_cpu, f_imc), and both
+// frequencies live on small enumerable grids (the P-state ladder and the
+// 100 MHz uncore window — a few hundred points total). Policies project
+// the same points repeatedly (IMC searches, pstate selection, the
+// campaign's grid cells), so one node-local table turns those repeats
+// into a fetch.
+//
+// Determinism: the table stores the *noise-free* model output, bit for
+// bit — run-to-run noise is applied by SimNode after the lookup, exactly
+// as it was applied after the direct call before. Off-grid frequencies
+// (e.g. the dither-averaged uncore frequency of a finished iteration)
+// fall through to a direct evaluation, so results never depend on whether
+// a point happened to be cached.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "simhw/config.hpp"
+#include "simhw/demand.hpp"
+#include "simhw/perf_model.hpp"
+
+namespace ear::simhw {
+
+class IterationMemo {
+ public:
+  /// The memo is bound to one node configuration; `evaluate` must be
+  /// called with that same configuration (SimNode's config is immutable
+  /// after construction, which is what makes the binding safe).
+  explicit IterationMemo(const NodeConfig& cfg);
+
+  /// Same contract (and bitwise-identical results) as
+  /// evaluate_iteration(cfg, demand, f_cpu, f_imc). Grid points are
+  /// computed at most once per demand; a demand change invalidates the
+  /// whole table.
+  PerfResult evaluate(const NodeConfig& cfg, const WorkDemand& demand,
+                      Freq f_cpu, Freq f_imc);
+
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Index into the P-state ladder, npos if `f` is not a table frequency.
+  [[nodiscard]] std::size_t cpu_index(Freq f) const;
+  /// Index into the uncore grid, npos if `f` is off-grid.
+  [[nodiscard]] std::size_t imc_index(Freq f) const;
+
+  std::vector<std::uint64_t> cpu_khz_;  // P-state ladder, descending
+  bool cpu_uniform_ = false;            // uniform step below nominal
+  std::uint64_t cpu_step_khz_ = 0;
+  std::uint64_t imc_min_khz_ = 0;
+  std::uint64_t imc_step_khz_ = 0;
+  std::size_t imc_steps_ = 0;
+
+  WorkDemand demand_{};
+  bool demand_valid_ = false;
+  std::vector<std::optional<PerfResult>> table_;  // [cpu * imc_steps + imc]
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace ear::simhw

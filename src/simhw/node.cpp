@@ -33,6 +33,7 @@ SimNode::SimNode(NodeConfig cfg, std::uint64_t seed, NoiseModel noise,
     : cfg_(std::move(cfg)),
       noise_(noise),
       rng_(seed),
+      memo_(cfg_),
       pstate_(cfg_.pstates.nominal_pstate()),
       rapl_(cfg_.sockets) {
   common::SplitMix64 seeder(seed ^ 0x5eed);
@@ -83,14 +84,14 @@ Freq SimNode::run_governor(const UfsInputs& in, Secs duration) {
   const auto periods = static_cast<std::size_t>(std::clamp(
       duration.value / period, 1.0, 400.0));
   const UncoreRatioLimit limit = msrs_.front().uncore_limit();
+  // Each socket's governor has its own rng stream, so batching all of one
+  // governor's periods before the next (instead of interleaving sockets
+  // within each period) leaves every stream — and thus every selection —
+  // unchanged. The last socket drives the reported value, matching the
+  // interleaved loop this replaces; other sockets track identically
+  // because EAR applies node-level workloads symmetrically.
   double sum_khz = 0.0;
-  for (std::size_t i = 0; i < periods; ++i) {
-    // Socket 0 drives the reported value; other sockets track identically
-    // because EAR applies node-level workloads symmetrically.
-    Freq f{};
-    for (auto& g : governors_) f = g.evaluate(in, limit);
-    sum_khz += static_cast<double>(f.as_khz());
-  }
+  for (auto& g : governors_) sum_khz = g.evaluate_periods(in, limit, periods);
   return Freq::khz(static_cast<std::uint64_t>(
       sum_khz / static_cast<double>(periods)));
 }
@@ -117,10 +118,10 @@ IterationOutcome SimNode::execute_iteration(const WorkDemand& demand) {
   // First pass: estimate duration at the governor's current setting to
   // know how many control periods the iteration spans.
   const PerfResult estimate =
-      evaluate_iteration(cfg_, demand, f_cpu, governors_.front().current());
+      memo_.evaluate(cfg_, demand, f_cpu, governors_.front().current());
   const Freq f_imc = run_governor(inputs, estimate.iter_time);
 
-  PerfResult perf = evaluate_iteration(cfg_, demand, f_cpu, f_imc);
+  PerfResult perf = memo_.evaluate(cfg_, demand, f_cpu, f_imc);
 
   // Run-to-run noise: jitter the wall time (OS, network, DRAM refresh...).
   const double tnoise =

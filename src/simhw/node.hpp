@@ -17,6 +17,7 @@
 #include "simhw/demand.hpp"
 #include "simhw/hw_ufs.hpp"
 #include "simhw/inm.hpp"
+#include "simhw/kernel_memo.hpp"
 #include "simhw/msr.hpp"
 #include "simhw/perf_model.hpp"
 #include "simhw/power_model.hpp"
@@ -84,6 +85,9 @@ class SimNode {
   NodeConfig cfg_;
   NoiseModel noise_;
   common::Rng rng_;
+  // Memoised performance model over the P-state × IMC grid; noise is
+  // applied after lookup, so results stay bitwise identical.
+  IterationMemo memo_;
   Pstate pstate_;
   std::vector<MsrFile> msrs_;
   std::vector<HwUfsGovernor> governors_;

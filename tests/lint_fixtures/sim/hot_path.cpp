@@ -1,0 +1,32 @@
+// Fixture for the hot-path-string-map rule. This file sits under a
+// `sim/` directory so the layer gate applies; string-keyed maps (either
+// flavour, qualified or not, even split across lines) must fire, while
+// integer-keyed maps, maps with string *values*, and other containers
+// stay quiet.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::map<std::string, int> by_name;  // LINT-EXPECT: hot-path-string-map
+std::unordered_map<std::string,  // LINT-EXPECT: hot-path-string-map
+                   double>
+    cache_by_key;  // multi-line declaration: flagged at the map token
+
+struct Entry {
+  int v = 0;
+};
+
+std::map<std::uint64_t, Entry> by_id;      // clean: integer key
+std::map<int, std::string> id_to_name;     // clean: string is the value
+std::set<std::string> names;               // clean: not a map
+std::vector<std::string> labels;           // clean: not a map
+
+using namespace std;
+map<string, Entry> unqualified;  // LINT-EXPECT: hot-path-string-map
+
+}  // namespace fixture

@@ -130,5 +130,57 @@ TEST(Campaign, RejectsZeroRuns) {
   EXPECT_ANY_THROW(campaign.add("bad", small_cfg("dgemm", 1), 0));
 }
 
+TEST(Campaign, DeterministicAtOneTwoAndManyJobs) {
+  // The cost-aware scheduler reorders task *dispatch* (longest runs
+  // first); the reduction must stay bitwise identical at every job
+  // count, including the serial path that skips the pool entirely.
+  auto build = [] {
+    std::vector<CampaignPoint> points;
+    points.push_back(CampaignPoint{.label = "long",
+                                   .cfg = small_cfg("bqcd", 3),
+                                   .runs = 2});
+    points.push_back(CampaignPoint{.label = "short",
+                                   .cfg = small_cfg("dgemm", 3),
+                                   .runs = 3});
+    points.push_back(CampaignPoint{.label = "mid",
+                                   .cfg = small_cfg("bt-mz.c.omp", 3),
+                                   .runs = 2});
+    return points;
+  };
+  const auto one = run_campaign(build(), CampaignOptions{.jobs = 1});
+  const auto two = run_campaign(build(), CampaignOptions{.jobs = 2});
+  const auto many = run_campaign(build(), CampaignOptions{.jobs = 8});
+  ASSERT_EQ(one.size(), two.size());
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].label, two[i].label);
+    EXPECT_EQ(one[i].label, many[i].label);
+    EXPECT_TRUE(same_bytes(one[i].avg, two[i].avg)) << i;
+    EXPECT_TRUE(same_bytes(one[i].avg, many[i].avg)) << i;
+  }
+}
+
+TEST(Campaign, TimelineStrideDoesNotChangeAverages) {
+  // Campaign reductions read only the averaged scalars, so downsampling
+  // the per-run timelines must be invisible in the results.
+  auto build = [] {
+    std::vector<CampaignPoint> points;
+    points.push_back(CampaignPoint{.label = "a",
+                                   .cfg = small_cfg("bt-mz.c.omp", 2),
+                                   .runs = 2});
+    points.push_back(CampaignPoint{.label = "b",
+                                   .cfg = small_cfg("dgemm", 2),
+                                   .runs = 2});
+    return points;
+  };
+  const auto full = run_campaign(build(), CampaignOptions{.jobs = 2});
+  const auto thin = run_campaign(
+      build(), CampaignOptions{.jobs = 2, .timeline_stride = 16});
+  ASSERT_EQ(full.size(), thin.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_TRUE(same_bytes(full[i].avg, thin[i].avg)) << i;
+  }
+}
+
 }  // namespace
 }  // namespace ear::sim

@@ -69,6 +69,41 @@ TEST(Experiment, ImcTimelineRecorded) {
   EXPECT_LT(res.imc_timeline.back().second, 2.0);
 }
 
+TEST(Experiment, TimelineStrideDownsamplesWithoutChangingScalars) {
+  const ExperimentConfig base = cfg_for("bt-mz.c.omp", settings_no_policy(), 7);
+  ExperimentConfig strided = base;
+  strided.timeline_stride = 5;
+  const RunResult full = run_experiment(base);
+  const RunResult thin = run_experiment(strided);
+
+  // The stride only skips timeline writes; everything computed stays
+  // bitwise identical.
+  EXPECT_EQ(full.total_time_s, thin.total_time_s);
+  EXPECT_EQ(full.total_energy_j, thin.total_energy_j);
+  EXPECT_EQ(full.avg_dc_power_w, thin.avg_dc_power_w);
+  EXPECT_EQ(full.avg_imc_ghz, thin.avg_imc_ghz);
+  EXPECT_EQ(full.cpi, thin.cpi);
+
+  const std::size_t total = base.app.total_iterations();
+  ASSERT_EQ(full.timeline.size(), total);
+  ASSERT_EQ(full.imc_timeline.size(), total);
+  EXPECT_EQ(thin.timeline.size(), (total + 4) / 5);
+  EXPECT_EQ(thin.imc_timeline.size(), (total + 4) / 5);
+  // The kept samples are exactly every 5th sample of the full run.
+  for (std::size_t i = 0; i < thin.timeline.size(); ++i) {
+    EXPECT_EQ(thin.timeline[i].t_s, full.timeline[i * 5].t_s);
+    EXPECT_EQ(thin.timeline[i].imc_ghz, full.timeline[i * 5].imc_ghz);
+    EXPECT_EQ(thin.imc_timeline[i], full.imc_timeline[i * 5]);
+  }
+}
+
+TEST(Experiment, TimelineStrideZeroKeepsEverySample) {
+  ExperimentConfig cfg = cfg_for("dgemm", settings_no_policy(), 7);
+  cfg.timeline_stride = 0;  // 0 and 1 both mean "keep all"
+  const RunResult res = run_experiment(cfg);
+  EXPECT_EQ(res.timeline.size(), cfg.app.total_iterations());
+}
+
 TEST(Experiment, WithoutEarlRunsAtNominal) {
   auto cfg = cfg_for("bt-mz.d", settings_no_policy());
   cfg.attach_earl = false;

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Machine-normalized benchmark regression guard for the hot-path PR.
+
+Raw nanoseconds are not comparable across CI machines, so the guard
+checks a *ratio* that cancels the machine out: the DynAIS worst-case
+per-event cost (``BM_DynaisPushNonPeriodic``) divided by the cheap
+steady-state push (``BM_DynaisPush``) measured in the same process.
+If the current ratio exceeds the checked-in post-optimisation baseline
+ratio by more than the allowed factor (default 2x), the worst-case path
+has regressed relative to the machine's own speed and the guard fails.
+
+Inputs:
+  * a google-benchmark JSON report (``--benchmark_out=BENCH_hotpath.json``)
+  * the committed baseline ``bench/BENCH_hotpath_baseline.json`` holding
+    the pre-PR and post-PR reference numbers
+
+Exit code 0 = within bounds, 1 = regression, 2 = bad input.
+Stdlib only; runs anywhere CI has a python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Map benchmark name -> real_time in ns from a google-benchmark JSON."""
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            raise ValueError(f"unknown time_unit {unit!r} for {b.get('name')}")
+        out[b["name"]] = float(b["real_time"]) * scale
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="google-benchmark JSON output")
+    ap.add_argument("baseline", help="bench/BENCH_hotpath_baseline.json")
+    ap.add_argument(
+        "--max-ratio-factor",
+        type=float,
+        default=2.0,
+        help="fail if worst/steady ratio exceeds baseline ratio "
+        "by more than this factor (default: 2.0)",
+    )
+    args = ap.parse_args()
+
+    try:
+        bench = load_benchmarks(args.report)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_guard: bad input: {e}", file=sys.stderr)
+        return 2
+
+    needed = ("BM_DynaisPush", "BM_DynaisPushNonPeriodic")
+    missing = [n for n in needed if n not in bench]
+    if missing:
+        print(f"bench_guard: report is missing {missing}", file=sys.stderr)
+        return 2
+
+    post = baseline["post_pr"]
+    base_ratio = (
+        post["BM_DynaisPushNonPeriodic_ns"] / post["BM_DynaisPush_ns"]
+    )
+    now_ratio = bench["BM_DynaisPushNonPeriodic"] / bench["BM_DynaisPush"]
+    limit = base_ratio * args.max_ratio_factor
+
+    print(f"bench_guard: DynAIS worst/steady ratio now  = {now_ratio:.2f}")
+    print(f"bench_guard: baseline post-PR ratio          = {base_ratio:.2f}")
+    print(f"bench_guard: allowed (x{args.max_ratio_factor:g})"
+          f"               = {limit:.2f}")
+    for name in ("BM_DynaisPush", "BM_DynaisPushNonPeriodic",
+                 "BM_DynaisWorstCase", "BM_DynaisReferenceWorstCase",
+                 "BM_ImcSearchProjection"):
+        if name in bench:
+            print(f"bench_guard:   {name}: {bench[name]:.1f} ns")
+    if "BM_CampaignSweep" in bench:
+        print(f"bench_guard:   BM_CampaignSweep: "
+              f"{bench['BM_CampaignSweep'] / 1e6:.3f} ms")
+
+    if now_ratio > limit:
+        print(
+            "bench_guard: FAIL — the DynAIS worst-case path regressed "
+            f"more than {args.max_ratio_factor:g}x relative to the "
+            "steady-state push on this machine",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench_guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,13 @@
 //                    loop silently breaks the repo's bitwise-determinism
 //                    guarantee (campaigns, reductions, signatures).
 //                    Iterate a sorted copy or an ordered container.
+//   hot-path-string-map
+//                    std::map/std::unordered_map keyed by std::string in
+//                    the hot simulation layers (sim/, dynais/). String
+//                    hashing and compares dominate small per-iteration
+//                    lookups; key on an interned integer id, or allowlist
+//                    the map if it is provably cold (e.g. a learn-once
+//                    cache touched per experiment, not per iteration).
 //   unchecked-status Discarded return value of the [[nodiscard]]
 //                    daemon/MSR status APIs (reprobe, uncore_writable,
 //                    uncore_ok, verify_uncore_write, is_locked) as a
@@ -440,6 +447,33 @@ void scan_nondet_iteration(const std::string& rel,
   }
 }
 
+/// hot-path-string-map: a map keyed by std::string declared in the hot
+/// simulation layers. The shape is `map|unordered_map < [std ::] string ,`
+/// on the token stream, so multi-line declarations and both qualified and
+/// unqualified spellings are caught.
+void scan_hot_string_map(const std::string& rel,
+                         const std::vector<Token>& t,
+                         std::vector<Finding>* findings) {
+  if (rel.rfind("sim/", 0) != 0 && rel.rfind("dynais/", 0) != 0) return;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent ||
+        (t[i].text != "map" && t[i].text != "unordered_map") ||
+        t[i + 1].text != "<")
+      continue;
+    std::size_t j = i + 2;
+    if (j + 1 < t.size() && t[j].text == "std" && t[j + 1].text == "::")
+      j += 2;
+    if (j + 1 < t.size() && t[j].text == "string" && t[j + 1].text == ",") {
+      findings->push_back(
+          {rel, t[i].line, "hot-path-string-map",
+           "`" + t[i].text +
+               "` keyed by std::string in a hot simulation layer; string "
+               "hashing/compares dominate small lookups — key on an "
+               "interned id, or allowlist if the map is provably cold"});
+    }
+  }
+}
+
 /// unchecked-status: a [[nodiscard]] daemon/MSR status API called as a
 /// bare statement. The call chain is walked back to its first token;
 /// if the token before that is a statement boundary the value was
@@ -563,6 +597,7 @@ void scan_file(const std::string& rel, const std::string& text,
   const std::vector<Token> toks = tokenize(stripped);
   scan_nondet_iteration(rel, toks, findings);
   scan_unchecked_status(rel, toks, findings);
+  scan_hot_string_map(rel, toks, findings);
   std::stable_sort(findings->begin(), findings->end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;
