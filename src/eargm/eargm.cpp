@@ -11,12 +11,30 @@ EargmManager::EargmManager(EargmConfig cfg,
                            std::vector<eard::NodeDaemon*> daemons)
     : cfg_(cfg),
       daemons_(std::move(daemons)),
-      last_known_w_(daemons_.size(), 0.0) {
+      last_known_w_(daemons_.size(), 0.0),
+      missed_by_node_(daemons_.size(), 0) {
   EAR_CHECK_MSG(cfg_.cluster_budget_w > 0.0,
                 "cluster budget must be positive");
   EAR_CHECK_MSG(!daemons_.empty(), "EARGM needs at least one node");
   EAR_CHECK_MSG(cfg_.release_margin < cfg_.trigger_margin,
                 "release margin must sit below the trigger margin");
+}
+
+void EargmManager::set_budget(double cluster_budget_w) {
+  EAR_CHECK_MSG(std::isfinite(cluster_budget_w) && cluster_budget_w > 0.0,
+                "cluster budget must be positive");
+  cfg_.cluster_budget_w = cluster_budget_w;
+}
+
+std::size_t EargmManager::currently_missing_nodes() const {
+  std::size_t out = 0;
+  for (std::size_t misses : missed_by_node_) out += misses > 0 ? 1 : 0;
+  return out;
+}
+
+std::size_t EargmManager::consecutive_missed(std::size_t n) const {
+  EAR_CHECK_MSG(n < missed_by_node_.size(), "node index out of range");
+  return missed_by_node_[n];
 }
 
 void EargmManager::apply_limit() {
@@ -34,8 +52,15 @@ void EargmManager::update(std::span<const double> node_power_w) {
       // Missing report: hold the node's last known power instead of
       // poisoning the aggregate (NaN) or under-counting it (0).
       ++missing;
+      ++missed_by_node_[n];
       w = last_known_w_[n];
     } else {
+      if (missed_by_node_[n] > 0) {
+        // The node is back: close its outage so reports distinguish an
+        // ongoing dropout from one long-recovered.
+        missed_by_node_[n] = 0;
+        ++resumed_;
+      }
       last_known_w_[n] = w;
     }
     total += w;
@@ -43,10 +68,13 @@ void EargmManager::update(std::span<const double> node_power_w) {
   missed_readings_ += missing;
   last_total_w_ = total;
   if (missing == node_power_w.size()) {
+    ++blind_rounds_;
+    last_round_blind_ = true;
     EAR_LOG_WARN("eargm", "no node reported this round; holding limit p%zu",
                  limit_);
     return;
   }
+  last_round_blind_ = false;
 
   if (total > cfg_.cluster_budget_w * cfg_.trigger_margin) {
     if (limit_ < cfg_.deepest_limit) {

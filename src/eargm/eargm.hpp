@@ -6,7 +6,9 @@
 // (policies keep running but their requests are clamped); when load
 // drops, the caps are released step by step. The paper lists control as
 // one of EAR's four services (§III); this module implements it for the
-// simulated cluster.
+// simulated cluster. At facility scale one EargmManager runs per island
+// under a FederatedEargm (federation.hpp) that re-targets the island
+// budgets every round.
 #pragma once
 
 #include <cstddef>
@@ -45,14 +47,34 @@ class EargmManager {
   /// guessing).
   void update(std::span<const double> node_power_w);
 
+  /// Re-target the budget (federation tier: the cluster manager hands
+  /// each island a fresh share every round). Must stay positive.
+  void set_budget(double cluster_budget_w);
+  [[nodiscard]] double budget_w() const { return cfg_.cluster_budget_w; }
+
   [[nodiscard]] simhw::Pstate current_limit() const { return limit_; }
   [[nodiscard]] std::size_t throttle_events() const { return throttles_; }
   [[nodiscard]] std::size_t release_events() const { return releases_; }
   [[nodiscard]] double last_aggregate_w() const { return last_total_w_; }
-  /// Readings substituted with the node's last known value so far.
+  /// Total readings substituted with the node's last known value so far
+  /// (monotonic; feeds fault-report "detected" accounting).
   [[nodiscard]] std::size_t missed_readings() const {
     return missed_readings_;
   }
+  /// Nodes currently in an outage (missed their most recent reading).
+  /// Unlike missed_readings(), this resets per node on recovery, so one
+  /// historical outage does not skew federation-tier reports forever.
+  [[nodiscard]] std::size_t currently_missing_nodes() const;
+  /// Consecutive rounds node `n` has been missing (0 = reporting fine).
+  [[nodiscard]] std::size_t consecutive_missed(std::size_t n) const;
+  /// Recovery events: a node that had missed one or more readings
+  /// reported a finite value again.
+  [[nodiscard]] std::size_t resumed_nodes() const { return resumed_; }
+  /// Rounds where *no* node reported and the limit was held.
+  [[nodiscard]] std::size_t blind_rounds() const { return blind_rounds_; }
+  /// Whether the most recent update() round was blind.
+  [[nodiscard]] bool last_round_blind() const { return last_round_blind_; }
+  [[nodiscard]] std::size_t nodes() const { return daemons_.size(); }
   [[nodiscard]] const EargmConfig& config() const { return cfg_; }
 
  private:
@@ -61,10 +83,17 @@ class EargmManager {
   EargmConfig cfg_;
   std::vector<eard::NodeDaemon*> daemons_;
   std::vector<double> last_known_w_;  // per node; 0 until first reading
+  // Consecutive missed readings per node; reset to 0 when the node
+  // resumes reporting (the old single monotonic counter could never
+  // distinguish an ongoing outage from one long-recovered).
+  std::vector<std::size_t> missed_by_node_;
   simhw::Pstate limit_ = 0;
   std::size_t throttles_ = 0;
   std::size_t releases_ = 0;
-  std::size_t missed_readings_ = 0;
+  std::size_t missed_readings_ = 0;  // monotonic total
+  std::size_t resumed_ = 0;
+  std::size_t blind_rounds_ = 0;
+  bool last_round_blind_ = false;
   double last_total_w_ = 0.0;
 };
 

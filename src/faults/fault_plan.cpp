@@ -18,7 +18,7 @@ struct FamilyName {
   FaultFamily family;
 };
 
-constexpr std::array<FamilyName, 7> kFamilies{{
+constexpr std::array<FamilyName, 8> kFamilies{{
     {"msr_drop", FaultFamily::kMsrDrop},
     {"msr_lock", FaultFamily::kMsrLock},
     {"inm_stuck", FaultFamily::kInmStuck},
@@ -26,6 +26,7 @@ constexpr std::array<FamilyName, 7> kFamilies{{
     {"pmu_glitch", FaultFamily::kPmuGlitch},
     {"snapshot_drop", FaultFamily::kSnapshotDrop},
     {"node_dropout", FaultFamily::kNodeDropout},
+    {"island_dropout", FaultFamily::kIslandDropout},
 }};
 
 std::string trim(const std::string& s) {
@@ -53,6 +54,8 @@ void apply(FaultSpec& f, const std::string& key, const std::string& value,
     f.node = static_cast<int>(num());
   } else if (key == "socket") {
     f.socket = static_cast<int>(num());
+  } else if (key == "island") {
+    f.island = static_cast<int>(num());
   } else if (key == "start") {
     f.start_s = num();
   } else if (key == "end") {

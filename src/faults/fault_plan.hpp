@@ -28,6 +28,11 @@
 //   [pmu_glitch]      ; TSC jumps / APERF-MPERF corruption
 //   [snapshot_drop]   ; daemon serves a stale snapshot
 //   [node_dropout]    ; node's power reading never reaches EARGM
+//
+//   [island_dropout]  ; a whole island's report stream goes dark towards
+//   island = 1        ;   the cluster-tier EARGM; -1 (default) = every
+//   start = 10        ;   island. Applied by sim::Facility (the per-node
+//   end = 20          ;   injector has no notion of islands).
 #pragma once
 
 #include <cstdint>
@@ -46,6 +51,8 @@ struct FaultSpec {
   int node = -1;
   /// Target socket for MSR faults; negative = all sockets.
   int socket = -1;
+  /// Target island for island_dropout; negative = all islands.
+  int island = -1;
   /// Active window in simulated seconds: [start_s, end_s).
   double start_s = 0.0;
   double end_s = 1e30;
@@ -62,6 +69,9 @@ struct FaultSpec {
   }
   [[nodiscard]] bool applies_to_socket(std::size_t s) const {
     return socket < 0 || static_cast<std::size_t>(socket) == s;
+  }
+  [[nodiscard]] bool applies_to_island(std::size_t i) const {
+    return island < 0 || static_cast<std::size_t>(island) == i;
   }
   [[nodiscard]] bool active_at(double t_s) const {
     return t_s >= start_s && t_s < end_s;

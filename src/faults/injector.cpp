@@ -199,7 +199,8 @@ metrics::Snapshot FaultInjector::filter_snapshot(
       case FaultFamily::kMsrDrop:
       case FaultFamily::kMsrLock:
       case FaultFamily::kNodeDropout:
-        break;  // handled on their own paths
+      case FaultFamily::kIslandDropout:
+        break;  // handled on their own paths (island faults by Facility)
     }
   }
   if (!stuck_active) st.inm_latched = false;  // the sensor recovered

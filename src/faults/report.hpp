@@ -18,6 +18,7 @@ enum class FaultFamily : std::uint8_t {
   kPmuGlitch,     // TSC jumps / APERF-MPERF corruption
   kSnapshotDrop,  // daemon serves a stale counter snapshot
   kNodeDropout,   // node power reading never reaches EARGM
+  kIslandDropout, // a whole island goes dark towards the cluster EARGM
 };
 
 /// One injected fault occurrence, for the deterministic timeline.
@@ -38,6 +39,7 @@ struct FaultReport {
   std::uint64_t msr_locks = 0;        // registers locked mid-run
   std::uint64_t snapshot_faults = 0;  // corrupted/stale snapshots served
   std::uint64_t dropped_readings = 0; // power readings hidden from EARGM
+  std::uint64_t island_dropouts = 0;  // island-rounds dark to the cluster
 
   // Detected (counted by the resilience paths).
   std::uint64_t verify_failures = 0;  // daemon read-back mismatches
@@ -51,7 +53,8 @@ struct FaultReport {
   std::uint64_t unsettled_nodes = 0;  // neither settled nor degraded
 
   [[nodiscard]] std::uint64_t injected() const {
-    return msr_drops + msr_locks + snapshot_faults + dropped_readings;
+    return msr_drops + msr_locks + snapshot_faults + dropped_readings +
+           island_dropouts;
   }
   [[nodiscard]] std::uint64_t detected() const {
     return verify_failures + rejected_windows + missed_readings;
@@ -65,6 +68,7 @@ struct FaultReport {
     msr_locks += o.msr_locks;
     snapshot_faults += o.snapshot_faults;
     dropped_readings += o.dropped_readings;
+    island_dropouts += o.island_dropouts;
     verify_failures += o.verify_failures;
     rejected_windows += o.rejected_windows;
     missed_readings += o.missed_readings;

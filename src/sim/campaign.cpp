@@ -56,15 +56,22 @@ const std::vector<CampaignResult>& Campaign::run() {
   // point claimed late cannot straggle past the pool's drain (classic
   // LPT makespan argument). Each task still writes its own (point, run)
   // slot and the reduction below walks run-index order, so results are
-  // bitwise independent of the execution order.
+  // bitwise independent of the execution order. Equal-cost tasks keep
+  // their (point, run) flattening order — pinned explicitly rather than
+  // left to the sort's whims so an all-equal-cost campaign dispatches
+  // identically everywhere.
   const auto cost = [this](const Task& t) {
     const workload::AppModel& app = points_[t.point].cfg.app;
     return app.total_iterations() * app.nodes;
   };
-  std::stable_sort(tasks.begin(), tasks.end(),
-                   [&](const Task& a, const Task& b) {
-                     return cost(a) > cost(b);
-                   });
+  std::sort(tasks.begin(), tasks.end(),
+            [&](const Task& a, const Task& b) {
+              const std::size_t ca = cost(a);
+              const std::size_t cb = cost(b);
+              if (ca != cb) return ca > cb;
+              if (a.point != b.point) return a.point < b.point;
+              return a.run < b.run;
+            });
 
   std::vector<double> run_seconds(points_.size(), 0.0);
   std::vector<std::atomic<std::size_t>> remaining(points_.size());

@@ -1,0 +1,139 @@
+// Facility tier: thousands of heterogeneous nodes, a job arrival
+// stream, and hierarchical EARGM federation under a facility-wide
+// power cap.
+//
+// The facility is a set of *islands* — homogeneous partitions built
+// from the simhw node-config factories (Skylake 6148, Ice Lake 8358,
+// GPU 6142M) — fed by a JobQueue (arrival stream + backfill). Execution
+// is round-based: every control round each node advances its work to
+// the round boundary, per-node average powers are derived from the INM
+// energy counters, node/island dropout faults hide readings, and the
+// FederatedEargm steps the island P-state caps and re-splits the
+// facility budget. Results are bitwise-deterministic at any `jobs`
+// (worker-thread) count: nodes are advanced independently and every
+// reduction walks island/node index order.
+//
+// Chaos invariants (checked into FacilityResult::violations):
+//   * no non-finite energy/power anywhere in the ground truth;
+//   * the cap degrades gracefully — transient overruns are expected
+//     (island caps step one P-state per round) but an overrun beyond
+//     `cap_slack_pct` must not persist longer than `overrun_grace`
+//     consecutive rounds unless every island is already throttled to
+//     the deepest limit (degraded, nothing left to shed);
+//   * the facility must drain: hitting `max_sim_s` with jobs still
+//     running is a wedge, not a result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eargm/federation.hpp"
+#include "faults/fault_plan.hpp"
+#include "sim/job_queue.hpp"
+#include "simhw/config.hpp"
+#include "simhw/node.hpp"
+
+namespace ear::sim {
+
+/// One homogeneous partition of the facility.
+struct FacilityIsland {
+  simhw::NodeConfig node_config;
+  std::size_t nodes = 0;
+};
+
+struct FacilityConfig {
+  std::vector<FacilityIsland> islands;
+  std::vector<FacilityJob> jobs;
+  /// Control round length in simulated seconds (EARGM period).
+  double round_s = 1.0;
+  /// Facility power cap, watts; 0 disables the federation entirely.
+  double budget_w = 0.0;
+  /// Island-tier manager template (margins, deepest limit).
+  eargm::EargmConfig island_eargm{};
+  /// Even-split floor share of the budget (see FederationConfig).
+  double floor_share = 0.25;
+  bool backfill = true;
+  std::uint64_t seed = 1;
+  /// Worker threads for the per-round node advance (0 = auto). Results
+  /// are identical for any value.
+  std::size_t sim_jobs = 1;
+  /// node_dropout / island_dropout specs (other families are ignored at
+  /// this tier — they live in the per-node injector).
+  faults::FaultPlan fault_plan{};
+  simhw::NoiseModel noise{};
+  /// Hard stop; reaching it with unfinished jobs is a violation.
+  double max_sim_s = 36000.0;
+  /// Documented cap slack: persistent overruns beyond this are a
+  /// violation (transients within `overrun_grace` rounds are not).
+  double cap_slack_pct = 15.0;
+  std::size_t overrun_grace = 30;
+};
+
+struct FacilityJobOutcome {
+  std::string name;
+  std::size_t island = 0;
+  std::size_t nodes = 0;
+  double submit_s = 0.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double energy_j = 0.0;
+
+  [[nodiscard]] double wait_s() const { return start_s - submit_s; }
+  [[nodiscard]] double turnaround_s() const { return end_s - submit_s; }
+};
+
+struct FacilityIslandOutcome {
+  std::string node_type;
+  std::size_t nodes = 0;
+  double energy_j = 0.0;
+  double final_budget_w = 0.0;  // 0 when uncapped
+  std::size_t final_limit = 0;  // P-state cap at the end
+  std::size_t throttles = 0;
+  std::size_t releases = 0;
+  std::size_t blind_rounds = 0;
+  std::size_t missed_readings = 0;
+  std::size_t resumed_nodes = 0;
+};
+
+struct FacilityResult {
+  std::vector<FacilityJobOutcome> jobs;
+  std::vector<FacilityIslandOutcome> islands;
+  double makespan_s = 0.0;
+  double facility_energy_j = 0.0;
+  double peak_power_w = 0.0;        // ground truth, before dropouts
+  double budget_w = 0.0;            // 0 when uncapped
+  std::size_t rounds = 0;
+  std::size_t cap_overrun_rounds = 0;  // rounds with power above budget
+  double worst_overrun_w = 0.0;
+  std::size_t redistributions = 0;
+  std::size_t facility_blind_rounds = 0;
+  std::size_t backfills = 0;
+  std::size_t peak_pending_jobs = 0;
+  faults::FaultReport faults;
+  /// Empty when every chaos invariant held.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] double mean_wait_s() const;
+  [[nodiscard]] double mean_turnaround_s() const;
+};
+
+/// Run the facility to completion (or max_sim_s). Deterministic for a
+/// given config at any sim_jobs value.
+[[nodiscard]] FacilityResult run_facility(const FacilityConfig& cfg);
+
+/// Synthesize a heterogeneous facility + job mix: `nodes` total nodes
+/// over `islands` partitions cycling the three node types, and
+/// `job_count` jobs with catalog-flavoured synthetic work, mixed node
+/// counts and a jittered arrival stream — all derived from `seed`.
+[[nodiscard]] FacilityConfig make_facility_config(std::size_t nodes,
+                                                  std::size_t islands,
+                                                  std::size_t job_count,
+                                                  std::uint64_t seed);
+
+/// Render the island / job / cap tables.
+void print_facility_report(const FacilityResult& r);
+
+}  // namespace ear::sim

@@ -1,0 +1,111 @@
+#include "sim/job_queue.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ear::sim {
+
+using common::ConfigError;
+
+JobQueue::JobQueue(std::vector<FacilityJob> jobs,
+                   std::vector<std::size_t> island_sizes, bool backfill)
+    : jobs_(std::move(jobs)), backfill_(backfill) {
+  EAR_CHECK_MSG(!jobs_.empty(), "job queue needs at least one job");
+  EAR_CHECK_MSG(!island_sizes.empty(), "job queue needs at least one island");
+
+  std::size_t widest_island = 0;
+  for (std::size_t size : island_sizes) {
+    EAR_CHECK_MSG(size > 0, "island has no nodes");
+    widest_island = std::max(widest_island, size);
+    std::vector<std::size_t> free(size);
+    std::iota(free.begin(), free.end(), 0);
+    free_.push_back(std::move(free));
+  }
+  for (const FacilityJob& j : jobs_) {
+    if (j.nodes == 0) {
+      throw ConfigError("job '" + j.name + "' requests zero nodes");
+    }
+    if (j.nodes > widest_island) {
+      throw ConfigError("job '" + j.name + "' wants " +
+                        std::to_string(j.nodes) +
+                        " nodes but the widest island has " +
+                        std::to_string(widest_island));
+    }
+  }
+
+  // Arrival order: submit time, then submission index — the index pins
+  // the tie-break so identical submit times dispatch identically
+  // everywhere (same lesson as the campaign LPT sort).
+  arrival_order_.resize(jobs_.size());
+  std::iota(arrival_order_.begin(), arrival_order_.end(), std::size_t{0});
+  std::sort(arrival_order_.begin(), arrival_order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (jobs_[a].submit_s != jobs_[b].submit_s) {
+                return jobs_[a].submit_s < jobs_[b].submit_s;
+              }
+              return a < b;
+            });
+}
+
+std::size_t JobQueue::free_nodes(std::size_t island) const {
+  EAR_CHECK_MSG(island < free_.size(), "island index out of range");
+  return free_[island].size();
+}
+
+std::vector<JobStart> JobQueue::admit(double now_s) {
+  while (next_arrival_ < arrival_order_.size() &&
+         jobs_[arrival_order_[next_arrival_]].submit_s <= now_s) {
+    pending_.push_back(arrival_order_[next_arrival_]);
+    ++next_arrival_;
+  }
+  peak_pending_ = std::max(peak_pending_, pending_.size());
+
+  std::vector<JobStart> starts;
+  std::vector<std::size_t> still_waiting;
+  bool head_blocked = false;
+  for (std::size_t qpos = 0; qpos < pending_.size(); ++qpos) {
+    const std::size_t j = pending_[qpos];
+    if (head_blocked && !backfill_) {
+      still_waiting.push_back(j);
+      continue;
+    }
+    // First island (in index order) with enough free nodes wins; the
+    // allocation takes its lowest-numbered free nodes.
+    std::size_t island = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size() >= jobs_[j].nodes) {
+        island = i;
+        break;
+      }
+    }
+    if (island == free_.size()) {
+      head_blocked = true;
+      still_waiting.push_back(j);
+      continue;
+    }
+    if (head_blocked) ++backfills_;
+    JobStart start{.job = j, .island = island, .local_nodes = {}};
+    start.local_nodes.assign(free_[island].begin(),
+                             free_[island].begin() +
+                                 static_cast<std::ptrdiff_t>(jobs_[j].nodes));
+    free_[island].erase(free_[island].begin(),
+                        free_[island].begin() +
+                            static_cast<std::ptrdiff_t>(jobs_[j].nodes));
+    starts.push_back(std::move(start));
+    ++started_;
+  }
+  pending_ = std::move(still_waiting);
+  return starts;
+}
+
+void JobQueue::release(std::size_t island,
+                       const std::vector<std::size_t>& nodes) {
+  EAR_CHECK_MSG(island < free_.size(), "island index out of range");
+  auto& free = free_[island];
+  free.insert(free.end(), nodes.begin(), nodes.end());
+  std::sort(free.begin(), free.end());
+}
+
+}  // namespace ear::sim

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -31,6 +32,14 @@ std::string vs_paper_pct(double measured_pct, double paper_pct,
   std::snprintf(buf, sizeof buf, "%+.*f%% (paper %+.*f%%)", precision,
                 measured_pct, precision, paper_pct);
   return buf;
+}
+
+double safe_ratio(double numerator, double denominator) {
+  if (!std::isfinite(numerator) || !std::isfinite(denominator) ||
+      denominator == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return numerator / denominator;
 }
 
 void print_series(const std::string& title, const std::string& x_label,

@@ -16,6 +16,14 @@ namespace ear::sim {
 [[nodiscard]] std::string vs_paper_pct(double measured_pct, double paper_pct,
                                        int precision = 1);
 
+/// numerator / denominator with the zero-reference convention: a zero or
+/// non-finite denominator (or non-finite numerator) has no defined ratio
+/// and yields NaN, which AsciiTable::num/pct render as "n/a". Every
+/// ratio column — campaign comparisons and the facility tables alike —
+/// must route through this (or an equivalent NaN-producing guard)
+/// instead of dividing raw and printing `nan`/`inf`.
+[[nodiscard]] double safe_ratio(double numerator, double denominator);
+
 /// A labelled series for figure-style output (penalty/saving vs x-axis).
 struct Series {
   std::string name;

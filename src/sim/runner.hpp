@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -58,11 +59,14 @@ struct Comparison {
   double pck_power_saving_pct = 0.0;   // RAPL PKG power (Table VII)
   double gbps_penalty_pct = 0.0;
   /// Energy saved per time lost; the paper's "efficiency ratio".
-  /// NaN-safe: a zero or undefined time penalty has no defined ratio.
+  /// A zero or undefined time penalty has no defined ratio: that is NaN
+  /// (the zero-reference convention percent_change uses), which the
+  /// table layer renders as "n/a" — not 0.0, which would print a fake
+  /// "worthless trade" figure for a comparison that never happened.
   [[nodiscard]] double efficiency_ratio() const {
     return std::isfinite(time_penalty_pct) && time_penalty_pct != 0.0
                ? energy_saving_pct / time_penalty_pct
-               : 0.0;
+               : std::numeric_limits<double>::quiet_NaN();
   }
   /// Energy-delay-product change in percent (negative = EDP improved):
   /// a threshold-free figure of merit for energy/performance trades.

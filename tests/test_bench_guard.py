@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/bench_guard.py input validation.
+
+The guard used to die with a bare KeyError / ZeroDivisionError traceback
+on malformed inputs; every bad-input path must now exit 2 with a message
+that names the offending file and key. Stdlib only, run via ctest:
+
+    python3 tests/test_bench_guard.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GUARD = os.path.join(REPO, "tools", "bench_guard.py")
+
+
+def bench_report(push_ns=10.0, nonperiodic_ns=40.0, extra=None):
+    benchmarks = [
+        {"name": "BM_DynaisPush", "real_time": push_ns, "time_unit": "ns"},
+        {
+            "name": "BM_DynaisPushNonPeriodic",
+            "real_time": nonperiodic_ns,
+            "time_unit": "ns",
+        },
+    ]
+    if extra:
+        benchmarks.extend(extra)
+    return {"benchmarks": benchmarks}
+
+
+def baseline(push_ns=10.0, nonperiodic_ns=40.0):
+    return {
+        "post_pr": {
+            "BM_DynaisPush_ns": push_ns,
+            "BM_DynaisPushNonPeriodic_ns": nonperiodic_ns,
+        }
+    }
+
+
+class BenchGuardTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        return path
+
+    def run_guard(self, report, base, *extra_args):
+        return subprocess.run(
+            [sys.executable, GUARD, report, base, *extra_args],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_good_inputs_pass(self):
+        r = self.run_guard(
+            self.write("report.json", bench_report()),
+            self.write("baseline.json", baseline()),
+        )
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("bench_guard: OK", r.stdout)
+
+    def test_regression_fails_with_exit_1(self):
+        # Worst-case path now 20x the steady push vs 4x in the baseline.
+        r = self.run_guard(
+            self.write("report.json", bench_report(10.0, 200.0)),
+            self.write("baseline.json", baseline(10.0, 40.0)),
+        )
+        self.assertEqual(r.returncode, 1, r.stderr)
+        self.assertIn("FAIL", r.stderr)
+
+    def test_missing_report_benchmark_names_the_key(self):
+        # Regression: used to be a bare KeyError traceback.
+        report = {"benchmarks": [
+            {"name": "BM_DynaisPush", "real_time": 10.0, "time_unit": "ns"}
+        ]}
+        r = self.run_guard(
+            self.write("report.json", report),
+            self.write("baseline.json", baseline()),
+        )
+        self.assertEqual(r.returncode, 2, r.stderr)
+        self.assertIn("BM_DynaisPushNonPeriodic", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_missing_post_pr_object_is_exit_2(self):
+        r = self.run_guard(
+            self.write("report.json", bench_report()),
+            self.write("baseline.json", {"pre_pr": {}}),
+        )
+        self.assertEqual(r.returncode, 2, r.stderr)
+        self.assertIn("post_pr", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_non_numeric_baseline_key_is_exit_2(self):
+        bad = {"post_pr": {"BM_DynaisPush_ns": "fast",
+                           "BM_DynaisPushNonPeriodic_ns": 40.0}}
+        r = self.run_guard(
+            self.write("report.json", bench_report()),
+            self.write("baseline.json", bad),
+        )
+        self.assertEqual(r.returncode, 2, r.stderr)
+        self.assertIn("BM_DynaisPush_ns", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_zero_steady_state_names_key_instead_of_dividing(self):
+        # Regression: used to be a ZeroDivisionError traceback.
+        r = self.run_guard(
+            self.write("report.json", bench_report(push_ns=0.0)),
+            self.write("baseline.json", baseline()),
+        )
+        self.assertEqual(r.returncode, 2, r.stderr)
+        self.assertIn("BM_DynaisPush", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+        r = self.run_guard(
+            self.write("report.json", bench_report()),
+            self.write("baseline.json", baseline(push_ns=0.0)),
+        )
+        self.assertEqual(r.returncode, 2, r.stderr)
+        self.assertIn("BM_DynaisPush_ns", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_unreadable_file_is_exit_2(self):
+        r = self.run_guard(
+            os.path.join(self.tmp.name, "missing.json"),
+            self.write("baseline.json", baseline()),
+        )
+        self.assertEqual(r.returncode, 2, r.stderr)
+        self.assertIn("bad input", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

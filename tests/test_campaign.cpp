@@ -160,6 +160,35 @@ TEST(Campaign, DeterministicAtOneTwoAndManyJobs) {
   }
 }
 
+TEST(Campaign, AllEqualCostCampaignIsBitwiseDeterministic) {
+  // Regression for the LPT tie-break: with every task the same cost the
+  // old comparator left the dispatch order to std::sort (unstable for
+  // equal keys), so equal-cost campaigns could legally reshuffle between
+  // builds. Ties are now pinned to (point, run) order.
+  auto build = [] {
+    std::vector<CampaignPoint> points;
+    for (const char* label : {"p0", "p1", "p2", "p3"}) {
+      // Same app, same seed, same runs: every task costs the same.
+      points.push_back(CampaignPoint{.label = label,
+                                     .cfg = small_cfg("dgemm", 13),
+                                     .runs = 2});
+    }
+    return points;
+  };
+  const auto one = run_campaign(build(), CampaignOptions{.jobs = 1});
+  const auto two = run_campaign(build(), CampaignOptions{.jobs = 2});
+  const auto many = run_campaign(build(), CampaignOptions{.jobs = 8});
+  ASSERT_EQ(one.size(), 4u);
+  ASSERT_EQ(two.size(), 4u);
+  ASSERT_EQ(many.size(), 4u);
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].label, two[i].label);
+    EXPECT_EQ(one[i].label, many[i].label);
+    EXPECT_TRUE(same_bytes(one[i].avg, two[i].avg)) << i;
+    EXPECT_TRUE(same_bytes(one[i].avg, many[i].avg)) << i;
+  }
+}
+
 TEST(Campaign, TimelineStrideDoesNotChangeAverages) {
   // Campaign reductions read only the averaged scalars, so downsampling
   // the per-run timelines must be invisible in the results.

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
@@ -134,6 +136,72 @@ TEST(Eargm, DeepestLimitFloorStopsThrottleAccounting) {
   EXPECT_EQ(mgr.throttle_events(), 3u);
   EXPECT_EQ(f.d0.pstate_limit(), 3u);
   EXPECT_EQ(f.d1.pstate_limit(), 3u);
+}
+
+TEST(Eargm, MissedReadingsResetOnRecovery) {
+  // Regression: missed_readings_ accumulated monotonically with no
+  // per-node state, so one historical outage looked identical to an
+  // ongoing one. Per-node consecutive misses must reset when the node
+  // resumes, with the recovery counted.
+  Fixture f;
+  EargmManager mgr({.cluster_budget_w = 700.0}, {&f.d0, &f.d1});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double healthy[] = {330.0, 330.0};
+  const double node1_out[] = {330.0, nan};
+  mgr.update(healthy);
+  EXPECT_EQ(mgr.currently_missing_nodes(), 0u);
+
+  for (int i = 0; i < 3; ++i) mgr.update(node1_out);
+  EXPECT_EQ(mgr.missed_readings(), 3u);  // historical total
+  EXPECT_EQ(mgr.currently_missing_nodes(), 1u);
+  EXPECT_EQ(mgr.consecutive_missed(1), 3u);
+  EXPECT_EQ(mgr.resumed_nodes(), 0u);
+
+  // Node 1 comes back: the outage closes, the total stays historical.
+  mgr.update(healthy);
+  EXPECT_EQ(mgr.missed_readings(), 3u);
+  EXPECT_EQ(mgr.currently_missing_nodes(), 0u);
+  EXPECT_EQ(mgr.consecutive_missed(1), 0u);
+  EXPECT_EQ(mgr.resumed_nodes(), 1u);
+
+  // A second, distinct outage counts a second recovery.
+  mgr.update(node1_out);
+  mgr.update(healthy);
+  EXPECT_EQ(mgr.resumed_nodes(), 2u);
+  EXPECT_EQ(mgr.missed_readings(), 4u);
+}
+
+TEST(Eargm, BlindRoundHoldAndAccounting) {
+  Fixture f;
+  EargmManager mgr({.cluster_budget_w = 100.0}, {&f.d0, &f.d1});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double high[] = {330.0, 330.0};
+  const double dark[] = {nan, nan};
+  mgr.update(high);
+  ASSERT_EQ(mgr.current_limit(), 1u);
+  mgr.update(dark);  // blind: hold, don't act on substituted-only data
+  EXPECT_EQ(mgr.current_limit(), 1u);
+  EXPECT_TRUE(mgr.last_round_blind());
+  EXPECT_EQ(mgr.blind_rounds(), 1u);
+  EXPECT_EQ(mgr.currently_missing_nodes(), 2u);
+  mgr.update(high);
+  EXPECT_FALSE(mgr.last_round_blind());
+  EXPECT_EQ(mgr.resumed_nodes(), 2u);
+}
+
+TEST(Eargm, SetBudgetRetargetsControl) {
+  Fixture f;
+  EargmManager mgr({.cluster_budget_w = 700.0}, {&f.d0, &f.d1});
+  const double readings[] = {330.0, 330.0};
+  mgr.update(readings);
+  EXPECT_EQ(mgr.current_limit(), 0u);
+  mgr.set_budget(600.0);  // federation hands down a smaller share
+  EXPECT_DOUBLE_EQ(mgr.budget_w(), 600.0);
+  mgr.update(readings);
+  EXPECT_EQ(mgr.current_limit(), 1u);
+  EXPECT_THROW(mgr.set_budget(0.0), common::InvariantError);
+  EXPECT_THROW(mgr.set_budget(std::numeric_limits<double>::quiet_NaN()),
+               common::InvariantError);
 }
 
 TEST(Eargm, ConfigValidation) {

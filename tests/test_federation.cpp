@@ -1,0 +1,157 @@
+// Hierarchical EARGM federation tests: facility-cap redistribution,
+// convergence under steady demand, and the NaN-tolerant hold semantics
+// at the island and cluster tiers.
+#include "eargm/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "simhw/config.hpp"
+
+namespace ear::eargm {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// Two islands of two Skylake nodes each.
+struct Fixture {
+  Fixture()
+      : cfg(simhw::make_skylake_6148_node()),
+        n0(cfg, 1), n1(cfg, 2), n2(cfg, 3), n3(cfg, 4),
+        d0(n0), d1(n1), d2(n2), d3(n3) {}
+
+  [[nodiscard]] std::vector<std::vector<eard::NodeDaemon*>> groups() {
+    return {{&d0, &d1}, {&d2, &d3}};
+  }
+
+  simhw::NodeConfig cfg;
+  simhw::SimNode n0, n1, n2, n3;
+  eard::NodeDaemon d0, d1, d2, d3;
+};
+
+TEST(Federation, ConfigValidation) {
+  Fixture f;
+  EXPECT_THROW(FederatedEargm({.facility_budget_w = 0.0}, f.groups()),
+               common::InvariantError);
+  EXPECT_THROW(FederatedEargm({.facility_budget_w = kNan}, f.groups()),
+               common::InvariantError);
+  EXPECT_THROW(FederatedEargm({.facility_budget_w = 1200.0}, {}),
+               common::InvariantError);
+  EXPECT_THROW(
+      FederatedEargm({.facility_budget_w = 1200.0, .floor_share = 0.0},
+                     f.groups()),
+      common::InvariantError);
+  EXPECT_THROW(
+      FederatedEargm({.facility_budget_w = 1200.0, .floor_share = 1.5},
+                     f.groups()),
+      common::InvariantError);
+  EXPECT_THROW(FederatedEargm({.facility_budget_w = 1200.0},
+                              {{&f.d0}, {}}),
+               common::InvariantError);
+}
+
+TEST(Federation, EvenSplitThenDemandProportionalRedistribution) {
+  Fixture f;
+  FederatedEargm fed({.facility_budget_w = 1200.0}, f.groups());
+  ASSERT_EQ(fed.islands(), 2u);
+  ASSERT_EQ(fed.total_nodes(), 4u);
+  // No demand signal yet: even split.
+  EXPECT_DOUBLE_EQ(fed.island_budget_w(0), 600.0);
+  EXPECT_DOUBLE_EQ(fed.island_budget_w(1), 600.0);
+
+  // Island 0 hot, island 1 nearly idle.
+  const double readings[] = {330.0, 330.0, 100.0, 100.0};
+  fed.update(readings);
+  EXPECT_DOUBLE_EQ(fed.facility_power_w(), 860.0);
+  EXPECT_GE(fed.redistributions(), 1u);
+  // Floor = 0.25 * 1200 / 2 = 150 W each; the 900 W pool follows demand.
+  const double b0 = fed.island_budget_w(0);
+  const double b1 = fed.island_budget_w(1);
+  EXPECT_GT(b0, b1);
+  EXPECT_GE(b1, 150.0);
+  EXPECT_NEAR(b0 + b1, 1200.0, 1e-6);  // cap is conserved exactly
+  EXPECT_NEAR(b0, 150.0 + 900.0 * 660.0 / 860.0, 1e-6);
+}
+
+TEST(Federation, RedistributionConvergesUnderSteadyDemand) {
+  Fixture f;
+  FederatedEargm fed({.facility_budget_w = 2000.0}, f.groups());
+  const double readings[] = {330.0, 330.0, 200.0, 200.0};
+  fed.update(readings);
+  const std::size_t after_first = fed.redistributions();
+  EXPECT_EQ(after_first, 1u);
+  for (int i = 0; i < 8; ++i) {
+    fed.update(readings);
+    EXPECT_NEAR(fed.island_budget_w(0) + fed.island_budget_w(1), 2000.0,
+                1e-6);
+  }
+  // Steady demand -> the split settled after the first round; budgets
+  // stop moving instead of oscillating.
+  EXPECT_EQ(fed.redistributions(), after_first);
+}
+
+TEST(Federation, BlindIslandHoldsLimitAndClusterSubstitutes) {
+  Fixture f;
+  FederatedEargm fed({.facility_budget_w = 1200.0}, f.groups());
+  const double healthy[] = {330.0, 330.0, 100.0, 100.0};
+  fed.update(healthy);
+  const double before_b1 = fed.island_budget_w(1);
+  const simhw::Pstate limit1 = fed.island(1).current_limit();
+
+  // Island 1 goes completely dark for a round.
+  const double island1_dark[] = {330.0, 330.0, kNan, kNan};
+  fed.update(island1_dark);
+  // Island tier: blind-round hold — the limit did not move.
+  EXPECT_TRUE(fed.island(1).last_round_blind());
+  EXPECT_EQ(fed.island(1).current_limit(), limit1);
+  EXPECT_EQ(fed.island_blind_rounds(), 1u);
+  // Cluster tier: the island's last known aggregate is carried, so the
+  // facility power and split are unchanged by the dropout.
+  EXPECT_DOUBLE_EQ(fed.facility_power_w(), 860.0);
+  EXPECT_NEAR(fed.island_budget_w(1), before_b1, 1e-9);
+  EXPECT_EQ(fed.facility_blind_rounds(), 0u);
+  EXPECT_EQ(fed.total_missed_readings(), 2u);
+
+  // Rejoin: recoveries are counted facility-wide.
+  fed.update(healthy);
+  EXPECT_FALSE(fed.island(1).last_round_blind());
+  EXPECT_EQ(fed.total_resumed_nodes(), 2u);
+}
+
+TEST(Federation, AllIslandsBlindHoldsFacilitySplit) {
+  Fixture f;
+  FederatedEargm fed({.facility_budget_w = 1200.0}, f.groups());
+  const double healthy[] = {330.0, 330.0, 100.0, 100.0};
+  fed.update(healthy);
+  const double b0 = fed.island_budget_w(0);
+  const double b1 = fed.island_budget_w(1);
+  const std::size_t redists = fed.redistributions();
+
+  const double dark[] = {kNan, kNan, kNan, kNan};
+  fed.update(dark);
+  EXPECT_EQ(fed.facility_blind_rounds(), 1u);
+  // Zero information: the split is held, not recomputed.
+  EXPECT_DOUBLE_EQ(fed.island_budget_w(0), b0);
+  EXPECT_DOUBLE_EQ(fed.island_budget_w(1), b1);
+  EXPECT_EQ(fed.redistributions(), redists);
+  // The carried aggregates still describe the last sighted facility.
+  EXPECT_DOUBLE_EQ(fed.facility_power_w(), 860.0);
+}
+
+TEST(Federation, ThrottlesAgainstPerIslandBudgets) {
+  Fixture f;
+  // Tight facility cap: both islands must shed.
+  FederatedEargm fed({.facility_budget_w = 500.0}, f.groups());
+  const double hot[] = {330.0, 330.0, 330.0, 330.0};
+  for (int i = 0; i < 3; ++i) fed.update(hot);
+  EXPECT_GT(fed.total_throttle_events(), 0u);
+  EXPECT_GT(fed.island(0).current_limit(), 0u);
+  EXPECT_GT(fed.island(1).current_limit(), 0u);
+  // One throttle step at most per island per round.
+  EXPECT_LE(fed.island(0).current_limit(), 3u);
+}
+
+}  // namespace
+}  // namespace ear::eargm

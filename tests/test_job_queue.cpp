@@ -1,0 +1,139 @@
+// Facility job-admission queue tests: arrival ordering, deterministic
+// lowest-node allocation, island probing, backfill accounting and the
+// strict-FIFO fallback.
+#include "sim/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ear::sim {
+namespace {
+
+FacilityJob job(const std::string& name, std::size_t nodes,
+                double submit_s) {
+  FacilityJob j;
+  j.name = name;
+  j.nodes = nodes;
+  j.submit_s = submit_s;
+  return j;
+}
+
+TEST(JobQueue, RejectsImpossibleJobs) {
+  EXPECT_THROW(JobQueue({job("zero", 0, 0.0)}, {4}), common::ConfigError);
+  // Wider than every island: could never start.
+  EXPECT_THROW(JobQueue({job("wide", 5, 0.0)}, {4, 2}),
+               common::ConfigError);
+  // Fits the widest island: fine.
+  EXPECT_NO_THROW(JobQueue({job("ok", 4, 0.0)}, {4, 2}));
+}
+
+TEST(JobQueue, FifoOrderAndLowestNodeAllocation) {
+  JobQueue q({job("a", 2, 0.0), job("b", 2, 0.0), job("c", 2, 0.0)}, {4});
+  const std::vector<JobStart> starts = q.admit(0.0);
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0].job, 0u);
+  EXPECT_EQ(starts[0].local_nodes, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(starts[1].job, 1u);
+  EXPECT_EQ(starts[1].local_nodes, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.free_nodes(0), 0u);
+  EXPECT_FALSE(q.all_started());
+
+  // "a" finishes; "c" reuses its (lowest-numbered) nodes.
+  q.release(0, {0, 1});
+  const std::vector<JobStart> later = q.admit(1.0);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0].job, 2u);
+  EXPECT_EQ(later[0].local_nodes, (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(q.all_started());
+  EXPECT_EQ(q.backfills(), 0u);
+}
+
+TEST(JobQueue, ArrivalsAreGatedByTheClock) {
+  JobQueue q({job("late", 1, 5.0)}, {2});
+  EXPECT_TRUE(q.admit(0.0).empty());
+  EXPECT_EQ(q.pending(), 0u);  // not yet arrived, not pending
+  EXPECT_EQ(q.admit(5.0).size(), 1u);
+}
+
+TEST(JobQueue, SameSubmitTimeBreaksTiesBySubmissionIndex) {
+  // Both arrive at t = 3 but only one node is free: the earlier
+  // submission wins.
+  JobQueue q({job("first", 1, 3.0), job("second", 1, 3.0)}, {1});
+  const std::vector<JobStart> starts = q.admit(3.0);
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0].job, 0u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(JobQueue, ProbesIslandsInIndexOrder) {
+  // Island 0 is too small for the wide job; the 1-node job prefers the
+  // first island that fits it.
+  JobQueue q({job("wide", 2, 0.0), job("narrow", 1, 0.0)}, {1, 4});
+  const std::vector<JobStart> starts = q.admit(0.0);
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0].island, 1u);
+  EXPECT_EQ(starts[1].island, 0u);
+}
+
+TEST(JobQueue, BackfillStartsLaterJobsPastABlockedHead) {
+  // J0 takes 3 of 4 nodes; J1 wants all 4 (blocked); J2 wants 1 and
+  // backfills around it.
+  JobQueue q({job("j0", 3, 0.0), job("j1", 4, 0.0), job("j2", 1, 0.0)},
+             {4});
+  const std::vector<JobStart> starts = q.admit(0.0);
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0].job, 0u);
+  EXPECT_EQ(starts[1].job, 2u);
+  EXPECT_EQ(starts[1].local_nodes, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(q.backfills(), 1u);
+  EXPECT_EQ(q.pending(), 1u);
+  // Peak queue depth is sampled on arrival, before placement: all three
+  // jobs were briefly queued at t = 0.
+  EXPECT_EQ(q.peak_pending(), 3u);
+
+  // Head cannot start until the whole island drains.
+  q.release(0, {0, 1, 2});
+  EXPECT_TRUE(q.admit(1.0).empty());
+  q.release(0, {3});
+  const std::vector<JobStart> head = q.admit(2.0);
+  ASSERT_EQ(head.size(), 1u);
+  EXPECT_EQ(head[0].job, 1u);
+  EXPECT_EQ(head[0].local_nodes, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(q.all_started());
+}
+
+TEST(JobQueue, NoBackfillDegradesToStrictFifo) {
+  JobQueue q({job("j0", 3, 0.0), job("j1", 4, 0.0), job("j2", 1, 0.0)},
+             {4}, /*backfill=*/false);
+  const std::vector<JobStart> starts = q.admit(0.0);
+  ASSERT_EQ(starts.size(), 1u);  // only j0: j2 must wait behind j1
+  EXPECT_EQ(starts[0].job, 0u);
+  EXPECT_EQ(q.backfills(), 0u);
+  EXPECT_EQ(q.pending(), 2u);
+
+  q.release(0, {0, 1, 2});
+  const std::vector<JobStart> rest = q.admit(1.0);
+  ASSERT_EQ(rest.size(), 1u);  // j1 drains the island; j2 keeps waiting
+  EXPECT_EQ(rest[0].job, 1u);
+  q.release(0, {0, 1, 2, 3});
+  const std::vector<JobStart> last = q.admit(2.0);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].job, 2u);
+  EXPECT_TRUE(q.all_started());
+}
+
+TEST(JobQueue, ReleasedNodesAreReusedLowestFirst) {
+  JobQueue q({job("a", 1, 0.0), job("b", 1, 0.0), job("c", 1, 1.0)}, {2});
+  ASSERT_EQ(q.admit(0.0).size(), 2u);  // a -> node 0, b -> node 1
+  q.release(0, {0});
+  q.release(0, {1});
+  EXPECT_EQ(q.free_nodes(0), 2u);
+  const std::vector<JobStart> starts = q.admit(1.0);
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0].local_nodes, (std::vector<std::size_t>{0}));
+}
+
+}  // namespace
+}  // namespace ear::sim

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 #include "sim/presets.hpp"
 
@@ -41,6 +44,38 @@ TEST(Report, ComparisonRow) {
   EXPECT_NE(s.find("ME+eU"), std::string::npos);
   EXPECT_NE(s.find("+6.00%"), std::string::npos);
   EXPECT_NE(s.find("3.00"), std::string::npos);  // ratio 6/2
+}
+
+TEST(Report, SafeRatioRoutesZeroReferenceToNa) {
+  // Regression: ratio columns printed "nan"/"inf" when the reference was
+  // zero; safe_ratio is the single gate every ratio cell goes through.
+  EXPECT_DOUBLE_EQ(safe_ratio(6.0, 2.0), 3.0);
+  EXPECT_TRUE(std::isnan(safe_ratio(6.0, 0.0)));
+  EXPECT_TRUE(std::isnan(safe_ratio(6.0, -0.0)));
+  EXPECT_TRUE(std::isnan(
+      safe_ratio(std::numeric_limits<double>::infinity(), 2.0)));
+  EXPECT_TRUE(std::isnan(
+      safe_ratio(6.0, std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_DOUBLE_EQ(safe_ratio(-4.0, 2.0), -2.0);
+  // AsciiTable renders the NaN as "n/a", never "nan".
+  EXPECT_EQ(common::AsciiTable::num(safe_ratio(1.0, 0.0), 2), "n/a");
+}
+
+TEST(Report, ComparisonRowZeroTimePenaltyRendersNa) {
+  // Regression: a zero time penalty made the efficiency ratio print
+  // "inf" (or a bogus 0.00) instead of routing through the n/a path.
+  common::AsciiTable t;
+  t.columns({"config", "time penalty", "power saving", "energy saving",
+             "GB/s penalty", "ratio"});
+  Comparison c;
+  c.time_penalty_pct = 0.0;
+  c.energy_saving_pct = 6.0;
+  add_comparison_row(t, "free-lunch", c);
+  const std::string s = t.render();
+  EXPECT_NE(s.find("n/a"), std::string::npos);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+  EXPECT_TRUE(std::isnan(c.efficiency_ratio()));
 }
 
 TEST(Presets, MatchPaperConfigurations) {

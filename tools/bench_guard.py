@@ -63,10 +63,49 @@ def main():
     needed = ("BM_DynaisPush", "BM_DynaisPushNonPeriodic")
     missing = [n for n in needed if n not in bench]
     if missing:
-        print(f"bench_guard: report is missing {missing}", file=sys.stderr)
+        print(
+            f"bench_guard: report {args.report} is missing benchmark(s) "
+            f"{', '.join(missing)} — was the bench binary run with "
+            "--benchmark_out and did those benchmarks register?",
+            file=sys.stderr,
+        )
         return 2
 
-    post = baseline["post_pr"]
+    post = baseline.get("post_pr")
+    if not isinstance(post, dict):
+        print(
+            f"bench_guard: baseline {args.baseline} has no 'post_pr' "
+            "object — regenerate it from a post-optimisation run",
+            file=sys.stderr,
+        )
+        return 2
+    missing_base = [
+        k for k in ("BM_DynaisPush_ns", "BM_DynaisPushNonPeriodic_ns")
+        if not isinstance(post.get(k), (int, float))
+    ]
+    if missing_base:
+        print(
+            f"bench_guard: baseline {args.baseline} post_pr is missing "
+            f"numeric key(s) {', '.join(missing_base)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    # A zero steady-state time would make the ratio meaningless (and the
+    # division a traceback): name the offending key instead.
+    for label, key, value in (
+        ("report", "BM_DynaisPush", bench["BM_DynaisPush"]),
+        ("baseline post_pr", "BM_DynaisPush_ns", post["BM_DynaisPush_ns"]),
+    ):
+        if not value > 0:
+            print(
+                f"bench_guard: {label} key {key} is {value!r}; the "
+                "steady-state push time must be positive to form the "
+                "worst/steady ratio — rerun the benchmark",
+                file=sys.stderr,
+            )
+            return 2
+
     base_ratio = (
         post["BM_DynaisPushNonPeriodic_ns"] / post["BM_DynaisPush_ns"]
     )

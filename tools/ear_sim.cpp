@@ -13,6 +13,11 @@
 //       points fan out over the parallel campaign engine.
 //   ear_sim learn [--gpu-node]
 //       Run the learning phase and dump the coefficient table.
+//   ear_sim facility [--nodes N] [--islands K] [--job-count J]
+//                    [--budget W] [--seed S] [--faults PLAN] [--check]
+//       Facility tier: heterogeneous islands, a job arrival stream and
+//       hierarchical EARGM federation under a facility-wide cap;
+//       --check exits non-zero when a chaos invariant is violated.
 //
 // All run/sweep commands accept --jobs N (0 = all cores); the
 // EAR_SIM_JOBS environment variable sets the default. Results are
@@ -28,6 +33,7 @@
 #include "faults/fault_plan.hpp"
 #include "sim/campaign.hpp"
 #include "sim/chaos.hpp"
+#include "sim/facility.hpp"
 #include "policies/registry.hpp"
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
@@ -56,6 +62,11 @@ int usage() {
       "        [--budget W] [--penalty-bound PCT] [--jobs N]\n"
       "        policy matrix under a fault plan + invariant checks\n"
       "        (also spelled: ear_sim --chaos --faults PLAN)\n"
+      "  facility [--nodes N] [--islands K] [--job-count J] [--budget W]\n"
+      "        [--seed S] [--round S] [--faults PLAN] [--no-backfill]\n"
+      "        [--jobs N] [--check]\n"
+      "        heterogeneous islands + job queue + EARGM federation\n"
+      "        (--budget 0 = uncapped; --check fails on violations)\n"
       "--jobs 0 (default) uses EAR_SIM_JOBS or all cores; any job count\n"
       "produces bitwise-identical results.\n");
   return 2;
@@ -285,17 +296,52 @@ int cmd_chaos(const common::ArgParser& args) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_facility(const common::ArgParser& args) {
+  const auto nodes =
+      static_cast<std::size_t>(args.get("nodes", std::int64_t{64}));
+  const auto islands =
+      static_cast<std::size_t>(args.get("islands", std::int64_t{2}));
+  const auto job_count =
+      static_cast<std::size_t>(args.get("job-count", std::int64_t{24}));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}));
+
+  sim::FacilityConfig cfg =
+      sim::make_facility_config(nodes, islands, job_count, seed);
+  if (args.has("budget")) cfg.budget_w = args.get("budget", 0.0);
+  cfg.round_s = args.get("round", cfg.round_s);
+  cfg.sim_jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{0}));
+  if (args.flag("no-backfill")) cfg.backfill = false;
+  const std::string plan_path = args.get("faults", std::string());
+  if (!plan_path.empty()) {
+    cfg.fault_plan = faults::load_fault_plan(plan_path);
+  }
+
+  const sim::FacilityResult result = sim::run_facility(cfg);
+  sim::print_facility_report(result);
+  std::printf("%s: %zu jobs over %zu nodes in %zu islands, %zu rounds, "
+              "%zu invariant violation(s)\n",
+              result.violations.empty() ? "facility campaign clean"
+                                        : "FACILITY FAILURE",
+              result.jobs.size(), nodes, islands, result.rounds,
+              result.violations.size());
+  if (args.flag("check") && !result.violations.empty()) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const common::ArgParser args(argc, argv,
-                                 {"compare", "gpu-node", "chaos"});
+    const common::ArgParser args(
+        argc, argv,
+        {"compare", "gpu-node", "chaos", "check", "no-backfill"});
     const std::string cmd = args.positional_or(0, "");
     if (cmd == "list") return cmd_list();
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "learn") return cmd_learn(args);
+    if (cmd == "facility") return cmd_facility(args);
     if (cmd == "chaos" || args.flag("chaos")) return cmd_chaos(args);
     return usage();
   } catch (const std::exception& e) {
