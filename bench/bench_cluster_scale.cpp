@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
     const std::size_t job_count = std::max<std::size_t>(8, nodes / 2);
     sim::FacilityConfig cfg =
         sim::make_facility_config(nodes, islands, job_count, bench::kSeed);
-    cfg.budget_w = static_cast<double>(nodes) * budget_per_node;
+    cfg.budget = {static_cast<double>(nodes) * budget_per_node};
     cfg.sim_jobs = jobs;
 
     const auto t0 = Clock::now();

@@ -28,7 +28,7 @@ int main() {
                  "0", "p0"});
   for (double budget : {1250.0, 1150.0, 1050.0, 950.0}) {
     sim::ExperimentConfig cfg = base;
-    cfg.eargm = eargm::EargmConfig{.cluster_budget_w = budget};
+    cfg.eargm = eargm::EargmConfig{.cluster_budget = {budget}};
     const auto res = sim::run_experiment(cfg);
     table.add_row(
         {common::AsciiTable::num(budget, 0),

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
                    .start_time_s = 120.0},
   };
   if (budget > 0.0) {
-    cfg.eargm = eargm::EargmConfig{.cluster_budget_w = budget};
+    cfg.eargm = eargm::EargmConfig{.cluster_budget = {budget}};
   }
 
   const sim::ScheduleResult res = sim::run_schedule(cfg);

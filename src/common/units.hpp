@@ -69,6 +69,11 @@ struct Watts {
   friend constexpr Watts operator+(Watts a, Watts b) { return {a.value + b.value}; }
   friend constexpr Watts operator-(Watts a, Watts b) { return {a.value - b.value}; }
   constexpr Watts& operator+=(Watts o) { value += o.value; return *this; }
+  /// Margin/share scaling: budgets are multiplied by dimensionless
+  /// ratios (trigger margin, floor share) all over the control plane.
+  friend constexpr Watts operator*(Watts p, double k) { return {p.value * k}; }
+  friend constexpr Watts operator*(double k, Watts p) { return {p.value * k}; }
+  friend constexpr Watts operator/(Watts p, double k) { return {p.value / k}; }
 };
 
 /// Time duration in seconds (simulated time).
@@ -95,6 +100,13 @@ constexpr Joules operator*(Secs t, Watts p) { return p * t; }
 constexpr Watts operator/(Joules e, Secs t) {
   return {t.value > 0.0 ? e.value / t.value : 0.0};
 }
+
+/// API-boundary vocabulary for the ear_lint raw-power-scalar rule: a
+/// budget, cap or instantaneous reading crossing a public interface is
+/// a Power; an accumulated quantity is an Energy. Aliases of the SI
+/// carrier types so arithmetic (Power * Secs = Energy, ...) is shared.
+using Power = Watts;
+using Energy = Joules;
 
 /// Memory traffic rate in GB/s (decimal GB, as the paper reports).
 struct GBps {

@@ -13,17 +13,18 @@ EargmManager::EargmManager(EargmConfig cfg,
       daemons_(std::move(daemons)),
       last_known_w_(daemons_.size(), 0.0),
       missed_by_node_(daemons_.size(), 0) {
-  EAR_CHECK_MSG(cfg_.cluster_budget_w > 0.0,
+  EAR_CHECK_MSG(cfg_.cluster_budget.value > 0.0,
                 "cluster budget must be positive");
   EAR_CHECK_MSG(!daemons_.empty(), "EARGM needs at least one node");
   EAR_CHECK_MSG(cfg_.release_margin < cfg_.trigger_margin,
                 "release margin must sit below the trigger margin");
 }
 
-void EargmManager::set_budget(double cluster_budget_w) {
-  EAR_CHECK_MSG(std::isfinite(cluster_budget_w) && cluster_budget_w > 0.0,
+void EargmManager::set_budget(common::Power cluster_budget) {
+  EAR_CHECK_MSG(std::isfinite(cluster_budget.value) &&
+                    cluster_budget.value > 0.0,
                 "cluster budget must be positive");
-  cfg_.cluster_budget_w = cluster_budget_w;
+  cfg_.cluster_budget = cluster_budget;
 }
 
 std::size_t EargmManager::currently_missing_nodes() const {
@@ -76,16 +77,16 @@ void EargmManager::update(std::span<const double> node_power_w) {
   }
   last_round_blind_ = false;
 
-  if (total > cfg_.cluster_budget_w * cfg_.trigger_margin) {
+  if (total > cfg_.cluster_budget.value * cfg_.trigger_margin) {
     if (limit_ < cfg_.deepest_limit) {
       ++limit_;
       ++throttles_;
       apply_limit();
       EAR_LOG_DEBUG("eargm", "over budget (%.0fW > %.0fW): limit -> p%zu",
-                    total, cfg_.cluster_budget_w, limit_);
+                    total, cfg_.cluster_budget.value, limit_);
     }
   } else if (limit_ > 0 &&
-             total < cfg_.cluster_budget_w * cfg_.release_margin) {
+             total < cfg_.cluster_budget.value * cfg_.release_margin) {
     --limit_;
     ++releases_;
     apply_limit();

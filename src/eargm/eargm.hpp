@@ -15,13 +15,14 @@
 #include <span>
 #include <vector>
 
+#include "common/units.hpp"
 #include "eard/eard.hpp"
 
 namespace ear::eargm {
 
 struct EargmConfig {
-  /// Aggregate DC power budget for the managed nodes, watts.
-  double cluster_budget_w = 0.0;
+  /// Aggregate DC power budget for the managed nodes.
+  common::Power cluster_budget{0.0};
   /// Throttle when aggregate power exceeds budget * trigger_margin.
   double trigger_margin = 1.00;
   /// Release one step when below budget * release_margin (hysteresis).
@@ -49,13 +50,15 @@ class EargmManager {
 
   /// Re-target the budget (federation tier: the cluster manager hands
   /// each island a fresh share every round). Must stay positive.
-  void set_budget(double cluster_budget_w);
-  [[nodiscard]] double budget_w() const { return cfg_.cluster_budget_w; }
+  void set_budget(common::Power cluster_budget);
+  [[nodiscard]] common::Power budget() const { return cfg_.cluster_budget; }
 
   [[nodiscard]] simhw::Pstate current_limit() const { return limit_; }
   [[nodiscard]] std::size_t throttle_events() const { return throttles_; }
   [[nodiscard]] std::size_t release_events() const { return releases_; }
-  [[nodiscard]] double last_aggregate_w() const { return last_total_w_; }
+  [[nodiscard]] common::Power last_aggregate() const {
+    return {last_total_w_};
+  }
   /// Total readings substituted with the node's last known value so far
   /// (monotonic; feeds fault-report "detected" accounting).
   [[nodiscard]] std::size_t missed_readings() const {

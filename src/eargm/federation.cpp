@@ -10,8 +10,8 @@ namespace ear::eargm {
 FederatedEargm::FederatedEargm(
     FederationConfig cfg, std::vector<std::vector<eard::NodeDaemon*>> islands)
     : cfg_(cfg) {
-  EAR_CHECK_MSG(std::isfinite(cfg_.facility_budget_w) &&
-                    cfg_.facility_budget_w > 0.0,
+  EAR_CHECK_MSG(std::isfinite(cfg_.facility_budget.value) &&
+                    cfg_.facility_budget.value > 0.0,
                 "facility budget must be positive");
   EAR_CHECK_MSG(!islands.empty(), "federation needs at least one island");
   EAR_CHECK_MSG(cfg_.floor_share > 0.0 && cfg_.floor_share <= 1.0,
@@ -19,12 +19,12 @@ FederatedEargm::FederatedEargm(
 
   // Until the first readings arrive there is no demand signal, so the
   // facility cap starts as an even split.
-  const double even = cfg_.facility_budget_w /
+  const double even = cfg_.facility_budget.value /
                       static_cast<double>(islands.size());
   for (auto& group : islands) {
     EAR_CHECK_MSG(!group.empty(), "island has no nodes");
     EargmConfig island_cfg = cfg_.island;
-    island_cfg.cluster_budget_w = even;
+    island_cfg.cluster_budget = common::Power{even};
     sizes_.push_back(group.size());
     total_nodes_ += group.size();
     budgets_w_.push_back(even);
@@ -39,9 +39,9 @@ const EargmManager& FederatedEargm::island(std::size_t i) const {
   return *islands_[i];
 }
 
-double FederatedEargm::island_budget_w(std::size_t i) const {
+common::Power FederatedEargm::island_budget(std::size_t i) const {
   EAR_CHECK_MSG(i < budgets_w_.size(), "island index out of range");
-  return budgets_w_[i];
+  return {budgets_w_[i]};
 }
 
 std::size_t FederatedEargm::island_blind_rounds() const {
@@ -91,7 +91,7 @@ void FederatedEargm::update(std::span<const double> node_power_w) {
       // last known aggregate forward, mirroring the node-tier rule.
       ++blind;
     } else {
-      last_known_island_w_[i] = islands_[i]->last_aggregate_w();
+      last_known_island_w_[i] = islands_[i]->last_aggregate().value;
     }
     total += last_known_island_w_[i];
   }
@@ -107,7 +107,7 @@ void FederatedEargm::update(std::span<const double> node_power_w) {
 }
 
 void FederatedEargm::redistribute() {
-  const double budget = cfg_.facility_budget_w;
+  const double budget = cfg_.facility_budget.value;
   const double floor = cfg_.floor_share * budget /
                        static_cast<double>(islands_.size());
   const double pool = budget - floor * static_cast<double>(islands_.size());
@@ -124,7 +124,7 @@ void FederatedEargm::redistribute() {
     const double next = floor + pool * share;
     if (std::fabs(next - budgets_w_[i]) > 1e-9) moved = true;
     budgets_w_[i] = next;
-    islands_[i]->set_budget(next);
+    islands_[i]->set_budget(common::Power{next});
   }
   if (moved) ++redists_;
 }

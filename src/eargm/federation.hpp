@@ -24,14 +24,15 @@
 #include <span>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "eargm/eargm.hpp"
 
 namespace ear::eargm {
 
 struct FederationConfig {
-  /// Total facility power cap, watts, split across the islands.
-  double facility_budget_w = 0.0;
-  /// Island-tier control template. cluster_budget_w is ignored — the
+  /// Total facility power cap, split across the islands.
+  common::Power facility_budget{0.0};
+  /// Island-tier control template. cluster_budget is ignored — the
   /// cluster tier overwrites each island's budget every round.
   EargmConfig island{};
   /// Fraction of the facility budget split evenly as a guaranteed
@@ -59,10 +60,12 @@ class FederatedEargm {
   [[nodiscard]] std::size_t islands() const { return islands_.size(); }
   [[nodiscard]] std::size_t total_nodes() const { return total_nodes_; }
   [[nodiscard]] const EargmManager& island(std::size_t i) const;
-  [[nodiscard]] double island_budget_w(std::size_t i) const;
+  [[nodiscard]] common::Power island_budget(std::size_t i) const;
   /// Facility aggregate from the last round, with substitutions.
-  [[nodiscard]] double facility_power_w() const { return facility_w_; }
-  [[nodiscard]] double budget_w() const { return cfg_.facility_budget_w; }
+  [[nodiscard]] common::Power facility_power() const {
+    return {facility_w_};
+  }
+  [[nodiscard]] common::Power budget() const { return cfg_.facility_budget; }
   /// Rounds where at least one island budget moved.
   [[nodiscard]] std::size_t redistributions() const { return redists_; }
   /// Rounds where every island was dark and the split was held.
@@ -84,8 +87,11 @@ class FederatedEargm {
   FederationConfig cfg_;
   std::vector<std::unique_ptr<EargmManager>> islands_;
   std::vector<std::size_t> sizes_;
-  std::vector<double> budgets_w_;
-  std::vector<double> last_known_island_w_;
+  // The cap re-split is a serial reduction over the islands' last-known
+  // aggregates; neither vector may be touched from a parallel region
+  // (facility rounds fan node stepping out over a pool).
+  EAR_REDUCED_SERIAL std::vector<double> budgets_w_;
+  EAR_REDUCED_SERIAL std::vector<double> last_known_island_w_;
   std::size_t total_nodes_ = 0;
   double facility_w_ = 0.0;
   std::size_t redists_ = 0;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/stats.hpp"
 #include "sim/runner.hpp"
 
@@ -86,7 +87,9 @@ class Campaign {
  private:
   CampaignOptions opts_;
   std::vector<CampaignPoint> points_;
-  std::vector<CampaignResult> results_;
+  // Filled by the serial run-index-order reduction after the pool
+  // drains; never touched from the parallel phase.
+  EAR_REDUCED_SERIAL std::vector<CampaignResult> results_;
   double wall_s_ = 0.0;
 };
 

@@ -55,7 +55,7 @@ ChaosReport run_chaos(const ChaosOptions& opts) {
     settings.policy = policy;
     ExperimentConfig cfg{.app = app, .earl = settings, .seed = opts.seed};
     if (opts.budget_w) {
-      cfg.eargm = eargm::EargmConfig{.cluster_budget_w = *opts.budget_w};
+      cfg.eargm = eargm::EargmConfig{.cluster_budget = {*opts.budget_w}};
     }
     campaign.add("clean/" + policy, cfg, opts.runs);
     cfg.fault_plan = opts.plan;

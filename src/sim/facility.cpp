@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
@@ -103,7 +104,7 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
   // node daemons — EARL sessions are not attached at facility scale;
   // per-node policy behaviour is the experiment tier's subject.
   std::unique_ptr<eargm::FederatedEargm> federation;
-  if (cfg.budget_w > 0.0) {
+  if (cfg.budget.value > 0.0) {
     std::vector<std::vector<eard::NodeDaemon*>> groups;
     for (std::size_t i = 0; i < clusters.size(); ++i) {
       std::vector<eard::NodeDaemon*> group;
@@ -113,7 +114,7 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
       groups.push_back(std::move(group));
     }
     federation = std::make_unique<eargm::FederatedEargm>(
-        eargm::FederationConfig{.facility_budget_w = cfg.budget_w,
+        eargm::FederationConfig{.facility_budget = cfg.budget,
                                 .island = cfg.island_eargm,
                                 .floor_share = cfg.floor_share},
         std::move(groups));
@@ -122,15 +123,18 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
   JobQueue queue(cfg.jobs, island_sizes, cfg.backfill);
 
   FacilityResult out;
-  out.budget_w = cfg.budget_w;
+  out.budget_w = cfg.budget.value;
   out.jobs.resize(queue.jobs().size());
   for (std::size_t j = 0; j < queue.jobs().size(); ++j) {
     out.jobs[j].name = queue.jobs()[j].name;
     out.jobs[j].submit_s = queue.jobs()[j].submit_s;
   }
 
-  std::vector<NodeSlot> slots(total_nodes);
-  std::vector<double> readings(total_nodes, 0.0);
+  // Per-node state: each parallel task owns exactly its slots[g]; the
+  // power readings are merged from the slots *serially* (node order) so
+  // total_w is the same float-addition order every run.
+  EAR_SHARD_LOCAL std::vector<NodeSlot> slots(total_nodes);
+  EAR_REDUCED_SERIAL std::vector<double> readings(total_nodes, 0.0);
   std::vector<ActiveJob> active;
   common::Rng fault_rng(common::mix_seed(cfg.seed, 0xFAC111));
 
@@ -150,7 +154,7 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
   bool wedged = false;
   std::size_t persistent_overruns = 0;
   std::size_t consecutive_over = 0;
-  const double slack_w = cfg.budget_w * cfg.cap_slack_pct / 100.0;
+  const double slack_w = cfg.budget.value * cfg.cap_slack_pct / 100.0;
 
   for (std::size_t round = 0;; ++round) {
     const double now = static_cast<double>(round) * cfg.round_s;
@@ -230,8 +234,8 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
 
     // Cap accounting against the ground truth (what the room's meters
     // would see), not the post-dropout readings the managers see.
-    if (cfg.budget_w > 0.0) {
-      const double overrun = total_w - cfg.budget_w;
+    if (cfg.budget.value > 0.0) {
+      const double overrun = total_w - cfg.budget.value;
       if (overrun > 0.0) {
         ++out.cap_overrun_rounds;
         out.worst_overrun_w = std::max(out.worst_overrun_w, overrun);
@@ -325,7 +329,7 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
     if (!std::isfinite(io.energy_j)) nonfinite = true;
     if (federation) {
       const eargm::EargmManager& m = federation->island(i);
-      io.final_budget_w = federation->island_budget_w(i);
+      io.final_budget_w = federation->island_budget(i).value;
       io.final_limit = m.current_limit();
       io.throttles = m.throttle_events();
       io.releases = m.release_events();
@@ -442,9 +446,9 @@ FacilityConfig make_facility_config(std::size_t nodes, std::size_t islands,
   }
 
   // A deliberately tight default cap (~250 W/node vs ~300-450 W busy)
-  // so enforcement is actually exercised; callers override budget_w for
+  // so enforcement is actually exercised; callers override the budget for
   // uncapped runs.
-  cfg.budget_w = static_cast<double>(nodes) * 250.0;
+  cfg.budget = common::Power{static_cast<double>(nodes) * 250.0};
   return cfg;
 }
 

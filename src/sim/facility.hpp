@@ -49,8 +49,8 @@ struct FacilityConfig {
   std::vector<FacilityJob> jobs;
   /// Control round length in simulated seconds (EARGM period).
   double round_s = 1.0;
-  /// Facility power cap, watts; 0 disables the federation entirely.
-  double budget_w = 0.0;
+  /// Facility power cap; 0 disables the federation entirely.
+  common::Power budget{0.0};
   /// Island-tier manager template (margins, deepest limit).
   eargm::EargmConfig island_eargm{};
   /// Even-split floor share of the budget (see FederationConfig).

@@ -1,0 +1,18 @@
+// Deep-pass fixture (call-resolution false-positive proof): two
+// namespaces declare a same-named `scale`. alpha::scale (collide_a.cpp)
+// reads entropy; beta::scale (collide_b.cpp) is deterministic. The
+// unqualified call in beta::use must resolve to the *enclosing* scope's
+// overload only — a naive name match would taint beta::use through
+// alpha::scale and flag its reduction. No tags: this pair stays clean.
+#pragma once
+
+#include <vector>
+
+namespace alpha {
+double scale();
+}
+
+namespace beta {
+double scale();
+double reduce_runs(const std::vector<double>& xs);
+}

@@ -1,0 +1,13 @@
+// See collide.hpp — the tainted half of the name collision.
+#include "deep/collide.hpp"
+
+#include <random>
+
+namespace alpha {
+
+double scale() {
+  std::random_device rd;
+  return static_cast<double>(rd() % 100) / 100.0;
+}
+
+}  // namespace alpha

@@ -1,0 +1,19 @@
+// See collide.hpp — the deterministic half of the name collision. The
+// unqualified scale() below must bind to beta::scale, so use() stays
+// untainted and the reduction call stays quiet.
+#include "deep/collide.hpp"
+
+#include <vector>
+
+namespace beta {
+
+double scale() { return 0.5; }
+
+double use(std::vector<double> xs) {
+  for (double& x : xs) {
+    x *= scale();
+  }
+  return reduce_runs(xs);
+}
+
+}  // namespace beta

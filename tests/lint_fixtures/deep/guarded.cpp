@@ -1,0 +1,27 @@
+// Deep-pass fixture (EAR_GUARDED_BY). The first region mutates the
+// counter under a lock_guard on the declared mutex (clean); the second
+// mutates it bare, and the third locks the *wrong* mutex.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace fix4 {
+
+void tally() {
+  std::mutex mu;
+  std::mutex other;
+  EAR_GUARDED_BY(mu) std::vector<double> seconds(4, 0.0);
+  parallel_for(4, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    seconds[i % 2] += 1.0;  // held: clean
+  });
+  parallel_for(4, [&](std::size_t i) {
+    seconds[i % 2] += 1.0;  // LINT-EXPECT-DEEP: shard-ownership
+  });
+  parallel_for(4, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(other);
+    seconds[i % 2] += 1.0;  // LINT-EXPECT-DEEP: shard-ownership
+  });
+}
+
+}  // namespace fix4

@@ -1,0 +1,29 @@
+// Deep-pass fixture (shard ownership). `mine`/`acc` follow the
+// per-slot + serial-merge discipline in ok_fill (clean); `slots` and
+// `totals` break it in bad_fill.
+#include <cstddef>
+#include <vector>
+
+namespace fix3 {
+
+void ok_fill() {
+  EAR_SHARD_LOCAL std::vector<double> mine(8, 0.0);
+  parallel_for(8, [&](std::size_t i) {
+    mine[i] = static_cast<double>(i);  // per-slot write: clean
+  });
+  EAR_REDUCED_SERIAL std::vector<double> acc(1, 0.0);
+  for (double v : mine) {
+    acc[0] += v;  // serial merge: clean
+  }
+}
+
+void bad_fill() {
+  EAR_SHARD_LOCAL std::vector<double> slots(8, 0.0);
+  EAR_REDUCED_SERIAL std::vector<double> totals(1, 0.0);
+  parallel_for(8, [&](std::size_t i) {
+    slots.push_back(static_cast<double>(i));  // LINT-EXPECT-DEEP: shard-ownership
+    totals[0] += slots[i];  // LINT-EXPECT-DEEP: shard-ownership
+  });
+}
+
+}  // namespace fix3

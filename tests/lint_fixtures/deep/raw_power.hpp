@@ -1,0 +1,15 @@
+// Fixture for the raw-power-scalar rule (shallow, headers only): bare
+// double/float watts/joules members must migrate to common::Power /
+// common::Energy. Ratios (`_per_`), spans and non-unit names stay.
+#pragma once
+
+#include <vector>
+
+struct FixturePowerRow {
+  double avg_power_w = 0.0;        // LINT-EXPECT: raw-power-scalar
+  float pkg_watts = 0.0F;          // LINT-EXPECT: raw-power-scalar
+  double energy_joules = 0.0;      // LINT-EXPECT: raw-power-scalar
+  double watts_per_ghz = 0.0;      // clean: ratio coefficient
+  double budget = 0.0;             // clean: no unit suffix
+  std::vector<double> node_w;      // clean: not a bare scalar
+};

@@ -1,0 +1,15 @@
+// Deep-pass fixture (cross-TU taint, producer side). The entropy read
+// taints fix::jitter; no sink is called from this TU, so the junction
+// finding must land in taint_b.cpp, not here.
+#include "deep/taint_shared.hpp"
+
+#include <random>
+
+namespace fix {
+
+double jitter() {
+  std::random_device rd;
+  return static_cast<double>(rd()) / 4294967295.0;
+}
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// Deep-pass fixture (cross-TU taint, consumer side). perturbed_mean
+// only sees the *declaration* of fix::jitter, but the taint pass must
+// carry the std::random_device source from taint_a.cpp through the
+// call graph and flag the reduction call below.
+#include "deep/taint_shared.hpp"
+
+#include <vector>
+
+namespace fix {
+
+double perturbed_mean(std::vector<double> xs) {
+  for (double& x : xs) {
+    x += jitter();
+  }
+  return reduce_runs(xs);  // LINT-EXPECT-DEEP: nondet-taint
+}
+
+}  // namespace fix

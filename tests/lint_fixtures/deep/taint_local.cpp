@@ -1,0 +1,21 @@
+// Deep-pass fixture (subsumption + single-TU junction). The
+// unordered-container iteration must keep firing under the same
+// `nondet-iteration` id in deep mode (the taint pass re-emits it), and
+// the tainted enclosing function's reduction call is the junction.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fix2 {
+
+double reduce_runs(const std::vector<double>& xs);
+
+double sum_by_key(const std::unordered_map<std::string, double>& m) {
+  std::vector<double> vals;
+  for (const auto& [k, v] : m) {  // LINT-EXPECT: nondet-iteration
+    vals.push_back(v);
+  }
+  return reduce_runs(vals);  // LINT-EXPECT-DEEP: nondet-taint
+}
+
+}  // namespace fix2

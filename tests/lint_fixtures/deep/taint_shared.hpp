@@ -1,0 +1,18 @@
+// Deep-pass fixture: shared header for the cross-TU taint pair.
+// fix::jitter is *declared* here; its definition (and the
+// std::random_device source inside it) lives in taint_a.cpp, a TU the
+// consumer never sees. The taint must flow decl -> def across the
+// call graph, not through textual inclusion.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+// Definition in deep/taint_a.cpp reads std::random_device.
+double jitter();
+
+double reduce_runs(const std::vector<double>& xs);
+
+}  // namespace fix

@@ -13,7 +13,7 @@ struct FixtureSignature {
   double avg_cpu_freq_ghz = 0.0;   // LINT-EXPECT: raw-freq-api
   std::uint64_t base_khz = 0;      // LINT-EXPECT: raw-freq-api
   unsigned bclk_mhz = 100;         // LINT-EXPECT: raw-freq-api
-  double dc_power_w = 0.0;             // clean: not a frequency
+  double dc_power_w = 0.0;             // LINT-EXPECT: raw-power-scalar
   double slope_gbps_per_ghz = 105.0;   // clean: per-GHz ratio coefficient
 };
 

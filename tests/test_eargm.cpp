@@ -26,17 +26,17 @@ struct Fixture {
 
 TEST(Eargm, NoActionUnderBudget) {
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 700.0}, {&f.d0, &f.d1});
+  EargmManager mgr({.cluster_budget = {700.0}}, {&f.d0, &f.d1});
   const double readings[] = {330.0, 330.0};
   for (int i = 0; i < 5; ++i) mgr.update(readings);
   EXPECT_EQ(mgr.current_limit(), 0u);
   EXPECT_EQ(mgr.throttle_events(), 0u);
-  EXPECT_DOUBLE_EQ(mgr.last_aggregate_w(), 660.0);
+  EXPECT_DOUBLE_EQ(mgr.last_aggregate().value, 660.0);
 }
 
 TEST(Eargm, ThrottlesOneStepPerUpdate) {
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 600.0}, {&f.d0, &f.d1});
+  EargmManager mgr({.cluster_budget = {600.0}}, {&f.d0, &f.d1});
   const double readings[] = {330.0, 330.0};
   mgr.update(readings);
   EXPECT_EQ(mgr.current_limit(), 1u);
@@ -50,7 +50,7 @@ TEST(Eargm, ThrottlesOneStepPerUpdate) {
 
 TEST(Eargm, ReleasesWithHysteresis) {
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 600.0, .release_margin = 0.9},
+  EargmManager mgr({.cluster_budget = {600.0}, .release_margin = 0.9},
                    {&f.d0, &f.d1});
   const double high[] = {330.0, 330.0};
   mgr.update(high);
@@ -68,7 +68,7 @@ TEST(Eargm, ReleasesWithHysteresis) {
 
 TEST(Eargm, RespectsDeepestLimit) {
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 100.0, .deepest_limit = 3},
+  EargmManager mgr({.cluster_budget = {100.0}, .deepest_limit = 3},
                    {&f.d0, &f.d1});
   const double readings[] = {330.0, 330.0};
   for (int i = 0; i < 10; ++i) mgr.update(readings);
@@ -79,7 +79,7 @@ TEST(Eargm, ExactTriggerBoundaryDoesNotThrottle) {
   // The throttle comparison is strict: aggregate == budget * trigger is
   // still *within* budget. budget 600 * trigger 1.0 = 600 exactly.
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 600.0, .trigger_margin = 1.00},
+  EargmManager mgr({.cluster_budget = {600.0}, .trigger_margin = 1.00},
                    {&f.d0, &f.d1});
   const double exact[] = {300.0, 300.0};
   for (int i = 0; i < 5; ++i) mgr.update(exact);
@@ -95,7 +95,7 @@ TEST(Eargm, ExactReleaseBoundaryHolds) {
   // The release comparison is strict too: aggregate == budget * release
   // sits on the hysteresis band edge and must hold the limit.
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 600.0, .release_margin = 0.90},
+  EargmManager mgr({.cluster_budget = {600.0}, .release_margin = 0.90},
                    {&f.d0, &f.d1});
   const double high[] = {330.0, 330.0};
   mgr.update(high);
@@ -114,7 +114,7 @@ TEST(Eargm, MassiveOverrunStillStepsOnePstatePerUpdate) {
   // 6.6x over budget: the control period still moves exactly one step per
   // call, as the real manager's staged throttling does.
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 100.0, .deepest_limit = 10},
+  EargmManager mgr({.cluster_budget = {100.0}, .deepest_limit = 10},
                    {&f.d0, &f.d1});
   const double readings[] = {330.0, 330.0};
   for (std::size_t i = 1; i <= 4; ++i) {
@@ -128,7 +128,7 @@ TEST(Eargm, DeepestLimitFloorStopsThrottleAccounting) {
   // Sustained over-budget load pins the limit at deepest_limit; further
   // rounds neither deepen the cap nor inflate the throttle count.
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 100.0, .deepest_limit = 3},
+  EargmManager mgr({.cluster_budget = {100.0}, .deepest_limit = 3},
                    {&f.d0, &f.d1});
   const double readings[] = {330.0, 330.0};
   for (int i = 0; i < 10; ++i) mgr.update(readings);
@@ -144,7 +144,7 @@ TEST(Eargm, MissedReadingsResetOnRecovery) {
   // ongoing one. Per-node consecutive misses must reset when the node
   // resumes, with the recovery counted.
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 700.0}, {&f.d0, &f.d1});
+  EargmManager mgr({.cluster_budget = {700.0}}, {&f.d0, &f.d1});
   const double nan = std::numeric_limits<double>::quiet_NaN();
   const double healthy[] = {330.0, 330.0};
   const double node1_out[] = {330.0, nan};
@@ -173,7 +173,7 @@ TEST(Eargm, MissedReadingsResetOnRecovery) {
 
 TEST(Eargm, BlindRoundHoldAndAccounting) {
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 100.0}, {&f.d0, &f.d1});
+  EargmManager mgr({.cluster_budget = {100.0}}, {&f.d0, &f.d1});
   const double nan = std::numeric_limits<double>::quiet_NaN();
   const double high[] = {330.0, 330.0};
   const double dark[] = {nan, nan};
@@ -191,31 +191,31 @@ TEST(Eargm, BlindRoundHoldAndAccounting) {
 
 TEST(Eargm, SetBudgetRetargetsControl) {
   Fixture f;
-  EargmManager mgr({.cluster_budget_w = 700.0}, {&f.d0, &f.d1});
+  EargmManager mgr({.cluster_budget = {700.0}}, {&f.d0, &f.d1});
   const double readings[] = {330.0, 330.0};
   mgr.update(readings);
   EXPECT_EQ(mgr.current_limit(), 0u);
-  mgr.set_budget(600.0);  // federation hands down a smaller share
-  EXPECT_DOUBLE_EQ(mgr.budget_w(), 600.0);
+  mgr.set_budget({600.0});  // federation hands down a smaller share
+  EXPECT_DOUBLE_EQ(mgr.budget().value, 600.0);
   mgr.update(readings);
   EXPECT_EQ(mgr.current_limit(), 1u);
-  EXPECT_THROW(mgr.set_budget(0.0), common::InvariantError);
-  EXPECT_THROW(mgr.set_budget(std::numeric_limits<double>::quiet_NaN()),
+  EXPECT_THROW(mgr.set_budget({0.0}), common::InvariantError);
+  EXPECT_THROW(mgr.set_budget({std::numeric_limits<double>::quiet_NaN()}),
                common::InvariantError);
 }
 
 TEST(Eargm, ConfigValidation) {
   Fixture f;
-  EXPECT_THROW(EargmManager({.cluster_budget_w = 0.0}, {&f.d0}),
+  EXPECT_THROW(EargmManager({.cluster_budget = {0.0}}, {&f.d0}),
                common::InvariantError);
-  EXPECT_THROW(EargmManager({.cluster_budget_w = 100.0}, {}),
+  EXPECT_THROW(EargmManager({.cluster_budget = {100.0}}, {}),
                common::InvariantError);
-  EXPECT_THROW(EargmManager({.cluster_budget_w = 100.0,
+  EXPECT_THROW(EargmManager({.cluster_budget = {100.0},
                              .trigger_margin = 0.8,
                              .release_margin = 0.9},
                             {&f.d0}),
                common::InvariantError);
-  EargmManager ok({.cluster_budget_w = 100.0}, {&f.d0});
+  EargmManager ok({.cluster_budget = {100.0}}, {&f.d0});
   const double one[] = {50.0};
   const double two[] = {50.0, 50.0};
   ok.update(one);
@@ -248,7 +248,7 @@ TEST(EargmIntegration, BudgetEnforcedOnRealRun) {
   sim::ExperimentConfig cfg{.app = workload::make_app("bt-mz.d"),
                             .earl = sim::settings_no_policy(),
                             .seed = 5};
-  cfg.eargm = EargmConfig{.cluster_budget_w = 1200.0};
+  cfg.eargm = EargmConfig{.cluster_budget = {1200.0}};
   const auto res = sim::run_experiment(cfg);
   EXPECT_GT(res.eargm_throttles, 0u);
   EXPECT_GT(res.eargm_final_limit, 0u);
@@ -267,7 +267,7 @@ TEST(EargmIntegration, GenerousBudgetIsInvisible) {
                             .earl = sim::settings_me_eufs(0.03, 0.02),
                             .seed = 5};
   const auto free = sim::run_experiment(cfg);
-  cfg.eargm = EargmConfig{.cluster_budget_w = 10000.0};
+  cfg.eargm = EargmConfig{.cluster_budget = {10000.0}};
   const auto managed = sim::run_experiment(cfg);
   EXPECT_EQ(managed.eargm_throttles, 0u);
   EXPECT_NEAR(managed.total_time_s, free.total_time_s,

@@ -86,7 +86,7 @@ TEST(Facility, BitwiseDeterministicAcrossWorkerCounts) {
 
 TEST(Facility, TightCapThrottlesWithinDocumentedSlack) {
   FacilityConfig cfg = make_facility_config(8, 2, 6, 7);
-  cfg.budget_w = 8 * 200.0;  // binds between idle floor and busy draw
+  cfg.budget = {8 * 200.0};  // binds between idle floor and busy draw
   const FacilityResult r = run_facility(cfg);
   EXPECT_TRUE(r.violations.empty()) << (r.violations.empty()
                                             ? ""
@@ -102,7 +102,7 @@ TEST(Facility, TightCapThrottlesWithinDocumentedSlack) {
 
 TEST(Facility, UncappedFacilityNeverThrottles) {
   FacilityConfig cfg = make_facility_config(8, 2, 6, 7);
-  cfg.budget_w = 0.0;  // federation disabled
+  cfg.budget = {0.0};  // federation disabled
   const FacilityResult r = run_facility(cfg);
   EXPECT_TRUE(r.violations.empty());
   EXPECT_DOUBLE_EQ(r.budget_w, 0.0);
@@ -117,7 +117,7 @@ TEST(Facility, UncappedFacilityNeverThrottles) {
 
 TEST(Facility, IslandDropoutRejoinUnderCapDegradesGracefully) {
   FacilityConfig cfg = make_facility_config(16, 2, 12, 11);
-  cfg.budget_w = 16 * 200.0;
+  cfg.budget = {16 * 200.0};
   // Island 1 goes dark mid-run, then rejoins; a flaky node flaps too.
   cfg.fault_plan.specs.push_back(
       {.family = faults::FaultFamily::kIslandDropout,

@@ -33,42 +33,42 @@ struct Fixture {
 
 TEST(Federation, ConfigValidation) {
   Fixture f;
-  EXPECT_THROW(FederatedEargm({.facility_budget_w = 0.0}, f.groups()),
+  EXPECT_THROW(FederatedEargm({.facility_budget = {0.0}}, f.groups()),
                common::InvariantError);
-  EXPECT_THROW(FederatedEargm({.facility_budget_w = kNan}, f.groups()),
+  EXPECT_THROW(FederatedEargm({.facility_budget = {kNan}}, f.groups()),
                common::InvariantError);
-  EXPECT_THROW(FederatedEargm({.facility_budget_w = 1200.0}, {}),
+  EXPECT_THROW(FederatedEargm({.facility_budget = {1200.0}}, {}),
                common::InvariantError);
   EXPECT_THROW(
-      FederatedEargm({.facility_budget_w = 1200.0, .floor_share = 0.0},
+      FederatedEargm({.facility_budget = {1200.0}, .floor_share = 0.0},
                      f.groups()),
       common::InvariantError);
   EXPECT_THROW(
-      FederatedEargm({.facility_budget_w = 1200.0, .floor_share = 1.5},
+      FederatedEargm({.facility_budget = {1200.0}, .floor_share = 1.5},
                      f.groups()),
       common::InvariantError);
-  EXPECT_THROW(FederatedEargm({.facility_budget_w = 1200.0},
+  EXPECT_THROW(FederatedEargm({.facility_budget = {1200.0}},
                               {{&f.d0}, {}}),
                common::InvariantError);
 }
 
 TEST(Federation, EvenSplitThenDemandProportionalRedistribution) {
   Fixture f;
-  FederatedEargm fed({.facility_budget_w = 1200.0}, f.groups());
+  FederatedEargm fed({.facility_budget = {1200.0}}, f.groups());
   ASSERT_EQ(fed.islands(), 2u);
   ASSERT_EQ(fed.total_nodes(), 4u);
   // No demand signal yet: even split.
-  EXPECT_DOUBLE_EQ(fed.island_budget_w(0), 600.0);
-  EXPECT_DOUBLE_EQ(fed.island_budget_w(1), 600.0);
+  EXPECT_DOUBLE_EQ(fed.island_budget(0).value, 600.0);
+  EXPECT_DOUBLE_EQ(fed.island_budget(1).value, 600.0);
 
   // Island 0 hot, island 1 nearly idle.
   const double readings[] = {330.0, 330.0, 100.0, 100.0};
   fed.update(readings);
-  EXPECT_DOUBLE_EQ(fed.facility_power_w(), 860.0);
+  EXPECT_DOUBLE_EQ(fed.facility_power().value, 860.0);
   EXPECT_GE(fed.redistributions(), 1u);
   // Floor = 0.25 * 1200 / 2 = 150 W each; the 900 W pool follows demand.
-  const double b0 = fed.island_budget_w(0);
-  const double b1 = fed.island_budget_w(1);
+  const double b0 = fed.island_budget(0).value;
+  const double b1 = fed.island_budget(1).value;
   EXPECT_GT(b0, b1);
   EXPECT_GE(b1, 150.0);
   EXPECT_NEAR(b0 + b1, 1200.0, 1e-6);  // cap is conserved exactly
@@ -77,14 +77,14 @@ TEST(Federation, EvenSplitThenDemandProportionalRedistribution) {
 
 TEST(Federation, RedistributionConvergesUnderSteadyDemand) {
   Fixture f;
-  FederatedEargm fed({.facility_budget_w = 2000.0}, f.groups());
+  FederatedEargm fed({.facility_budget = {2000.0}}, f.groups());
   const double readings[] = {330.0, 330.0, 200.0, 200.0};
   fed.update(readings);
   const std::size_t after_first = fed.redistributions();
   EXPECT_EQ(after_first, 1u);
   for (int i = 0; i < 8; ++i) {
     fed.update(readings);
-    EXPECT_NEAR(fed.island_budget_w(0) + fed.island_budget_w(1), 2000.0,
+    EXPECT_NEAR(fed.island_budget(0).value + fed.island_budget(1).value, 2000.0,
                 1e-6);
   }
   // Steady demand -> the split settled after the first round; budgets
@@ -94,10 +94,10 @@ TEST(Federation, RedistributionConvergesUnderSteadyDemand) {
 
 TEST(Federation, BlindIslandHoldsLimitAndClusterSubstitutes) {
   Fixture f;
-  FederatedEargm fed({.facility_budget_w = 1200.0}, f.groups());
+  FederatedEargm fed({.facility_budget = {1200.0}}, f.groups());
   const double healthy[] = {330.0, 330.0, 100.0, 100.0};
   fed.update(healthy);
-  const double before_b1 = fed.island_budget_w(1);
+  const double before_b1 = fed.island_budget(1).value;
   const simhw::Pstate limit1 = fed.island(1).current_limit();
 
   // Island 1 goes completely dark for a round.
@@ -109,8 +109,8 @@ TEST(Federation, BlindIslandHoldsLimitAndClusterSubstitutes) {
   EXPECT_EQ(fed.island_blind_rounds(), 1u);
   // Cluster tier: the island's last known aggregate is carried, so the
   // facility power and split are unchanged by the dropout.
-  EXPECT_DOUBLE_EQ(fed.facility_power_w(), 860.0);
-  EXPECT_NEAR(fed.island_budget_w(1), before_b1, 1e-9);
+  EXPECT_DOUBLE_EQ(fed.facility_power().value, 860.0);
+  EXPECT_NEAR(fed.island_budget(1).value, before_b1, 1e-9);
   EXPECT_EQ(fed.facility_blind_rounds(), 0u);
   EXPECT_EQ(fed.total_missed_readings(), 2u);
 
@@ -122,28 +122,28 @@ TEST(Federation, BlindIslandHoldsLimitAndClusterSubstitutes) {
 
 TEST(Federation, AllIslandsBlindHoldsFacilitySplit) {
   Fixture f;
-  FederatedEargm fed({.facility_budget_w = 1200.0}, f.groups());
+  FederatedEargm fed({.facility_budget = {1200.0}}, f.groups());
   const double healthy[] = {330.0, 330.0, 100.0, 100.0};
   fed.update(healthy);
-  const double b0 = fed.island_budget_w(0);
-  const double b1 = fed.island_budget_w(1);
+  const double b0 = fed.island_budget(0).value;
+  const double b1 = fed.island_budget(1).value;
   const std::size_t redists = fed.redistributions();
 
   const double dark[] = {kNan, kNan, kNan, kNan};
   fed.update(dark);
   EXPECT_EQ(fed.facility_blind_rounds(), 1u);
   // Zero information: the split is held, not recomputed.
-  EXPECT_DOUBLE_EQ(fed.island_budget_w(0), b0);
-  EXPECT_DOUBLE_EQ(fed.island_budget_w(1), b1);
+  EXPECT_DOUBLE_EQ(fed.island_budget(0).value, b0);
+  EXPECT_DOUBLE_EQ(fed.island_budget(1).value, b1);
   EXPECT_EQ(fed.redistributions(), redists);
   // The carried aggregates still describe the last sighted facility.
-  EXPECT_DOUBLE_EQ(fed.facility_power_w(), 860.0);
+  EXPECT_DOUBLE_EQ(fed.facility_power().value, 860.0);
 }
 
 TEST(Federation, ThrottlesAgainstPerIslandBudgets) {
   Fixture f;
   // Tight facility cap: both islands must shed.
-  FederatedEargm fed({.facility_budget_w = 500.0}, f.groups());
+  FederatedEargm fed({.facility_budget = {500.0}}, f.groups());
   const double hot[] = {330.0, 330.0, 330.0, 330.0};
   for (int i = 0; i < 3; ++i) fed.update(hot);
   EXPECT_GT(fed.total_throttle_events(), 0u);

@@ -261,17 +261,17 @@ TEST(EargmResilience, NanReadingSubstitutesLastKnownPower) {
   auto n0 = make_node(1);
   auto n1 = make_node(2);
   eard::NodeDaemon d0(n0), d1(n1);
-  eargm::EargmManager mgr({.cluster_budget_w = 700.0}, {&d0, &d1});
+  eargm::EargmManager mgr({.cluster_budget = {700.0}}, {&d0, &d1});
   const double nan = std::numeric_limits<double>::quiet_NaN();
 
   const double full[] = {330.0, 330.0};
   mgr.update(full);
-  EXPECT_DOUBLE_EQ(mgr.last_aggregate_w(), 660.0);
+  EXPECT_DOUBLE_EQ(mgr.last_aggregate().value, 660.0);
   EXPECT_EQ(mgr.missed_readings(), 0u);
 
   const double partial[] = {nan, 330.0};
   mgr.update(partial);
-  EXPECT_DOUBLE_EQ(mgr.last_aggregate_w(), 660.0);  // 330 remembered
+  EXPECT_DOUBLE_EQ(mgr.last_aggregate().value, 660.0);  // 330 remembered
   EXPECT_EQ(mgr.missed_readings(), 1u);
   EXPECT_EQ(mgr.current_limit(), 0u);  // under budget either way
 }
@@ -280,7 +280,7 @@ TEST(EargmResilience, MissingReportCannotMaskOverBudget) {
   auto n0 = make_node(1);
   auto n1 = make_node(2);
   eard::NodeDaemon d0(n0), d1(n1);
-  eargm::EargmManager mgr({.cluster_budget_w = 600.0}, {&d0, &d1});
+  eargm::EargmManager mgr({.cluster_budget = {600.0}}, {&d0, &d1});
   const double nan = std::numeric_limits<double>::quiet_NaN();
 
   const double full[] = {330.0, 330.0};
@@ -298,7 +298,7 @@ TEST(EargmResilience, BlindRoundHoldsTheLimit) {
   auto n0 = make_node(1);
   auto n1 = make_node(2);
   eard::NodeDaemon d0(n0), d1(n1);
-  eargm::EargmManager mgr({.cluster_budget_w = 600.0}, {&d0, &d1});
+  eargm::EargmManager mgr({.cluster_budget = {600.0}}, {&d0, &d1});
   const double nan = std::numeric_limits<double>::quiet_NaN();
 
   const double full[] = {330.0, 330.0};

@@ -102,14 +102,14 @@ TEST(Schedule, SharedBudgetThrottlesOverlapOnly) {
   // Two busy nodes draw ~660 W + one idle ~85: budget above the single-
   // job phase but below the overlap forces throttling only while both
   // jobs run.
-  cfg.eargm = eargm::EargmConfig{.cluster_budget_w = 650.0};
+  cfg.eargm = eargm::EargmConfig{.cluster_budget = {650.0}};
   const auto res = run_schedule(cfg);
   EXPECT_GT(res.eargm_throttles, 0u);
   // Both jobs still complete; the overlap stretched them.
   EXPECT_GT(res.jobs[1].elapsed_s(), 55.0);
 
   auto free_cfg = two_job_config();
-  free_cfg.eargm = eargm::EargmConfig{.cluster_budget_w = 5000.0};
+  free_cfg.eargm = eargm::EargmConfig{.cluster_budget = {5000.0}};
   const auto free_res = run_schedule(free_cfg);
   EXPECT_EQ(free_res.eargm_throttles, 0u);
 }

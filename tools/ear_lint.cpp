@@ -1,700 +1,46 @@
-// ear_lint — the repo's domain linter.
+// ear_lint — domain linter for the EAR simulator (driver).
 //
-// Generic tools cannot know that a `double *_ghz` crossing a header
-// boundary is a latent unit bug, or that MSR plumbing must never print to
-// stdout directly. This tool encodes those repo-specific rules and runs
-// as a CTest step (and in CI), so the conventions are enforced by the
-// build rather than by review:
+// The analysis lives in tools/lint/ (token, source, rules, index, deep,
+// findings); this translation unit only parses flags, feeds the
+// Program through the passes and applies the allowlist/output policy.
 //
-//   raw-freq-api     Frequency-valued scalars (identifiers ending in
-//                    _ghz/_khz/_mhz with an arithmetic type) declared in
-//                    headers. Public plumbing must use common::Freq;
-//                    "per-GHz" ratio coefficients (identifiers containing
-//                    `_per_`) are dimensionless slopes and are exempt.
-//   banned-call      std::rand/srand (experiments must use the seeded
-//                    common/rng splitmix engine) and gettimeofday
-//                    (simulated time comes from the node clock).
-//   banned-io        printf/fprintf/puts/std::cout/std::cerr outside
-//                    common/log and common/table: all human-facing output
-//                    goes through the logging and table layers so it can
-//                    be silenced, captured and formatted consistently.
-//                    (snprintf into buffers is string formatting, not
-//                    I/O, and stays legal.)
-//   include-hygiene  Deprecated C headers (<stdio.h> vs <cstdio>),
-//                    non-module-qualified local includes ("units.hpp"
-//                    instead of "common/units.hpp"), and <iostream>
-//                    (static-init heavy; nothing in src/ needs it).
-//   hw-mutation      Direct SimNode/MsrFile mutation (set_cpu_pstate,
-//                    set_uncore_limit*, msr writes/locks) outside the
-//                    simhw/, eard/ and faults/ layers. Every privileged
-//                    hardware operation must go through the daemon — or
-//                    the fault injector, which is the only sanctioned
-//                    side door — so the EARD boundary and the fault hook
-//                    points stay airtight.
+//   ear_lint --root DIR [--allowlist FILE] [--json] [--sarif FILE] [--deep]
+//   ear_lint --self-test DIR [--deep]
 //
-// Two dataflow-aware rule families run on a token stream (a real
-// tokenizer, not line regexes), because their shapes span lines:
-//
-//   nondet-iteration Range-for over an unordered_{map,set} whose body
-//                    feeds an accumulator or sequence (compound
-//                    assignment, push_back/emplace_back/append).
-//                    Iteration order is hash-seed dependent, so such a
-//                    loop silently breaks the repo's bitwise-determinism
-//                    guarantee (campaigns, reductions, signatures).
-//                    Iterate a sorted copy or an ordered container.
-//   hot-path-string-map
-//                    std::map/std::unordered_map keyed by std::string in
-//                    the hot simulation layers (sim/, dynais/). String
-//                    hashing and compares dominate small per-iteration
-//                    lookups; key on an interned integer id, or allowlist
-//                    the map if it is provably cold (e.g. a learn-once
-//                    cache touched per experiment, not per iteration).
-//   unchecked-status Discarded return value of the [[nodiscard]]
-//                    daemon/MSR status APIs (reprobe, uncore_writable,
-//                    uncore_ok, verify_uncore_write, is_locked) as a
-//                    bare statement. A dropped status is how an MSR
-//                    lockdown goes unnoticed; check it or cast to
-//                    (void) deliberately.
-//
-// Suppressions live in an explicit allowlist file (one
-// `path:rule[:substring]` per line); an allowlist entry that no longer
-// matches anything is itself an error, so suppressions cannot outlive
-// the code they excuse.
-//
-// Self-test mode (--self-test DIR) scans fixture files whose expected
-// violations are annotated in-line with `LINT-EXPECT: <rule>` comments
-// and verifies the findings match the annotations exactly — each rule is
-// proven to both fire and stay quiet.
-//
-// --json switches the finding output (stdout) to one JSON object per
-// line for editor/CI integration; the text format on stderr stays the
-// default.
-#include <algorithm>
-#include <cctype>
+// --deep runs the whole-program passes (nondet-taint, shard-ownership)
+// on top of the per-file rules; the per-file nondet-iteration rule is
+// skipped there because the taint pass subsumes it (same rule id, same
+// sites, plus cross-function flows). Allowlist entries for deep-only
+// rules are exempt from staleness in shallow runs, which never fire
+// them.
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <map>
-#include <regex>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
+#include "lint/deep.hpp"
+#include "lint/findings.hpp"
+#include "lint/index.hpp"
+#include "lint/rules.hpp"
+#include "lint/source.hpp"
 
 namespace {
 
-struct Finding {
-  std::string file;  // path relative to the scanned root
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct AllowEntry {
-  std::string file;       // relative path the suppression applies to
-  std::string rule;       // rule id
-  std::string substring;  // optional: only lines containing this
-  std::size_t source_line = 0;
-  bool used = false;
-};
-
-bool has_suffix(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Replace comments and string/char literal contents with spaces, keeping
-/// line structure intact so findings carry real line numbers.
-std::string strip_comments_and_strings(const std::string& text) {
-  std::string out = text;
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar };
-  St st = St::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          st = St::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          st = St::kString;
-        } else if (c == '\'') {
-          st = St::kChar;
-        }
-        break;
-      case St::kLineComment:
-        if (c == '\n')
-          st = St::kCode;
-        else
-          out[i] = ' ';
-        break;
-      case St::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-// --------------------------------------------------------------------
-// Rules. Each gets the comment-stripped line; the raw line is only used
-// for LINT-EXPECT annotations and allowlist substring matches.
-// --------------------------------------------------------------------
-
-const std::regex kRawFreqDecl(
-    R"(\b(?:double|float|(?:std::)?u?int(?:8|16|32|64)_t|(?:std::)?size_t|unsigned(?:\s+long)?|long(?:\s+long)?)\s+((?:[A-Za-z_]\w*)?_(?:ghz|khz|mhz))\b)");
-const std::regex kBannedCall(R"(\b(?:std::rand\b|srand\s*\(|gettimeofday\s*\())");
-const std::regex kBannedIo(
-    R"((?:\b(?:printf|fprintf|puts)\s*\(|std::c(?:out|err)\b))");
-const std::regex kCHeader(
-    R"(#\s*include\s*<(assert|ctype|errno|limits|math|signal|stdarg|stddef|stdint|stdio|stdlib|string|time)\.h>)");
-const std::regex kLocalInclude(R"re(#\s*include\s*"([^"]+)")re");
-const std::regex kQuotedInclude(R"re(#\s*include\s*")re");
-const std::regex kIostream(R"(#\s*include\s*<iostream>)");
-// Hardware mutators: the SimNode control surface and raw MSR file
-// writes/locks (`msr(s).write(...)`, `node.msr(0).lock(...)`). The msr
-// pattern requires the member-call shape so `lock.lock()` on a mutex or
-// `locked_.insert` never match.
-const std::regex kHwMutation(
-    R"(\b(?:set_cpu_pstate|set_cpu_freq|set_uncore_limit(?:_all)?)\s*\(|\bmsrs?(?:\s*\([^()]*\))?\s*\.\s*(?:write|lock)\s*\()");
-
-/// Layers allowed to touch the hardware directly: the hardware model
-/// itself, the privileged daemon, and the fault injector.
-bool hw_layer_file(const std::string& rel) {
-  return rel.rfind("simhw/", 0) == 0 || rel.rfind("eard/", 0) == 0 ||
-         rel.rfind("faults/", 0) == 0;
-}
-
-/// Files that *are* the sanctioned output layer; banned-io does not apply.
-bool io_layer_file(const std::string& rel) {
-  return rel.rfind("common/log", 0) == 0 || rel.rfind("common/table", 0) == 0;
-}
-
-// --------------------------------------------------------------------
-// Token stream for the dataflow rules. The line regexes above cannot see
-// shapes that span lines (a range-for header on one line, its
-// accumulator three lines below), so these rules lex the comment- and
-// string-stripped text into identifier/number/punctuator tokens with
-// line numbers and walk real nesting structure.
-// --------------------------------------------------------------------
-
-struct Token {
-  enum class Kind { kIdent, kNumber, kPunct };
-  Kind kind;
-  std::string text;
-  std::size_t line;
-};
-
-std::vector<Token> tokenize(const std::string& stripped) {
-  static const char* kPunct3[] = {"<<=", ">>=", "->*", "..."};
-  static const char* kPunct2[] = {"::", "->", "+=", "-=", "*=", "/=",
-                                  "%=", "|=", "&=", "^=", "==", "!=",
-                                  "<=", ">=", "&&", "||", "++", "--",
-                                  "<<", ">>"};
-  std::vector<Token> toks;
-  std::size_t line = 1;
-  const std::size_t n = stripped.size();
-  std::size_t i = 0;
-  const auto ident_start = [](char c) {
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-  };
-  const auto ident_char = [](char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-  };
-  while (i < n) {
-    const char c = stripped[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < n && ident_char(stripped[j])) ++j;
-      toks.push_back({Token::Kind::kIdent, stripped.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      // pp-number: digits, identifier chars, digit separators, dots and
-      // exponent signs.
-      std::size_t j = i + 1;
-      while (j < n) {
-        const char d = stripped[j];
-        if (ident_char(d) || d == '.' || d == '\'') {
-          ++j;
-        } else if ((d == '+' || d == '-') &&
-                   (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
-                    stripped[j - 1] == 'p' || stripped[j - 1] == 'P')) {
-          ++j;
-        } else {
-          break;
-        }
-      }
-      toks.push_back({Token::Kind::kNumber, stripped.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    bool matched = false;
-    for (const char* p : kPunct3) {
-      if (stripped.compare(i, 3, p) == 0) {
-        toks.push_back({Token::Kind::kPunct, p, line});
-        i += 3;
-        matched = true;
-        break;
-      }
-    }
-    if (matched) continue;
-    for (const char* p : kPunct2) {
-      if (stripped.compare(i, 2, p) == 0) {
-        toks.push_back({Token::Kind::kPunct, p, line});
-        i += 2;
-        matched = true;
-        break;
-      }
-    }
-    if (matched) continue;
-    toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return toks;
-}
-
-constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
-/// Index of the token matching the opener at `open` ('(', '[' or '{'),
-/// or kNpos. Counts only the same bracket kind, which is all the rules
-/// need.
-std::size_t match_forward(const std::vector<Token>& t, std::size_t open) {
-  const std::string& o = t[open].text;
-  const std::string close = o == "(" ? ")" : (o == "[" ? "]" : "}");
-  std::size_t depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].text == o)
-      ++depth;
-    else if (t[i].text == close && --depth == 0)
-      return i;
-  }
-  return kNpos;
-}
-
-/// Index of the token matching the closer at `close` (')' or ']'), or
-/// kNpos.
-std::size_t match_backward(const std::vector<Token>& t, std::size_t close) {
-  const std::string& c = t[close].text;
-  const std::string open = c == ")" ? "(" : "[";
-  std::size_t depth = 0;
-  for (std::size_t i = close + 1; i-- > 0;) {
-    if (t[i].text == c)
-      ++depth;
-    else if (t[i].text == open && --depth == 0)
-      return i;
-  }
-  return kNpos;
-}
-
-/// Skip a balanced template argument list starting at the '<' at `open`;
-/// returns the index just past the closing '>'. The tokenizer emits
-/// `>>` as one token, which in template context closes two levels.
-std::size_t skip_template_args(const std::vector<Token>& t, std::size_t open) {
-  std::size_t depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    const std::string& x = t[i].text;
-    if (x == "<") {
-      ++depth;
-    } else if (x == ">") {
-      if (--depth == 0) return i + 1;
-    } else if (x == ">>") {
-      if (depth <= 2) return i + 1;
-      depth -= 2;
-    } else if (x == "(" || x == "[") {
-      const std::size_t m = match_forward(t, i);
-      if (m == kNpos) return kNpos;
-      i = m;
-    } else if (x == ";" || x == "{") {
-      return kNpos;  // not a template argument list after all
-    }
-  }
-  return kNpos;
-}
-
-/// nondet-iteration: range-for over an unordered container whose body
-/// accumulates or appends. Pass 1 collects names declared (anywhere in
-/// this file) with an unordered_{map,set} type; pass 2 walks every
-/// range-for and inspects the loop body's token stream.
-void scan_nondet_iteration(const std::string& rel,
-                           const std::vector<Token>& t,
-                           std::vector<Finding>* findings) {
-  std::set<std::string> unordered_names;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::kIdent ||
-        (t[i].text != "unordered_map" && t[i].text != "unordered_set"))
-      continue;
-    std::size_t j = i + 1;
-    if (j < t.size() && t[j].text == "<") {
-      j = skip_template_args(t, j);
-      if (j == kNpos) continue;
-    }
-    while (j < t.size() &&
-           (t[j].text == "*" || t[j].text == "&" || t[j].text == "const"))
-      ++j;
-    if (j < t.size() && t[j].kind == Token::Kind::kIdent)
-      unordered_names.insert(t[j].text);
-  }
-
-  static const std::set<std::string> kCompound = {
-      "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="};
-  static const std::set<std::string> kAppend = {"push_back", "emplace_back",
-                                                "append"};
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].text != "for" || t[i + 1].text != "(") continue;
-    const std::size_t close = match_forward(t, i + 1);
-    if (close == kNpos) continue;
-    // The range-for colon sits at parenthesis depth 1 (":" is a distinct
-    // token from "::", and "?:" does not appear in a for-range header).
-    std::size_t colon = kNpos;
-    std::size_t depth = 0;
-    for (std::size_t k = i + 1; k < close; ++k) {
-      if (t[k].text == "(")
-        ++depth;
-      else if (t[k].text == ")")
-        --depth;
-      else if (t[k].text == ":" && depth == 1) {
-        colon = k;
-        break;
-      }
-    }
-    if (colon == kNpos) continue;  // classic for
-    bool unordered = false;
-    for (std::size_t k = colon + 1; k < close; ++k) {
-      if (t[k].kind == Token::Kind::kIdent &&
-          (unordered_names.count(t[k].text) != 0 ||
-           t[k].text == "unordered_map" || t[k].text == "unordered_set"))
-        unordered = true;
-    }
-    if (!unordered) continue;
-    // Loop body: a compound statement or everything up to the next ';'.
-    std::size_t body_begin = close + 1;
-    std::size_t body_end;
-    if (body_begin < t.size() && t[body_begin].text == "{") {
-      body_end = match_forward(t, body_begin);
-      if (body_end == kNpos) continue;
-    } else {
-      body_end = body_begin;
-      while (body_end < t.size() && t[body_end].text != ";") ++body_end;
-    }
-    for (std::size_t k = body_begin; k < body_end; ++k) {
-      const bool accumulates = kCompound.count(t[k].text) != 0;
-      const bool appends = t[k].kind == Token::Kind::kIdent &&
-                           kAppend.count(t[k].text) != 0 &&
-                           k + 1 < body_end && t[k + 1].text == "(";
-      if (accumulates || appends) {
-        findings->push_back(
-            {rel, t[i].line, "nondet-iteration",
-             "range-for over an unordered container feeds `" + t[k].text +
-                 "`; iteration order is hash-seed dependent — iterate a "
-                 "sorted copy to keep reductions bitwise deterministic"});
-        break;
-      }
-    }
-  }
-}
-
-/// hot-path-string-map: a map keyed by std::string declared in the hot
-/// simulation layers. The shape is `map|unordered_map < [std ::] string ,`
-/// on the token stream, so multi-line declarations and both qualified and
-/// unqualified spellings are caught.
-void scan_hot_string_map(const std::string& rel,
-                         const std::vector<Token>& t,
-                         std::vector<Finding>* findings) {
-  if (rel.rfind("sim/", 0) != 0 && rel.rfind("dynais/", 0) != 0) return;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::kIdent ||
-        (t[i].text != "map" && t[i].text != "unordered_map") ||
-        t[i + 1].text != "<")
-      continue;
-    std::size_t j = i + 2;
-    if (j + 1 < t.size() && t[j].text == "std" && t[j + 1].text == "::")
-      j += 2;
-    if (j + 1 < t.size() && t[j].text == "string" && t[j + 1].text == ",") {
-      findings->push_back(
-          {rel, t[i].line, "hot-path-string-map",
-           "`" + t[i].text +
-               "` keyed by std::string in a hot simulation layer; string "
-               "hashing/compares dominate small lookups — key on an "
-               "interned id, or allowlist if the map is provably cold"});
-    }
-  }
-}
-
-/// unchecked-status: a [[nodiscard]] daemon/MSR status API called as a
-/// bare statement. The call chain is walked back to its first token;
-/// if the token before that is a statement boundary the value was
-/// dropped. `(void)` casts, assignments, conditions and arguments all
-/// consume the value and stay quiet.
-void scan_unchecked_status(const std::string& rel,
-                           const std::vector<Token>& t,
-                           std::vector<Finding>* findings) {
-  static const std::set<std::string> kStatusApis = {
-      "reprobe", "uncore_writable", "uncore_ok", "verify_uncore_write",
-      "is_locked"};
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].kind != Token::Kind::kIdent ||
-        kStatusApis.count(t[i].text) == 0 || t[i + 1].text != "(")
-      continue;
-    const std::size_t close = match_forward(t, i + 1);
-    if (close == kNpos || close + 1 >= t.size() ||
-        t[close + 1].text != ";")
-      continue;
-    // Walk back over the postfix chain (`node.msr(0).is_locked`) to the
-    // first token of the full expression statement.
-    std::size_t s = i;
-    while (s >= 2 && (t[s - 1].text == "." || t[s - 1].text == "->")) {
-      std::size_t q = s - 2;
-      if (t[q].text == ")" || t[q].text == "]") {
-        const std::size_t open = match_backward(t, q);
-        if (open == kNpos) break;
-        q = open;
-        if (q >= 1 && t[q - 1].kind == Token::Kind::kIdent) --q;
-      } else if (t[q].kind != Token::Kind::kIdent) {
-        break;
-      }
-      s = q;
-    }
-    bool boundary = s == 0;
-    if (!boundary) {
-      const std::string& b = t[s - 1].text;
-      if (b == ";" || b == "{" || b == "}" || b == "else" || b == "do") {
-        boundary = true;
-      } else if (b == ")") {
-        // Either a control-flow header (`if (x) d.reprobe();` — still a
-        // dropped status) or a cast. `(void)` is the sanctioned explicit
-        // discard; any other cast consumes the value too.
-        const std::size_t open = match_backward(t, s - 1);
-        if (open != kNpos && open >= 1) {
-          const std::string& kw = t[open - 1].text;
-          boundary = kw == "if" || kw == "while" || kw == "for" ||
-                     kw == "switch";
-        }
-      }
-    }
-    if (boundary) {
-      findings->push_back(
-          {rel, t[i].line, "unchecked-status",
-           "status of `" + t[i].text +
-               "()` is dropped; check it or cast to (void) deliberately"});
-    }
-  }
-}
-
-void scan_file(const std::string& rel, const std::string& text,
-               std::vector<Finding>* findings) {
-  const bool is_header = has_suffix(rel, ".hpp") || has_suffix(rel, ".h");
-  const std::vector<std::string> raw_lines = split_lines(text);
-  const std::string stripped = strip_comments_and_strings(text);
-  const std::vector<std::string> lines = split_lines(stripped);
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    const std::string& raw = raw_lines[i];
-    const std::size_t lineno = i + 1;
-    std::smatch m;
-
-    if (is_header && std::regex_search(line, m, kRawFreqDecl)) {
-      const std::string name = m[1].str();
-      if (name.find("_per_") == std::string::npos) {
-        findings->push_back({rel, lineno, "raw-freq-api",
-                             "raw frequency scalar `" + name +
-                                 "` in a header; use common::Freq"});
-      }
-    }
-    if (std::regex_search(line, m, kBannedCall)) {
-      findings->push_back({rel, lineno, "banned-call",
-                           "banned call `" + m[0].str() +
-                               "`; use common/rng or the simulated clock"});
-    }
-    if (!io_layer_file(rel) && std::regex_search(line, m, kBannedIo)) {
-      findings->push_back({rel, lineno, "banned-io",
-                           "direct output `" + m[0].str() +
-                               "`; route through common/log or common/table"});
-    }
-    if (!hw_layer_file(rel) && std::regex_search(line, m, kHwMutation)) {
-      findings->push_back(
-          {rel, lineno, "hw-mutation",
-           "direct hardware mutation `" + m[0].str() +
-               "`; go through eard::NodeDaemon (or the fault injector)"});
-    }
-    if (std::regex_search(line, m, kCHeader)) {
-      findings->push_back({rel, lineno, "include-hygiene",
-                           "C header <" + m[1].str() + ".h>; use <c" +
-                               m[1].str() + ">"});
-    } else if (std::regex_search(line, m, kIostream)) {
-      findings->push_back({rel, lineno, "include-hygiene",
-                           "<iostream> is banned in src/; use common/log"});
-    } else if (std::regex_search(line, kQuotedInclude) &&
-               std::regex_search(raw, m, kLocalInclude)) {
-      // The stripper blanks string contents, so gate on the stripped
-      // line (a commented-out include must stay quiet) but read the
-      // path from the raw one.
-      const std::string inc = m[1].str();
-      if (inc.find('/') == std::string::npos) {
-        findings->push_back({rel, lineno, "include-hygiene",
-                             "local include \"" + inc +
-                                 "\" must be module-qualified "
-                                 "(e.g. \"common/" +
-                                 inc + "\")"});
-      }
-    }
-  }
-
-  // The dataflow rules walk the token stream of the whole file.
-  const std::vector<Token> toks = tokenize(stripped);
-  scan_nondet_iteration(rel, toks, findings);
-  scan_unchecked_status(rel, toks, findings);
-  scan_hot_string_map(rel, toks, findings);
-  std::stable_sort(findings->begin(), findings->end(),
-                   [](const Finding& a, const Finding& b) {
-                     return a.line < b.line;
-                   });
-}
-
-// --------------------------------------------------------------------
-// Allowlist.
-// --------------------------------------------------------------------
-
-bool parse_allowlist(const std::string& path, std::vector<AllowEntry>* out,
-                     std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    *error = "cannot open allowlist: " + path;
-    return false;
-  }
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const auto first = line.find_first_not_of(" \t");
-    if (first == std::string::npos || line[first] == '#') continue;
-    const auto last = line.find_last_not_of(" \t\r");
-    const std::string body = line.substr(first, last - first + 1);
-    const auto c1 = body.find(':');
-    if (c1 == std::string::npos) {
-      *error = path + ":" + std::to_string(lineno) +
-               ": expected `path:rule[:substring]`";
-      return false;
-    }
-    const auto c2 = body.find(':', c1 + 1);
-    AllowEntry e;
-    e.file = body.substr(0, c1);
-    e.rule = c2 == std::string::npos ? body.substr(c1 + 1)
-                                     : body.substr(c1 + 1, c2 - c1 - 1);
-    e.substring = c2 == std::string::npos ? "" : body.substr(c2 + 1);
-    e.source_line = lineno;
-    out->push_back(e);
-  }
-  return true;
-}
-
-bool allowed(const Finding& f, const std::string& raw_line,
-             std::vector<AllowEntry>* allow) {
-  bool hit = false;
-  for (AllowEntry& e : *allow) {
-    if (e.file != f.file || e.rule != f.rule) continue;
-    if (!e.substring.empty() &&
-        raw_line.find(e.substring) == std::string::npos)
-      continue;
-    e.used = true;
-    hit = true;  // keep marking every matching entry as used
-  }
-  return hit;
-}
-
-// --------------------------------------------------------------------
-// Driver.
-// --------------------------------------------------------------------
-
-bool lintable(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-void print_json_finding(const Finding& f) {
-  std::printf("{\"file\":\"%s\",\"rule\":\"%s\",\"line\":%zu,"
-              "\"message\":\"%s\"}\n",
-              json_escape(f.file).c_str(), json_escape(f.rule).c_str(),
-              f.line, json_escape(f.message).c_str());
-}
-
 int usage() {
   std::fprintf(stderr,
-               "usage: ear_lint --root DIR [--allowlist FILE] [--json]\n"
-               "       ear_lint --self-test DIR\n");
+               "usage: ear_lint --root DIR [--allowlist FILE] [--json] "
+               "[--sarif FILE] [--deep]\n"
+               "       ear_lint --self-test DIR [--deep]\n");
   return 2;
+}
+
+/// Rules only the --deep passes can fire; their allowlist entries are
+/// not stale just because a shallow run kept quiet.
+bool deep_only_rule(const std::string& rule) {
+  static const std::set<std::string> kDeep = {"nondet-taint",
+                                              "shard-ownership"};
+  return kDeep.count(rule) != 0;
 }
 
 }  // namespace
@@ -703,7 +49,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string allowlist_path;
   std::string selftest_dir;
+  std::string sarif_path;
   bool json = false;
+  bool deep = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -712,8 +60,12 @@ int main(int argc, char** argv) {
       allowlist_path = argv[++i];
     } else if (arg == "--self-test" && i + 1 < argc) {
       selftest_dir = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--deep") {
+      deep = true;
     } else {
       return usage();
     }
@@ -721,120 +73,104 @@ int main(int argc, char** argv) {
   if (roots.empty() && selftest_dir.empty()) return usage();
   if (!selftest_dir.empty()) roots.assign(1, selftest_dir);
 
-  std::vector<AllowEntry> allow;
+  std::vector<lint::AllowEntry> allow;
   if (!allowlist_path.empty()) {
     std::string error;
-    if (!parse_allowlist(allowlist_path, &allow, &error)) {
+    if (!lint::parse_allowlist(allowlist_path, &allow, &error)) {
       std::fprintf(stderr, "ear_lint: %s\n", error.c_str());
       return 2;
     }
   }
 
+  lint::RuleOptions rule_opts;
+  rule_opts.skip_nondet_iteration = deep;
+
   int exit_code = 0;
   std::size_t files_scanned = 0;
-  std::vector<Finding> reported;
+  std::vector<lint::Finding> reported;
 
   for (const std::string& root : roots) {
-    if (!fs::is_directory(root)) {
+    if (!std::filesystem::is_directory(root)) {
       std::fprintf(stderr, "ear_lint: not a directory: %s\n", root.c_str());
       return 2;
     }
-    // Deterministic order: collect, then sort.
-    std::vector<fs::path> files;
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (entry.is_regular_file() && lintable(entry.path()))
-        files.push_back(entry.path());
+    const lint::Program program = lint::Program::from_directory(root);
+    files_scanned += program.files().size();
+
+    std::vector<lint::Finding> findings;
+    for (const lint::SourceFile& file : program.files()) {
+      lint::scan_file(file, rule_opts, &findings);
     }
-    std::sort(files.begin(), files.end());
+    if (deep) {
+      const lint::Index index = lint::build_index(program);
+      const lint::CallGraph cg = lint::build_callgraph(program, index);
+      lint::run_deep_passes(program, index, cg, &findings);
+    }
+    lint::sort_findings(&findings);
 
-    for (const fs::path& path : files) {
-      ++files_scanned;
-      std::ifstream in(path);
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      const std::string text = buf.str();
-      const std::string rel =
-          fs::relative(path, root).generic_string();
-      const std::vector<std::string> raw_lines = split_lines(text);
-
-      std::vector<Finding> findings;
-      scan_file(rel, text, &findings);
-
-      if (!selftest_dir.empty()) {
-        // Compare findings against the LINT-EXPECT annotations.
-        std::multiset<std::pair<std::size_t, std::string>> expected;
-        for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-          const std::string& raw = raw_lines[i];
-          std::size_t pos = 0;
-          static const std::string kTag = "LINT-EXPECT:";
-          while ((pos = raw.find(kTag, pos)) != std::string::npos) {
-            pos += kTag.size();
-            std::istringstream rules(raw.substr(pos));
-            std::string rule;
-            rules >> rule;
-            if (!rule.empty()) expected.insert({i + 1, rule});
-          }
-        }
-        for (const Finding& f : findings) {
-          const auto it = expected.find({f.line, f.rule});
-          if (it != expected.end()) {
-            expected.erase(it);
-          } else {
-            std::fprintf(stderr, "self-test: UNEXPECTED %s:%zu [%s] %s\n",
-                         f.file.c_str(), f.line, f.rule.c_str(),
-                         f.message.c_str());
-            exit_code = 1;
-          }
-        }
-        for (const auto& [line, rule] : expected) {
-          std::fprintf(stderr, "self-test: MISSED %s:%zu expected [%s]\n",
-                       rel.c_str(), line, rule.c_str());
+    if (!selftest_dir.empty()) {
+      for (const lint::SourceFile& file : program.files()) {
+        if (lint::check_expectations(file, findings, deep) != 0)
           exit_code = 1;
-        }
-        continue;
       }
+      continue;
+    }
 
-      for (const Finding& f : findings) {
-        const std::string& raw =
-            f.line - 1 < raw_lines.size() ? raw_lines[f.line - 1] : f.file;
-        if (allowed(f, raw, &allow)) continue;
-        reported.push_back(f);
+    for (const lint::Finding& f : findings) {
+      const lint::SourceFile* src = nullptr;
+      for (const lint::SourceFile& file : program.files()) {
+        if (file.rel == f.file) src = &file;
       }
+      const std::string& raw =
+          src != nullptr && f.line >= 1 && f.line - 1 < src->raw_lines.size()
+              ? src->raw_lines[f.line - 1]
+              : f.file;
+      if (lint::allowed(f, raw, &allow)) continue;
+      reported.push_back(f);
     }
   }
 
-  for (const Finding& f : reported) {
+  for (const lint::Finding& f : reported) {
     if (json) {
-      print_json_finding(f);
+      lint::print_json_finding(f);
     } else {
-      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
-                   f.rule.c_str(), f.message.c_str());
+      lint::print_text_finding(f);
     }
     exit_code = 1;
   }
   // A suppression that excuses nothing is stale and must be deleted, so
   // the allowlist can only shrink unless a reviewed change grows it.
-  for (const AllowEntry& e : allow) {
-    if (!e.used) {
-      if (json) {
-        print_json_finding({allowlist_path, e.source_line, "stale-allowlist",
-                            "entry `" + e.file + ":" + e.rule +
-                                (e.substring.empty() ? "" : ":" + e.substring) +
-                                "` matches nothing; delete it"});
-      } else {
-        std::fprintf(stderr,
-                     "%s:%zu: stale allowlist entry `%s:%s%s` matches "
-                     "nothing; delete it\n",
-                     allowlist_path.c_str(), e.source_line, e.file.c_str(),
-                     e.rule.c_str(),
-                     e.substring.empty() ? "" : (":" + e.substring).c_str());
-      }
-      exit_code = 1;
+  for (const lint::AllowEntry& e : allow) {
+    if (e.used) continue;
+    if (!deep && deep_only_rule(e.rule)) continue;
+    if (json) {
+      lint::print_json_finding(
+          {allowlist_path, e.source_line, "stale-allowlist",
+           "entry `" + e.file + ":" + e.rule +
+               (e.substring.empty() ? "" : ":" + e.substring) +
+               "` matches nothing; delete it"});
+    } else {
+      std::fprintf(stderr,
+                   "%s:%zu: stale allowlist entry `%s:%s%s` matches "
+                   "nothing; delete it\n",
+                   allowlist_path.c_str(), e.source_line, e.file.c_str(),
+                   e.rule.c_str(),
+                   e.substring.empty() ? "" : (":" + e.substring).c_str());
+    }
+    exit_code = 1;
+  }
+
+  if (!sarif_path.empty()) {
+    std::string error;
+    if (!lint::write_sarif(sarif_path, reported, &error)) {
+      std::fprintf(stderr, "ear_lint: %s\n", error.c_str());
+      return 2;
     }
   }
 
-  if (exit_code == 0 && !json) {
-    std::fprintf(stderr, "ear_lint: %zu files clean\n", files_scanned);
+  if (exit_code == 0 && !json && selftest_dir.empty()) {
+    std::fprintf(stderr, "ear_lint: %zu files clean%s\n", files_scanned,
+                 deep ? " (deep)" : "");
   }
   return exit_code;
 }

@@ -121,7 +121,7 @@ int cmd_run(const common::ArgParser& args) {
       .seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{1}))};
   if (args.has("budget")) {
     cfg.eargm = eargm::EargmConfig{
-        .cluster_budget_w = args.get("budget", 0.0)};
+        .cluster_budget = {args.get("budget", 0.0)}};
   }
   const auto runs = static_cast<std::size_t>(args.get("runs", std::int64_t{3}));
   const auto jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{0}));
@@ -139,7 +139,7 @@ int cmd_run(const common::ArgParser& args) {
                 "%.0fW vs budget %.0fW\n",
                 one.eargm_throttles, one.eargm_final_limit,
                 avg.avg_dc_power_w * static_cast<double>(app.nodes),
-                cfg.eargm->cluster_budget_w);
+                cfg.eargm->cluster_budget.value);
   }
 
   if (args.flag("compare")) {
@@ -308,7 +308,7 @@ int cmd_facility(const common::ArgParser& args) {
 
   sim::FacilityConfig cfg =
       sim::make_facility_config(nodes, islands, job_count, seed);
-  if (args.has("budget")) cfg.budget_w = args.get("budget", 0.0);
+  if (args.has("budget")) cfg.budget = {args.get("budget", 0.0)};
   cfg.round_s = args.get("round", cfg.round_s);
   cfg.sim_jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{0}));
   if (args.flag("no-backfill")) cfg.backfill = false;

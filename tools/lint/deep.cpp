@@ -1,0 +1,514 @@
+#include "lint/deep.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "lint/rules.hpp"
+
+namespace lint {
+
+namespace {
+
+const std::set<std::string>& sink_names() {
+  // Campaign/facility reductions, report/CSV/table emitters, RNG seed
+  // derivation. Sink matching is name-based on the call site, so a sink
+  // declared in an unscanned layer still counts.
+  static const std::set<std::string> kSinks = {
+      "reduce_runs", "add_row",  "row",        "header",
+      "mix_seed",    "render",   "write_csv",  "print_facility_report",
+      "print_report"};
+  return kSinks;
+}
+
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kMut = {
+      "push_back", "emplace_back", "emplace", "pop_back", "clear",
+      "resize",    "insert",       "erase",   "assign",   "reserve",
+      "store",     "fetch_add",    "fetch_sub"};
+  return kMut;
+}
+
+const std::set<std::string>& assign_ops() {
+  static const std::set<std::string> kOps = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  return kOps;
+}
+
+struct Region {
+  std::size_t fn;     // owning FunctionDef index
+  std::size_t begin;  // token index of the lambda body '{'
+  std::size_t end;    // matching '}'
+};
+
+/// Lambda bodies passed to parallel_for/submit inside one function.
+/// A lambda introducer is a `[` preceded by `(` or `,` (a subscript
+/// `[` follows an identifier, `)` or `]`).
+std::vector<Region> find_regions(const std::vector<Token>& t,
+                                 std::size_t fn_idx, const FunctionDef& def) {
+  std::vector<Region> regions;
+  for (std::size_t k = def.body_begin + 1; k < def.body_end; ++k) {
+    if (t[k].kind != Token::Kind::kIdent ||
+        (t[k].text != "parallel_for" && t[k].text != "submit") ||
+        t[k + 1].text != "(")
+      continue;
+    const std::size_t close = match_forward(t, k + 1);
+    if (close == kNpos) continue;
+    for (std::size_t j = k + 2; j < close; ++j) {
+      if (t[j].text != "[" ||
+          (t[j - 1].text != "(" && t[j - 1].text != ","))
+        continue;
+      std::size_t m = match_forward(t, j);  // end of capture list
+      if (m == kNpos) break;
+      ++m;
+      if (m < close && t[m].text == "(") {  // parameter list
+        m = match_forward(t, m);
+        if (m == kNpos) break;
+        ++m;
+      }
+      while (m < close && t[m].text != "{" && t[m].text != ",") {
+        if (t[m].text == "(") {  // noexcept(...)
+          m = match_forward(t, m);
+          if (m == kNpos) break;
+        }
+        ++m;  // mutable, noexcept, -> ret
+      }
+      if (m < close && t[m].text == "{") {
+        const std::size_t body_end = match_forward(t, m);
+        if (body_end != kNpos) {
+          regions.push_back({fn_idx, m, body_end});
+          j = body_end;
+        }
+      }
+    }
+  }
+  return regions;
+}
+
+std::string at(const Program& program, std::size_t file, std::size_t line) {
+  return program.files()[file].rel + ":" + std::to_string(line);
+}
+
+// ---------------------------------------------------------------------------
+// nondet-taint
+// ---------------------------------------------------------------------------
+
+struct Taint {
+  bool tainted = false;
+  std::string why;  // root-cause description, set when tainted
+};
+
+void find_direct_sources(const Program& program, const Index& index,
+                         const std::vector<std::vector<Region>>& regions_by_fn,
+                         const std::map<std::size_t, std::string>& nondet_fns,
+                         std::vector<Taint>* taint) {
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    const FunctionDef& def = index.functions[f];
+    const std::vector<Token>& t = program.files()[def.file].tokens;
+    Taint& tf = (*taint)[f];
+    const auto it = nondet_fns.find(f);
+    if (it != nondet_fns.end()) {
+      tf.tainted = true;
+      tf.why = it->second;
+      continue;
+    }
+    for (std::size_t k = def.body_begin + 1; k < def.body_end && !tf.tainted;
+         ++k) {
+      if (t[k].kind != Token::Kind::kIdent) continue;
+      const std::string& s = t[k].text;
+      if (s == "random_device") {
+        tf.tainted = true;
+        tf.why = "std::random_device in `" + def.name + "` (" +
+                 at(program, def.file, t[k].line) + ")";
+      } else if (s == "gettimeofday") {
+        tf.tainted = true;
+        tf.why = "gettimeofday in `" + def.name + "` (" +
+                 at(program, def.file, t[k].line) + ")";
+      } else if (s == "now" && k >= 2 && t[k - 1].text == "::" &&
+                 t[k + 1].text == "(") {
+        tf.tainted = true;
+        tf.why = "wall-clock read `" + t[k - 2].text + "::now()` in `" +
+                 def.name + "` (" + at(program, def.file, t[k].line) + ")";
+      } else if (s == "get_id" && k >= 4 && t[k - 1].text == "::" &&
+                 t[k - 2].text == "this_thread") {
+        tf.tainted = true;
+        tf.why = "std::this_thread::get_id in `" + def.name + "` (" +
+                 at(program, def.file, t[k].line) + ")";
+      }
+    }
+    if (tf.tainted) continue;
+    // Compound accumulation inside a parallel region: completion order
+    // decides the float-addition order.
+    for (const Region& r : regions_by_fn[f]) {
+      for (std::size_t k = r.begin + 1; k < r.end; ++k) {
+        if (t[k].text == "+=" || t[k].text == "-=") {
+          tf.tainted = true;
+          tf.why = "accumulation `" + t[k].text +
+                   "` inside a parallel region of `" + def.name + "` (" +
+                   at(program, def.file, t[k].line) + ")";
+          break;
+        }
+      }
+      if (tf.tainted) break;
+    }
+  }
+}
+
+void run_taint_pass(const Program& program, const Index& index,
+                    const CallGraph& cg, std::vector<Finding>* findings) {
+  // The subsumed intraprocedural rule: same findings, same rule id —
+  // and each hit marks the enclosing function as a taint source.
+  std::map<std::size_t, std::string> nondet_fns;
+  for (std::size_t f = 0; f < program.files().size(); ++f) {
+    const SourceFile& file = program.files()[f];
+    std::vector<Finding> local;
+    scan_nondet_iteration(file.rel, file.tokens, &local);
+    for (const Finding& found : local) {
+      for (const std::size_t fn : index.file_functions[f]) {
+        const FunctionDef& def = index.functions[fn];
+        const std::vector<Token>& t = file.tokens;
+        if (t[def.body_begin].line <= found.line &&
+            found.line <= t[def.body_end].line) {
+          nondet_fns.emplace(
+              fn, "unordered-container iteration in `" + def.name + "` (" +
+                      at(program, f, found.line) + ")");
+        }
+      }
+      findings->push_back(found);
+    }
+  }
+
+  std::vector<std::vector<Region>> regions_by_fn(index.functions.size());
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    const FunctionDef& def = index.functions[f];
+    regions_by_fn[f] =
+        find_regions(program.files()[def.file].tokens, f, def);
+  }
+
+  std::vector<Taint> taint(index.functions.size());
+  find_direct_sources(program, index, regions_by_fn, nondet_fns, &taint);
+
+  // Propagate taint caller-ward: whoever calls a tainted function is
+  // tainted (the nondeterministic value may be returned or stored).
+  std::deque<std::size_t> work;
+  for (std::size_t f = 0; f < taint.size(); ++f)
+    if (taint[f].tainted) work.push_back(f);
+  while (!work.empty()) {
+    const std::size_t p = work.front();
+    work.pop_front();
+    for (const std::size_t caller : cg.in[p]) {
+      if (taint[caller].tainted) continue;
+      taint[caller].tainted = true;
+      taint[caller].why = taint[p].why + ", reached via `" +
+                          index.functions[p].name + "`";
+      work.push_back(caller);
+    }
+  }
+
+  // Propagate sink-reachability callee-ward: a helper that (transitively)
+  // calls a sink is itself a sink for junction purposes.
+  std::vector<char> sink_reach(index.functions.size(), 0);
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    for (const std::size_t c : index.calls_by_fn[f]) {
+      if (sink_names().count(index.calls[c].name) != 0) sink_reach[f] = 1;
+    }
+    if (sink_reach[f]) work.push_back(f);
+  }
+  while (!work.empty()) {
+    const std::size_t p = work.front();
+    work.pop_front();
+    for (const std::size_t caller : cg.in[p]) {
+      if (sink_reach[caller]) continue;
+      sink_reach[caller] = 1;
+      work.push_back(caller);
+    }
+  }
+
+  // Findings at the junction: a call site in a tainted function whose
+  // callee is (or reaches) a sink. One finding per (function, callee).
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    if (!taint[f].tainted) continue;
+    const FunctionDef& def = index.functions[f];
+    std::set<std::string> seen;
+    for (const std::size_t c : index.calls_by_fn[f]) {
+      const CallSite& call = index.calls[c];
+      const bool direct_sink = sink_names().count(call.name) != 0;
+      const bool via_callee = cg.resolved[c] != kNpos &&
+                              sink_reach[cg.resolved[c]] != 0 &&
+                              !direct_sink;
+      if (!direct_sink && !via_callee) continue;
+      // A tainted callee reports its own junctions; flagging every
+      // caller of it again would drown the actual taint->sink edge.
+      if (via_callee && taint[cg.resolved[c]].tainted) continue;
+      if (!seen.insert(call.name).second) continue;
+      findings->push_back(
+          {program.files()[def.file].rel, call.line, "nondet-taint",
+           "nondeterministic value may reach sink `" + call.name + "`" +
+               (via_callee ? " (transitively)" : "") + " from `" + def.name +
+               "`: " + taint[f].why +
+               "; sort/serialise before the reduction or allowlist with a "
+               "reviewed justification"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// shard-ownership
+// ---------------------------------------------------------------------------
+
+/// Mutation test for the annotated-variable occurrence at token `k`.
+/// Walks the postfix chain (`[...]`, `.field`, `->field`, const method
+/// calls) and reports whether the chain ends in an assignment/increment
+/// or passes through a mutating container method. `subscripted` is set
+/// when the first step is a subscript — the per-slot discipline
+/// EAR_SHARD_LOCAL requires.
+bool is_mutation(const std::vector<Token>& t, std::size_t k,
+                 bool* subscripted) {
+  *subscripted = false;
+  if (k > 0 && (t[k - 1].text == "++" || t[k - 1].text == "--")) return true;
+  std::size_t j = k + 1;
+  bool first = true;
+  while (j < t.size()) {
+    const std::string& s = t[j].text;
+    if (s == "[") {
+      const std::size_t close = match_forward(t, j);
+      if (close == kNpos) return false;
+      if (first) *subscripted = true;
+      j = close + 1;
+    } else if ((s == "." || s == "->") && j + 1 < t.size() &&
+               t[j + 1].kind == Token::Kind::kIdent) {
+      const std::string& member = t[j + 1].text;
+      if (j + 2 < t.size() && t[j + 2].text == "(") {
+        if (mutating_methods().count(member) != 0) return true;
+        const std::size_t close = match_forward(t, j + 2);
+        if (close == kNpos) return false;
+        j = close + 1;  // const-ish call, keep walking the chain
+      } else {
+        j += 2;  // field access
+      }
+    } else {
+      break;
+    }
+    first = false;
+  }
+  if (j >= t.size()) return false;
+  const std::string& next = t[j].text;
+  return assign_ops().count(next) != 0 || next == "++" || next == "--";
+}
+
+/// Lexical lock-scope tracking from `from` (exclusive) to `k`: true when
+/// a lock_guard/unique_lock/scoped_lock/shared_lock constructed on
+/// `lock` is still in scope at `k`.
+bool lock_held(const std::vector<Token>& t, std::size_t from, std::size_t k,
+               const std::string& lock) {
+  static const std::set<std::string> kLockTypes = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  int depth = 0;
+  std::vector<int> lock_depths;
+  for (std::size_t j = from + 1; j < k; ++j) {
+    const std::string& s = t[j].text;
+    if (s == "{") {
+      ++depth;
+    } else if (s == "}") {
+      --depth;
+      while (!lock_depths.empty() && lock_depths.back() > depth)
+        lock_depths.pop_back();
+    } else if (t[j].kind == Token::Kind::kIdent &&
+               kLockTypes.count(s) != 0) {
+      std::size_t m = j + 1;
+      if (m < k && t[m].text == "<") {
+        m = skip_template_args(t, m);
+        if (m == kNpos) continue;
+      }
+      if (m < k && t[m].kind == Token::Kind::kIdent) ++m;  // guard name
+      if (m < k && (t[m].text == "(" || t[m].text == "{")) {
+        const std::size_t close = match_forward(t, m);
+        if (close == kNpos) continue;
+        for (std::size_t a = m + 1; a < close && a < k; ++a) {
+          if (t[a].text == lock) {
+            lock_depths.push_back(depth);
+            break;
+          }
+        }
+        j = std::min(close, k - 1);
+      }
+    }
+  }
+  return !lock_depths.empty();
+}
+
+const char* kind_name(Annotation::Kind k) {
+  switch (k) {
+    case Annotation::Kind::kShardLocal:
+      return "EAR_SHARD_LOCAL";
+    case Annotation::Kind::kGuardedBy:
+      return "EAR_GUARDED_BY";
+    case Annotation::Kind::kReducedSerial:
+      return "EAR_REDUCED_SERIAL";
+  }
+  return "?";
+}
+
+void run_ownership_pass(const Program& program, const Index& index,
+                        const CallGraph& cg, std::vector<Finding>* findings) {
+  const std::vector<Annotation> annots = collect_annotations(program);
+  if (annots.empty()) return;
+
+  std::vector<std::vector<Region>> regions_by_fn(index.functions.size());
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    const FunctionDef& def = index.functions[f];
+    regions_by_fn[f] =
+        find_regions(program.files()[def.file].tokens, f, def);
+  }
+
+  // Functions reachable from inside any parallel region: their whole
+  // bodies execute concurrently.
+  std::vector<char> par_reach(index.functions.size(), 0);
+  std::deque<std::size_t> work;
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    for (const Region& r : regions_by_fn[f]) {
+      for (const std::size_t c : index.calls_by_fn[f]) {
+        const CallSite& call = index.calls[c];
+        if (call.tok > r.begin && call.tok < r.end &&
+            cg.resolved[c] != kNpos && !par_reach[cg.resolved[c]]) {
+          par_reach[cg.resolved[c]] = 1;
+          work.push_back(cg.resolved[c]);
+        }
+      }
+    }
+  }
+  while (!work.empty()) {
+    const std::size_t p = work.front();
+    work.pop_front();
+    for (const std::size_t callee : cg.out[p]) {
+      if (par_reach[callee]) continue;
+      par_reach[callee] = 1;
+      work.push_back(callee);
+    }
+  }
+
+  for (const Annotation& a : annots) {
+    for (std::size_t g = 0; g < program.files().size(); ++g) {
+      if (g != a.file && !program.is_visible(g, a.file)) continue;
+      const SourceFile& file = program.files()[g];
+      const std::vector<Token>& t = file.tokens;
+      for (std::size_t k = 0; k < t.size(); ++k) {
+        if (t[k].kind != Token::Kind::kIdent || t[k].text != a.var) continue;
+        if (g == a.file && t[k].line == a.line) continue;  // the decl itself
+        const std::size_t fn = index.enclosing_function(g, k);
+        if (fn == kNpos) continue;
+        // Parallel context: lexically inside a region, or the whole
+        // function runs under one.
+        std::size_t scan_from = kNpos;
+        for (const Region& r : regions_by_fn[fn]) {
+          if (k > r.begin && k < r.end) {
+            scan_from = r.begin;
+            break;
+          }
+        }
+        if (scan_from == kNpos && par_reach[fn])
+          scan_from = index.functions[fn].body_begin;
+        if (scan_from == kNpos) continue;  // serial context: any access ok
+        bool subscripted = false;
+        if (!is_mutation(t, k, &subscripted)) continue;
+        const std::string where = " (annotated at " +
+                                  at(program, a.file, a.line) + ")";
+        switch (a.kind) {
+          case Annotation::Kind::kShardLocal:
+            if (!subscripted) {
+              findings->push_back(
+                  {file.rel, t[k].line, "shard-ownership",
+                   std::string(kind_name(a.kind)) + " `" + a.var +
+                       "` mutated without a per-slot subscript inside a "
+                       "parallel region" +
+                       where});
+            }
+            break;
+          case Annotation::Kind::kGuardedBy:
+            if (!lock_held(t, scan_from, k, a.lock)) {
+              findings->push_back(
+                  {file.rel, t[k].line, "shard-ownership",
+                   std::string(kind_name(a.kind)) + "(" + a.lock + ") `" +
+                       a.var + "` mutated in a parallel region without "
+                       "holding `" + a.lock + "`" + where});
+            }
+            break;
+          case Annotation::Kind::kReducedSerial:
+            findings->push_back(
+                {file.rel, t[k].line, "shard-ownership",
+                 std::string(kind_name(a.kind)) + " `" + a.var +
+                     "` mutated inside a parallel region; the merge must "
+                     "stay serial" +
+                     where});
+            break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Annotation> collect_annotations(const Program& program) {
+  std::vector<Annotation> out;
+  for (std::size_t f = 0; f < program.files().size(); ++f) {
+    const std::vector<Token>& t = program.files()[f].tokens;
+    for (std::size_t k = 0; k < t.size(); ++k) {
+      if (t[k].kind != Token::Kind::kIdent) continue;
+      // Skip the macro definitions themselves (common/contracts.hpp).
+      if (k >= 1 && t[k - 1].text == "define") continue;
+      Annotation a;
+      std::size_t j;
+      if (t[k].text == "EAR_SHARD_LOCAL") {
+        a.kind = Annotation::Kind::kShardLocal;
+        j = k + 1;
+      } else if (t[k].text == "EAR_REDUCED_SERIAL") {
+        a.kind = Annotation::Kind::kReducedSerial;
+        j = k + 1;
+      } else if (t[k].text == "EAR_GUARDED_BY" && k + 2 < t.size() &&
+                 t[k + 1].text == "(") {
+        a.kind = Annotation::Kind::kGuardedBy;
+        a.lock = t[k + 2].text;
+        const std::size_t close = match_forward(t, k + 1);
+        if (close == kNpos) continue;
+        j = close + 1;
+      } else {
+        continue;
+      }
+      // The annotated declarator: the last identifier before the
+      // declaration ends (`;`, `=`, `(`, `{` or `[` all end the name).
+      std::string var;
+      std::size_t line = t[k].line;
+      while (j < t.size()) {
+        const std::string& s = t[j].text;
+        if (s == ";" || s == "=" || s == "(" || s == "{" || s == "[") break;
+        if (s == "<") {
+          const std::size_t past = skip_template_args(t, j);
+          if (past == kNpos) break;
+          j = past;
+          continue;
+        }
+        if (t[j].kind == Token::Kind::kIdent) {
+          var = t[j].text;
+          line = t[j].line;
+        }
+        ++j;
+      }
+      if (var.empty()) continue;
+      a.var = var;
+      a.file = f;
+      a.line = line;
+      out.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+void run_deep_passes(const Program& program, const Index& index,
+                     const CallGraph& cg, std::vector<Finding>* findings) {
+  run_taint_pass(program, index, cg, findings);
+  run_ownership_pass(program, index, cg, findings);
+}
+
+}  // namespace lint

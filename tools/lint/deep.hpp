@@ -1,0 +1,59 @@
+// ear_lint interprocedural (--deep) passes.
+//
+// nondet-taint — tracks nondeterminism from sources to sinks across
+// the call graph. Sources: iteration over unordered containers feeding
+// an accumulator (the subsumed nondet-iteration rule), std::random_device,
+// gettimeofday, any `X::now()` clock read, std::this_thread::get_id,
+// and compound accumulation (`+=`/`-=`) inside a parallel region. A
+// function is tainted when its body contains a source or when it calls
+// a tainted function (resolved edges only). The finding fires at the
+// *junction*: a call site in a tainted function whose callee is a sink
+// (reduce_runs, the CSV/table emitters, mix_seed) or transitively
+// reaches one. Function-granularity is an over-approximation — the
+// tainted value need not feed the sink argument — which is exactly why
+// reviewed allowlist entries exist for flows that are metadata-only.
+//
+// shard-ownership — enforces the concurrency-discipline annotations
+// from common/contracts.hpp on annotated state:
+//   EAR_SHARD_LOCAL      mutations inside a parallel region must go
+//                        through a subscript (per-slot ownership);
+//                        whole-container mutation is a violation.
+//   EAR_GUARDED_BY(mu)   mutations inside a parallel region must be
+//                        lexically covered by a lock_guard/unique_lock/
+//                        scoped_lock on `mu`.
+//   EAR_REDUCED_SERIAL   any mutation inside a parallel region is a
+//                        violation; the merge must happen serially.
+// A parallel region is the body of a lambda passed to parallel_for or
+// submit; functions called (resolved edges) from a region are checked
+// too. Matching is name-based and scoped by header visibility: an
+// occurrence in file g counts against an annotation declared in file d
+// only when g includes d (or g == d).
+#pragma once
+
+#include <vector>
+
+#include "lint/findings.hpp"
+#include "lint/index.hpp"
+#include "lint/source.hpp"
+
+namespace lint {
+
+/// One EAR_SHARD_LOCAL / EAR_GUARDED_BY / EAR_REDUCED_SERIAL site.
+struct Annotation {
+  enum class Kind { kShardLocal, kGuardedBy, kReducedSerial };
+  Kind kind;
+  std::string var;   // annotated variable name
+  std::string lock;  // mutex name, EAR_GUARDED_BY only
+  std::size_t file = 0;
+  std::size_t line = 0;
+};
+
+/// Scan every file for ownership annotations (exposed for tests).
+[[nodiscard]] std::vector<Annotation> collect_annotations(
+    const Program& program);
+
+/// Run both interprocedural passes, appending findings.
+void run_deep_passes(const Program& program, const Index& index,
+                     const CallGraph& cg, std::vector<Finding>* findings);
+
+}  // namespace lint
