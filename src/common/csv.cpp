@@ -1,8 +1,22 @@
 #include "common/csv.hpp"
 
+#include <charconv>
 #include <cstdio>
 
 namespace ear::common {
+
+std::string exact_double(double v) {
+  // Shortest round-trip form; 32 bytes covers the longest double
+  // representation ("-2.2250738585072014e-308" is 24 chars).
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+bool parse_exact_double(std::string_view s, double* out) {
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
 
 void CsvWriter::header(const std::vector<std::string>& names) { row(names); }
 

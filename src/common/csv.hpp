@@ -9,6 +9,18 @@
 
 namespace ear::common {
 
+/// Shortest decimal string that round-trips to exactly `v`
+/// (std::to_chars): locale-independent, full precision. Non-finite
+/// values render as "nan"/"-nan"/"inf"/"-inf", which parse_exact_double
+/// (and strtod) read back. Serialisation surfaces — CSV exports, JSON
+/// summaries, trajectory files — must use this instead of fixed-precision
+/// printf formatting, which silently truncates and is locale-dependent.
+[[nodiscard]] std::string exact_double(double v);
+
+/// Parse a double produced by exact_double (std::from_chars, accepts
+/// nan/inf spellings). Returns false on empty input or trailing garbage.
+[[nodiscard]] bool parse_exact_double(std::string_view s, double* out);
+
 class CsvWriter {
  public:
   /// Writes rows to `out`; the stream must outlive the writer.

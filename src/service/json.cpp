@@ -1,0 +1,124 @@
+#include "service/json.hpp"
+
+#include <cmath>
+
+#include "common/csv.hpp"
+
+namespace ear::service {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_ += '\n';
+  out_.append(2 * has_items_.size(), ' ');
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+    indent();
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  const bool had = !has_items_.empty() && has_items_.back();
+  has_items_.pop_back();
+  if (had) indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  const bool had = !has_items_.empty() && has_items_.back();
+  has_items_.pop_back();
+  if (had) indent();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::value_str(std::string_view s) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value_double(double v) {
+  separate();
+  if (std::isfinite(v)) {
+    out_ += common::exact_double(v);
+  } else {
+    // JSON has no NaN/Infinity literals; quoted spellings keep the
+    // document valid and parse_exact_double reads them back.
+    out_ += '"';
+    out_ += common::exact_double(v);
+    out_ += '"';
+  }
+}
+
+void JsonWriter::value_u64(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value_bool(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+}
+
+}  // namespace ear::service

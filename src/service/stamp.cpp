@@ -1,0 +1,28 @@
+#include "service/stamp.hpp"
+
+// The build system passes these on stamp.cpp's compile line only, so a
+// new commit re-compiles one translation unit, not the whole library.
+#ifndef EAR_GIT_DESCRIBE
+#define EAR_GIT_DESCRIBE "unknown"
+#endif
+#ifndef EAR_BUILD_TYPE
+#define EAR_BUILD_TYPE "unknown"
+#endif
+#ifndef EAR_COMPILER_ID
+#define EAR_COMPILER_ID "unknown"
+#endif
+
+namespace ear::service {
+
+std::string BuildStamp::line() const {
+  return "git " + git_describe + ", " + build_type + ", " + compiler;
+}
+
+const BuildStamp& build_stamp() {
+  static const BuildStamp stamp{.git_describe = EAR_GIT_DESCRIBE,
+                                .build_type = EAR_BUILD_TYPE,
+                                .compiler = EAR_COMPILER_ID};
+  return stamp;
+}
+
+}  // namespace ear::service

@@ -1,0 +1,28 @@
+// Build/provenance stamp: which binary produced an artifact.
+//
+// Every artifact directory gets a stamp.json and every checkpoint header
+// embeds the one-line form; a checkpoint written by a different binary is
+// rejected at load with a clear message instead of silently resuming a
+// campaign whose numbers the current code would not reproduce. The values
+// are burned in at configure time (see src/service/CMakeLists.txt) and
+// fall back to "unknown" outside a git checkout.
+#pragma once
+
+#include <string>
+
+namespace ear::service {
+
+struct BuildStamp {
+  std::string git_describe;  // `git describe --always --dirty`
+  std::string build_type;    // CMAKE_BUILD_TYPE
+  std::string compiler;      // compiler id + version
+
+  /// One-line form embedded in binary headers and compared on resume,
+  /// e.g. "git 2bb379c, RelWithDebInfo, GNU 12.2.0".
+  [[nodiscard]] std::string line() const;
+};
+
+/// The stamp of this binary.
+[[nodiscard]] const BuildStamp& build_stamp();
+
+}  // namespace ear::service

@@ -1,0 +1,466 @@
+#include "service/sweep.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "faults/fault_plan.hpp"
+#include "service/checkpoint.hpp"
+#include "service/json.hpp"
+#include "service/stamp.hpp"
+#include "service/trace.hpp"
+#include "sim/presets.hpp"
+#include "sim/trace.hpp"
+#include "workload/catalog.hpp"
+#include "workload/spec_file.hpp"
+
+namespace ear::service {
+
+namespace fs = std::filesystem;
+using common::ConfigError;
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (from <= value.size()) {
+    const std::size_t comma = value.find(',', from);
+    const std::string item = trim(
+        value.substr(from, comma == std::string::npos ? std::string::npos
+                                                      : comma - from));
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  return out;
+}
+
+double parse_number(const std::string& key, const std::string& value,
+                    int line) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw ConfigError("sweep spec line " + std::to_string(line) + ": key '" +
+                      key + "' expects a number, got '" + value + "'");
+  }
+  return v;
+}
+
+std::size_t parse_whole(const std::string& key, const std::string& value,
+                        int line) {
+  const double v = parse_number(key, value, line);
+  if (v < 0.0 || v != static_cast<double>(static_cast<std::size_t>(v))) {
+    throw ConfigError("sweep spec line " + std::to_string(line) + ": key '" +
+                      key + "' expects a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+void apply(SweepSpec& s, const std::string& key, const std::string& value,
+           int line) {
+  if (key == "name") {
+    s.name = value;
+  } else if (key == "apps") {
+    s.apps = split_list(value);
+  } else if (key == "policies") {
+    s.policies = split_list(value);
+  } else if (key == "faults") {
+    s.faults = split_list(value);
+  } else if (key == "runs") {
+    s.runs = parse_whole(key, value, line);
+  } else if (key == "seed") {
+    s.seed = parse_whole(key, value, line);
+  } else if (key == "cpu_th") {
+    s.cpu_th = parse_number(key, value, line);
+  } else if (key == "unc_th") {
+    s.unc_th = parse_number(key, value, line);
+  } else if (key == "checkpoint_every") {
+    s.checkpoint_every = parse_whole(key, value, line);
+  } else if (key == "workload_file") {
+    s.workload_file = value;
+  } else {
+    throw ConfigError("sweep spec line " + std::to_string(line) +
+                      ": unknown key '" + key + "'");
+  }
+}
+
+std::string fault_stem(const std::string& path) {
+  return fs::path(path).stem().string();
+}
+
+workload::AppModel resolve_app(const SweepSpec& spec,
+                               const std::string& name) {
+  if (spec.workload_file.empty()) return workload::make_app(name);
+  for (const auto& e : workload::load_spec_file(spec.workload_file)) {
+    if (e.name == name) return workload::make_app(e);
+  }
+  throw ConfigError("workload '" + name + "' not found in " +
+                    spec.workload_file);
+}
+
+/// The campaign grid a spec describes, point indices matching
+/// sweep_points() order.
+std::vector<sim::CampaignPoint> build_points(const SweepSpec& spec) {
+  // Fault plans load once per distinct path and are shared across the
+  // points that use them.
+  std::map<std::string, std::shared_ptr<const faults::FaultPlan>> plans;
+  std::vector<sim::CampaignPoint> out;
+  for (const SweepPoint& sp : sweep_points(spec)) {
+    sim::ExperimentConfig cfg{.app = resolve_app(spec, sp.app),
+                              .seed = spec.seed};
+    cfg.earl = sim::settings_me_eufs(spec.cpu_th, spec.unc_th);
+    cfg.earl.policy = sp.policy;
+    if (!sp.fault_plan.empty()) {
+      auto [it, inserted] = plans.try_emplace(sp.fault_plan);
+      if (inserted) {
+        it->second = std::make_shared<const faults::FaultPlan>(
+            faults::load_fault_plan(sp.fault_plan));
+      }
+      cfg.fault_plan = it->second;
+    }
+    out.push_back(sim::CampaignPoint{
+        .label = sp.label, .cfg = std::move(cfg), .runs = spec.runs});
+  }
+  return out;
+}
+
+void write_text_atomic(const fs::path& path, std::string_view text) {
+  write_file_atomic(path.string(), text);
+}
+
+std::string stamp_json() {
+  const BuildStamp& s = build_stamp();
+  JsonWriter j;
+  j.begin_object();
+  j.key("git_describe");
+  j.value_str(s.git_describe);
+  j.key("build_type");
+  j.value_str(s.build_type);
+  j.key("compiler");
+  j.value_str(s.compiler);
+  j.key("stamp");
+  j.value_str(s.line());
+  j.end_object();
+  return j.str();
+}
+
+/// Per-run summary.json: the deterministic scalar outcome of one run.
+std::string run_summary_json(const std::string& label, std::size_t run,
+                             const sim::RunResult& r) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("label");
+  j.value_str(label);
+  j.key("run");
+  j.value_u64(run);
+  j.key("stamp");
+  j.value_str(build_stamp().line());
+  j.key("total_time_s");
+  j.value_double(r.total_time_s);
+  j.key("total_energy_j");
+  j.value_double(r.total_energy_j);
+  j.key("avg_dc_power_w");
+  j.value_double(r.avg_dc_power_w);
+  j.key("avg_pkg_power_w");
+  j.value_double(r.avg_pkg_power_w);
+  j.key("avg_cpu_ghz");
+  j.value_double(r.avg_cpu_ghz);
+  j.key("avg_imc_ghz");
+  j.value_double(r.avg_imc_ghz);
+  j.key("cpi");
+  j.value_double(r.cpi);
+  j.key("gbps");
+  j.value_double(r.gbps);
+  j.key("nodes");
+  j.value_u64(r.nodes.size());
+  j.key("faults_injected");
+  j.value_u64(r.fault_report.injected());
+  j.key("faults_detected");
+  j.value_u64(r.fault_report.detected());
+  j.key("faults_recovered");
+  j.value_u64(r.fault_report.recovered());
+  j.end_object();
+  return j.str();
+}
+
+/// Final campaign.json. Only deterministic fields: no wall-clock, no
+/// thread-seconds — an interrupted-then-resumed sweep must produce the
+/// byte-identical file an uninterrupted one does.
+std::string campaign_json(const SweepSpec& spec, std::uint64_t fingerprint,
+                          const std::vector<sim::CampaignResult>& results) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("name");
+  j.value_str(spec.name);
+  j.key("stamp");
+  j.value_str(build_stamp().line());
+  j.key("fingerprint");
+  j.value_u64(fingerprint);
+  j.key("runs_per_point");
+  j.value_u64(spec.runs);
+  j.key("seed");
+  j.value_u64(spec.seed);
+  j.key("points");
+  j.begin_array();
+  for (const sim::CampaignResult& r : results) {
+    j.begin_object();
+    j.key("label");
+    j.value_str(r.label);
+    j.key("completed_runs");
+    j.value_u64(r.completed_runs);
+    j.key("errors");
+    j.value_u64(r.errors.size());
+    j.key("total_time_s");
+    j.value_double(r.avg.total_time_s);
+    j.key("total_energy_j");
+    j.value_double(r.avg.total_energy_j);
+    j.key("avg_dc_power_w");
+    j.value_double(r.avg.avg_dc_power_w);
+    j.key("avg_pkg_power_w");
+    j.value_double(r.avg.avg_pkg_power_w);
+    j.key("avg_cpu_ghz");
+    j.value_double(r.avg.avg_cpu_ghz);
+    j.key("avg_imc_ghz");
+    j.value_double(r.avg.avg_imc_ghz);
+    j.key("cpi");
+    j.value_double(r.avg.cpi);
+    j.key("gbps");
+    j.value_double(r.avg.gbps);
+    j.key("time_stddev_s");
+    j.value_double(r.avg.time_stddev_s);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
+/// Write one slot's artifact directory: timeline/nodes CSVs, the scalar
+/// summary and the decision trace, each atomically.
+void write_run_artifacts(const fs::path& store, const std::string& label,
+                         std::size_t point, std::size_t run,
+                         std::uint64_t seed, const std::string& app,
+                         const std::string& policy,
+                         const sim::RunResult& result,
+                         TraceRecorder* recorder) {
+  const fs::path dir =
+      store / label_dir(label) / ("run" + std::to_string(run));
+  fs::create_directories(dir);
+  {
+    std::ostringstream csv;
+    sim::write_timeline_csv(result, csv);
+    write_text_atomic(dir / "timeline.csv", csv.str());
+  }
+  {
+    std::ostringstream csv;
+    sim::write_nodes_csv(result, csv);
+    write_text_atomic(dir / "nodes.csv", csv.str());
+  }
+  write_text_atomic(dir / "summary.json",
+                    run_summary_json(label, run, result));
+  if (recorder != nullptr) {
+    recorder->add_fault_events(result.fault_events);
+    const TraceMeta meta{.stamp = build_stamp().line(),
+                         .label = label,
+                         .app = app,
+                         .policy = policy,
+                         .point = point,
+                         .run = run,
+                         .seed = seed};
+    write_file_atomic((dir / "trace.bin").string(),
+                      recorder->serialize(meta));
+  }
+}
+
+}  // namespace
+
+std::string label_dir(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (c == '/') c = '_';
+  }
+  return out;
+}
+
+SweepSpec parse_sweep_spec(std::istream& in) {
+  SweepSpec spec;
+  std::string line;
+  int lineno = 0;
+  bool in_sweep = false;
+  bool seen_section = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.erase(comment);
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') {
+        throw ConfigError("sweep spec line " + std::to_string(lineno) +
+                          ": unterminated section header");
+      }
+      const std::string section = trim(t.substr(1, t.size() - 2));
+      if (section != "sweep") {
+        throw ConfigError("sweep spec line " + std::to_string(lineno) +
+                          ": unknown section '" + section +
+                          "' (only [sweep] is defined)");
+      }
+      in_sweep = true;
+      seen_section = true;
+      continue;
+    }
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("sweep spec line " + std::to_string(lineno) +
+                        ": expected 'key = value'");
+    }
+    if (!in_sweep) {
+      throw ConfigError("sweep spec line " + std::to_string(lineno) +
+                        ": key outside the [sweep] section");
+    }
+    apply(spec, trim(t.substr(0, eq)), trim(t.substr(eq + 1)), lineno);
+  }
+  if (!seen_section) {
+    throw ConfigError("sweep spec has no [sweep] section");
+  }
+  if (spec.apps.empty()) {
+    throw ConfigError("sweep spec lists no apps");
+  }
+  if (spec.policies.empty()) {
+    throw ConfigError("sweep spec lists no policies");
+  }
+  if (spec.runs == 0) {
+    throw ConfigError("sweep spec: runs must be at least 1");
+  }
+  if (spec.faults.empty()) spec.faults = {"none"};
+  return spec;
+}
+
+SweepSpec load_sweep_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open sweep spec " + path);
+  return parse_sweep_spec(in);
+}
+
+std::vector<SweepPoint> sweep_points(const SweepSpec& spec) {
+  std::vector<SweepPoint> out;
+  const bool fault_axis =
+      spec.faults.size() > 1 ||
+      (spec.faults.size() == 1 && spec.faults[0] != "none");
+  for (const std::string& app : spec.apps) {
+    for (const std::string& policy : spec.policies) {
+      for (const std::string& fault : spec.faults) {
+        SweepPoint p;
+        p.app = app;
+        p.policy = policy;
+        p.label = app + "/" + policy;
+        if (fault != "none") p.fault_plan = fault;
+        if (fault_axis) {
+          p.label +=
+              "/" + (fault == "none" ? std::string("none")
+                                     : fault_stem(fault));
+        }
+        out.push_back(std::move(p));
+      }
+    }
+  }
+  return out;
+}
+
+SweepOutcome run_sweep(const SweepSpec& spec, const std::string& store_dir,
+                       const SweepOptions& opts) {
+  SweepOutcome outcome;
+  outcome.store = store_dir;
+  const fs::path store(store_dir);
+  fs::create_directories(store);
+  write_text_atomic(store / "stamp.json", stamp_json());
+  if (!opts.spec_text.empty()) {
+    write_text_atomic(store / "sweep.ini", opts.spec_text);
+  }
+
+  const std::vector<SweepPoint> points = sweep_points(spec);
+  std::vector<sim::CampaignPoint> grid = build_points(spec);
+  outcome.total = grid.size() * spec.runs;
+
+  const std::uint64_t fingerprint = campaign_fingerprint(grid);
+  const std::string ckpt_path = (store / "campaign.ckpt").string();
+  CheckpointMeta meta;
+  meta.stamp = build_stamp().line();
+  meta.fingerprint = fingerprint;
+  meta.total_slots = outcome.total;
+  CheckpointManager manager(ckpt_path, meta, spec.checkpoint_every);
+
+  if (!opts.fresh) {
+    CheckpointLoad load =
+        try_load_checkpoint(ckpt_path, meta.stamp, fingerprint);
+    outcome.note = load.note;
+    if (load.loaded) {
+      outcome.restored = load.checkpoint.slots.size();
+      manager.adopt(std::move(load.checkpoint.slots));
+    }
+  }
+
+  // The campaign hooks. on_slot_complete runs serialised under the
+  // campaign's internal mutex; everything here is keyed by (point, run),
+  // so completion order — which depends on the job count — only decides
+  // *when* an artifact is written, never what it contains.
+  sim::CampaignOptions copts;
+  copts.jobs = opts.jobs;
+  copts.progress = opts.progress;
+  // A crash is a finding, not a reason to lose the rest of the grid.
+  copts.capture_errors = true;
+  copts.observe = [](std::size_t, std::size_t) {
+    return std::make_unique<TraceRecorder>();
+  };
+  copts.on_slot_complete = [&](std::size_t point, std::size_t run,
+                               const sim::RunResult& result,
+                               sim::RunObserver* obs) {
+    if (opts.slot_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts.slot_delay_ms));
+    }
+    const SweepPoint& sp = points[point];
+    write_run_artifacts(store, sp.label, point, run, spec.seed, sp.app,
+                        sp.policy, result,
+                        static_cast<TraceRecorder*>(obs));
+    manager.record(point, run, result);
+  };
+  if (opts.halt_after_slots > 0) {
+    copts.should_stop = [&manager, halt = opts.halt_after_slots] {
+      return manager.recorded() >= halt;
+    };
+  }
+
+  sim::Campaign campaign(copts);
+  for (sim::CampaignPoint& p : grid) campaign.add(std::move(p));
+  for (const SlotRecord& s : manager.slots()) {
+    campaign.preload(s.point, s.run, s.result);
+  }
+
+  const std::vector<sim::CampaignResult>& results = campaign.run();
+  manager.flush();
+  outcome.interrupted = campaign.interrupted();
+  for (const sim::CampaignResult& r : results) {
+    outcome.completed += r.completed_runs;
+  }
+  write_text_atomic(store / "campaign.json",
+                    campaign_json(spec, fingerprint, results));
+  return outcome;
+}
+
+}  // namespace ear::service

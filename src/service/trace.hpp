@@ -1,0 +1,202 @@
+// Record/replay traces: a compact, seekable, chunked binary format for
+// per-iteration policy decisions.
+//
+// A trace records what the runtime *decided* every iteration of a run —
+// the (f_cpu, f_imc) operating point, the DC power it produced, the EARL
+// state machine's state and signature count — plus phase boundaries and
+// injected fault events. Values are quantised deterministically
+// (microseconds, kHz, milliwatts), so two runs with the same seed
+// produce byte-identical traces and `trace diff` of a changed policy
+// pinpoints the first diverging decision.
+//
+// File layout (all integers little-endian):
+//
+//   magic     "EARTRC01"                          8 bytes
+//   header    u32 length + payload + u32 CRC
+//             (format version, build stamp, run coordinates)
+//   chunks    u32 length + payload + u32 CRC, repeated
+//             payload: first event index, count, delta-coded events
+//   directory u32 length + payload + u32 CRC
+//             per chunk: first index, count, absolute file offset
+//   footer    u64 directory offset + "EARTRCEN"   16 bytes
+//
+// Delta encoding resets at every chunk boundary, so each chunk decodes
+// independently: TraceReader seeks by binary-searching the directory and
+// decoding one chunk, not the whole file.
+//
+// Versioning rules: kTraceFormatVersion is bumped on any layout change;
+// readers reject other versions outright (traces are cheap to re-record,
+// silent misreads are not). The build stamp in the header is advisory
+// for traces — diffing across binaries is exactly the cross-version
+// regression use case.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "faults/report.hpp"
+#include "service/wire.hpp"
+#include "sim/experiment.hpp"
+
+namespace ear::service {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+enum class TraceEventKind : std::uint8_t {
+  kPhase = 1,      // a phase begins
+  kIteration = 2,  // one iteration's decision sample
+  kFault = 3,      // an injected fault fired
+};
+
+/// One trace event. A tagged union flattened into a struct: which fields
+/// are meaningful depends on `kind` (the others stay at their defaults,
+/// so operator== is still an exact stream comparison).
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kIteration;
+  // kPhase
+  std::uint64_t phase = 0;       // also set on kIteration
+  std::uint64_t iterations = 0;  // phase length
+  // kIteration
+  std::uint64_t iteration = 0;  // global iteration index
+  std::int64_t t_us = 0;        // simulated clock, µs (also kFault)
+  common::Freq cpu_freq;
+  common::Freq imc_freq;
+  std::uint64_t milliwatts = 0;  // DC power, quantised
+  std::uint8_t earl_state = 0;   // EarlSession::State + 1; 0 = detached
+  std::uint64_t signatures = 0;
+  // kFault
+  std::uint32_t node = 0;
+  std::uint8_t family = 0;  // faults::FaultFamily
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Header metadata identifying the recorded run.
+struct TraceMeta {
+  std::string stamp;   // writer's BuildStamp::line()
+  std::string label;   // campaign point label
+  std::string app;
+  std::string policy;
+  std::uint64_t point = 0;
+  std::uint64_t run = 0;
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const TraceMeta&, const TraceMeta&) = default;
+};
+
+/// Builds a trace file in memory, sealing a chunk every `chunk_events`
+/// events. finish() appends the directory and footer and returns the
+/// complete file bytes (write them with write_file_atomic).
+class TraceWriter {
+ public:
+  explicit TraceWriter(TraceMeta meta, std::size_t chunk_events = 512);
+
+  void add(const TraceEvent& e);
+  [[nodiscard]] std::string finish();
+
+ private:
+  void seal_chunk();
+
+  struct DirEntry {
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    std::uint64_t offset = 0;
+  };
+
+  std::size_t chunk_events_;
+  std::string file_;              // header + sealed chunks so far
+  std::vector<DirEntry> dir_;
+  std::vector<TraceEvent> open_;  // events of the unsealed chunk
+  std::uint64_t total_ = 0;
+};
+
+/// Random-access reader. Validates the footer, directory and (lazily,
+/// on first touch) each chunk's CRC; caches the last decoded chunk, so
+/// sequential scans decode every chunk exactly once.
+class TraceReader {
+ public:
+  /// Takes ownership of the file bytes; throws WireError on any defect
+  /// of the fixed structures (magic, footer, directory, header).
+  explicit TraceReader(std::string bytes);
+
+  [[nodiscard]] const TraceMeta& meta() const { return meta_; }
+  [[nodiscard]] std::uint64_t event_count() const { return total_; }
+  /// Event `i` (seek + chunk decode on miss); throws WireError on a
+  /// corrupt chunk or out-of-range index.
+  [[nodiscard]] const TraceEvent& at(std::uint64_t i);
+
+ private:
+  struct DirEntry {
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    std::uint64_t offset = 0;
+  };
+
+  void load_chunk(std::size_t idx);
+
+  std::string bytes_;
+  TraceMeta meta_;
+  std::vector<DirEntry> dir_;
+  std::uint64_t total_ = 0;
+  std::size_t cached_chunk_ = SIZE_MAX;
+  std::vector<TraceEvent> cache_;
+};
+
+/// One located divergence between two traces.
+struct TraceDiffEntry {
+  std::uint64_t index = 0;  // event index where the streams differ
+  std::string what;         // human-readable field-level description
+};
+
+struct TraceDiff {
+  /// First `limit` divergences (event-by-event; a length mismatch adds
+  /// one entry at the shorter stream's end).
+  std::vector<TraceDiffEntry> entries;
+  std::uint64_t a_events = 0;
+  std::uint64_t b_events = 0;
+  bool meta_differs = false;
+
+  [[nodiscard]] bool identical() const {
+    return entries.empty() && a_events == b_events;
+  }
+};
+
+/// Compare two traces event by event (metadata differences are reported
+/// but do not count as divergence — cross-binary diffing is the point).
+[[nodiscard]] TraceDiff diff_traces(TraceReader& a, TraceReader& b,
+                                    std::size_t limit = 16);
+
+/// Render an event as a one-line string ("iter 42 @ 1.234567s cpu
+/// 2.4GHz imc 2.0GHz ..."), shared by `trace dump` and diff output.
+[[nodiscard]] std::string describe_event(const TraceEvent& e);
+
+/// The record side: a sim::RunObserver that quantises the engine's
+/// observation stream into trace events. After the run, append the
+/// result's fault timeline with add_fault_events, then serialize().
+class TraceRecorder : public sim::RunObserver {
+ public:
+  void phase_begin(std::size_t phase, std::size_t iterations) override;
+  void iteration(const IterationSample& sample) override;
+
+  void add_fault_events(const std::vector<faults::FaultEvent>& events);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::string serialize(const TraceMeta& meta,
+                                      std::size_t chunk_events = 512) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t phase_ = 0;
+};
+
+/// Deterministic quantisation shared by recorder and tests.
+[[nodiscard]] std::int64_t quantise_us(double seconds);
+[[nodiscard]] std::uint64_t quantise_milliwatts(common::Power p);
+
+}  // namespace ear::service

@@ -1,0 +1,137 @@
+#include "service/wire.hpp"
+
+#include <array>
+#include <bit>
+
+namespace ear::service {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = table[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::u8(std::uint8_t v) {
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteWriter::f64(double v) {
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80u) {
+    buf_.push_back(static_cast<char>((v & 0x7Fu) | 0x80u));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  // Zigzag: small magnitudes of either sign map to small codes.
+  const auto u = static_cast<std::uint64_t>(v);
+  varint((u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::str(std::string_view s) {
+  varint(s.size());
+  buf_.append(s);
+}
+
+void ByteWriter::raw(std::string_view bytes) {
+  buf_.append(bytes);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw WireError("truncated record: need " + std::to_string(n) +
+                    " byte(s) at offset " + std::to_string(pos_) +
+                    ", have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return static_cast<std::uint8_t>(view_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(view_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(view_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double ByteReader::f64() {
+  return std::bit_cast<double>(u64());
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t b = u8();
+    v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) return v;
+  }
+  throw WireError("varint longer than 64 bits at offset " +
+                  std::to_string(pos_));
+}
+
+std::int64_t ByteReader::svarint() {
+  const std::uint64_t u = varint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1u) + 1u));
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = varint();
+  require(n);
+  std::string s(view_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+}  // namespace ear::service

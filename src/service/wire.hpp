@@ -1,0 +1,78 @@
+// Wire-format primitives shared by the service layer's binary files
+// (campaign checkpoints, record/replay traces).
+//
+// Everything is little-endian and explicitly sized; doubles travel as
+// their IEEE-754 bit patterns so a value read back is the *same* value,
+// bit for bit — the checkpoint/resume determinism proof rests on that.
+// Varints use the LEB128 low-7-bits encoding; signed values are zigzag
+// mapped first so small negative deltas stay short.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace ear::service {
+
+/// Thrown when a binary file is truncated, corrupt, or from a different
+/// format version. Derives from ConfigError: to callers, a bad file is
+/// bad input, not a bug.
+class WireError : public common::ConfigError {
+ public:
+  explicit WireError(const std::string& what) : common::ConfigError(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+/// Append-only encoder. All multi-byte integers little-endian.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern: NaN payloads, -0.0 and subnormals all
+  /// round-trip bit-exactly.
+  void f64(double v);
+  void varint(std::uint64_t v);
+  void svarint(std::int64_t v);  // zigzag + varint
+  void str(std::string_view s);  // varint length + raw bytes
+  void raw(std::string_view bytes);
+
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over a borrowed buffer; every read throws
+/// WireError instead of walking past the end, so feeding a truncated
+/// file never reads garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : view_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::int64_t svarint();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return view_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == view_.size(); }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::string_view view_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ear::service

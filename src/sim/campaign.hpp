@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,31 @@ struct CampaignOptions {
   /// the averaged scalars, so results are unchanged; set it high for
   /// table sweeps where nobody plots the timelines.
   std::size_t timeline_stride = 1;
+  /// Service hooks (see src/service/): all three default to null, in
+  /// which case the engine behaves exactly as before.
+  ///
+  /// `observe` builds a per-(point, run) observer on the worker thread
+  /// before the run starts; it is wired into that run's config and handed
+  /// to on_slot_complete, then destroyed. Used for record/replay traces.
+  std::function<std::unique_ptr<RunObserver>(std::size_t point,
+                                             std::size_t run)>
+      observe;
+  /// Called after every *successful* (point, run) slot, serialised under
+  /// an internal mutex, in completion order — which depends on the job
+  /// count, so consumers must treat calls as an unordered set (write a
+  /// keyed artifact, record a checkpoint slot), never fold them into an
+  /// order-sensitive result. `obs` is this slot's observer (null unless
+  /// `observe` is set). Runs that threw under capture_errors do not get
+  /// a callback.
+  std::function<void(std::size_t point, std::size_t run,
+                     const RunResult& result, RunObserver* obs)>
+      on_slot_complete;
+  /// Polled before each queued task starts; once it returns true the
+  /// campaign stops claiming tasks (in-flight runs finish and still get
+  /// their completion callback) and run() reports interrupted(). The
+  /// crash-safe service uses this for orderly drains; a SIGKILL needs no
+  /// cooperation at all — that is what the checkpoints are for.
+  std::function<bool()> should_stop;
 };
 
 /// Outcome of one point, in the order the points were added.
@@ -52,6 +79,10 @@ struct CampaignResult {
   double run_seconds = 0.0;
   /// Messages of runs that threw (capture_errors mode), run-index order.
   std::vector<std::string> errors;
+  /// Runs actually reduced into avg. Equals the point's configured runs
+  /// on a full campaign; lower when the campaign was interrupted
+  /// (should_stop) before every slot completed.
+  std::size_t completed_runs = 0;
 };
 
 class Campaign {
@@ -67,6 +98,18 @@ class Campaign {
   [[nodiscard]] const std::vector<CampaignPoint>& points() const {
     return points_;
   }
+
+  /// Pre-mark (point, run) as complete with `result` — restored from a
+  /// service checkpoint. run() skips the slot and feeds `result` into the
+  /// point's reduction exactly as if this process had computed it; the
+  /// checkpoint stores results bit-exactly, so a resumed campaign reduces
+  /// to bitwise-identical numbers. The point must already be add()ed.
+  /// Preloads persist across run() calls.
+  void preload(std::size_t point, std::size_t run, RunResult result);
+
+  /// True when the last run() stopped early because should_stop fired;
+  /// results() then holds partial reductions (see completed_runs).
+  [[nodiscard]] bool interrupted() const { return interrupted_; }
 
   /// Execute every (point, run) task across the worker pool and reduce.
   /// Results are indexed exactly like the add() calls.
@@ -85,12 +128,20 @@ class Campaign {
   [[nodiscard]] common::RunningStats time_stats() const;
 
  private:
+  struct Preloaded {
+    std::size_t point;
+    std::size_t run;
+    RunResult result;
+  };
+
   CampaignOptions opts_;
   std::vector<CampaignPoint> points_;
+  std::vector<Preloaded> preloaded_;
   // Filled by the serial run-index-order reduction after the pool
   // drains; never touched from the parallel phase.
   EAR_REDUCED_SERIAL std::vector<CampaignResult> results_;
   double wall_s_ = 0.0;
+  bool interrupted_ = false;
 };
 
 /// Convenience: run a one-shot campaign over `points`.

@@ -138,7 +138,11 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
   out.timeline.reserve(samples);
   out.nodes.reserve(app.nodes);
   std::size_t iter_index = 0;
+  std::size_t phase_index = 0;
   for (const auto& phase : app.phases) {
+    if (cfg.observer != nullptr) {
+      cfg.observer->phase_begin(phase_index, phase.iterations);
+    }
     // Imbalance-scaled per-node demands, computed once per phase.
     std::vector<simhw::WorkDemand> demands;
     demands.reserve(app.nodes);
@@ -172,10 +176,29 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
             sessions[n]->on_time_tick();
           }
         }
+        // Observe node 0 after its session processed the iteration, so
+        // the sample carries the decision state *this* iteration ended
+        // in — that is the stream a replay must reproduce exactly.
+        if (n == 0 && cfg.observer != nullptr) {
+          RunObserver::IterationSample sample{
+              .phase = phase_index,
+              .iteration = iter_index,
+              .t_s = cluster.node(0).clock().value,
+              .cpu_freq = cluster.node(0).cpu_freq(),
+              .imc_freq = outcome.uncore_freq,
+              .dc_power = outcome.power.total()};
+          if (cfg.attach_earl) {
+            sample.earl_state =
+                static_cast<std::uint8_t>(sessions[0]->state()) + 1;
+            sample.signatures = sessions[0]->signatures_computed();
+          }
+          cfg.observer->iteration(sample);
+        }
       }
       if (manager) manager->update(round_power);
       ++iter_index;
     }
+    ++phase_index;
   }
   if (manager) {
     out.eargm_throttles = manager->throttle_events();

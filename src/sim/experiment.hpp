@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/units.hpp"
 #include "earl/library.hpp"
 #include "eargm/eargm.hpp"
 #include "faults/fault_plan.hpp"
@@ -15,6 +16,33 @@
 #include "workload/phase.hpp"
 
 namespace ear::sim {
+
+/// Observation hook for one run: the engine reports node-0's phase
+/// boundaries and per-iteration operating point / runtime state as they
+/// happen. This is the record side of the service-layer record/replay
+/// traces (service::TraceRecorder); the hook is null by default and the
+/// engine takes the exact same path — observers read, never steer.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  struct IterationSample {
+    std::size_t phase = 0;      // phase index within the app
+    std::size_t iteration = 0;  // global iteration index
+    double t_s = 0.0;           // node-0 simulated clock after the iteration
+    common::Freq cpu_freq;
+    common::Freq imc_freq;
+    common::Power dc_power;
+    /// EarlSession::State of node 0 shifted by one (1 = kNoLoop, ...);
+    /// 0 = EARL not attached to this run.
+    std::uint8_t earl_state = 0;
+    /// Signatures node 0's session has computed so far (0 when detached).
+    std::size_t signatures = 0;
+  };
+
+  virtual void phase_begin(std::size_t phase, std::size_t iterations) = 0;
+  virtual void iteration(const IterationSample& sample) = 0;
+};
 
 struct ExperimentConfig {
   workload::AppModel app;
@@ -41,6 +69,11 @@ struct ExperimentConfig {
   /// Campaign sweeps that only read the averaged scalars set this high to
   /// skip the per-iteration timeline work; scalar results are unaffected.
   std::size_t timeline_stride = 1;
+  /// Per-run observation hook (record/replay traces). Not owned; must
+  /// outlive the run. Null = no observation, bit-identical engine path.
+  /// Unlike the timeline, observation is never strided: a replay trace
+  /// is a full-fidelity decision stream.
+  RunObserver* observer = nullptr;
 };
 
 /// One sample of node 0's operating point (per application iteration).

@@ -4,14 +4,19 @@
 
 namespace ear::sim {
 
+// Both exports use common::exact_double: the CSVs are re-read by plotting
+// and diffing tools, so every value must round-trip bit-exactly and be
+// independent of the process locale. Presentation rounding belongs to the
+// table layer, not the serialisation layer.
+
 void write_timeline_csv(const RunResult& result, std::ostream& out) {
   common::CsvWriter csv(out);
   csv.header({"t_s", "cpu_ghz", "imc_ghz", "dc_power_w"});
   for (const TimelinePoint& p : result.timeline) {
-    csv.row({common::CsvWriter::num(p.t_s, 3),
-             common::CsvWriter::num(p.cpu_ghz, 3),
-             common::CsvWriter::num(p.imc_ghz, 3),
-             common::CsvWriter::num(p.dc_power_w, 1)});
+    csv.row({common::exact_double(p.t_s),
+             common::exact_double(p.cpu_ghz),
+             common::exact_double(p.imc_ghz),
+             common::exact_double(p.dc_power_w)});
   }
 }
 
@@ -23,17 +28,17 @@ void write_nodes_csv(const RunResult& result, std::ostream& out) {
               "msr_writes"});
   for (std::size_t n = 0; n < result.nodes.size(); ++n) {
     const NodeResult& r = result.nodes[n];
-    csv.row({std::to_string(n), common::CsvWriter::num(r.elapsed_s, 2),
-             common::CsvWriter::num(r.energy_j, 1),
-             common::CsvWriter::num(r.pkg_energy_j, 1),
-             common::CsvWriter::num(r.avg_dc_power_w, 2),
-             common::CsvWriter::num(r.avg_pkg_power_w, 2),
-             common::CsvWriter::num(r.avg_cpu_ghz, 3),
-             common::CsvWriter::num(r.avg_imc_ghz, 3),
-             common::CsvWriter::num(r.cpi, 4),
-             common::CsvWriter::num(r.tpi, 5),
-             common::CsvWriter::num(r.gbps, 2),
-             common::CsvWriter::num(r.vpi, 3),
+    csv.row({std::to_string(n), common::exact_double(r.elapsed_s),
+             common::exact_double(r.energy_j),
+             common::exact_double(r.pkg_energy_j),
+             common::exact_double(r.avg_dc_power_w),
+             common::exact_double(r.avg_pkg_power_w),
+             common::exact_double(r.avg_cpu_ghz),
+             common::exact_double(r.avg_imc_ghz),
+             common::exact_double(r.cpi),
+             common::exact_double(r.tpi),
+             common::exact_double(r.gbps),
+             common::exact_double(r.vpi),
              std::to_string(r.signatures), std::to_string(r.msr_writes)});
   }
 }

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""End-to-end crash-safety smoke test for ``ear_sim serve``.
+
+Runs a small sweep to completion as the reference, then runs the same
+sweep in a second store with widened slot-completion windows, SIGKILLs
+it mid-campaign (a real kill -9, not an orderly halt), resumes it at a
+different job count, and asserts the final ``campaign.json`` and
+``campaign.ckpt`` are byte-identical to the uninterrupted reference.
+
+Usage: python3 tests/service_smoke.py <ear_sim_binary> [workdir]
+
+Exit 0 on success; non-zero with a diagnostic otherwise. Stdlib only.
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SPEC = """\
+[sweep]
+name = smoke
+apps = bqcd
+policies = min_energy_eufs, min_time_eufs
+runs = 3
+seed = 7
+checkpoint_every = 1
+"""
+
+
+def fail(msg):
+    print(f"service_smoke: FAIL — {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def serve(binary, spec, store, *extra):
+    cmd = [binary, "serve", "--spec", spec, "--store", store, *extra]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def read_bytes(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: service_smoke.py <ear_sim_binary> [workdir]")
+    binary = sys.argv[1]
+    if not os.access(binary, os.X_OK):
+        fail(f"{binary} is not executable")
+
+    work = sys.argv[2] if len(sys.argv) > 2 else tempfile.mkdtemp(
+        prefix="ear_service_smoke_")
+    os.makedirs(work, exist_ok=True)
+    spec = os.path.join(work, "smoke.ini")
+    with open(spec, "w") as f:
+        f.write(SPEC)
+    ref_store = os.path.join(work, "ref")
+    victim_store = os.path.join(work, "victim")
+    for store in (ref_store, victim_store):
+        shutil.rmtree(store, ignore_errors=True)
+
+    # 1. Uninterrupted reference at jobs=2.
+    r = serve(binary, spec, ref_store, "--jobs", "2")
+    if r.returncode != 0:
+        fail(f"reference sweep exited {r.returncode}:\n{r.stderr}")
+    ref_json = read_bytes(os.path.join(ref_store, "campaign.json"))
+    ref_ckpt = read_bytes(os.path.join(ref_store, "campaign.ckpt"))
+
+    # 2. Victim: 200 ms per slot-completion widens the kill window to
+    #    seconds (6 slots); checkpoint_every=1 guarantees at least one
+    #    snapshot lands before the kill.
+    victim = subprocess.Popen(
+        [binary, "serve", "--spec", spec, "--store", victim_store,
+         "--jobs", "2", "--slot-delay-ms", "200"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    ckpt = os.path.join(victim_store, "campaign.ckpt")
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if os.path.exists(ckpt) or victim.poll() is not None:
+            break
+        time.sleep(0.01)
+    if victim.poll() is not None:
+        fail("victim finished before it could be killed — widen "
+             "--slot-delay-ms")
+    # A short extra beat so the kill can land mid-write of artifacts,
+    # not only right after a snapshot.
+    time.sleep(0.05)
+    victim.send_signal(signal.SIGKILL)
+    victim.wait()
+    if victim.returncode != -signal.SIGKILL:
+        fail(f"victim exited {victim.returncode}, expected SIGKILL")
+    print("service_smoke: victim SIGKILLed mid-campaign")
+
+    # 3. Resume at a different job count, no artificial delay.
+    r = serve(binary, spec, victim_store, "--jobs", "8")
+    if r.returncode != 0:
+        fail(f"resume exited {r.returncode}:\n{r.stderr}")
+    if "resumed" not in r.stdout + r.stderr:
+        fail(f"resume output does not mention restored slots:\n"
+             f"{r.stdout}{r.stderr}")
+    print("service_smoke: resumed from checkpoint")
+
+    # 4. Byte-identical final report and snapshot.
+    got_json = read_bytes(os.path.join(victim_store, "campaign.json"))
+    got_ckpt = read_bytes(os.path.join(victim_store, "campaign.ckpt"))
+    if got_json != ref_json:
+        fail("campaign.json differs from the uninterrupted reference")
+    if got_ckpt != ref_ckpt:
+        fail("campaign.ckpt differs from the uninterrupted reference")
+    print("service_smoke: OK — kill/resume report is bitwise identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,7 @@ def baseline(push_ns=10.0, nonperiodic_ns=40.0):
     }
 
 
-class BenchGuardTest(unittest.TestCase):
+class GuardTestBase(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
         self.addCleanup(self.tmp.cleanup)
@@ -60,6 +60,8 @@ class BenchGuardTest(unittest.TestCase):
             text=True,
         )
 
+
+class BenchGuardTest(GuardTestBase):
     def test_good_inputs_pass(self):
         r = self.run_guard(
             self.write("report.json", bench_report()),
@@ -135,6 +137,91 @@ class BenchGuardTest(unittest.TestCase):
         )
         self.assertEqual(r.returncode, 2, r.stderr)
         self.assertIn("bad input", r.stderr)
+
+
+class TrajectoryTest(GuardTestBase):
+    """The per-machine JSONL trajectory mode used by the artifact store."""
+
+    def traj_path(self):
+        return os.path.join(self.tmp.name, "bench", "ci-box.jsonl")
+
+    def test_trajectory_requires_machine(self):
+        r = self.run_guard(
+            self.write("report.json", bench_report()),
+            self.write("baseline.json", baseline()),
+            "--trajectory", self.traj_path(),
+        )
+        self.assertEqual(r.returncode, 2, r.stderr)
+        self.assertIn("--machine", r.stderr)
+
+    def test_first_run_creates_history(self):
+        r = self.run_guard(
+            self.write("report.json", bench_report()),
+            self.write("baseline.json", baseline()),
+            "--trajectory", self.traj_path(), "--machine", "ci-box",
+        )
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("no prior runs", r.stdout)
+        with open(self.traj_path()) as f:
+            entries = [json.loads(line) for line in f]
+        self.assertEqual(len(entries), 1)
+        self.assertEqual(entries[0]["machine"], "ci-box")
+        self.assertAlmostEqual(entries[0]["ratio"], 4.0)
+
+    def test_history_accumulates_and_drift_is_advisory(self):
+        report = self.write("report.json", bench_report())
+        base = self.write("baseline.json", baseline())
+        for _ in range(3):
+            r = self.run_guard(report, base, "--trajectory",
+                               self.traj_path(), "--machine", "ci-box")
+            self.assertEqual(r.returncode, 0, r.stderr)
+        # Ratio jumps to 7x vs a 4.0 median: above the 1.5x drift limit
+        # but below the 2x hard-fail limit, so advisory mode still
+        # passes while naming the drift.
+        drifted = self.write("drifted.json", bench_report(10.0, 70.0))
+        r = self.run_guard(drifted, base, "--trajectory",
+                           self.traj_path(), "--machine", "ci-box")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("DRIFT", r.stderr)
+        with open(self.traj_path()) as f:
+            self.assertEqual(len(f.readlines()), 4)
+
+    def test_drift_enforced_is_exit_1(self):
+        report = self.write("report.json", bench_report())
+        base = self.write("baseline.json", baseline())
+        self.run_guard(report, base, "--trajectory", self.traj_path(),
+                       "--machine", "ci-box")
+        drifted = self.write("drifted.json", bench_report(10.0, 70.0))
+        r = self.run_guard(drifted, base, "--trajectory", self.traj_path(),
+                           "--machine", "ci-box", "--trajectory-enforce")
+        self.assertEqual(r.returncode, 1, r.stderr)
+        self.assertIn("DRIFT", r.stderr)
+
+    def test_other_machines_history_is_ignored(self):
+        report = self.write("report.json", bench_report())
+        base = self.write("baseline.json", baseline())
+        self.run_guard(report, base, "--trajectory", self.traj_path(),
+                       "--machine", "other-box")
+        # A 7x ratio would drift vs other-box's 4.0 median, but ci-box
+        # has no history of its own so there is nothing to drift from.
+        drifted = self.write("drifted.json", bench_report(10.0, 70.0))
+        r = self.run_guard(drifted, base, "--trajectory", self.traj_path(),
+                           "--machine", "ci-box", "--trajectory-enforce")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("no prior runs", r.stdout)
+
+    def test_corrupt_history_line_is_skipped_not_fatal(self):
+        report = self.write("report.json", bench_report())
+        base = self.write("baseline.json", baseline())
+        self.run_guard(report, base, "--trajectory", self.traj_path(),
+                       "--machine", "ci-box")
+        with open(self.traj_path(), "a") as f:
+            f.write('{"machine": "ci-box", "ratio": 4.')  # killed mid-append
+        r = self.run_guard(report, base, "--trajectory", self.traj_path(),
+                           "--machine", "ci-box")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("skipped 1 unparseable", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
 
 
 if __name__ == "__main__":

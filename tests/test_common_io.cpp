@@ -1,3 +1,7 @@
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -29,6 +33,43 @@ TEST(Csv, EscapesSeparatorsAndQuotes) {
 TEST(Csv, NumFormatting) {
   EXPECT_EQ(CsvWriter::num(3.14159, 2), "3.14");
   EXPECT_EQ(CsvWriter::num(2.0, 0), "2");
+}
+
+TEST(ExactDouble, RoundTripsFullPrecision) {
+  // Locale-independent shortest round-trip form (std::to_chars): parsing
+  // the rendered string must recover the identical bit pattern, even for
+  // values a fixed-precision printf mangles.
+  for (double v : {0.1 + 0.2, 1.0 / 3.0, -2.2250738585072014e-308,
+                   std::numeric_limits<double>::max(),
+                   std::numeric_limits<double>::denorm_min(), -0.0, 0.0,
+                   12345.678901234567}) {
+    double back = 99.0;
+    ASSERT_TRUE(parse_exact_double(exact_double(v), &back))
+        << exact_double(v);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(v))
+        << exact_double(v);
+  }
+}
+
+TEST(ExactDouble, NonFiniteValues) {
+  EXPECT_EQ(exact_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(exact_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(exact_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+  double back = 0.0;
+  ASSERT_TRUE(parse_exact_double("inf", &back));
+  EXPECT_TRUE(std::isinf(back));
+  ASSERT_TRUE(parse_exact_double("-inf", &back));
+  EXPECT_TRUE(std::isinf(back) && back < 0.0);
+  ASSERT_TRUE(parse_exact_double("nan", &back));
+  EXPECT_TRUE(std::isnan(back));
+}
+
+TEST(ExactDouble, RejectsTrailingGarbage) {
+  double back = 0.0;
+  EXPECT_FALSE(parse_exact_double("1.5x", &back));
+  EXPECT_FALSE(parse_exact_double("", &back));
+  EXPECT_FALSE(parse_exact_double("  2.0", &back));  // no skip-whitespace
 }
 
 TEST(Table, RendersAlignedColumns) {

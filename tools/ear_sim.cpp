@@ -25,12 +25,17 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/args.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "faults/fault_plan.hpp"
+#include "service/checkpoint.hpp"
+#include "service/stamp.hpp"
+#include "service/sweep.hpp"
+#include "service/trace.hpp"
 #include "sim/campaign.hpp"
 #include "sim/chaos.hpp"
 #include "sim/facility.hpp"
@@ -67,6 +72,16 @@ int usage() {
       "        [--jobs N] [--check]\n"
       "        heterogeneous islands + job queue + EARGM federation\n"
       "        (--budget 0 = uncapped; --check fails on violations)\n"
+      "  serve --spec FILE --store DIR [--jobs N] [--fresh]\n"
+      "        [--halt-after N] [--slot-delay-ms MS]\n"
+      "        crash-safe sweep service: run the spec's grid into a\n"
+      "        per-machine artifact store, checkpointing progress; a\n"
+      "        killed campaign resumes from the newest valid snapshot\n"
+      "        and reduces to bitwise-identical results\n"
+      "  trace dump FILE [--limit N]   print a record/replay trace\n"
+      "  trace diff A B [--limit N]    first diverging decisions\n"
+      "        (exit 1 when the traces differ)\n"
+      "  version                       build/provenance stamp\n"
       "--jobs 0 (default) uses EAR_SIM_JOBS or all cores; any job count\n"
       "produces bitwise-identical results.\n");
   return 2;
@@ -329,19 +344,138 @@ int cmd_facility(const common::ArgParser& args) {
   return 0;
 }
 
+int cmd_version() {
+  const service::BuildStamp& s = service::build_stamp();
+  std::printf("ear_sim %s\n", s.line().c_str());
+  std::printf("  git:      %s\n", s.git_describe.c_str());
+  std::printf("  build:    %s\n", s.build_type.c_str());
+  std::printf("  compiler: %s\n", s.compiler.c_str());
+  std::printf("  checkpoint format v%u, trace format v%u\n",
+              service::kCheckpointFormatVersion,
+              service::kTraceFormatVersion);
+  return 0;
+}
+
+int cmd_serve(const common::ArgParser& args) {
+  const std::string spec_path = args.get("spec", std::string());
+  const std::string store = args.get("store", std::string());
+  if (spec_path.empty() || store.empty()) {
+    std::fprintf(stderr,
+                 "ear_sim serve: --spec FILE and --store DIR are required\n");
+    return usage();
+  }
+  const std::string spec_text = service::read_file(spec_path);
+  std::istringstream in(spec_text);
+  const service::SweepSpec spec = service::parse_sweep_spec(in);
+
+  service::SweepOptions opts;
+  opts.jobs = static_cast<std::size_t>(args.get("jobs", std::int64_t{0}));
+  opts.fresh = args.flag("fresh");
+  opts.progress = true;
+  opts.halt_after_slots =
+      static_cast<std::size_t>(args.get("halt-after", std::int64_t{0}));
+  opts.slot_delay_ms = static_cast<std::uint32_t>(
+      args.get("slot-delay-ms", std::int64_t{0}));
+  opts.spec_text = spec_text;
+
+  const service::SweepOutcome out = service::run_sweep(spec, store, opts);
+  if (!out.note.empty()) std::printf("serve: %s\n", out.note.c_str());
+  if (out.restored > 0) {
+    std::printf("serve: resumed %zu of %zu slots from checkpoint\n",
+                out.restored, out.total);
+  }
+  std::printf("serve: %s '%s': %zu/%zu slots complete, store %s\n",
+              out.interrupted ? "interrupted sweep" : "sweep", spec.name.c_str(),
+              out.completed, out.total, out.store.c_str());
+  if (out.interrupted) {
+    std::printf("serve: checkpoint flushed; rerun the same command to "
+                "resume\n");
+  }
+  return 0;
+}
+
+int cmd_trace(const common::ArgParser& args) {
+  const std::string sub = args.positional_or(1, "");
+  const auto limit =
+      static_cast<std::size_t>(args.get("limit", std::int64_t{16}));
+  if (sub == "dump") {
+    const std::string path = args.positional_or(2, "");
+    if (path.empty()) return usage();
+    service::TraceReader reader(service::read_file(path));
+    const service::TraceMeta& m = reader.meta();
+    std::printf("%s: %s run %zu seed %zu (%s), %zu events\n", path.c_str(),
+                m.label.c_str(), static_cast<std::size_t>(m.run),
+                static_cast<std::size_t>(m.seed), m.stamp.c_str(),
+                static_cast<std::size_t>(reader.event_count()));
+    const std::uint64_t n =
+        limit > 0 && limit < reader.event_count()
+            ? limit
+            : reader.event_count();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::printf("  [%zu] %s\n", static_cast<std::size_t>(i),
+                  service::describe_event(reader.at(i)).c_str());
+    }
+    if (n < reader.event_count()) {
+      std::printf("  ... %zu more (raise --limit)\n",
+                  static_cast<std::size_t>(reader.event_count() - n));
+    }
+    return 0;
+  }
+  if (sub == "diff") {
+    const std::string path_a = args.positional_or(2, "");
+    const std::string path_b = args.positional_or(3, "");
+    if (path_a.empty() || path_b.empty()) return usage();
+    service::TraceReader a(service::read_file(path_a));
+    service::TraceReader b(service::read_file(path_b));
+    const service::TraceDiff d = service::diff_traces(a, b, limit);
+    if (d.meta_differs) {
+      std::printf("metadata differs (%s/%s run %zu vs %s/%s run %zu)\n",
+                  a.meta().app.c_str(), a.meta().policy.c_str(),
+                  static_cast<std::size_t>(a.meta().run),
+                  b.meta().app.c_str(), b.meta().policy.c_str(),
+                  static_cast<std::size_t>(b.meta().run));
+    }
+    if (d.identical()) {
+      std::printf("traces identical: %zu events\n",
+                  static_cast<std::size_t>(d.a_events));
+      return 0;
+    }
+    for (const service::TraceDiffEntry& e : d.entries) {
+      std::printf("event %zu: %s\n", static_cast<std::size_t>(e.index),
+                  e.what.c_str());
+      if (e.index < d.a_events) {
+        std::printf("  a: %s\n",
+                    service::describe_event(a.at(e.index)).c_str());
+      }
+      if (e.index < d.b_events) {
+        std::printf("  b: %s\n",
+                    service::describe_event(b.at(e.index)).c_str());
+      }
+    }
+    std::printf("traces differ (%zu divergence(s) shown)\n",
+                d.entries.size());
+    return 1;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const common::ArgParser args(
         argc, argv,
-        {"compare", "gpu-node", "chaos", "check", "no-backfill"});
+        {"compare", "gpu-node", "chaos", "check", "no-backfill", "fresh",
+         "version"});
     const std::string cmd = args.positional_or(0, "");
     if (cmd == "list") return cmd_list();
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "learn") return cmd_learn(args);
     if (cmd == "facility") return cmd_facility(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "version" || args.flag("version")) return cmd_version();
     if (cmd == "chaos" || args.flag("chaos")) return cmd_chaos(args);
     return usage();
   } catch (const std::exception& e) {
