@@ -1,10 +1,21 @@
 #include "service/checkpoint.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
+#include <exception>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "faults/fault_plan.hpp"
+#include "policies/policy_api.hpp"
 
 namespace ear::service {
 
@@ -26,6 +37,12 @@ std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
     h *= 0x100000001B3ULL;
   }
   return h;
+}
+
+/// Doubles hash as their IEEE-754 bit patterns — the same convention the
+/// checkpoint payload uses, so "same value" means "same bits".
+std::uint64_t fnv1a_f64(std::uint64_t h, double v) {
+  return fnv1a_u64(h, std::bit_cast<std::uint64_t>(v));
 }
 
 void serialize_node_result(ByteWriter* w, const sim::NodeResult& n) {
@@ -134,10 +151,41 @@ std::uint64_t campaign_fingerprint(
     h = fnv1a_u64(h, p.cfg.app.nodes);
     h = fnv1a_u64(h, p.cfg.app.total_iterations());
     h = fnv1a_u64(h, p.cfg.attach_earl ? 1 : 0);
-    h = fnv1a_u64(h, p.cfg.fault_plan != nullptr &&
-                          !p.cfg.fault_plan->empty()
-                      ? p.cfg.fault_plan->specs.size()
-                      : 0);
+    // Policy tunables steer every frequency decision — sweep specs feed
+    // cpu_th/unc_th straight into these — so they are part of the grid's
+    // identity: a re-run with edited thresholds must not silently mix
+    // its results into an old checkpoint.
+    const policies::PolicySettings& ps = p.cfg.earl.policy_settings;
+    h = fnv1a(h, p.cfg.earl.model);
+    h = fnv1a_f64(h, ps.cpu_policy_th);
+    h = fnv1a_f64(h, ps.unc_policy_th);
+    h = fnv1a_f64(h, ps.sig_change_th);
+    h = fnv1a_f64(h, ps.min_eff_gain);
+    h = fnv1a_f64(h, ps.raise_gain_th);
+    h = fnv1a_f64(h, ps.validate_margin);
+    h = fnv1a_u64(h, ps.min_time_default_offset);
+    h = fnv1a_u64(h, (ps.hw_guided_imc ? 1u : 0u) |
+                         (ps.raise_uncore ? 2u : 0u));
+    // Fault plans hash by content, not by event count: editing a plan
+    // file without adding or removing events still changes the grid.
+    const faults::FaultPlan* plan = p.cfg.fault_plan.get();
+    h = fnv1a_u64(h, plan != nullptr ? plan->specs.size() : 0);
+    if (plan != nullptr) {
+      for (const faults::FaultSpec& s : plan->specs) {
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(s.family));
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(s.node)));
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(s.socket)));
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(s.island)));
+        h = fnv1a_f64(h, s.start_s);
+        h = fnv1a_f64(h, s.end_s);
+        h = fnv1a_f64(h, s.probability);
+        h = fnv1a_f64(h, s.magnitude);
+        h = fnv1a_u64(h, s.reg);
+      }
+    }
   }
   return h;
 }
@@ -245,7 +293,9 @@ Checkpoint decode_checkpoint(std::string_view bytes) {
   }
   for (std::size_t i = 0; i < kMagic.size(); ++i) (void)r.u8();
   const std::uint32_t len = r.u32();
-  if (r.remaining() < len + 4u) {
+  // 64-bit on purpose: a corrupted length near UINT32_MAX would wrap a
+  // 32-bit `len + 4` to a tiny value and sail past the truncation check.
+  if (r.remaining() < static_cast<std::uint64_t>(len) + 4) {
     throw WireError("checkpoint truncated: payload of " +
                     std::to_string(len) + " byte(s) not fully present");
   }
@@ -298,7 +348,10 @@ CheckpointLoad try_load_checkpoint(const std::string& path,
   const std::string bytes = buf.str();
   try {
     out.checkpoint = decode_checkpoint(bytes);
-  } catch (const WireError& e) {
+  } catch (const std::exception& e) {
+    // Catch everything, not just WireError: "forgiving load" is a
+    // contract — no file content may crash the serve command, even one
+    // that trips a defect in the decoder itself.
     out.note = std::string("ignoring ") + path + ": " + e.what();
     return out;
   }
@@ -321,6 +374,21 @@ CheckpointLoad try_load_checkpoint(const std::string& path,
   return out;
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+namespace {
+/// Best-effort fsync of a file or directory by path. Failure is not an
+/// error: some filesystems reject fsync on directories, and durability
+/// beyond the rename is defence in depth, not a correctness invariant
+/// (the CRC gate degrades a torn write to "start clean").
+void fsync_path(const char* path, bool directory) {
+  const int fd = ::open(path, O_RDONLY | (directory ? O_DIRECTORY : 0));
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+}  // namespace
+#endif
+
 void write_file_atomic(const std::string& path, std::string_view bytes) {
   const std::string tmp = path + ".tmp";
   {
@@ -331,9 +399,21 @@ void write_file_atomic(const std::string& path, std::string_view bytes) {
     out.flush();
     if (!out) throw WireError("short write to " + tmp);
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // rename() makes the *name* change atomic, not the data durable: on a
+  // power loss the rename can survive while the bytes do not, leaving a
+  // zero-length or partial file under a valid name. Sync data before
+  // the rename, and the directory entry after it.
+  fsync_path(tmp.c_str(), /*directory=*/false);
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw WireError("cannot rename " + tmp + " over " + path);
   }
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  fsync_path(parent.empty() ? "." : parent.c_str(), /*directory=*/true);
+#endif
 }
 
 std::string read_file(const std::string& path) {
@@ -357,7 +437,7 @@ void CheckpointManager::adopt(std::vector<SlotRecord> slots) {
 void CheckpointManager::record(std::size_t point, std::size_t run,
                                const sim::RunResult& result) {
   slots_.push_back(SlotRecord{.point = point, .run = run, .result = result});
-  ++recorded_;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
   if (++dirty_ >= every_) flush();
 }
 

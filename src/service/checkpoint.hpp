@@ -28,6 +28,7 @@
 // "start clean" plus a human-readable note.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -68,7 +69,11 @@ struct Checkpoint {
 };
 
 /// Identity of a campaign grid: FNV-1a over each point's label, run
-/// count, seed and the workload/policy coordinates, in point order.
+/// count, seed, workload/policy coordinates, policy tunables (the
+/// cpu_th/unc_th thresholds a sweep spec sets, as IEEE bit patterns)
+/// and the full fault-plan contents, in point order. Anything that can
+/// change a run's results belongs here — the resume gate compares this
+/// hash to decide whether checkpointed slots may be mixed with new runs.
 [[nodiscard]] std::uint64_t campaign_fingerprint(
     const std::vector<sim::CampaignPoint>& points);
 [[nodiscard]] std::uint64_t campaign_fingerprint(const sim::Campaign& c);
@@ -98,17 +103,20 @@ struct CheckpointLoad {
     std::uint64_t expect_fingerprint);
 
 /// Write `bytes` to `path` atomically: temp file in the same directory,
-/// then rename over the target. Readers see the old file or the new one,
-/// never a mixture.
+/// fsync, then rename over the target (plus a directory fsync). Readers
+/// see the old file or the new one, never a mixture — and a power loss
+/// after return cannot leave a zero-length or partial file behind.
 void write_file_atomic(const std::string& path, std::string_view bytes);
 
 /// Read a whole file; throws WireError when it cannot be opened.
 [[nodiscard]] std::string read_file(const std::string& path);
 
 /// Accumulates completed slots and persists a snapshot every
-/// `every` newly recorded slots (plus on flush()). Not thread-safe by
-/// itself: the campaign engine already serialises on_slot_complete
-/// callbacks under its internal mutex, which is where record() runs.
+/// `every` newly recorded slots (plus on flush()). Mutation is not
+/// thread-safe by itself: the campaign engine already serialises
+/// on_slot_complete callbacks under its internal mutex, which is where
+/// record() runs. recorded() alone is safe to poll from any thread
+/// (should_stop hooks run on worker threads).
 class CheckpointManager {
  public:
   CheckpointManager(std::string path, CheckpointMeta meta,
@@ -127,14 +135,18 @@ class CheckpointManager {
     return slots_;
   }
   /// Slots recorded by *this* process (excludes adopted ones).
-  [[nodiscard]] std::size_t recorded() const { return recorded_; }
+  [[nodiscard]] std::size_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string path_;
   CheckpointMeta meta_;
   std::size_t every_;
   std::vector<SlotRecord> slots_;
-  std::size_t recorded_ = 0;
+  // Atomic because worker threads poll recorded() via should_stop while
+  // record() increments under the campaign mutex.
+  std::atomic<std::size_t> recorded_{0};
   std::size_t dirty_ = 0;  // slots not yet on disk
 };
 

@@ -114,7 +114,9 @@ std::string_view checked_block(std::string_view bytes, std::size_t offset,
                                const char* what) {
   ByteReader r(bytes.substr(offset));
   const std::uint32_t len = r.u32();
-  if (r.remaining() < len + 4u) {
+  // 64-bit on purpose: a corrupted length near UINT32_MAX would wrap a
+  // 32-bit `len + 4` to a tiny value and sail past the truncation check.
+  if (r.remaining() < static_cast<std::uint64_t>(len) + 4) {
     throw WireError(std::string(what) + " truncated");
   }
   const std::string_view payload = bytes.substr(offset + 4, len);
@@ -204,7 +206,9 @@ TraceReader::TraceReader(std::string bytes) : bytes_(std::move(bytes)) {
   ByteReader foot(
       std::string_view(bytes_).substr(bytes_.size() - footer, 8));
   const std::uint64_t dir_offset = foot.u64();
-  if (dir_offset < kMagic.size() || dir_offset + 8 > bytes_.size()) {
+  // Subtraction, not `dir_offset + 8 > size`: a corrupted offset near
+  // UINT64_MAX would wrap the addition (size >= 24 was checked above).
+  if (dir_offset < kMagic.size() || dir_offset > bytes_.size() - 8) {
     throw WireError("trace directory offset out of range");
   }
 
@@ -238,7 +242,7 @@ TraceReader::TraceReader(std::string bytes) : bytes_(std::move(bytes)) {
     if (e.first != total_) {
       throw WireError("trace directory indices are not contiguous");
     }
-    if (e.offset + 8 > bytes_.size()) {
+    if (e.offset > bytes_.size() - 8) {  // subtraction: no u64 wrap
       throw WireError("trace chunk offset out of range");
     }
     total_ += e.count;

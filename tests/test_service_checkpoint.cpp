@@ -13,11 +13,13 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "faults/fault_plan.hpp"
 #include "service/wire.hpp"
 #include "sim/campaign.hpp"
 #include "sim/presets.hpp"
@@ -206,6 +208,21 @@ TEST(CheckpointWire, SingleByteCorruptionIsCaught) {
   }
 }
 
+TEST(CheckpointWire, OverflowingLengthFieldRejectedCleanly) {
+  // Regression: a corrupted length field near UINT32_MAX once wrapped
+  // the 32-bit `len + 4` truncation check and escaped decode as
+  // std::out_of_range from substr. It must be a WireError like any
+  // other corruption.
+  const std::string good = encode_checkpoint(sample_checkpoint());
+  for (const std::uint32_t len :
+       {0xFFFFFFFFu, 0xFFFFFFFEu, 0xFFFFFFFCu}) {
+    std::string bad = good;
+    std::memcpy(bad.data() + 8, &len, 4);  // length field follows magic
+    EXPECT_THROW((void)decode_checkpoint(bad), WireError)
+        << "length 0x" << std::hex << len;
+  }
+}
+
 TEST(CheckpointWire, WrongFormatVersionRejected) {
   Checkpoint c = sample_checkpoint();
   c.meta.format = kCheckpointFormatVersion + 1;
@@ -289,6 +306,24 @@ TEST_F(CheckpointFileTest, TruncatedFileAtEveryByteStartsClean) {
   }
 }
 
+TEST_F(CheckpointFileTest, OverflowingLengthFieldStartsClean) {
+  // The forgiving-load contract must hold for the length-wrap corruption
+  // too: start clean with a note, never escape an exception.
+  const Checkpoint c = sample_checkpoint();
+  std::string bad = encode_checkpoint(c);
+  for (std::size_t i = 8; i < 12; ++i) bad[i] = '\xFF';
+  {
+    std::ofstream out(path("bad.ckpt"), std::ios::binary | std::ios::trunc);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+  }
+  CheckpointLoad load;
+  ASSERT_NO_THROW(
+      load = try_load_checkpoint(path("bad.ckpt"), c.meta.stamp,
+                                 c.meta.fingerprint));
+  EXPECT_FALSE(load.loaded);
+  EXPECT_FALSE(load.note.empty());
+}
+
 TEST_F(CheckpointFileTest, AtomicWriteLeavesNoTempBehind) {
   write_file_atomic(path("a.ckpt"), "payload");
   std::size_t files = 0;
@@ -356,6 +391,60 @@ TEST(Fingerprint, SensitiveToGridShape) {
   EXPECT_NE(base, campaign_fingerprint(grid("dgemm", 2, 2)));  // seed
   EXPECT_NE(base, campaign_fingerprint(grid("dgemm", 1, 3)));  // runs
   EXPECT_NE(base, campaign_fingerprint(grid("bqcd", 1, 2)));   // app
+}
+
+TEST(Fingerprint, SensitiveToPolicyThresholds) {
+  // Regression: cpu_th/unc_th feed settings_me_eufs and steer every
+  // frequency decision, yet the fingerprint once ignored them — a
+  // threshold edit + resume silently averaged old and new results.
+  auto grid = [](double cpu_th, double unc_th) {
+    std::vector<sim::CampaignPoint> points;
+    points.push_back(sim::CampaignPoint{
+        .label = "p",
+        .cfg =
+            sim::ExperimentConfig{.app = workload::make_app("dgemm"),
+                                  .earl =
+                                      sim::settings_me_eufs(cpu_th, unc_th),
+                                  .seed = 1},
+        .runs = 2});
+    return points;
+  };
+  const std::uint64_t base = campaign_fingerprint(grid(0.05, 0.02));
+  EXPECT_EQ(base, campaign_fingerprint(grid(0.05, 0.02)));
+  EXPECT_NE(base, campaign_fingerprint(grid(0.10, 0.02)));  // cpu_th
+  EXPECT_NE(base, campaign_fingerprint(grid(0.05, 0.04)));  // unc_th
+}
+
+TEST(Fingerprint, SensitiveToFaultPlanContents) {
+  // Regression: only specs.size() was hashed, so editing a fault plan
+  // while keeping its event count passed the resume gate.
+  auto grid = [](std::shared_ptr<const faults::FaultPlan> plan) {
+    std::vector<sim::CampaignPoint> points;
+    points.push_back(sim::CampaignPoint{
+        .label = "p",
+        .cfg = sim::ExperimentConfig{.app = workload::make_app("dgemm"),
+                                     .earl = sim::settings_me_eufs(),
+                                     .seed = 1,
+                                     .fault_plan = std::move(plan)},
+        .runs = 2});
+    return points;
+  };
+  auto make_plan = [](double probability) {
+    faults::FaultPlan p;
+    faults::FaultSpec s;
+    s.family = faults::FaultFamily::kMsrDrop;
+    s.start_s = 5.0;
+    s.probability = probability;
+    p.specs.push_back(s);
+    return std::make_shared<const faults::FaultPlan>(std::move(p));
+  };
+  const std::uint64_t base = campaign_fingerprint(grid(make_plan(0.5)));
+  // Equal contents hash equal even through distinct plan objects…
+  EXPECT_EQ(base, campaign_fingerprint(grid(make_plan(0.5))));
+  // …but same-size, different-content plans must differ, as must
+  // dropping the plan entirely.
+  EXPECT_NE(base, campaign_fingerprint(grid(make_plan(0.9))));
+  EXPECT_NE(base, campaign_fingerprint(grid(nullptr)));
 }
 
 }  // namespace

@@ -132,6 +132,26 @@ TEST(TraceFormat, StructuralCorruptionRejected) {
   }
 }
 
+TEST(TraceFormat, OverflowingBlockLengthRejectedCleanly) {
+  // Regression: a corrupted block length near UINT32_MAX once wrapped
+  // the 32-bit `len + 4` truncation check in checked_block and escaped
+  // as std::out_of_range; corrupted u64 offsets could likewise wrap the
+  // `offset + 8` range checks. All must surface as WireError.
+  const std::string good = build_trace(synthetic_events(40), 8);
+  {
+    std::string bad = good;  // header block length follows the magic
+    for (std::size_t i = 8; i < 12; ++i) bad[i] = '\xFF';
+    EXPECT_THROW(TraceReader{std::move(bad)}, WireError);
+  }
+  {
+    std::string bad = good;  // directory offset u64, 16 bytes from EOF
+    for (std::size_t i = bad.size() - 16; i < bad.size() - 8; ++i) {
+      bad[i] = '\xFF';
+    }
+    EXPECT_THROW(TraceReader{std::move(bad)}, WireError);
+  }
+}
+
 TEST(TraceFormat, ChunkCrcCorruptionDetectedOnAccess) {
   const auto events = synthetic_events(40);
   std::string bytes = build_trace(events, /*chunk_events=*/8);
