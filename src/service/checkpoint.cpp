@@ -14,6 +14,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/contracts.hpp"
 #include "faults/fault_plan.hpp"
 #include "policies/policy_api.hpp"
 
@@ -134,6 +135,34 @@ std::string encode_payload(const Checkpoint& c) {
     serialize_run_result(&w, s.result);
   }
   return w.bytes();
+}
+
+/// Inverse of encode_payload, over the CRC-verified payload bytes.
+Checkpoint decode_payload(std::string_view payload) {
+  ByteReader p(payload);
+  Checkpoint c;
+  c.meta.format = p.u32();
+  if (c.meta.format != kCheckpointFormatVersion) {
+    throw WireError("checkpoint format v" + std::to_string(c.meta.format) +
+                    " (this binary reads v" +
+                    std::to_string(kCheckpointFormatVersion) + ")");
+  }
+  c.meta.stamp = p.str();
+  c.meta.fingerprint = p.u64();
+  c.meta.total_slots = p.u64();
+  const std::uint64_t count = p.varint();
+  c.slots.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SlotRecord s;
+    s.point = p.varint();
+    s.run = p.varint();
+    s.result = deserialize_run_result(&p);
+    c.slots.push_back(std::move(s));
+  }
+  if (!p.at_end()) {
+    throw WireError("checkpoint payload has trailing garbage");
+  }
+  return c;
 }
 
 }  // namespace
@@ -277,6 +306,9 @@ sim::RunResult deserialize_run_result(ByteReader* r) {
 
 std::string encode_checkpoint(const Checkpoint& c) {
   const std::string payload = encode_payload(c);
+  // The length field is u32; a payload over 4 GiB would silently
+  // truncate and fail the CRC only at load time, losing the campaign.
+  EAR_EXPECT(payload.size() <= 0xFFFFFFFFu);
   ByteWriter w;
   w.raw(kMagic);
   w.u32(static_cast<std::uint32_t>(payload.size()));
@@ -308,30 +340,7 @@ Checkpoint decode_checkpoint(std::string_view bytes) {
   if (crc32(payload) != want) {
     throw WireError("checkpoint CRC mismatch (file corrupt)");
   }
-  ByteReader p(payload);
-  Checkpoint c;
-  c.meta.format = p.u32();
-  if (c.meta.format != kCheckpointFormatVersion) {
-    throw WireError("checkpoint format v" + std::to_string(c.meta.format) +
-                    " (this binary reads v" +
-                    std::to_string(kCheckpointFormatVersion) + ")");
-  }
-  c.meta.stamp = p.str();
-  c.meta.fingerprint = p.u64();
-  c.meta.total_slots = p.u64();
-  const std::uint64_t count = p.varint();
-  c.slots.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    SlotRecord s;
-    s.point = p.varint();
-    s.run = p.varint();
-    s.result = deserialize_run_result(&p);
-    c.slots.push_back(std::move(s));
-  }
-  if (!p.at_end()) {
-    throw WireError("checkpoint payload has trailing garbage");
-  }
-  return c;
+  return decode_payload(payload);
 }
 
 CheckpointLoad try_load_checkpoint(const std::string& path,

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "common/contracts.hpp"
+
 namespace ear::service {
 
 namespace {
@@ -101,7 +103,11 @@ TraceEvent decode_event(ByteReader* r, DeltaState* st) {
   return e;
 }
 
+// ear_lint wire-pair: append_block checked_block
 void append_block(std::string* file, std::string_view payload) {
+  // The length field is u32; a payload over 4 GiB would silently
+  // truncate and desync every offset in the directory after it.
+  EAR_EXPECT(payload.size() <= 0xFFFFFFFFu);
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.raw(payload);
@@ -158,6 +164,7 @@ void TraceWriter::add(const TraceEvent& e) {
   if (open_.size() >= chunk_events_) seal_chunk();
 }
 
+// ear_lint wire-pair: seal_chunk load_chunk
 void TraceWriter::seal_chunk() {
   if (open_.empty()) return;
   DirEntry entry;

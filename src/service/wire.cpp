@@ -3,6 +3,8 @@
 #include <array>
 #include <bit>
 
+#include "common/contracts.hpp"
+
 namespace ear::service {
 
 namespace {
@@ -114,6 +116,9 @@ std::uint64_t ByteReader::varint() {
   std::uint64_t v = 0;
   for (int shift = 0; shift < 64; shift += 7) {
     const std::uint8_t b = u8();
+    // Contract, not just loop bound: a u64 shift by >= 64 is UB, so the
+    // safety of the `<<` below must not depend on the loop header alone.
+    EAR_EXPECT(shift < 64);
     v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
     if ((b & 0x80u) == 0) return v;
   }

@@ -1,0 +1,45 @@
+// Absint fixture: the non-contract site kinds — array subscripts,
+// shift amounts and narrowing casts — each with a provable violation
+// and a discharged twin that must stay quiet.
+namespace fix {
+
+int subscript_bad() {
+  std::array<int, 4> grid4{};
+  return grid4[7];  // LINT-EXPECT-ABS: absint-violation
+}
+
+int subscript_ok(int i) {
+  std::array<int, 8> grid8{};
+  if (i < 0 || i >= 8) return 0;
+  return grid8[i];  // discharged: refined to [0,7]
+}
+
+unsigned int shift_bad(unsigned int x) {
+  return x << 40;  // LINT-EXPECT-ABS: absint-violation
+}
+
+unsigned int shift_ok(unsigned int x, int n) {
+  if (n < 0 || n > 31) return 0;
+  return x << n;  // discharged: [0,31] inside the 32-bit legal range
+}
+
+unsigned char narrow_bad() {
+  const int big = 300;
+  return static_cast<unsigned char>(big);  // LINT-EXPECT-ABS: absint-violation
+}
+
+unsigned char narrow_ok() {
+  const int big = 300;
+  return static_cast<unsigned char>(big & 0xFF);  // discharged: [0,255]
+}
+
+int loop_ok() {
+  int acc = 0;
+  std::array<int, 16> t{};
+  for (int i = 0; i < 16; ++i) {
+    acc += t[i];  // discharged: widened then refined to [0,15]
+  }
+  return acc;
+}
+
+}  // namespace fix

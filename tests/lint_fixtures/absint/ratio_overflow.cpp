@@ -1,0 +1,33 @@
+// Absint fixture: the prize mutant. A 10-bit ratio reaches the 7-bit
+// MSR 0x620 field contract — the pass must prove the violation from the
+// literal witness, both directly and through a call chain. The clamped
+// twin below must stay quiet (discharged), proving the pass separates
+// the two rather than flagging every EXPECT it sees.
+namespace fix {
+
+constexpr unsigned int kRatioMask = 0x7F;
+
+unsigned int encode_bad() {
+  const unsigned int max_ratio = 0x3FF;  // witness: [1023,1023]
+  EAR_EXPECT(max_ratio <= kRatioMask);  // LINT-EXPECT-ABS: absint-violation
+  return (max_ratio << 8) | max_ratio;
+}
+
+unsigned int encode_ok(unsigned int ratio) {
+  if (ratio > kRatioMask) ratio = kRatioMask;
+  EAR_EXPECT(ratio <= kRatioMask);  // discharged: refined to [0,127]
+  return (ratio << 8) | ratio;  // discharged: lhs [0,127], shift 8 legal
+}
+
+unsigned int clamp_ratio(unsigned int r) {
+  EAR_EXPECT(r <= kRatioMask);  // open intraprocedurally; checked at calls
+  return r & kRatioMask;
+}
+
+unsigned int chain_bad() {
+  // The violation is reported at the call: the caller's [300,300] is
+  // disjoint from the callee's precondition, witnessed per call chain.
+  return clamp_ratio(300);  // LINT-EXPECT-ABS: absint-violation
+}
+
+}  // namespace fix

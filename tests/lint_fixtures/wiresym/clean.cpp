@@ -1,0 +1,35 @@
+// Wiresym fixture: a symmetric pair with a repeated group and a
+// stream-continuation call — must produce no findings, proving the
+// pass understands loops and codec-to-codec calls rather than only
+// flat field lists.
+namespace fix {
+
+void encode_cell(ByteWriter& w, const Cell& c) {
+  w.u32(c.id);
+  w.f64(c.mean);
+}
+
+Cell decode_cell(ByteReader& r) {
+  Cell c;
+  c.id = r.u32();
+  c.mean = r.f64();
+  return c;
+}
+
+void encode_table(ByteWriter& w, const Table& t) {
+  w.varint(t.cells.size());
+  for (const Cell& c : t.cells) encode_cell(w, c);
+  w.str(t.label);
+}
+
+Table decode_table(ByteReader& r) {
+  Table t;
+  const unsigned long n = r.varint();
+  for (unsigned long i = 0; i < n; ++i) {
+    t.cells.push_back(decode_cell(r));
+  }
+  t.label = r.str();
+  return t;
+}
+
+}  // namespace fix

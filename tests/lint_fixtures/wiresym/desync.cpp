@@ -1,0 +1,20 @@
+// Wiresym fixture: a desynced encoder/decoder pair. The decoder swaps
+// the last two fields, so lockstep comparison must fail at the first
+// divergent field (position 2: writer varint, reader f64).
+namespace fix {
+
+void encode_row(ByteWriter& w, const Row& row) {
+  w.u32(row.id);
+  w.varint(row.count);
+  w.f64(row.mean);
+}
+
+Row decode_row(ByteReader& r) {
+  Row out;
+  out.id = r.u32();
+  out.mean = r.f64();  // LINT-EXPECT-WIRE: wire-symmetry
+  out.count = r.varint();
+  return out;
+}
+
+}  // namespace fix

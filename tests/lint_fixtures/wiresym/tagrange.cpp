@@ -1,0 +1,37 @@
+// Wiresym fixture: a tagged record whose decoder accepts tag values
+// 1..3 while the encoder's switch can only ever emit 1..2 — bytes the
+// writer never produces would be "decoded" into a phantom variant.
+// The field sequences themselves match, isolating the tag-range check.
+namespace fix {
+
+void encode_ev(ByteWriter& w, const Ev& e) {
+  w.u8(e.kind);
+  switch (e.kind) {
+    case 1:
+      w.varint(e.a);
+      break;
+    case 2:
+      w.svarint(e.b);
+      break;
+  }
+}
+
+Ev decode_ev(ByteReader& r) {
+  Ev e;
+  const unsigned int k = r.u8();
+  if (k < 1 || k > 3) {  // LINT-EXPECT-WIRE: wire-symmetry
+    throw k;
+  }
+  e.kind = k;
+  switch (k) {
+    case 1:
+      e.a = r.varint();
+      break;
+    case 2:
+      e.b = r.svarint();
+      break;
+  }
+  return e;
+}
+
+}  // namespace fix

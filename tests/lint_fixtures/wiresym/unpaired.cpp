@@ -1,0 +1,10 @@
+// Wiresym fixture: an encoder whose decoder was never written. The
+// unpaired report lands on the function definition line.
+namespace fix {
+
+void encode_orphan(ByteWriter& w, unsigned long v) {  // LINT-EXPECT-WIRE: wire-symmetry
+  w.varint(v);
+  w.u32(0);
+}
+
+}  // namespace fix

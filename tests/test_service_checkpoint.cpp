@@ -229,6 +229,27 @@ TEST(CheckpointWire, WrongFormatVersionRejected) {
   EXPECT_THROW((void)decode_checkpoint(encode_checkpoint(c)), WireError);
 }
 
+TEST(CheckpointWire, TenByteVarintOverflowIsWireErrorNotUb) {
+  // A varint whose continuation bits never clear would, without the
+  // loop bound and its EAR_EXPECT(shift < 64) guard, shift a u64 by 70
+  // — UB. Ten 0x80+ bytes must surface as a clean WireError instead;
+  // the boundary case (9 continuations then a terminator) decodes.
+  const std::string ten(10, static_cast<char>(0xFF));
+  ByteReader r(ten);
+  EXPECT_THROW((void)r.varint(), WireError);
+
+  std::string nine(9, static_cast<char>(0x81));
+  nine.push_back(static_cast<char>(0x01));  // terminator carrying bit 63
+  ByteReader ok(nine);
+  // Payload 1 at each 7-bit group: bits 0,7,14,...,56 plus bit 63.
+  EXPECT_EQ(ok.varint(), 0x8102040810204081ULL);
+  EXPECT_TRUE(ok.at_end());
+
+  // svarint shares the decode loop: same overflow, same rejection.
+  ByteReader s(ten);
+  EXPECT_THROW((void)s.svarint(), WireError);
+}
+
 class CheckpointFileTest : public ::testing::Test {
  protected:
   void SetUp() override {

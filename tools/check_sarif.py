@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate an ear_lint SARIF log against the SARIF 2.1.0 schema.
+
+Usage: check_sarif.py LOG.sarif [SCHEMA.json]
+
+When a schema file is given and the `jsonschema` package is importable,
+the log is validated against the real schema. Otherwise the script
+falls back to structural checks covering everything ear_lint emits —
+so the CI step still guards the writer's shape when the schema download
+or the package install is unavailable, just with less precision.
+
+Exits non-zero on the first problem found.
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_sarif: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def structural_check(log: dict) -> None:
+    if log.get("version") != "2.1.0":
+        fail(f"version is {log.get('version')!r}, want '2.1.0'")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs must be a non-empty array")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            fail("tool.driver.name missing")
+        rules = driver.get("rules", [])
+        ids = [r.get("id") for r in rules]
+        if None in ids:
+            fail("every rule needs an id")
+        if len(ids) != len(set(ids)):
+            fail(f"duplicate rule ids: {ids}")
+        for res in run.get("results", []):
+            rid = res.get("ruleId")
+            if rid not in ids:
+                fail(f"result ruleId {rid!r} not in the rule table")
+            idx = res.get("ruleIndex")
+            if not isinstance(idx, int) or ids[idx] != rid:
+                fail(f"ruleIndex {idx!r} does not point at {rid!r}")
+            if not res.get("message", {}).get("text"):
+                fail("result message.text missing")
+            for loc in res.get("locations", []):
+                phys = loc.get("physicalLocation", {})
+                if not phys.get("artifactLocation", {}).get("uri"):
+                    fail("physicalLocation.artifactLocation.uri missing")
+                line = phys.get("region", {}).get("startLine")
+                if not isinstance(line, int) or line < 1:
+                    fail(f"region.startLine {line!r} must be a 1-based int")
+
+
+def main() -> None:
+    if len(sys.argv) not in (2, 3):
+        fail(f"usage: {sys.argv[0]} LOG.sarif [SCHEMA.json]")
+    with open(sys.argv[1], encoding="utf-8") as f:
+        log = json.load(f)
+    if len(sys.argv) == 3:
+        try:
+            import jsonschema
+        except ImportError:
+            print("check_sarif: jsonschema unavailable, structural checks only")
+        else:
+            with open(sys.argv[2], encoding="utf-8") as f:
+                schema = json.load(f)
+            jsonschema.validate(instance=log, schema=schema)
+            print(f"check_sarif: {sys.argv[1]} valid against SARIF 2.1.0 schema")
+            structural_check(log)
+            return
+    structural_check(log)
+    print(f"check_sarif: {sys.argv[1]} passes structural SARIF checks")
+
+
+if __name__ == "__main__":
+    main()

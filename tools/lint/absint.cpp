@@ -1,0 +1,2147 @@
+#include "lint/absint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace lint {
+
+std::string Interval::str() const {
+  const auto endpoint = [](std::int64_t v) {
+    if (v == kAbsNegInf) return std::string("-inf");
+    if (v == kAbsPosInf) return std::string("+inf");
+    return std::to_string(v);
+  };
+  return "[" + endpoint(lo) + ", " + endpoint(hi) + "]";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Saturating interval arithmetic. Endpoints saturate onto the +/-inf
+// sentinels; every operation over-approximates, so a tightened interval
+// is always a sound claim about the concrete values.
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  if (a == kAbsPosInf || b == kAbsPosInf) return kAbsPosInf;
+  if (a == kAbsNegInf || b == kAbsNegInf) return kAbsNegInf;
+  if (b > 0 && a > kAbsPosInf - b) return kAbsPosInf;
+  if (b < 0 && a < kAbsNegInf - b) return kAbsNegInf;
+  return a + b;
+}
+
+std::int64_t sat_neg(std::int64_t a) {
+  if (a == kAbsNegInf) return kAbsPosInf;
+  if (a == kAbsPosInf) return kAbsNegInf;
+  return -a;
+}
+
+std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const bool neg = (a < 0) != (b < 0);
+  if (a == kAbsPosInf || a == kAbsNegInf || b == kAbsPosInf ||
+      b == kAbsNegInf) {
+    return neg ? kAbsNegInf : kAbsPosInf;
+  }
+  const std::int64_t q = kAbsPosInf / (b < 0 ? sat_neg(b) : b);
+  if ((a < 0 ? sat_neg(a) : a) > q) return neg ? kAbsNegInf : kAbsPosInf;
+  return a * b;
+}
+
+Interval iv_join(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval iv_meet(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval iv_add(const Interval& a, const Interval& b) {
+  return {sat_add(a.lo, b.lo), sat_add(a.hi, b.hi)};
+}
+
+Interval iv_neg(const Interval& a) { return {sat_neg(a.hi), sat_neg(a.lo)}; }
+
+Interval iv_sub(const Interval& a, const Interval& b) {
+  return iv_add(a, iv_neg(b));
+}
+
+Interval iv_mul(const Interval& a, const Interval& b) {
+  const std::int64_t c[4] = {sat_mul(a.lo, b.lo), sat_mul(a.lo, b.hi),
+                             sat_mul(a.hi, b.lo), sat_mul(a.hi, b.hi)};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval iv_div(const Interval& a, const Interval& b) {
+  // Only the easy, common case: dividing a non-negative value by a
+  // positive one shrinks it. Anything else goes to top.
+  if (a.lo >= 0 && b.lo >= 1) return {0, a.hi};
+  return Interval::top();
+}
+
+Interval iv_mod(const Interval& a, const Interval& b) {
+  if (a.lo >= 0 && b.lo >= 1 && b.hi != kAbsPosInf) return {0, b.hi - 1};
+  return Interval::top();
+}
+
+/// Smallest `2^k - 1` covering both upper bounds: for x in [0,A] and
+/// y in [0,B], x|y (and x^y) never exceeds it.
+std::int64_t bit_ceiling_mask(std::int64_t a, std::int64_t b) {
+  const std::int64_t m = std::max(a, b);
+  if (m >= (std::int64_t{1} << 62)) return kAbsPosInf;
+  std::int64_t mask = 1;
+  while (mask - 1 < m) mask <<= 1;
+  return mask - 1;
+}
+
+bool exact_bits(const Interval& a, const Interval& b) {
+  return a.singleton() && b.singleton() && a.lo >= 0 && b.lo >= 0;
+}
+
+Interval iv_and(const Interval& a, const Interval& b) {
+  if (exact_bits(a, b)) return Interval::of(a.lo & b.lo);
+  // x & m for non-negative m is in [0, m]; take the tighter mask side.
+  if (a.lo >= 0 && b.lo >= 0) {
+    return {0, std::min(a.hi, b.hi)};
+  }
+  if (b.lo >= 0) return {0, b.hi};  // negative lhs masked down
+  if (a.lo >= 0) return {0, a.hi};
+  return Interval::top();
+}
+
+Interval iv_or(const Interval& a, const Interval& b) {
+  if (exact_bits(a, b)) return Interval::of(a.lo | b.lo);
+  if (a.lo >= 0 && b.lo >= 0) {
+    return {std::max(a.lo, b.lo), bit_ceiling_mask(a.hi, b.hi)};
+  }
+  return Interval::top();
+}
+
+Interval iv_xor(const Interval& a, const Interval& b) {
+  if (exact_bits(a, b)) return Interval::of(a.lo ^ b.lo);
+  if (a.lo >= 0 && b.lo >= 0) {
+    return {0, bit_ceiling_mask(a.hi, b.hi)};
+  }
+  return Interval::top();
+}
+
+Interval iv_shl(const Interval& a, const Interval& b) {
+  if (a.lo >= 0 && b.lo >= 0 && b.hi <= 62) {
+    const std::int64_t hi =
+        a.hi == kAbsPosInf ? kAbsPosInf
+                           : sat_mul(a.hi, std::int64_t{1} << b.hi);
+    const std::int64_t lo = sat_mul(a.lo, std::int64_t{1} << b.lo);
+    return {lo, hi};
+  }
+  if (a.lo >= 0) return {0, kAbsPosInf};
+  return Interval::top();
+}
+
+Interval iv_shr(const Interval& a, const Interval& b) {
+  if (a.lo < 0 || b.lo < 0) return Interval::top();
+  if (a.hi == kAbsPosInf) return {0, kAbsPosInf};
+  return {0, a.hi >> std::min<std::int64_t>(b.lo, 63)};
+}
+
+Interval iv_not(const Interval& a) {
+  // ~x == -x - 1, exactly.
+  return iv_sub(iv_neg(a), Interval::of(1));
+}
+
+// ---------------------------------------------------------------------------
+// Types: the declared type of a variable seeds its interval and gives
+// shift sites their operand width.
+
+struct TypeInfo {
+  bool known = false;
+  bool is_int = false;
+  int bits = 64;
+  Interval range = Interval::top();
+};
+
+TypeInfo make_int_type(int bits, std::int64_t lo, std::int64_t hi) {
+  TypeInfo t;
+  t.known = true;
+  t.is_int = true;
+  t.bits = bits;
+  t.range = {lo, hi};
+  return t;
+}
+
+/// Width a shift left-operand is promoted to: integers narrower than
+/// `int` promote to 32 bits before the shift.
+int promoted_bits(int bits) { return bits < 32 ? 32 : bits; }
+
+// ---------------------------------------------------------------------------
+
+struct ParamConstraint {
+  std::size_t idx = 0;     // parameter position
+  std::string name;        // parameter name, for the message
+  Interval req;            // interval the precondition requires
+  std::string at;          // "file:line" of the contract
+};
+
+struct FnInfo {
+  std::vector<std::string> param_names;
+  std::vector<TypeInfo> param_types;
+  std::vector<ParamConstraint> pre;  // from leading EAR_EXPECTs
+  TypeInfo ret_type;                 // declared return type, if scalar
+  Interval ret = Interval::top();
+  bool has_ret = false;
+};
+
+using Env = std::map<std::string, Interval>;
+
+Env env_join(const Env& a, const Env& b) {
+  Env out;
+  for (const auto& [k, v] : a) {
+    const auto it = b.find(k);
+    if (it != b.end()) out.emplace(k, iv_join(v, it->second));
+  }
+  return out;
+}
+
+enum class Tri { kTrue, kFalse, kUnknown };
+
+Tri tri_not(Tri t) {
+  if (t == Tri::kTrue) return Tri::kFalse;
+  if (t == Tri::kFalse) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+
+/// Value of a sub-expression: its interval plus, when derivable, the
+/// bit width of its type (shift sites need the left operand's width).
+struct Value {
+  Interval iv = Interval::top();
+  int width = 0;  // 0 = unknown
+};
+
+struct Analyzer;
+
+/// Per-function walking context.
+struct FnCtx {
+  std::size_t fn = kNpos;
+  std::size_t file = kNpos;
+  Env env;
+  std::map<std::string, TypeInfo> types;
+  std::vector<Env> switch_snaps;
+  Interval ret_acc{1, 0};  // empty until first return
+  bool has_ret = false;
+  bool prologue = true;    // still in the leading-contract prefix
+  std::vector<ParamConstraint> captured_pre;
+};
+
+// ---------------------------------------------------------------------------
+
+struct Analyzer {
+  const Program& program;
+  const Index& index;
+  const CallGraph& cg;
+  AbsintOptions opts;
+  std::vector<Finding>* findings;
+  std::vector<AbsSite>* sites_out;
+  AbsintSummary summary;
+  bool record = false;  // only the final pass emits sites/findings
+
+  std::map<std::string, Interval> constants;
+  std::set<std::string> const_conflicts;
+  std::map<std::string, Interval> enum_ranges;
+  std::map<std::string, std::int64_t> array_bounds;
+  std::set<std::string> bound_conflicts;
+  std::vector<FnInfo> fns;
+  /// Per file: call-name token index -> call-site index.
+  std::vector<std::map<std::size_t, std::size_t>> call_at;
+
+  Analyzer(const Program& p, const Index& ix, const CallGraph& c,
+           const AbsintOptions& o, std::vector<Finding>* f,
+           std::vector<AbsSite>* s)
+      : program(p), index(ix), cg(c), opts(o), findings(f), sites_out(s) {}
+
+  // -- setup ----------------------------------------------------------------
+
+  [[nodiscard]] TypeInfo parse_type(const std::vector<Token>& t,
+                                    std::size_t b, std::size_t e) const;
+  void collect_constants();
+  void collect_enums();
+  void collect_array_bounds();
+  void parse_params(std::size_t fn);
+
+  // -- evaluation -----------------------------------------------------------
+
+  Tri pred_eval(FnCtx& C, std::size_t b, std::size_t e,
+                std::string* witness);
+  void refine(FnCtx& C, std::size_t b, std::size_t e, bool assume);
+  void refine_impl(FnCtx& C, std::size_t b, std::size_t e, bool assume);
+
+  // -- walking --------------------------------------------------------------
+
+  void analyze_function(std::size_t fn);
+  void walk(FnCtx& C, std::size_t b, std::size_t e);
+  std::size_t stmt_end(const std::vector<Token>& t, std::size_t b,
+                       std::size_t e) const;
+  std::size_t control_extent(FnCtx& C, std::size_t b, std::size_t e) const;
+  void statement(FnCtx& C, std::size_t b, std::size_t e);
+  void handle_contract(FnCtx& C, std::size_t b, std::size_t e);
+  std::size_t handle_if(FnCtx& C, std::size_t i, std::size_t e);
+  std::size_t handle_for(FnCtx& C, std::size_t i, std::size_t e);
+  std::size_t handle_while(FnCtx& C, std::size_t i, std::size_t e);
+  std::size_t handle_do(FnCtx& C, std::size_t i, std::size_t e);
+  std::size_t handle_switch(FnCtx& C, std::size_t i, std::size_t e);
+
+  void widen_assigned(FnCtx& C, std::size_t b, std::size_t e);
+  [[nodiscard]] bool branch_terminates(const std::vector<Token>& t,
+                                       std::size_t b, std::size_t e) const;
+
+  // -- sites ----------------------------------------------------------------
+
+  void site(FnCtx& C, AbsSiteKind kind, std::size_t line, AbsVerdict v,
+            std::string detail);
+
+  [[nodiscard]] const std::vector<Token>& toks(const FnCtx& C) const {
+    return program.files()[C.file].tokens;
+  }
+  [[nodiscard]] std::string at(std::size_t file, std::size_t line) const {
+    return program.files()[file].rel + ":" + std::to_string(line);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Literals.
+
+struct NumberLit {
+  bool ok = false;
+  bool is_float = false;
+  std::int64_t value = 0;
+  int width = 32;
+};
+
+NumberLit parse_number(const std::string& text) {
+  NumberLit out;
+  std::string s;
+  s.reserve(text.size());
+  for (const char c : text) {
+    if (c != '\'') s.push_back(c);
+  }
+  // A '.', or an exponent in the radix-appropriate spelling, makes it a
+  // floating literal (hex digits make 'e' ambiguous; 'p' never is).
+  const bool hex = s.size() > 1 && (s[1] == 'x' || s[1] == 'X');
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '.' || c == 'p' || c == 'P' ||
+        (!hex && (c == 'e' || c == 'E') && i > 0)) {
+      out.is_float = true;
+      return out;
+    }
+  }
+  std::size_t suffix = s.size();
+  while (suffix > 0 && std::isalpha(static_cast<unsigned char>(
+                           s[suffix - 1])) != 0 &&
+         !(hex && suffix <= 2)) {
+    const char c = s[suffix - 1];
+    if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' ||
+        c == 'Z') {
+      --suffix;
+    } else {
+      break;
+    }
+  }
+  std::string digits = s.substr(0, suffix);
+  const std::string sfx = s.substr(suffix);
+  int base = 0;
+  if (digits.size() > 1 && (digits[1] == 'b' || digits[1] == 'B')) {
+    base = 2;  // strtoull's base-0 detection knows 0x but not 0b
+    digits = digits.substr(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(digits.c_str(), &end, base);
+  if (end == nullptr || *end != '\0' || digits.empty() || errno != 0) {
+    return out;
+  }
+  out.ok = true;
+  out.value = v > static_cast<unsigned long long>(kAbsPosInf)
+                  ? kAbsPosInf
+                  : static_cast<std::int64_t>(v);
+  const bool has_ll = sfx.find("ll") != std::string::npos ||
+                      sfx.find("LL") != std::string::npos ||
+                      sfx.find('l') != std::string::npos ||
+                      sfx.find('L') != std::string::npos;
+  if (has_ll || out.value > INT32_MAX) {
+    out.width = 64;
+  }
+  return out;
+}
+
+std::string clip(const std::vector<Token>& t, std::size_t b, std::size_t e) {
+  std::string s;
+  for (std::size_t i = b; i < e && s.size() < 60; ++i) {
+    if (!s.empty()) s.push_back(' ');
+    s += t[i].text;
+  }
+  if (s.size() >= 60) s += " ...";
+  return s;
+}
+
+bool is_contract_name(const std::string& s) {
+  return s == "EAR_EXPECT" || s == "EAR_EXPECT_MSG" || s == "EAR_ENSURE" ||
+         s == "EAR_ENSURE_MSG" || s == "EAR_INVARIANT" ||
+         s == "EAR_INVARIANT_MSG";
+}
+
+/// Member calls whose result is a non-negative count or magnitude.
+bool nonneg_member(const std::string& s) {
+  return s == "size" || s == "length" || s == "count" || s == "as_khz" ||
+         s == "capacity" || s == "num_steps" || s == "remaining" ||
+         s == "pos" || s == "total_iterations";
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluator: precedence climbing over a token subrange.
+// Unknown constructs consume one token and go to top, so the parser
+// always terminates and never gives a *tighter* answer than the code.
+
+struct ExprEval {
+  Analyzer& A;
+  FnCtx& C;
+  const std::vector<Token>& t;
+  std::size_t pos;
+  std::size_t end;
+
+  ExprEval(Analyzer& a, FnCtx& c, std::size_t b, std::size_t e)
+      : A(a), C(c), t(a.program.files()[c.file].tokens), pos(b), end(e) {}
+
+  [[nodiscard]] static int prec(const std::string& op) {
+    if (op == "?") return 3;
+    if (op == "||") return 4;
+    if (op == "&&") return 5;
+    if (op == "|") return 6;
+    if (op == "^") return 7;
+    if (op == "&") return 8;
+    if (op == "==" || op == "!=") return 9;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=") return 10;
+    if (op == "<<" || op == ">>") return 11;
+    if (op == "+" || op == "-") return 12;
+    if (op == "*" || op == "/" || op == "%") return 13;
+    return -1;
+  }
+
+  Value parse_expr(int min_prec) {
+    Value lhs = parse_unary();
+    while (pos < end) {
+      const std::string& op = t[pos].text;
+      const int p = prec(op);
+      if (p < min_prec) break;
+      if (op == "?") {
+        ++pos;
+        const Value a = parse_expr(0);
+        if (pos < end && t[pos].text == ":") ++pos;
+        const Value b = parse_expr(3);
+        lhs = {iv_join(a.iv, b.iv), 0};
+        continue;
+      }
+      const std::size_t op_tok = pos;
+      ++pos;
+      const Value rhs = parse_expr(p + 1);
+      lhs = apply(op, op_tok, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Value apply(const std::string& op, std::size_t op_tok, const Value& a,
+              const Value& b) {
+    if (op == "+") return {iv_add(a.iv, b.iv), merge_width(a, b)};
+    if (op == "-") return {iv_sub(a.iv, b.iv), merge_width(a, b)};
+    if (op == "*") return {iv_mul(a.iv, b.iv), merge_width(a, b)};
+    if (op == "/") return {iv_div(a.iv, b.iv), merge_width(a, b)};
+    if (op == "%") return {iv_mod(a.iv, b.iv), merge_width(a, b)};
+    if (op == "&") return {iv_and(a.iv, b.iv), merge_width(a, b)};
+    if (op == "|") return {iv_or(a.iv, b.iv), merge_width(a, b)};
+    if (op == "^") return {iv_xor(a.iv, b.iv), merge_width(a, b)};
+    if (op == "<<" || op == ">>") {
+      shift_site(op_tok, a, b);
+      return {op == "<<" ? iv_shl(a.iv, b.iv) : iv_shr(a.iv, b.iv), a.width};
+    }
+    if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+        op == ">=" || op == "&&" || op == "||") {
+      return {Interval::range(0, 1), 0};
+    }
+    return {Interval::top(), 0};
+  }
+
+  static int merge_width(const Value& a, const Value& b) {
+    if (a.width != 0 && b.width != 0) return std::max(a.width, b.width);
+    return 0;
+  }
+
+  /// A << / >> whose left operand has a known width is a checked site:
+  /// the amount must be provably within [0, width-1].
+  void shift_site(std::size_t op_tok, const Value& lhs, const Value& amt) {
+    if (lhs.width == 0) return;  // untyped lhs: streams, unknown exprs
+    const Interval legal{0, promoted_bits(lhs.width) - 1};
+    AbsVerdict v = AbsVerdict::kOpen;
+    if (amt.iv.inside(legal)) {
+      v = AbsVerdict::kDischarged;
+    } else if (amt.iv.disjoint(legal)) {
+      v = AbsVerdict::kViolated;
+    }
+    A.site(C, AbsSiteKind::kShift, t[op_tok].line, v,
+           "shift amount in " + amt.iv.str() + ", operand width " +
+               std::to_string(promoted_bits(lhs.width)) + " requires " +
+               legal.str());
+  }
+
+  Value parse_unary() {
+    if (pos >= end) return {};
+    const std::string& x = t[pos].text;
+    if (x == "-") {
+      ++pos;
+      const Value v = parse_unary();
+      return {iv_neg(v.iv), v.width};
+    }
+    if (x == "+") {
+      ++pos;
+      return parse_unary();
+    }
+    if (x == "~") {
+      ++pos;
+      const Value v = parse_unary();
+      return {iv_not(v.iv), v.width};
+    }
+    if (x == "!") {
+      ++pos;
+      (void)parse_unary();
+      return {Interval::range(0, 1), 0};
+    }
+    if (x == "*" || x == "&" || x == "++" || x == "--") {
+      ++pos;
+      (void)parse_unary();
+      return {};
+    }
+    return parse_postfix();
+  }
+
+  Value parse_postfix() {
+    Value v = parse_primary();
+    while (pos < end) {
+      const std::string& x = t[pos].text;
+      if (x == "." || x == "->") {
+        if (pos + 1 >= end || t[pos + 1].kind != Token::Kind::kIdent) {
+          ++pos;
+          v = {};
+          continue;
+        }
+        const std::string member = t[pos + 1].text;
+        pos += 2;
+        if (pos < end && t[pos].text == "(") {
+          const std::size_t close = match_forward(t, pos);
+          if (close == kNpos || close >= end) {
+            pos = end;
+            return {};
+          }
+          parse_args(pos, close, nullptr);
+          pos = close + 1;
+          v = nonneg_member(member) ? Value{{0, kAbsPosInf}, 64} : Value{};
+        } else {
+          v = {};  // data member: untracked
+        }
+        continue;
+      }
+      if (x == "[") {
+        const std::size_t close = match_forward(t, pos);
+        if (close == kNpos || close >= end) {
+          pos = end;
+          return {};
+        }
+        ExprEval inner(A, C, pos + 1, close);
+        const Value idx = inner.parse_expr(0);
+        subscript_site(pos, v, idx);
+        pos = close + 1;
+        v = {};  // element value untracked
+        continue;
+      }
+      if (x == "++" || x == "--") {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    return v;
+  }
+
+  void subscript_site(std::size_t bracket, const Value& base,
+                      const Value& idx) {
+    if (base.width != -1) return;  // not a known-bound array (see primary)
+    const Interval legal{0, base.iv.hi};
+    AbsVerdict verdict = AbsVerdict::kOpen;
+    if (idx.iv.inside(legal)) {
+      verdict = AbsVerdict::kDischarged;
+    } else if (idx.iv.disjoint(legal)) {
+      verdict = AbsVerdict::kViolated;
+    }
+    A.site(C, AbsSiteKind::kSubscript, t[bracket].line, verdict,
+           "index in " + idx.iv.str() + ", array bound requires " +
+               legal.str());
+  }
+
+  /// Parse a parenthesized argument list [open+1, close); every argument
+  /// is evaluated (nested sites fire) and collected into `out`.
+  void parse_args(std::size_t open, std::size_t close,
+                  std::vector<Value>* out) {
+    std::size_t p = open + 1;
+    while (p < close) {
+      ExprEval arg(A, C, p, close);
+      // Stop each argument at its top-level comma.
+      std::size_t stop = p;
+      std::size_t depth = 0;
+      while (stop < close) {
+        const std::string& x = t[stop].text;
+        if (x == "(" || x == "[" || x == "{") {
+          ++depth;
+        } else if (x == ")" || x == "]" || x == "}") {
+          --depth;
+        } else if (x == "," && depth == 0) {
+          break;
+        } else if (x == "<") {
+          const std::size_t sk = skip_template_args(t, stop);
+          if (sk != kNpos && sk <= close) stop = sk - 1;
+        }
+        ++stop;
+      }
+      arg.end = stop;
+      const Value v = arg.parse_expr(0);
+      if (out != nullptr) out->push_back(v);
+      p = stop + 1;
+    }
+  }
+
+  Value parse_primary() {
+    if (pos >= end) return {};
+    const Token& tok = t[pos];
+    if (tok.text == "(") {
+      const std::size_t close = match_forward(t, pos);
+      if (close == kNpos || close >= end + 1) {
+        ++pos;
+        return {};
+      }
+      ExprEval inner(A, C, pos + 1, close);
+      const Value v = inner.parse_expr(0);
+      pos = close + 1;
+      return v;
+    }
+    if (tok.text == "[") {
+      // Lambda introducer: skip capture list, parameters and body.
+      const std::size_t cap = match_forward(t, pos);
+      if (cap == kNpos) {
+        ++pos;
+        return {};
+      }
+      pos = cap + 1;
+      if (pos < end && t[pos].text == "(") {
+        const std::size_t c = match_forward(t, pos);
+        pos = c == kNpos ? end : c + 1;
+      }
+      while (pos < end && t[pos].text != "{") ++pos;
+      if (pos < end) {
+        const std::size_t c = match_forward(t, pos);
+        pos = c == kNpos ? end : c + 1;
+      }
+      return {};
+    }
+    if (tok.kind == Token::Kind::kNumber) {
+      const NumberLit lit = parse_number(tok.text);
+      ++pos;
+      if (!lit.ok) return {};
+      return {Interval::of(lit.value), lit.width};
+    }
+    if (tok.text == "static_cast") {
+      return parse_static_cast();
+    }
+    if (tok.kind == Token::Kind::kIdent) {
+      if (tok.text == "true") {
+        ++pos;
+        return {Interval::of(1), 8};
+      }
+      if (tok.text == "false" || tok.text == "nullptr") {
+        ++pos;
+        return {Interval::of(0), 8};
+      }
+      if (tok.text == "sizeof") {
+        ++pos;
+        if (pos < end && t[pos].text == "(") {
+          const std::size_t c = match_forward(t, pos);
+          pos = c == kNpos ? end : c + 1;
+        } else {
+          (void)parse_unary();
+        }
+        return {{1, kAbsPosInf}, 64};
+      }
+      return parse_id_expression();
+    }
+    ++pos;  // punctuation we do not model
+    return {};
+  }
+
+  Value parse_static_cast() {
+    const std::size_t cast_tok = pos;
+    ++pos;
+    TypeInfo ty;
+    if (pos < end && t[pos].text == "<") {
+      const std::size_t after = skip_template_args(t, pos);
+      if (after == kNpos || after > end) {
+        pos = end;
+        return {};
+      }
+      ty = A.parse_type(t, pos + 1, after - 1);
+      pos = after;
+    }
+    if (pos >= end || t[pos].text != "(") return {};
+    const std::size_t close = match_forward(t, pos);
+    if (close == kNpos || close >= end + 1) {
+      pos = end;
+      return {};
+    }
+    ExprEval inner(A, C, pos + 1, close);
+    const Value v = inner.parse_expr(0);
+    pos = close + 1;
+    if (!ty.known || !ty.is_int) return {};
+    if (ty.bits < 64) {
+      AbsVerdict verdict = AbsVerdict::kOpen;
+      if (v.iv.inside(ty.range)) {
+        verdict = AbsVerdict::kDischarged;
+      } else if (v.iv.disjoint(ty.range)) {
+        verdict = AbsVerdict::kViolated;
+      }
+      A.site(C, AbsSiteKind::kNarrowCast, t[cast_tok].line, verdict,
+             "cast operand in " + v.iv.str() + ", target type requires " +
+                 ty.range.str());
+    }
+    // Value preserved when it provably fits; otherwise the conversion
+    // wraps/clamps somewhere inside the target range.
+    if (v.iv.inside(ty.range)) return {v.iv, ty.bits};
+    return {ty.range, ty.bits};
+  }
+
+  /// Identifier chain: qualified names, template arguments, calls,
+  /// tracked variables, constants.
+  Value parse_id_expression() {
+    const std::size_t name_start = pos;
+    std::size_t last_ident = pos;
+    ++pos;
+    while (pos < end) {
+      if (t[pos].text == "::" && pos + 1 < end &&
+          t[pos + 1].kind == Token::Kind::kIdent) {
+        last_ident = pos + 1;
+        pos += 2;
+        continue;
+      }
+      if (t[pos].text == "<") {
+        const std::size_t after = skip_template_args(t, pos);
+        if (after != kNpos && after <= end &&
+            (after >= end || t[after].text == "(" ||
+             t[after].text == "::" || t[after].text == "{")) {
+          pos = after;
+          continue;
+        }
+      }
+      break;
+    }
+    const std::string name = t[last_ident].text;
+    const bool qualified = last_ident != name_start;
+
+    if (pos < end && t[pos].text == "(") {
+      return parse_call(name, last_ident);
+    }
+    if (pos < end && t[pos].text == "{") {
+      // Braced construction: evaluate the arguments for sites, value top.
+      const std::size_t close = match_forward(t, pos);
+      if (close == kNpos || close >= end + 1) {
+        pos = end;
+        return {};
+      }
+      parse_args(pos, close, nullptr);
+      pos = close + 1;
+      return {};
+    }
+    if (!qualified) {
+      const auto it = C.env.find(name);
+      if (it != C.env.end()) {
+        const auto ty = C.types.find(name);
+        return {it->second, ty != C.types.end() && ty->second.is_int
+                                ? ty->second.bits
+                                : 0};
+      }
+    }
+    const auto ab = A.array_bounds.find(name);
+    if (ab != A.array_bounds.end() && A.bound_conflicts.count(name) == 0 &&
+        pos < end && t[pos].text == "[") {
+      // Known-bound array: sentinel width -1 so the subscript handler in
+      // parse_postfix treats iv.hi as the last valid index.
+      return {{0, ab->second - 1}, -1};
+    }
+    const auto cit = A.constants.find(name);
+    if (cit != A.constants.end() && A.const_conflicts.count(name) == 0) {
+      return {cit->second, 64};
+    }
+    return {};
+  }
+
+  Value parse_call(const std::string& name, std::size_t name_tok) {
+    const std::size_t open = pos;
+    const std::size_t close = match_forward(t, open);
+    if (close == kNpos || close >= end + 1) {
+      pos = end;
+      return {};
+    }
+    std::vector<Value> args;
+    parse_args(open, close, &args);
+    pos = close + 1;
+
+    if ((name == "min" || name == "max") && args.size() == 2) {
+      const Interval& a = args[0].iv;
+      const Interval& b = args[1].iv;
+      return {name == "min"
+                  ? Interval{std::min(a.lo, b.lo), std::min(a.hi, b.hi)}
+                  : Interval{std::max(a.lo, b.lo), std::max(a.hi, b.hi)},
+              merge_width(args[0], args[1])};
+    }
+    if (name == "clamp" && args.size() == 3) {
+      return {{std::max(args[0].iv.lo, args[1].iv.lo),
+               std::min(args[0].iv.hi, args[2].iv.hi)},
+              args[0].width};
+    }
+    if ((name == "abs" || name == "llabs") && args.size() == 1) {
+      const Interval& a = args[0].iv;
+      if (a.lo >= 0) return {a, args[0].width};
+      return {{0, std::max(sat_neg(a.lo), a.hi)}, args[0].width};
+    }
+
+    // Resolved user function: check its preconditions against the
+    // argument intervals, and use its return summary.
+    const auto& file_calls = A.call_at[C.file];
+    const auto it = file_calls.find(name_tok);
+    if (it != file_calls.end()) {
+      const std::size_t callee = A.cg.resolved[it->second];
+      if (callee != kNpos) {
+        const FnInfo& info = A.fns[callee];
+        for (const ParamConstraint& pc : info.pre) {
+          if (pc.idx >= args.size()) continue;
+          if (args[pc.idx].iv.disjoint(pc.req)) {
+            const std::string caller =
+                C.fn != kNpos ? A.index.functions[C.fn].name : "?";
+            A.site(C, AbsSiteKind::kContract, t[name_tok].line,
+                   AbsVerdict::kViolated,
+                   "call to `" + name + "` violates its precondition: `" +
+                       pc.name + "` in " + args[pc.idx].iv.str() +
+                       " but the contract at " + pc.at + " requires " +
+                       pc.req.str() + " (call chain: " + caller + " -> " +
+                       name + ")");
+          }
+        }
+        if (info.has_ret) return {info.ret, 0};
+      }
+    }
+    return {};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Analyzer implementation.
+
+TypeInfo Analyzer::parse_type(const std::vector<Token>& t, std::size_t b,
+                              std::size_t e) const {
+  bool is_unsigned = false;
+  bool is_signed = false;
+  int longs = 0;
+  std::string base;
+  for (std::size_t i = b; i < e; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "const" || x == "constexpr" || x == "static" ||
+        x == "volatile" || x == "inline" || x == "std" || x == "::" ||
+        x == "&" || x == "*" || x == "typename") {
+      continue;
+    }
+    if (x == "<") {
+      const std::size_t after = skip_template_args(t, i);
+      if (after == kNpos) return {};
+      i = after - 1;
+      continue;
+    }
+    if (x == "unsigned") {
+      is_unsigned = true;
+    } else if (x == "signed") {
+      is_signed = true;
+    } else if (x == "long") {
+      ++longs;
+    } else if (t[i].kind == Token::Kind::kIdent) {
+      if (!base.empty()) return {};  // two base names: not a simple type
+      base = x;
+    } else {
+      return {};
+    }
+  }
+  if (longs > 0 && base.empty()) base = "long";
+  if ((is_unsigned || is_signed) && base.empty()) base = "int";
+  if (base == "bool") return make_int_type(8, 0, 1);
+  if (base == "char") {
+    if (is_unsigned) return make_int_type(8, 0, 255);
+    if (is_signed) return make_int_type(8, -128, 127);
+    // Plain char: signedness is implementation-defined, and the byte
+    // casts in the wire layer rely on wrapping either way — accept both.
+    return make_int_type(8, -128, 255);
+  }
+  if (base == "int8_t") return make_int_type(8, -128, 127);
+  if (base == "uint8_t") return make_int_type(8, 0, 255);
+  if (base == "short" || base == "int16_t") {
+    return is_unsigned ? make_int_type(16, 0, 65535)
+                       : make_int_type(16, -32768, 32767);
+  }
+  if (base == "uint16_t") return make_int_type(16, 0, 65535);
+  if (base == "int" || base == "int32_t") {
+    return is_unsigned ? make_int_type(32, 0, 4294967295LL)
+                       : make_int_type(32, INT32_MIN, INT32_MAX);
+  }
+  if (base == "uint32_t") return make_int_type(32, 0, 4294967295LL);
+  if (base == "long" || base == "int64_t" || base == "ptrdiff_t" ||
+      base == "streamsize" || base == "intmax_t") {
+    return is_unsigned ? make_int_type(64, 0, kAbsPosInf)
+                       : make_int_type(64, kAbsNegInf, kAbsPosInf);
+  }
+  if (base == "uint64_t" || base == "size_t" || base == "uintptr_t" ||
+      base == "uintmax_t") {
+    return make_int_type(64, 0, kAbsPosInf);
+  }
+  const auto en = enum_ranges.find(base);
+  if (en != enum_ranges.end()) {
+    TypeInfo ty = make_int_type(32, en->second.lo, en->second.hi);
+    return ty;
+  }
+  return {};
+}
+
+void Analyzer::collect_constants() {
+  // Two rounds so constants defined in terms of earlier ones
+  // (kUncoreRatioWritableBits = (kRatioMask << 8) | kRatioMask) resolve
+  // regardless of file order.
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t fi = 0; fi < program.files().size(); ++fi) {
+      const std::vector<Token>& t = program.files()[fi].tokens;
+      for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+        if (t[i].text != "constexpr") continue;
+        std::size_t j = i + 1;
+        while (j < t.size() && t[j].text != "=" && t[j].text != ";" &&
+               t[j].text != "(" && t[j].text != "{") {
+          ++j;
+        }
+        if (j >= t.size() || t[j].text != "=" ||
+            t[j - 1].kind != Token::Kind::kIdent) {
+          continue;
+        }
+        const std::string name = t[j - 1].text;
+        const TypeInfo ty = parse_type(t, i + 1, j - 1);
+        if (!ty.is_int) continue;
+        std::size_t stop = j + 1;
+        std::size_t depth = 0;
+        while (stop < t.size()) {
+          const std::string& x = t[stop].text;
+          if (x == "(" || x == "[" || x == "{") ++depth;
+          if (x == ")" || x == "]" || x == "}") {
+            if (depth == 0) break;
+            --depth;
+          }
+          if (x == ";" && depth == 0) break;
+          ++stop;
+        }
+        FnCtx scratch;
+        scratch.file = fi;
+        ExprEval ev(*this, scratch, j + 1, stop);
+        const bool was_recording = record;
+        record = false;  // constant folding must not emit sites
+        const Value v = ev.parse_expr(0);
+        record = was_recording;
+        if (!v.iv.singleton()) continue;
+        const auto it = constants.find(name);
+        if (it != constants.end() && !(it->second == v.iv)) {
+          const_conflicts.insert(name);
+        }
+        constants[name] = v.iv;
+        i = stop;
+      }
+    }
+  }
+}
+
+void Analyzer::collect_enums() {
+  for (std::size_t fi = 0; fi < program.files().size(); ++fi) {
+    const std::vector<Token>& t = program.files()[fi].tokens;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].text != "enum") continue;
+      std::size_t j = i + 1;
+      if (j < t.size() && (t[j].text == "class" || t[j].text == "struct")) {
+        ++j;
+      }
+      if (j >= t.size() || t[j].kind != Token::Kind::kIdent) continue;
+      const std::string name = t[j].text;
+      ++j;
+      if (j < t.size() && t[j].text == ":") {
+        ++j;
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+      }
+      if (j >= t.size() || t[j].text != "{") continue;
+      const std::size_t close = match_forward(t, j);
+      if (close == kNpos) continue;
+      std::int64_t next = 0;
+      std::int64_t lo = kAbsPosInf;
+      std::int64_t hi = kAbsNegInf;
+      bool any = false;
+      for (std::size_t k = j + 1; k < close; ++k) {
+        if (t[k].kind != Token::Kind::kIdent) continue;
+        std::int64_t value = next;
+        if (k + 1 < close && t[k + 1].text == "=") {
+          std::size_t stop = k + 2;
+          while (stop < close && t[stop].text != ",") ++stop;
+          FnCtx scratch;
+          scratch.file = fi;
+          // Enumerator initialisers are literal or constant expressions;
+          // evaluate against the constant pool only.
+          ExprEval ev(*this, scratch, k + 2, stop);
+          const Value v = ev.parse_expr(0);
+          if (!v.iv.singleton()) {
+            any = false;
+            break;
+          }
+          value = v.iv.lo;
+          k = stop;
+        }
+        any = true;
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+        next = value + 1;
+        while (k + 1 < close && t[k + 1].text != ",") ++k;
+        ++k;
+      }
+      if (any) enum_ranges.emplace(name, Interval{lo, hi});
+      i = close;
+    }
+  }
+}
+
+void Analyzer::collect_array_bounds() {
+  const auto note = [this](const std::string& name, std::int64_t bound) {
+    const auto it = array_bounds.find(name);
+    if (it != array_bounds.end() && it->second != bound) {
+      bound_conflicts.insert(name);
+    }
+    array_bounds[name] = bound;
+  };
+  for (std::size_t fi = 0; fi < program.files().size(); ++fi) {
+    const std::vector<Token>& t = program.files()[fi].tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      // std::array<T, N> name
+      if (t[i].text == "array" && t[i + 1].text == "<") {
+        const std::size_t after = skip_template_args(t, i + 1);
+        if (after == kNpos || after >= t.size() ||
+            t[after].kind != Token::Kind::kIdent) {
+          continue;
+        }
+        // N = the tokens after the last depth-1 comma.
+        std::size_t comma = kNpos;
+        std::size_t depth = 0;
+        for (std::size_t k = i + 1; k < after - 1; ++k) {
+          const std::string& x = t[k].text;
+          if (x == "<" || x == "(" || x == "[") ++depth;
+          if (x == ">" || x == ")" || x == "]") --depth;
+          if (x == "," && depth == 1) comma = k;
+        }
+        if (comma == kNpos) continue;
+        FnCtx scratch;
+        scratch.file = fi;
+        ExprEval ev(*this, scratch, comma + 1, after - 1);
+        const Value v = ev.parse_expr(0);
+        if (v.iv.singleton() && v.iv.lo > 0) note(t[after].text, v.iv.lo);
+        continue;
+      }
+      // T name[N] — but `kw name[N]` where kw is an expression-context
+      // keyword (`return arr[3]`, `case tbl[0]:`) is a *use*, and
+      // collecting it as a declaration would poison the real bound via
+      // the conflict set.
+      static const std::set<std::string> kNotATypeName = {
+          "return", "case",     "throw", "goto", "else",
+          "do",     "co_return", "co_yield"};
+      if (t[i].kind == Token::Kind::kIdent && t[i + 1].text == "[" &&
+          i > 0 && t[i - 1].kind == Token::Kind::kIdent &&
+          kNotATypeName.count(t[i - 1].text) == 0) {
+        const std::size_t close = match_forward(t, i + 1);
+        if (close == kNpos || close != i + 3 ||
+            t[i + 2].kind != Token::Kind::kNumber) {
+          continue;
+        }
+        const NumberLit lit = parse_number(t[i + 2].text);
+        if (lit.ok && lit.value > 0) note(t[i].text, lit.value);
+      }
+    }
+  }
+}
+
+void Analyzer::parse_params(std::size_t fn) {
+  const FunctionDef& def = index.functions[fn];
+  const std::vector<Token>& t = program.files()[def.file].tokens;
+  FnInfo& info = fns[fn];
+  // Declared return type: the simple-type tokens immediately before the
+  // (possibly `Class::`-qualified) name. Anything templated or
+  // reference-returning fails parse_type and stays unknown, which is
+  // sound.
+  {
+    std::size_t te = def.name_tok;
+    while (te >= 2 && t[te - 1].text == "::" &&
+           t[te - 2].kind == Token::Kind::kIdent) {
+      te -= 2;
+    }
+    std::size_t tb = te;
+    while (tb > 0) {
+      const Token& p = t[tb - 1];
+      const bool type_word =
+          p.kind == Token::Kind::kIdent || p.text == "::";
+      if (!type_word) break;
+      if (p.text == "return" || p.text == "case") break;
+      --tb;
+    }
+    if (tb < te) info.ret_type = parse_type(t, tb, te);
+  }
+  std::size_t open = def.name_tok + 1;
+  if (open >= t.size() || t[open].text != "(") return;
+  const std::size_t close = match_forward(t, open);
+  if (close == kNpos || close > def.body_begin) return;
+  std::size_t p = open + 1;
+  while (p < close) {
+    std::size_t stop = p;
+    std::size_t depth = 0;
+    while (stop < close) {
+      const std::string& x = t[stop].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == ")" || x == "]" || x == "}") --depth;
+      if (x == "<") {
+        const std::size_t sk = skip_template_args(t, stop);
+        if (sk != kNpos && sk <= close) {
+          stop = sk;
+          continue;
+        }
+      }
+      if (x == "," && depth == 0) break;
+      ++stop;
+    }
+    // Name = last identifier before any default argument.
+    std::size_t eq = stop;
+    for (std::size_t k = p; k < stop; ++k) {
+      if (t[k].text == "=") {
+        eq = k;
+        break;
+      }
+    }
+    if (eq > p && t[eq - 1].kind == Token::Kind::kIdent) {
+      const TypeInfo ty = parse_type(t, p, eq - 1);
+      info.param_names.push_back(t[eq - 1].text);
+      info.param_types.push_back(ty);
+    } else {
+      info.param_names.emplace_back();  // unnamed / unparsed
+      info.param_types.emplace_back();
+    }
+    p = stop + 1;
+  }
+}
+
+void Analyzer::site(FnCtx& C, AbsSiteKind kind, std::size_t line,
+                    AbsVerdict v, std::string detail) {
+  if (!record) return;
+  ++summary.sites;
+  switch (v) {
+    case AbsVerdict::kDischarged:
+      ++summary.discharged;
+      break;
+    case AbsVerdict::kViolated:
+      ++summary.violated;
+      break;
+    case AbsVerdict::kOpen:
+      ++summary.open;
+      break;
+  }
+  const std::string rel = program.files()[C.file].rel;
+  const std::string fn_name =
+      C.fn != kNpos ? index.functions[C.fn].name : "";
+  if (sites_out != nullptr) {
+    sites_out->push_back({kind, v, rel, line, fn_name, detail});
+  }
+  if (findings == nullptr) return;
+  if (v == AbsVerdict::kViolated) {
+    findings->push_back({rel, line, "absint-violation",
+                         "provable contract violation in `" + fn_name +
+                             "`: " + detail});
+  } else if (v == AbsVerdict::kOpen && opts.strict) {
+    findings->push_back({rel, line, "absint-open",
+                         "cannot discharge site in `" + fn_name + "`: " +
+                             detail});
+  }
+}
+
+std::size_t Analyzer::stmt_end(const std::vector<Token>& t, std::size_t b,
+                               std::size_t e) const {
+  std::size_t depth = 0;
+  for (std::size_t i = b; i < e; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") {
+      if (depth == 0) return i;  // ill-formed range; stop before it
+      --depth;
+    }
+    if (x == ";" && depth == 0) return i;
+  }
+  return e;
+}
+
+Tri Analyzer::pred_eval(FnCtx& C, std::size_t b, std::size_t e,
+                        std::string* witness) {
+  const std::vector<Token>& t = toks(C);
+  while (e > b + 1 && t[b].text == "(" && match_forward(t, b) == e - 1) {
+    ++b;
+    --e;
+  }
+  if (b >= e) return Tri::kUnknown;
+  // Top-level && / || and comparisons.
+  std::size_t depth = 0;
+  std::size_t logical = kNpos;
+  std::string logical_op;
+  std::size_t cmp = kNpos;
+  std::string cmp_op;
+  for (std::size_t i = b; i < e; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (depth != 0) continue;
+    if (x == "?") return Tri::kUnknown;
+    if ((x == "&&" || x == "||") && logical == kNpos) {
+      logical = i;
+      logical_op = x;
+    }
+    if ((x == "==" || x == "!=" || x == "<" || x == "<=" || x == ">" ||
+         x == ">=") &&
+        cmp == kNpos) {
+      cmp = i;
+      cmp_op = x;
+    }
+  }
+  if (logical != kNpos) {
+    const Tri l = pred_eval(C, b, logical, witness);
+    const Tri r = pred_eval(C, logical + 1, e, witness);
+    if (logical_op == "&&") {
+      if (l == Tri::kFalse || r == Tri::kFalse) return Tri::kFalse;
+      if (l == Tri::kTrue && r == Tri::kTrue) return Tri::kTrue;
+      return Tri::kUnknown;
+    }
+    if (l == Tri::kTrue || r == Tri::kTrue) return Tri::kTrue;
+    if (l == Tri::kFalse && r == Tri::kFalse) return Tri::kFalse;
+    return Tri::kUnknown;
+  }
+  if (t[b].text == "!" && cmp == kNpos) {
+    return tri_not(pred_eval(C, b + 1, e, witness));
+  }
+  if (cmp != kNpos) {
+    ExprEval le(*this, C, b, cmp);
+    const Interval l = le.parse_expr(0).iv;
+    ExprEval re(*this, C, cmp + 1, e);
+    const Interval r = re.parse_expr(0).iv;
+    if (witness != nullptr) {
+      *witness = "`" + clip(t, b, cmp) + "` in " + l.str() + ", `" +
+                 clip(t, cmp + 1, e) + "` in " + r.str();
+    }
+    if (cmp_op == "<") {
+      if (l.hi < r.lo) return Tri::kTrue;
+      if (l.lo >= r.hi) return Tri::kFalse;
+    } else if (cmp_op == "<=") {
+      if (l.hi <= r.lo) return Tri::kTrue;
+      if (l.lo > r.hi) return Tri::kFalse;
+    } else if (cmp_op == ">") {
+      if (l.lo > r.hi) return Tri::kTrue;
+      if (l.hi <= r.lo) return Tri::kFalse;
+    } else if (cmp_op == ">=") {
+      if (l.lo >= r.hi) return Tri::kTrue;
+      if (l.hi < r.lo) return Tri::kFalse;
+    } else if (cmp_op == "==") {
+      if (l.singleton() && r.singleton() && l.lo == r.lo) return Tri::kTrue;
+      if (l.disjoint(r)) return Tri::kFalse;
+    } else if (cmp_op == "!=") {
+      if (l.disjoint(r)) return Tri::kTrue;
+      if (l.singleton() && r.singleton() && l.lo == r.lo) return Tri::kFalse;
+    }
+    return Tri::kUnknown;
+  }
+  ExprEval ev(*this, C, b, e);
+  const Interval v = ev.parse_expr(0).iv;
+  if (witness != nullptr) {
+    *witness = "`" + clip(t, b, e) + "` in " + v.str();
+  }
+  if (v.lo >= 1 || v.hi < 0) return Tri::kTrue;
+  if (v.singleton() && v.lo == 0) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+void Analyzer::refine(FnCtx& C, std::size_t b, std::size_t e, bool assume) {
+  // Refinement re-evaluates sub-expressions the caller already walked;
+  // suppress site recording so each site fires exactly once.
+  const bool was_recording = record;
+  record = false;
+  refine_impl(C, b, e, assume);
+  record = was_recording;
+}
+
+void Analyzer::refine_impl(FnCtx& C, std::size_t b, std::size_t e,
+                           bool assume) {
+  const std::vector<Token>& t = toks(C);
+  while (e > b + 1 && t[b].text == "(" && match_forward(t, b) == e - 1) {
+    ++b;
+    --e;
+  }
+  if (b >= e) return;
+  std::size_t depth = 0;
+  std::size_t logical = kNpos;
+  std::string logical_op;
+  std::size_t cmp = kNpos;
+  std::string cmp_op;
+  for (std::size_t i = b; i < e; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (depth != 0) continue;
+    if (x == "?") return;
+    if ((x == "&&" || x == "||") && logical == kNpos) {
+      logical = i;
+      logical_op = x;
+    }
+    if ((x == "==" || x == "!=" || x == "<" || x == "<=" || x == ">" ||
+         x == ">=") &&
+        cmp == kNpos) {
+      cmp = i;
+      cmp_op = x;
+    }
+  }
+  if (logical != kNpos) {
+    // Assume-true of a conjunction (or assume-false of a disjunction)
+    // refines both arms; the other polarities give a union we skip.
+    const bool conj = logical_op == "&&";
+    if (conj == assume) {
+      refine(C, b, logical, assume);
+      refine(C, logical + 1, e, assume);
+    }
+    return;
+  }
+  if (t[b].text == "!" && cmp == kNpos) {
+    refine(C, b + 1, e, !assume);
+    return;
+  }
+  if (cmp == kNpos) {
+    // Bare boolean variable.
+    if (e == b + 1 && t[b].kind == Token::Kind::kIdent) {
+      const auto it = C.env.find(t[b].text);
+      const auto ty = C.types.find(t[b].text);
+      if (it != C.env.end() && ty != C.types.end() &&
+          ty->second.range.lo == 0 && ty->second.range.hi == 1) {
+        it->second = iv_meet(it->second, assume ? Interval{1, 1}
+                                                : Interval{0, 0});
+      }
+    }
+    return;
+  }
+  std::string op = cmp_op;
+  if (!assume) {
+    if (op == "<") {
+      op = ">=";
+    } else if (op == "<=") {
+      op = ">";
+    } else if (op == ">") {
+      op = "<=";
+    } else if (op == ">=") {
+      op = "<";
+    } else if (op == "==") {
+      op = "!=";
+    } else {
+      op = "==";
+    }
+  }
+  const auto simple_var = [&](std::size_t lo, std::size_t hi) -> std::string {
+    if (hi == lo + 1 && t[lo].kind == Token::Kind::kIdent &&
+        C.env.count(t[lo].text) != 0) {
+      return t[lo].text;
+    }
+    return {};
+  };
+  const auto bound = [&](const std::string& var, const std::string& o,
+                         const Interval& r) {
+    Interval& x = C.env[var];
+    if (o == "<") {
+      if (r.hi != kAbsNegInf) x.hi = std::min(x.hi, sat_add(r.hi, -1));
+    } else if (o == "<=") {
+      x.hi = std::min(x.hi, r.hi);
+    } else if (o == ">") {
+      if (r.lo != kAbsPosInf) x.lo = std::max(x.lo, sat_add(r.lo, 1));
+    } else if (o == ">=") {
+      x.lo = std::max(x.lo, r.lo);
+    } else if (o == "==") {
+      x = iv_meet(x, r);
+    } else if (o == "!=" && r.singleton()) {
+      if (x.lo == r.lo && x.lo != kAbsPosInf) x.lo = x.lo + 1;
+      if (x.hi == r.lo && x.hi != kAbsNegInf) x.hi = x.hi - 1;
+    }
+  };
+  const auto flip = [](const std::string& o) -> std::string {
+    if (o == "<") return ">";
+    if (o == "<=") return ">=";
+    if (o == ">") return "<";
+    if (o == ">=") return "<=";
+    return o;  // == and != are symmetric
+  };
+  const std::string lvar = simple_var(b, cmp);
+  const std::string rvar = simple_var(cmp + 1, e);
+  if (!lvar.empty()) {
+    ExprEval re(*this, C, cmp + 1, e);
+    bound(lvar, op, re.parse_expr(0).iv);
+  }
+  if (!rvar.empty()) {
+    ExprEval le(*this, C, b, cmp);
+    bound(rvar, flip(op), le.parse_expr(0).iv);
+  }
+}
+
+bool Analyzer::branch_terminates(const std::vector<Token>& t, std::size_t b,
+                                 std::size_t e) const {
+  if (b >= e) return false;
+  std::size_t p = b;
+  std::size_t q = e;
+  if (t[b].text == "{") {
+    const std::size_t close = match_forward(t, b);
+    if (close == kNpos || close >= e) return false;
+    p = b + 1;
+    q = close;
+  }
+  // First token of the last top-level statement in [p, q).
+  std::size_t last = p;
+  std::size_t brace = 0;
+  std::size_t paren = 0;
+  for (std::size_t i = p; i < q; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "{") ++brace;
+    if (x == "}") {
+      if (brace > 0) --brace;
+      if (brace == 0 && paren == 0 && i + 1 < q) last = i + 1;
+    }
+    if (x == "(" || x == "[") ++paren;
+    if (x == ")" || x == "]") {
+      if (paren > 0) --paren;
+    }
+    if (x == ";" && brace == 0 && paren == 0 && i + 1 < q) last = i + 1;
+  }
+  const std::string& first = t[last].text;
+  return first == "return" || first == "throw" || first == "break" ||
+         first == "continue";
+}
+
+void Analyzer::widen_assigned(FnCtx& C, std::size_t b, std::size_t e) {
+  const std::vector<Token>& t = toks(C);
+  static const std::set<std::string> kCompound = {
+      "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="};
+  struct Update {
+    bool nondec = true;
+    bool noninc = true;
+  };
+  std::map<std::string, Update> assigned;
+  for (std::size_t i = b; i < e; ++i) {
+    const std::string& x = t[i].text;
+    const bool prev_ident =
+        i > b && t[i - 1].kind == Token::Kind::kIdent;
+    if (x == "=" && prev_ident) {
+      // `v = v + k` keeps monotonicity; any other plain assignment is
+      // arbitrary.
+      Update& u = assigned[t[i - 1].text];
+      const bool self =
+          i + 2 < e && t[i + 1].text == t[i - 1].text &&
+          (t[i + 2].text == "+" || t[i + 2].text == "-");
+      if (self && t[i + 2].text == "+") {
+        u.noninc = false;
+      } else if (self && t[i + 2].text == "-") {
+        u.nondec = false;
+      } else {
+        u.nondec = false;
+        u.noninc = false;
+      }
+    } else if (kCompound.count(x) != 0 && prev_ident) {
+      Update& u = assigned[t[i - 1].text];
+      FnCtx scratch = C;
+      const std::size_t stop = stmt_end(t, i + 1, e);
+      ExprEval ev(*this, scratch, i + 1, stop);
+      const bool was_recording = record;
+      record = false;
+      const Interval step = ev.parse_expr(0).iv;
+      record = was_recording;
+      if (x == "+=" && step.lo >= 0) {
+        u.noninc = false;
+      } else if (x == "-=" && step.lo >= 0) {
+        u.nondec = false;
+      } else {
+        u.nondec = false;
+        u.noninc = false;
+      }
+    } else if (x == "++" || x == "--") {
+      std::string var;
+      if (prev_ident) {
+        var = t[i - 1].text;
+      } else if (i + 1 < e && t[i + 1].kind == Token::Kind::kIdent) {
+        var = t[i + 1].text;
+      }
+      if (!var.empty()) {
+        Update& u = assigned[var];
+        if (x == "++") {
+          u.noninc = false;
+        } else {
+          u.nondec = false;
+        }
+      }
+    } else if (x == "&" && i + 1 < e &&
+               t[i + 1].kind == Token::Kind::kIdent &&
+               (i == b || (t[i - 1].kind == Token::Kind::kPunct &&
+                           t[i - 1].text != ")" && t[i - 1].text != "]"))) {
+      // Address taken: the callee may write anything into it.
+      Update& u = assigned[t[i + 1].text];
+      u.nondec = false;
+      u.noninc = false;
+    }
+  }
+  for (const auto& [name, u] : assigned) {
+    const auto it = C.env.find(name);
+    if (it == C.env.end()) continue;
+    const auto ty = C.types.find(name);
+    const Interval type_range =
+        ty != C.types.end() && ty->second.is_int ? ty->second.range
+                                                 : Interval::top();
+    if (u.nondec && !u.noninc) {
+      it->second = {it->second.lo, type_range.hi};
+    } else if (u.noninc && !u.nondec) {
+      it->second = {type_range.lo, it->second.hi};
+    } else {
+      it->second = type_range;
+    }
+  }
+}
+
+void Analyzer::handle_contract(FnCtx& C, std::size_t b, std::size_t e) {
+  const std::vector<Token>& t = toks(C);
+  const std::size_t open = b + 1;
+  if (open >= e || t[open].text != "(") return;
+  const std::size_t close = match_forward(t, open);
+  if (close == kNpos || close >= e) return;
+  // First top-level argument (the _MSG forms carry the message second).
+  std::size_t stop = open + 1;
+  std::size_t depth = 0;
+  while (stop < close) {
+    const std::string& x = t[stop].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (x == "," && depth == 0) break;
+    ++stop;
+  }
+  std::string witness;
+  const Tri verdict = pred_eval(C, open + 1, stop, &witness);
+  AbsVerdict v = AbsVerdict::kOpen;
+  if (verdict == Tri::kTrue) v = AbsVerdict::kDischarged;
+  if (verdict == Tri::kFalse) v = AbsVerdict::kViolated;
+  site(C, AbsSiteKind::kContract, t[b].line, v,
+       "`" + clip(t, open + 1, stop) + "` — " + witness);
+  // Past the check the condition holds (checked builds throw, release
+  // builds document clamping); assume it either way.
+  refine(C, open + 1, stop, true);
+  if (C.prologue && C.fn != kNpos) {
+    // Capture the refined parameter intervals as this function's
+    // callable contract.
+    C.captured_pre.clear();
+    const FnInfo& info = fns[C.fn];
+    for (std::size_t i = 0; i < info.param_names.size(); ++i) {
+      const std::string& p = info.param_names[i];
+      if (p.empty()) continue;
+      const auto it = C.env.find(p);
+      if (it == C.env.end()) continue;
+      const Interval seed = info.param_types[i].is_int
+                                ? info.param_types[i].range
+                                : Interval::top();
+      // Only record when the contract actually tightened the seed.
+      if (it->second == seed) continue;
+      C.captured_pre.push_back(
+          {i, p, it->second, at(C.file, t[b].line)});
+    }
+  }
+}
+
+std::size_t Analyzer::handle_if(FnCtx& C, std::size_t i, std::size_t e) {
+  const std::vector<Token>& t = toks(C);
+  std::size_t open = i + 1;
+  if (open < e && t[open].text == "constexpr") ++open;
+  if (open >= e || t[open].text != "(") return i + 1;
+  const std::size_t close = match_forward(t, open);
+  if (close == kNpos || close >= e) return e;
+  // if (init; cond): process the init statement, refine on the rest.
+  std::size_t cond_b = open + 1;
+  std::size_t depth = 0;
+  for (std::size_t k = open + 1; k < close; ++k) {
+    const std::string& x = t[k].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (x == ";" && depth == 0) {
+      statement(C, cond_b, k);
+      cond_b = k + 1;
+    }
+  }
+  {
+    // Evaluate the condition once for its sites.
+    ExprEval ev(*this, C, cond_b, close);
+    (void)ev.parse_expr(0);
+  }
+  std::size_t then_b = close + 1;
+  std::size_t then_e;
+  if (then_b < e && t[then_b].text == "{") {
+    const std::size_t m = match_forward(t, then_b);
+    then_e = m == kNpos || m >= e ? e : m + 1;
+  } else {
+    // A single statement — which may itself be a control statement.
+    then_e = control_extent(C, then_b, e);
+  }
+  std::size_t after = then_e;
+  std::size_t else_b = kNpos;
+  std::size_t else_e = kNpos;
+  if (after < e && t[after].text == "else") {
+    else_b = after + 1;
+    if (else_b < e && t[else_b].text == "{") {
+      const std::size_t m = match_forward(t, else_b);
+      else_e = m == kNpos || m >= e ? e : m + 1;
+    } else {
+      else_e = control_extent(C, else_b, e);
+    }
+    after = else_e;
+  }
+
+  const Env pre = C.env;
+  refine(C, cond_b, close, true);
+  walk(C, then_b, then_e);
+  const Env post_then = C.env;
+  const bool then_term = branch_terminates(t, then_b, then_e);
+
+  C.env = pre;
+  refine(C, cond_b, close, false);
+  if (else_b != kNpos) {
+    walk(C, else_b, else_e);
+  }
+  const Env post_else = C.env;
+  const bool else_term =
+      else_b != kNpos && branch_terminates(t, else_b, else_e);
+
+  if (then_term && !else_term) {
+    C.env = post_else;
+  } else if (else_term && !then_term) {
+    C.env = post_then;
+  } else {
+    C.env = env_join(post_then, post_else);
+  }
+  return after;
+}
+
+std::size_t Analyzer::handle_for(FnCtx& C, std::size_t i, std::size_t e) {
+  const std::vector<Token>& t = toks(C);
+  const std::size_t open = i + 1;
+  if (open >= e || t[open].text != "(") return i + 1;
+  const std::size_t close = match_forward(t, open);
+  if (close == kNpos || close >= e) return e;
+  std::size_t body_b = close + 1;
+  std::size_t body_e;
+  if (body_b < e && t[body_b].text == "{") {
+    const std::size_t m = match_forward(t, body_b);
+    body_e = m == kNpos || m >= e ? e : m + 1;
+  } else {
+    body_e = control_extent(C, body_b, e);
+  }
+
+  // Split the header: classic `init; cond; step` or range `decl : range`.
+  std::vector<std::size_t> semis;
+  std::size_t colon = kNpos;
+  std::size_t depth = 0;
+  for (std::size_t k = open + 1; k < close; ++k) {
+    const std::string& x = t[k].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (depth != 0) continue;
+    if (x == ";") semis.push_back(k);
+    if (x == ":" && colon == kNpos && semis.empty()) colon = k;
+  }
+  if (semis.size() < 2 && colon != kNpos) {
+    // Range-for: seed the loop variable from its declared type.
+    std::size_t name_tok = colon;
+    while (name_tok > open + 1 &&
+           t[name_tok - 1].kind != Token::Kind::kIdent) {
+      --name_tok;
+    }
+    if (name_tok > open + 1) {
+      const TypeInfo ty = parse_type(t, open + 1, name_tok - 1);
+      const std::string name = t[name_tok - 1].text;
+      C.types[name] = ty;
+      C.env[name] = ty.is_int ? ty.range : Interval::top();
+    }
+    ExprEval ev(*this, C, colon + 1, close);
+    (void)ev.parse_expr(0);
+    widen_assigned(C, body_b, body_e);
+    walk(C, body_b, body_e);
+    widen_assigned(C, body_b, body_e);
+    return body_e;
+  }
+  if (semis.size() < 2) return body_e;
+
+  statement(C, open + 1, semis[0]);
+  const std::size_t cond_b = semis[0] + 1;
+  const std::size_t cond_e = semis[1];
+  const std::size_t step_b = semis[1] + 1;
+
+  // Widen everything the body or step assigns, then run one abstract
+  // iteration under the (refined) loop condition.
+  widen_assigned(C, body_b, body_e);
+  widen_assigned(C, step_b, close);
+  const Env widened = C.env;
+  if (cond_b < cond_e) {
+    ExprEval ev(*this, C, cond_b, cond_e);
+    (void)ev.parse_expr(0);
+    refine(C, cond_b, cond_e, true);
+  }
+  walk(C, body_b, body_e);
+  statement(C, step_b, close);
+  // Exit state: any widened head state where the condition is false.
+  C.env = widened;
+  if (cond_b < cond_e) refine(C, cond_b, cond_e, false);
+  return body_e;
+}
+
+std::size_t Analyzer::handle_while(FnCtx& C, std::size_t i, std::size_t e) {
+  const std::vector<Token>& t = toks(C);
+  const std::size_t open = i + 1;
+  if (open >= e || t[open].text != "(") return i + 1;
+  const std::size_t close = match_forward(t, open);
+  if (close == kNpos || close >= e) return e;
+  std::size_t body_b = close + 1;
+  std::size_t body_e;
+  if (body_b < e && t[body_b].text == "{") {
+    const std::size_t m = match_forward(t, body_b);
+    body_e = m == kNpos || m >= e ? e : m + 1;
+  } else {
+    body_e = control_extent(C, body_b, e);
+  }
+  widen_assigned(C, body_b, body_e);
+  const Env widened = C.env;
+  {
+    ExprEval ev(*this, C, open + 1, close);
+    (void)ev.parse_expr(0);
+  }
+  refine(C, open + 1, close, true);
+  walk(C, body_b, body_e);
+  C.env = widened;
+  refine(C, open + 1, close, false);
+  return body_e;
+}
+
+std::size_t Analyzer::handle_do(FnCtx& C, std::size_t i, std::size_t e) {
+  const std::vector<Token>& t = toks(C);
+  std::size_t body_b = i + 1;
+  std::size_t body_e;
+  if (body_b < e && t[body_b].text == "{") {
+    const std::size_t m = match_forward(t, body_b);
+    body_e = m == kNpos || m >= e ? e : m + 1;
+  } else {
+    body_e = control_extent(C, body_b, e);
+  }
+  widen_assigned(C, body_b, body_e);
+  walk(C, body_b, body_e);
+  std::size_t after = body_e;
+  if (after < e && t[after].text == "while") {
+    const std::size_t open = after + 1;
+    if (open < e && t[open].text == "(") {
+      const std::size_t close = match_forward(t, open);
+      if (close != kNpos && close < e) {
+        widen_assigned(C, body_b, body_e);
+        refine(C, open + 1, close, false);
+        after = close + 1;
+        if (after < e && t[after].text == ";") ++after;
+        return after;
+      }
+    }
+  }
+  return after;
+}
+
+std::size_t Analyzer::handle_switch(FnCtx& C, std::size_t i, std::size_t e) {
+  const std::vector<Token>& t = toks(C);
+  const std::size_t open = i + 1;
+  if (open >= e || t[open].text != "(") return i + 1;
+  const std::size_t close = match_forward(t, open);
+  if (close == kNpos || close >= e) return e;
+  {
+    ExprEval ev(*this, C, open + 1, close);
+    (void)ev.parse_expr(0);
+  }
+  std::size_t body_b = close + 1;
+  if (body_b >= e || t[body_b].text != "{") return body_b;
+  const std::size_t m = match_forward(t, body_b);
+  const std::size_t body_e = m == kNpos || m >= e ? e : m;
+  C.switch_snaps.push_back(C.env);
+  walk(C, body_b + 1, body_e);
+  // Any case may have run (or none): drop everything the body assigned.
+  C.env = C.switch_snaps.back();
+  C.switch_snaps.pop_back();
+  widen_assigned(C, body_b + 1, body_e);
+  return m == kNpos ? e : m + 1;
+}
+
+void Analyzer::walk(FnCtx& C, std::size_t b, std::size_t e) {
+  const std::vector<Token>& t = toks(C);
+  std::size_t i = b;
+  while (i < e) {
+    const std::string& x = t[i].text;
+    if (x == ";") {
+      ++i;
+      continue;
+    }
+    if (x == "{") {
+      const std::size_t m = match_forward(t, i);
+      if (m == kNpos || m >= e + 1) return;
+      walk(C, i + 1, m);
+      i = m + 1;
+      continue;
+    }
+    if (x == "if") {
+      C.prologue = false;
+      i = handle_if(C, i, e);
+      continue;
+    }
+    if (x == "for") {
+      C.prologue = false;
+      i = handle_for(C, i, e);
+      continue;
+    }
+    if (x == "while") {
+      C.prologue = false;
+      i = handle_while(C, i, e);
+      continue;
+    }
+    if (x == "do") {
+      C.prologue = false;
+      i = handle_do(C, i, e);
+      continue;
+    }
+    if (x == "switch") {
+      C.prologue = false;
+      i = handle_switch(C, i, e);
+      continue;
+    }
+    if (x == "case" || x == "default") {
+      if (!C.switch_snaps.empty()) C.env = C.switch_snaps.back();
+      while (i < e && t[i].text != ":") ++i;
+      ++i;
+      continue;
+    }
+    if (x == "return") {
+      C.prologue = false;
+      const std::size_t stop = stmt_end(t, i + 1, e);
+      if (stop > i + 1) {
+        ExprEval ev(*this, C, i + 1, stop);
+        const Interval v = ev.parse_expr(0).iv;
+        C.ret_acc = C.has_ret ? iv_join(C.ret_acc, v) : v;
+        C.has_ret = true;
+      }
+      i = stop + 1;
+      continue;
+    }
+    if (x == "throw" || x == "goto") {
+      C.prologue = false;
+      const std::size_t stop = stmt_end(t, i + 1, e);
+      if (x == "throw" && stop > i + 1) {
+        ExprEval ev(*this, C, i + 1, stop);
+        (void)ev.parse_expr(0);
+      }
+      i = stop + 1;
+      continue;
+    }
+    if (x == "try" || x == "else") {
+      // `try { ... } catch (...) { ... }`: both walked as plain blocks.
+      ++i;
+      continue;
+    }
+    if (x == "catch") {
+      ++i;
+      if (i < e && t[i].text == "(") {
+        const std::size_t m = match_forward(t, i);
+        i = m == kNpos ? e : m + 1;
+      }
+      continue;
+    }
+    if (is_contract_name(x)) {
+      handle_contract(C, i, e);
+      const std::size_t stop = stmt_end(t, i, e);
+      i = stop + 1;
+      continue;
+    }
+    const std::size_t stop = stmt_end(t, i, e);
+    C.prologue = false;
+    statement(C, i, stop);
+    i = stop + 1;
+  }
+}
+
+/// Extent of a single (possibly control) statement starting at `b`:
+/// used for unbraced if/for/while bodies.
+std::size_t Analyzer::control_extent(FnCtx& C, std::size_t b,
+                                     std::size_t e) const {
+  const std::vector<Token>& t = toks(C);
+  if (b >= e) return e;
+  const std::string& x = t[b].text;
+  if (x == "if" || x == "for" || x == "while" || x == "switch") {
+    std::size_t open = b + 1;
+    if (open < e && t[open].text == "constexpr") ++open;
+    if (open >= e || t[open].text != "(") return stmt_end(t, b, e) + 1;
+    const std::size_t close = match_forward(t, open);
+    if (close == kNpos || close >= e) return e;
+    std::size_t body_b = close + 1;
+    std::size_t body_e;
+    if (body_b < e && t[body_b].text == "{") {
+      const std::size_t m = match_forward(t, body_b);
+      body_e = m == kNpos || m >= e ? e : m + 1;
+    } else {
+      body_e = control_extent(C, body_b, e);
+    }
+    if (x == "if" && body_e < e && t[body_e].text == "else") {
+      return control_extent(C, body_e + 1, e);
+    }
+    return body_e;
+  }
+  if (x == "{") {
+    const std::size_t m = match_forward(t, b);
+    return m == kNpos || m >= e ? e : m + 1;
+  }
+  return std::min(stmt_end(t, b, e) + 1, e);
+}
+
+void Analyzer::statement(FnCtx& C, std::size_t b, std::size_t e) {
+  const std::vector<Token>& t = toks(C);
+  if (b >= e) return;
+  // Declaration?  [cv] type name [= expr | (expr) | {expr}] [, ...]
+  // We try the shape `type-tokens ident (= | ; | ( | { | ,)` where the
+  // type tokens actually parse as a known scalar type, or `auto`.
+  std::size_t name_tok = kNpos;
+  TypeInfo decl_type;
+  bool is_decl = false;
+  {
+    std::size_t k = b;
+    std::size_t last_ident = kNpos;
+    while (k < e) {
+      const std::string& x = t[k].text;
+      if (x == "=" || x == "(" || x == "{" || x == ";" || x == ",") break;
+      if (x == "<") {
+        const std::size_t sk = skip_template_args(t, k);
+        if (sk == kNpos || sk > e) break;
+        k = sk;
+        continue;
+      }
+      if (x == "[" || x == "]") {
+        break;  // array declarator or subscript: not a tracked scalar
+      }
+      if (t[k].kind == Token::Kind::kIdent) last_ident = k;
+      if (t[k].kind == Token::Kind::kPunct && x != "::" && x != "&" &&
+          x != "*") {
+        last_ident = kNpos;
+        break;
+      }
+      ++k;
+    }
+    if (last_ident != kNpos && last_ident > b && k < e &&
+        (t[k].text == "=" || t[k].text == ";" || k == e ||
+         t[k].text == "(" || t[k].text == "{")) {
+      const TypeInfo ty = parse_type(t, b, last_ident);
+      if (ty.known || t[b].text == "auto" ||
+          (t[b].text == "const" && b + 1 < e && t[b + 1].text == "auto")) {
+        is_decl = true;
+        name_tok = last_ident;
+        decl_type = ty;
+      }
+    }
+  }
+  if (is_decl) {
+    const std::string name = t[name_tok].text;
+    C.types[name] = decl_type;
+    Interval v = decl_type.is_int ? decl_type.range : Interval::top();
+    const std::size_t after = name_tok + 1;
+    if (after < e && t[after].text == "=") {
+      ExprEval ev(*this, C, after + 1, e);
+      const Interval init = ev.parse_expr(0).iv;
+      v = decl_type.is_int ? iv_meet(init, decl_type.range) : init;
+      if (v.empty()) v = decl_type.is_int ? decl_type.range : init;
+    } else if (after < e &&
+               (t[after].text == "(" || t[after].text == "{")) {
+      const std::size_t close = match_forward(t, after);
+      if (close != kNpos && close < e + 1) {
+        ExprEval ev(*this, C, after, e);
+        ev.parse_args(after, close, nullptr);
+        if (close == after + 2 || close == after + 1) {
+          // `T x{}` / `T x{e}` with a single literal-ish argument.
+        }
+        if (close == after + 1) v = decl_type.is_int
+                                        ? Interval::of(0)
+                                        : v;  // value-init
+      }
+    }
+    C.env[name] = v;
+    return;
+  }
+
+  // Assignment / compound assignment to a simple variable?
+  std::size_t depth = 0;
+  for (std::size_t k = b; k < e; ++k) {
+    const std::string& x = t[k].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (depth != 0) continue;
+    static const std::set<std::string> kCompound = {
+        "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="};
+    const bool plain = x == "=";
+    const bool compound = kCompound.count(x) != 0;
+    if (!plain && !compound) continue;
+    const bool simple_lhs =
+        k == b + 1 && t[b].kind == Token::Kind::kIdent &&
+        C.env.count(t[b].text) != 0;
+    if (!simple_lhs) {
+      // Complex lvalue: evaluate both sides for their sites.
+      ExprEval lhs(*this, C, b, k);
+      (void)lhs.parse_expr(0);
+      ExprEval rhs(*this, C, k + 1, e);
+      (void)rhs.parse_expr(0);
+      return;
+    }
+    const std::string name = t[b].text;
+    ExprEval rhs(*this, C, k + 1, e);
+    Value rv = rhs.parse_expr(0);
+    if (compound) {
+      const Interval cur = C.env[name];
+      const std::string op = x.substr(0, x.size() - 1);
+      if (op == "+") {
+        rv.iv = iv_add(cur, rv.iv);
+      } else if (op == "-") {
+        rv.iv = iv_sub(cur, rv.iv);
+      } else if (op == "*") {
+        rv.iv = iv_mul(cur, rv.iv);
+      } else if (op == "/") {
+        rv.iv = iv_div(cur, rv.iv);
+      } else if (op == "%") {
+        rv.iv = iv_mod(cur, rv.iv);
+      } else if (op == "&") {
+        rv.iv = iv_and(cur, rv.iv);
+      } else if (op == "|") {
+        rv.iv = iv_or(cur, rv.iv);
+      } else if (op == "^") {
+        rv.iv = iv_xor(cur, rv.iv);
+      } else if (op == "<<" || op == ">>") {
+        const auto ty = C.types.find(name);
+        Value lv{cur, ty != C.types.end() && ty->second.is_int
+                          ? ty->second.bits
+                          : 0};
+        rv = rhs.apply(op, k, lv, rv);
+      }
+    }
+    const auto ty = C.types.find(name);
+    if (ty != C.types.end() && ty->second.is_int) {
+      const Interval clipped = iv_meet(rv.iv, ty->second.range);
+      C.env[name] = clipped.empty() ? ty->second.range : clipped;
+    } else {
+      C.env[name] = rv.iv;
+    }
+    return;
+  }
+
+  // `++x;` / `x++;`
+  if (e == b + 2 &&
+      ((t[b].text == "++" || t[b].text == "--") ||
+       (t[b + 1].text == "++" || t[b + 1].text == "--"))) {
+    const std::size_t var =
+        t[b].kind == Token::Kind::kIdent ? b : b + 1;
+    const std::size_t op = var == b ? b + 1 : b;
+    if (t[var].kind == Token::Kind::kIdent &&
+        C.env.count(t[var].text) != 0) {
+      const Interval one = Interval::of(1);
+      Interval& x = C.env[t[var].text];
+      x = t[op].text == "++" ? iv_add(x, one) : iv_sub(x, one);
+      return;
+    }
+  }
+
+  // Plain expression statement.
+  ExprEval ev(*this, C, b, e);
+  (void)ev.parse_expr(0);
+}
+
+void Analyzer::analyze_function(std::size_t fn) {
+  const FunctionDef& def = index.functions[fn];
+  FnCtx C;
+  C.fn = fn;
+  C.file = def.file;
+  const FnInfo& info = fns[fn];
+  for (std::size_t i = 0; i < info.param_names.size(); ++i) {
+    const std::string& p = info.param_names[i];
+    if (p.empty()) continue;
+    C.types[p] = info.param_types[i];
+    C.env[p] = info.param_types[i].is_int ? info.param_types[i].range
+                                          : Interval::top();
+  }
+  walk(C, def.body_begin + 1, def.body_end);
+  FnInfo& out = fns[fn];
+  out.pre = C.captured_pre;
+  out.has_ret = C.has_ret;
+  out.ret = C.has_ret ? C.ret_acc : Interval::top();
+  // The declared return type bounds whatever the body computes.
+  if (out.ret_type.is_int) {
+    const Interval clipped = iv_meet(out.ret, out.ret_type.range);
+    out.ret = clipped.empty() ? out.ret_type.range : clipped;
+    out.has_ret = true;
+  }
+}
+
+}  // namespace
+
+AbsintSummary run_absint_pass(const Program& program, const Index& index,
+                              const CallGraph& cg, const AbsintOptions& opts,
+                              std::vector<Finding>* findings,
+                              std::vector<AbsSite>* sites) {
+  Analyzer a(program, index, cg, opts, findings, sites);
+  a.fns.resize(index.functions.size());
+  a.call_at.resize(program.files().size());
+  for (std::size_t c = 0; c < index.calls.size(); ++c) {
+    const CallSite& site = index.calls[c];
+    if (site.fn == kNpos) continue;
+    const std::size_t file = index.functions[site.fn].file;
+    a.call_at[file].emplace(site.tok, c);
+  }
+  a.collect_enums();
+  a.collect_constants();
+  a.collect_array_bounds();
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    a.parse_params(f);
+  }
+  // Two silent passes to stabilise the return-interval and precondition
+  // summaries across the call graph, then one recording pass.
+  for (int pass = 0; pass < 3; ++pass) {
+    a.record = pass == 2;
+    for (std::size_t f = 0; f < index.functions.size(); ++f) {
+      a.analyze_function(f);
+    }
+  }
+  return a.summary;
+}
+
+}  // namespace lint

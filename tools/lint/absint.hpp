@@ -1,0 +1,110 @@
+// ear_lint interval abstract interpreter (--abstract).
+//
+// A flow-sensitive interval domain over the integer values a function
+// manipulates, seeded from literals, declared types, enum ranges,
+// constexpr constants, EAR_EXPECT preconditions and branch conditions,
+// with widening at loop heads and per-function summaries (return
+// interval out, precondition intervals in) propagated through the PR 7
+// call graph. Every contract macro, shift, known-bound array subscript
+// and narrowing static_cast the walker reaches is classified:
+//
+//   discharged  the interval is provably inside the contract
+//   violated    provably outside — a finding with the witness interval
+//               (and, for cross-function violations, the call chain)
+//   open        neither provable; reported only under --abstract-strict
+//
+// The domain is deliberately modest: int64 endpoints with +/-inf
+// sentinels, no relational facts, no heap. That is enough to discharge
+// the sites the repo actually guards — 7-bit MSR 0x620 ratio fields,
+// varint shift amounts, CRC table subscripts — while keeping "violated"
+// trustworthy: a violation is only reported when both sides of the
+// comparison are provably disjoint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/findings.hpp"
+#include "lint/index.hpp"
+#include "lint/source.hpp"
+
+namespace lint {
+
+/// Closed integer interval [lo, hi]; kAbsNegInf/kAbsPosInf are the
+/// unbounded sentinels (arithmetic saturates onto them).
+inline constexpr std::int64_t kAbsNegInf = INT64_MIN;
+inline constexpr std::int64_t kAbsPosInf = INT64_MAX;
+
+struct Interval {
+  std::int64_t lo = kAbsNegInf;
+  std::int64_t hi = kAbsPosInf;
+
+  [[nodiscard]] static Interval top() { return {}; }
+  [[nodiscard]] static Interval of(std::int64_t v) { return {v, v}; }
+  [[nodiscard]] static Interval range(std::int64_t lo, std::int64_t hi) {
+    return {lo, hi};
+  }
+  [[nodiscard]] bool is_top() const {
+    return lo == kAbsNegInf && hi == kAbsPosInf;
+  }
+  [[nodiscard]] bool empty() const { return lo > hi; }
+  [[nodiscard]] bool singleton() const { return lo == hi; }
+  /// True when every value of *this lies inside `other`.
+  [[nodiscard]] bool inside(const Interval& other) const {
+    return lo >= other.lo && hi <= other.hi;
+  }
+  /// True when no value of *this lies inside `other`.
+  [[nodiscard]] bool disjoint(const Interval& other) const {
+    return hi < other.lo || lo > other.hi;
+  }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// The checked-site classes, in the order the issue names them.
+enum class AbsSiteKind {
+  kContract,   // EAR_EXPECT / EAR_ENSURE / EAR_INVARIANT (and _MSG forms)
+  kShift,      // amount of << / >> / <<= / >>= with a typed left operand
+  kSubscript,  // subscript of an array with a known constant bound
+  kNarrowCast  // static_cast to an integer type narrower than 64 bits
+};
+
+enum class AbsVerdict { kDischarged, kViolated, kOpen };
+
+struct AbsSite {
+  AbsSiteKind kind = AbsSiteKind::kContract;
+  AbsVerdict verdict = AbsVerdict::kOpen;
+  std::string file;    // rel path
+  std::size_t line = 0;
+  std::string fn;      // enclosing function (unqualified)
+  std::string detail;  // human text: witness / required intervals
+};
+
+struct AbsintOptions {
+  /// Also report `open` sites (rule absint-open); violations are always
+  /// reported.
+  bool strict = false;
+};
+
+struct AbsintSummary {
+  std::size_t sites = 0;
+  std::size_t discharged = 0;
+  std::size_t violated = 0;
+  std::size_t open = 0;
+};
+
+/// Run the abstract interpreter over every function in the index.
+/// Violations append `absint-violation` findings (opens append
+/// `absint-open` under `opts.strict`); every classified site is also
+/// appended to `sites` when non-null, for the unit tests.
+AbsintSummary run_absint_pass(const Program& program, const Index& index,
+                              const CallGraph& cg, const AbsintOptions& opts,
+                              std::vector<Finding>* findings,
+                              std::vector<AbsSite>* sites = nullptr);
+
+}  // namespace lint

@@ -158,7 +158,7 @@ bool write_sarif(const std::string& path, const std::vector<Finding>& findings,
 
 std::size_t check_expectations(const SourceFile& file,
                                const std::vector<Finding>& findings,
-                               bool deep) {
+                               const std::vector<std::string>& tags) {
   std::multiset<std::pair<std::size_t, std::string>> expected;
   const auto collect = [&](const std::string& tag) {
     for (std::size_t i = 0; i < file.raw_lines.size(); ++i) {
@@ -173,10 +173,7 @@ std::size_t check_expectations(const SourceFile& file,
       }
     }
   };
-  // "LINT-EXPECT-DEEP:" does not contain "LINT-EXPECT:" (the hyphen
-  // breaks the match), so the two tags never double-count.
-  collect("LINT-EXPECT:");
-  if (deep) collect("LINT-EXPECT-DEEP:");
+  for (const std::string& tag : tags) collect(tag);
   std::size_t mismatches = 0;
   for (const Finding& f : findings) {
     if (f.file != file.rel) continue;

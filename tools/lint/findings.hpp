@@ -56,13 +56,16 @@ void print_json_finding(const Finding& f);
 bool write_sarif(const std::string& path, const std::vector<Finding>& findings,
                  std::string* error);
 
-/// Compare findings against the `LINT-EXPECT: <rule>` annotations in
-/// `file` — plus `LINT-EXPECT-DEEP: <rule>` when `deep` is set, so the
-/// interprocedural fixtures stay quiet under shallow self-tests.
-/// Reports mismatches to stderr; returns their count (unexpected +
-/// missed).
+/// Compare findings against the expectation annotations in `file`.
+/// `tags` lists the annotation markers to honour — always
+/// "LINT-EXPECT:", plus "LINT-EXPECT-DEEP:" / "LINT-EXPECT-ABS:" /
+/// "LINT-EXPECT-WIRE:" when the corresponding pass ran, so each pass's
+/// fixtures stay quiet under self-tests that do not run it. (No tag is
+/// a prefix of another: the hyphen breaks the match, so tags never
+/// double-count.) Reports mismatches to stderr; returns their count
+/// (unexpected + missed).
 std::size_t check_expectations(const SourceFile& file,
                                const std::vector<Finding>& findings,
-                               bool deep);
+                               const std::vector<std::string>& tags);
 
 }  // namespace lint

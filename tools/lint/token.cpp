@@ -168,9 +168,13 @@ std::vector<Token> tokenize(const std::string& stripped) {
       i = j;
       continue;
     }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(stripped[i + 1])))) {
       // pp-number: digits, identifier chars, digit separators, dots and
-      // exponent signs.
+      // exponent signs. A pp-number may also *begin* with `.digit`
+      // (`.5e-3`); without this start rule a leading-dot float lexes as
+      // punct + number and every downstream expression walk misparses.
       std::size_t j = i + 1;
       while (j < n) {
         const char d = stripped[j];

@@ -1,0 +1,532 @@
+#include "lint/wiresym.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace lint {
+
+std::string wire_op_name(const WireOp& op) {
+  switch (op) {
+    case WireOp::kU8:
+      return "u8";
+    case WireOp::kU32:
+      return "u32";
+    case WireOp::kU64:
+      return "u64";
+    case WireOp::kF64:
+      return "f64";
+    case WireOp::kVarint:
+      return "varint";
+    case WireOp::kSvarint:
+      return "svarint";
+    case WireOp::kStr:
+      return "str";
+    case WireOp::kRaw:
+      return "raw";
+    case WireOp::kCall:
+      return "call";
+    case WireOp::kRepBegin:
+      return "loop-begin";
+    case WireOp::kRepEnd:
+      return "loop-end";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Writer append ops and their reader consume equivalents share the
+/// same WireOp, so symmetry is plain equality on the op kind.
+bool map_op(const std::string& name, WireOp* out) {
+  if (name == "u8") {
+    *out = WireOp::kU8;
+  } else if (name == "u32") {
+    *out = WireOp::kU32;
+  } else if (name == "u64") {
+    *out = WireOp::kU64;
+  } else if (name == "f64") {
+    *out = WireOp::kF64;
+  } else if (name == "varint") {
+    *out = WireOp::kVarint;
+  } else if (name == "svarint") {
+    *out = WireOp::kSvarint;
+  } else if (name == "str") {
+    *out = WireOp::kStr;
+  } else if (name == "raw") {
+    *out = WireOp::kRaw;
+  } else {
+    return false;  // require/at_end/pos/remaining/bytes/size: not data
+  }
+  return true;
+}
+
+std::string strip_prefix(const std::string& name) {
+  static const char* kPrefixes[] = {"encode_",      "decode_",
+                                    "serialize_",   "deserialize_",
+                                    "write_",       "read_"};
+  for (const char* p : kPrefixes) {
+    const std::size_t n = std::string(p).size();
+    if (name.size() > n && name.compare(0, n, p) == 0) {
+      return name.substr(n);
+    }
+  }
+  return name;
+}
+
+std::string erase_substr(std::string s, const std::string& what) {
+  const std::size_t at = s.find(what);
+  if (at != std::string::npos) s.erase(at, what.size());
+  return s;
+}
+
+/// Pairing key: `encode_payload`/`decode_payload` -> `payload`,
+/// `TraceWriter`/`TraceReader` -> `Trace`.
+std::string make_stem(const std::string& name) {
+  std::string s = strip_prefix(name);
+  s = erase_substr(std::move(s), "Writer");
+  s = erase_substr(std::move(s), "Reader");
+  return s;
+}
+
+struct Pass {
+  const Program& program;
+  const Index& index;
+  const CallGraph& cg;
+  std::vector<Finding>* findings;
+
+  std::vector<WireCodec> codecs;       // parallel to index.functions
+  std::vector<bool> is_codec;          // parallel to index.functions
+  /// Per file: call-name token index -> call-site index.
+  std::vector<std::map<std::size_t, std::size_t>> call_at;
+
+  Pass(const Program& p, const Index& ix, const CallGraph& c,
+       std::vector<Finding>* f)
+      : program(p), index(ix), cg(c), findings(f) {}
+
+  [[nodiscard]] const std::vector<Token>& toks(std::size_t fn) const {
+    return program.files()[index.functions[fn].file].tokens;
+  }
+
+  // Phase 1: recognise codecs (receivers + direction).
+  void recognise(std::size_t fn);
+  // Phase 2: extract op sequences (needs phase 1 for kCall).
+  void extract(std::size_t fn);
+  void extract_range(WireCodec& c, const std::set<std::string>& recv,
+                     std::size_t b, std::size_t e);
+  void detect_tags(WireCodec& c, const std::set<std::string>& recv);
+
+  // Phase 3: pair and compare.
+  void report(const std::string& file, std::size_t line,
+              const std::string& message) const;
+  void compare(const WireCodec& w, const WireCodec& r) const;
+
+  std::set<std::string> receiver_names(std::size_t fn,
+                                       const char* type_name,
+                                       bool* from_param) const;
+};
+
+std::set<std::string> Pass::receiver_names(std::size_t fn,
+                                           const char* type_name,
+                                           bool* from_param) const {
+  const FunctionDef& def = index.functions[fn];
+  const std::vector<Token>& t = toks(fn);
+  std::set<std::string> out;
+  *from_param = false;
+  // Parameters: any parameter whose type tokens mention the class name.
+  const std::size_t open = def.name_tok + 1;
+  if (open < t.size() && t[open].text == "(") {
+    const std::size_t close = match_forward(t, open);
+    if (close != kNpos && close < def.body_begin) {
+      bool saw_type = false;
+      std::size_t last_ident = kNpos;
+      for (std::size_t k = open + 1; k <= close; ++k) {
+        const std::string& x = t[k].text;
+        if (k == close || x == ",") {
+          if (saw_type && last_ident != kNpos) {
+            out.insert(t[last_ident].text);
+            *from_param = true;
+          }
+          saw_type = false;
+          last_ident = kNpos;
+          continue;
+        }
+        if (x == type_name) saw_type = true;
+        if (t[k].kind == Token::Kind::kIdent) last_ident = k;
+      }
+    }
+  }
+  // Locals: `ByteWriter w;` / `ByteWriter w(expr);` / `ByteWriter& w = ...`.
+  for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+    if (t[i].text != type_name) continue;
+    std::size_t j = i + 1;
+    while (j < def.body_end && (t[j].text == "&" || t[j].text == "*" ||
+                                t[j].text == "const")) {
+      ++j;
+    }
+    if (j < def.body_end && t[j].kind == Token::Kind::kIdent) {
+      out.insert(t[j].text);
+    }
+  }
+  return out;
+}
+
+void Pass::recognise(std::size_t fn) {
+  bool w_param = false;
+  bool r_param = false;
+  const std::set<std::string> writers =
+      receiver_names(fn, "ByteWriter", &w_param);
+  const std::set<std::string> readers =
+      receiver_names(fn, "ByteReader", &r_param);
+  if (writers.empty() && readers.empty()) return;
+  WireCodec c;
+  c.fn = fn;
+  c.name = index.functions[fn].name;
+  c.stem = make_stem(c.name);
+  c.file = program.files()[index.functions[fn].file].rel;
+  c.line = index.functions[fn].line;
+  if (!writers.empty() && !readers.empty()) {
+    // Mixed directions (round-trip helpers): opaque, never reported.
+    c.dir = CodecDir::kWriter;
+    c.opaque = true;
+  } else if (!writers.empty()) {
+    c.dir = CodecDir::kWriter;
+    c.opaque = writers.size() > 1;
+    c.receiver_from_param = w_param;
+  } else {
+    c.dir = CodecDir::kReader;
+    c.opaque = readers.size() > 1;
+    c.receiver_from_param = r_param;
+  }
+  codecs[fn] = std::move(c);
+  is_codec[fn] = true;
+}
+
+void Pass::extract(std::size_t fn) {
+  WireCodec& c = codecs[fn];
+  bool unused = false;
+  const std::set<std::string> recv = receiver_names(
+      c.fn, c.dir == CodecDir::kWriter ? "ByteWriter" : "ByteReader",
+      &unused);
+  const FunctionDef& def = index.functions[fn];
+  extract_range(c, recv, def.body_begin + 1, def.body_end);
+  detect_tags(c, recv);
+  // A "codec" that never touches its receiver with a data op carries no
+  // comparable format (e.g. a forwarding wrapper); opaque keeps it out
+  // of both comparison and unpaired-codec reporting.
+  const bool has_data = std::any_of(
+      c.steps.begin(), c.steps.end(), [](const WireStep& s) {
+        return s.op != WireOp::kRepBegin && s.op != WireOp::kRepEnd;
+      });
+  if (!has_data) c.opaque = true;
+}
+
+void Pass::extract_range(WireCodec& c, const std::set<std::string>& recv,
+                         std::size_t b, std::size_t e) {
+  const std::vector<Token>& t = toks(c.fn);
+  const std::size_t file = index.functions[c.fn].file;
+  std::size_t i = b;
+  while (i < e) {
+    const std::string& x = t[i].text;
+    if (x == "for" || x == "while") {
+      const std::size_t open = i + 1;
+      if (open >= e || t[open].text != "(") {
+        ++i;
+        continue;
+      }
+      const std::size_t close = match_forward(t, open);
+      if (close == kNpos || close >= e) return;
+      std::size_t body_b = close + 1;
+      std::size_t body_e;
+      if (body_b < e && t[body_b].text == "{") {
+        const std::size_t m = match_forward(t, body_b);
+        body_e = m == kNpos || m >= e ? e : m + 1;
+      } else {
+        // Unbraced single-statement body.
+        body_e = body_b;
+        std::size_t depth = 0;
+        while (body_e < e) {
+          const std::string& y = t[body_e].text;
+          if (y == "(" || y == "[" || y == "{") ++depth;
+          if (y == ")" || y == "]" || y == "}") --depth;
+          if (y == ";" && depth == 0) {
+            ++body_e;
+            break;
+          }
+          ++body_e;
+        }
+      }
+      const std::size_t mark = c.steps.size();
+      c.steps.push_back({WireOp::kRepBegin, t[i].line, {}});
+      extract_range(c, recv, open + 1, close);  // range expr / condition
+      extract_range(c, recv, body_b, body_e);
+      if (c.steps.size() == mark + 1) {
+        c.steps.pop_back();  // loop with no wire ops: not a rep group
+      } else {
+        c.steps.push_back({WireOp::kRepEnd, t[i].line, {}});
+      }
+      i = body_e;
+      continue;
+    }
+    if (x == "do") {
+      std::size_t body_b = i + 1;
+      if (body_b < e && t[body_b].text == "{") {
+        const std::size_t m = match_forward(t, body_b);
+        const std::size_t body_e = m == kNpos || m >= e ? e : m + 1;
+        const std::size_t mark = c.steps.size();
+        c.steps.push_back({WireOp::kRepBegin, t[i].line, {}});
+        extract_range(c, recv, body_b + 1, body_e - 1);
+        if (c.steps.size() == mark + 1) {
+          c.steps.pop_back();
+        } else {
+          c.steps.push_back({WireOp::kRepEnd, t[i].line, {}});
+        }
+        i = body_e;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (t[i].kind == Token::Kind::kIdent && recv.count(x) != 0 &&
+        i + 3 < e && (t[i + 1].text == "." || t[i + 1].text == "->") &&
+        t[i + 2].kind == Token::Kind::kIdent && t[i + 3].text == "(") {
+      WireOp op;
+      if (map_op(t[i + 2].text, &op)) {
+        c.steps.push_back({op, t[i + 2].line, {}});
+      }
+      i += 4;  // args scanned by the main loop (they may nest ops)
+      continue;
+    }
+    if (t[i].kind == Token::Kind::kIdent) {
+      const auto it = call_at[file].find(i);
+      if (it != call_at[file].end()) {
+        const std::size_t callee = cg.resolved[it->second];
+        // A call into a codec that takes the stream as a parameter
+        // continues this byte stream; one that frames its own local
+        // writer/reader operates on a different layer and is ignored.
+        if (callee != kNpos && is_codec[callee] &&
+            codecs[callee].dir == c.dir &&
+            codecs[callee].receiver_from_param) {
+          c.steps.push_back(
+              {WireOp::kCall, t[i].line, codecs[callee].stem});
+        }
+      }
+    }
+    ++i;
+  }
+}
+
+void Pass::detect_tags(WireCodec& c, const std::set<std::string>& recv) {
+  const FunctionDef& def = index.functions[c.fn];
+  const std::vector<Token>& t = toks(c.fn);
+  if (c.dir == CodecDir::kWriter) {
+    // Tagged encoder: a leading u8 write followed by a switch; each
+    // `case` is one emittable tag value.
+    if (c.steps.empty() || c.steps.front().op != WireOp::kU8) return;
+    bool saw_switch = false;
+    for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+      if (t[i].text == "switch") saw_switch = true;
+      if (saw_switch && t[i].text == "case") ++c.tag_cases;
+    }
+    return;
+  }
+  // Tagged decoder: `X = recv.u8()` (or ->) then
+  // `if (X < A || X > B) throw`.
+  std::string tag_var;
+  for (std::size_t i = def.body_begin; i + 5 < def.body_end; ++i) {
+    if (t[i].text == "=" && i >= 1 &&
+        t[i - 1].kind == Token::Kind::kIdent &&
+        recv.count(t[i + 1].text) != 0 &&
+        (t[i + 2].text == "." || t[i + 2].text == "->") &&
+        t[i + 3].text == "u8") {
+      tag_var = t[i - 1].text;
+      break;
+    }
+  }
+  if (tag_var.empty()) return;
+  for (std::size_t i = def.body_begin; i + 10 < def.body_end; ++i) {
+    if (t[i].text != "if" || t[i + 1].text != "(") continue;
+    const std::size_t close = match_forward(t, i + 1);
+    if (close == kNpos || close >= def.body_end) continue;
+    // Shape: ( var < A || var > B )
+    if (close == i + 9 && t[i + 2].text == tag_var &&
+        t[i + 3].text == "<" &&
+        t[i + 4].kind == Token::Kind::kNumber &&
+        t[i + 5].text == "||" && t[i + 6].text == tag_var &&
+        t[i + 7].text == ">" &&
+        t[i + 8].kind == Token::Kind::kNumber) {
+      const std::int64_t lo = std::strtoll(t[i + 4].text.c_str(), nullptr, 0);
+      const std::int64_t hi = std::strtoll(t[i + 8].text.c_str(), nullptr, 0);
+      if (hi >= lo) {
+        c.tag_accepts = hi - lo + 1;
+        c.tag_line = t[i].line;
+      }
+      return;
+    }
+  }
+}
+
+void Pass::report(const std::string& file, std::size_t line,
+                  const std::string& message) const {
+  if (findings != nullptr) {
+    findings->push_back({file, line, "wire-symmetry", message});
+  }
+}
+
+void Pass::compare(const WireCodec& w, const WireCodec& r) const {
+  const std::size_t n = std::min(w.steps.size(), r.steps.size());
+  std::size_t field = 0;  // 1-based data-field position of the mismatch
+  for (std::size_t i = 0; i < n; ++i) {
+    const WireStep& ws = w.steps[i];
+    const WireStep& rs = r.steps[i];
+    if (ws.op != WireOp::kRepBegin && ws.op != WireOp::kRepEnd) ++field;
+    if (ws.op == rs.op &&
+        (ws.op != WireOp::kCall || ws.callee_stem == rs.callee_stem)) {
+      continue;
+    }
+    std::string what = wire_op_name(ws.op);
+    if (ws.op == WireOp::kCall) what += ":" + ws.callee_stem;
+    std::string got = wire_op_name(rs.op);
+    if (rs.op == WireOp::kCall) got += ":" + rs.callee_stem;
+    report(r.file, rs.line,
+           "decoder `" + r.name + "` diverges from encoder `" + w.name +
+               "` at field " + std::to_string(field) + ": encoder " +
+               w.file + ":" + std::to_string(ws.line) + " writes " + what +
+               " but decoder reads " + got);
+    return;  // one finding per pair: later fields cascade
+  }
+  if (w.steps.size() != r.steps.size()) {
+    const bool writer_longer = w.steps.size() > r.steps.size();
+    const WireCodec& longer = writer_longer ? w : r;
+    const WireStep& extra = longer.steps[n];
+    std::string what = wire_op_name(extra.op);
+    if (extra.op == WireOp::kCall) what += ":" + extra.callee_stem;
+    report(longer.file, extra.line,
+           writer_longer
+               ? "encoder `" + w.name + "` writes " + what + " (field " +
+                     std::to_string(n + 1) + ") with no paired read in " +
+                     "decoder `" + r.name + "` (" + r.file + ":" +
+                     std::to_string(r.line) + ")"
+               : "decoder `" + r.name + "` reads " + what + " (field " +
+                     std::to_string(n + 1) + ") that encoder `" + w.name +
+                     "` (" + w.file + ":" + std::to_string(w.line) +
+                     ") never writes");
+    return;
+  }
+  // Sequences agree; check the tag acceptance range.
+  if (r.tag_accepts > 0 && w.tag_cases > 0 &&
+      r.tag_accepts > w.tag_cases) {
+    report(r.file, r.tag_line,
+           "decoder `" + r.name + "` accepts " +
+               std::to_string(r.tag_accepts) +
+               " tag value(s) but encoder `" + w.name + "` (" + w.file +
+               ":" + std::to_string(w.line) + ") emits only " +
+               std::to_string(w.tag_cases) +
+               " — the extra tags decode bytes the encoder never " +
+               "produces");
+  }
+}
+
+}  // namespace
+
+WiresymSummary run_wiresym_pass(const Program& program, const Index& index,
+                                const CallGraph& cg,
+                                std::vector<Finding>* findings,
+                                std::vector<WireCodec>* codecs_out) {
+  Pass pass(program, index, cg, findings);
+  pass.codecs.resize(index.functions.size());
+  pass.is_codec.assign(index.functions.size(), false);
+  pass.call_at.resize(program.files().size());
+  for (std::size_t c = 0; c < index.calls.size(); ++c) {
+    const CallSite& site = index.calls[c];
+    if (site.fn == kNpos) continue;
+    pass.call_at[index.functions[site.fn].file].emplace(site.tok, c);
+  }
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    pass.recognise(f);
+  }
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    if (pass.is_codec[f]) pass.extract(f);
+  }
+
+  // Explicit pair directives: `// ear_lint wire-pair: A B` anywhere
+  // renames both functions' stems to a private shared key.
+  std::map<std::string, std::string> directive_stem;
+  std::size_t directive_n = 0;
+  for (const SourceFile& file : program.files()) {
+    for (const std::string& line : file.raw_lines) {
+      const std::size_t at = line.find("ear_lint wire-pair:");
+      if (at == std::string::npos) continue;
+      std::istringstream rest(line.substr(at + std::string("ear_lint wire-pair:").size()));
+      std::string a;
+      std::string b;
+      if (rest >> a >> b) {
+        const std::string key = "#pair" + std::to_string(directive_n++);
+        directive_stem[a] = key;
+        directive_stem[b] = key;
+      }
+    }
+  }
+
+  WiresymSummary summary;
+  std::map<std::string, std::vector<std::size_t>> writers;
+  std::map<std::string, std::vector<std::size_t>> readers;
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    if (!pass.is_codec[f]) continue;
+    WireCodec& c = pass.codecs[f];
+    const auto it = directive_stem.find(c.name);
+    if (it != directive_stem.end()) c.stem = it->second;
+    ++summary.codecs;
+    (c.dir == CodecDir::kWriter ? writers : readers)[c.stem].push_back(f);
+  }
+
+  std::set<std::string> stems;
+  for (const auto& [stem, v] : writers) stems.insert(stem);
+  for (const auto& [stem, v] : readers) stems.insert(stem);
+  for (const std::string& stem : stems) {
+    const auto wit = writers.find(stem);
+    const auto rit = readers.find(stem);
+    const std::size_t nw = wit == writers.end() ? 0 : wit->second.size();
+    const std::size_t nr = rit == readers.end() ? 0 : rit->second.size();
+    if (nw == 1 && nr == 1) {
+      const WireCodec& w = pass.codecs[wit->second.front()];
+      const WireCodec& r = pass.codecs[rit->second.front()];
+      if (w.opaque || r.opaque) {
+        ++summary.pairs_skipped_opaque;
+        continue;
+      }
+      ++summary.pairs_compared;
+      pass.compare(w, r);
+      continue;
+    }
+    if (nw > 1 || nr > 1) continue;  // ambiguous stem: out of scope
+    // Exactly one codec, no counterpart.
+    const WireCodec& c =
+        pass.codecs[nw == 1 ? wit->second.front() : rit->second.front()];
+    if (c.opaque) continue;  // framing layer: runtime CRC tests own it
+    pass.report(
+        c.file, c.line,
+        c.dir == CodecDir::kWriter
+            ? "encoder `" + c.name +
+                  "` has no paired decoder (stem `" + stem +
+                  "`); add the decoder or an `ear_lint wire-pair` " +
+                  "directive"
+            : "decoder `" + c.name +
+                  "` has no paired encoder (stem `" + stem +
+                  "`); add the encoder or an `ear_lint wire-pair` " +
+                  "directive");
+  }
+
+  if (codecs_out != nullptr) {
+    for (std::size_t f = 0; f < index.functions.size(); ++f) {
+      if (pass.is_codec[f]) codecs_out->push_back(pass.codecs[f]);
+    }
+  }
+  return summary;
+}
+
+}  // namespace lint

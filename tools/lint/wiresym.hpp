@@ -1,0 +1,101 @@
+// ear_lint wire-format symmetry pass (--wire).
+//
+// Every wire format in src/service/ is a hand-paired encoder/decoder:
+// a function appending to a ByteWriter and a function consuming from a
+// ByteReader, which must agree field-for-field. Drift between them is
+// only caught at runtime when a CRC or a trailing-garbage check fires —
+// after the field offsets have already been misread. This pass makes
+// the agreement a static property: it extracts the append sequence of
+// each encoder and the consume sequence of each decoder, pairs the
+// functions by name stem (encode_/decode_, serialize_/deserialize_,
+// Writer/Reader) or by an explicit `// ear_lint wire-pair: A B`
+// directive, and reports
+//
+//   * field count / type / order mismatches between a pair,
+//   * an encoder with no paired decoder (and vice versa),
+//   * a decoder whose version-tag acceptance range admits tags the
+//     paired encoder can never emit.
+//
+// Two deliberate limits keep the pass honest. Loops become rep-groups
+// (the sequences inside must match; iteration counts are a runtime
+// property), and switches/ifs are flattened linearly, so a pair whose
+// encoder and decoder list their cases in different orders is reported
+// — matching the repo convention that they mirror each other. And a
+// function driving more than one receiver of its direction (framing
+// layers like checked_block, multi-stream finishers) is *opaque*:
+// excluded from comparison and from unpaired-codec reporting, because
+// byte-level framing is the CRC tests' job, not this pass's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/findings.hpp"
+#include "lint/index.hpp"
+#include "lint/source.hpp"
+
+namespace lint {
+
+enum class WireOp {
+  kU8,
+  kU32,
+  kU64,
+  kF64,
+  kVarint,
+  kSvarint,
+  kStr,
+  kRaw,
+  kCall,      // stream-continuation call into another codec
+  kRepBegin,  // loop entry: the enclosed ops repeat
+  kRepEnd
+};
+
+[[nodiscard]] std::string wire_op_name(const WireOp& op);
+
+struct WireStep {
+  WireOp op = WireOp::kU8;
+  std::size_t line = 0;
+  std::string callee_stem;  // kCall only
+};
+
+enum class CodecDir { kWriter, kReader };
+
+struct WireCodec {
+  std::size_t fn = kNpos;  // FunctionDef index
+  CodecDir dir = CodecDir::kWriter;
+  std::string name;        // unqualified function name
+  std::string stem;        // pairing key
+  std::string file;        // rel path
+  std::size_t line = 0;
+  bool opaque = false;     // >1 receiver of its direction, or mixed dirs
+  /// The callee receives the stream as a parameter (a continuation of
+  /// the caller's byte stream) rather than framing its own.
+  bool receiver_from_param = false;
+  std::vector<WireStep> steps;
+  /// Reader: number of tag values `if (tag < A || tag > B) throw`
+  /// accepts after the leading u8 (0 = no tag check found).
+  std::int64_t tag_accepts = 0;
+  std::size_t tag_line = 0;
+  /// Writer: number of `case` labels following the leading u8 tag
+  /// write (0 = not a tagged encoder).
+  std::int64_t tag_cases = 0;
+};
+
+struct WiresymSummary {
+  std::size_t codecs = 0;
+  std::size_t pairs_compared = 0;
+  std::size_t pairs_skipped_opaque = 0;
+};
+
+/// Run the symmetry analysis over every function in the index.
+/// Mismatches, unpaired codecs and over-wide tag acceptance append
+/// `wire-symmetry` findings; every recognised codec is also appended to
+/// `codecs` when non-null, for the unit tests.
+WiresymSummary run_wiresym_pass(const Program& program, const Index& index,
+                                const CallGraph& cg,
+                                std::vector<Finding>* findings,
+                                std::vector<WireCodec>* codecs = nullptr);
+
+}  // namespace lint
