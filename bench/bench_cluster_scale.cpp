@@ -6,11 +6,20 @@
 //
 //   bench_cluster_scale [--nodes 10,100,1000,10000] [--jobs N]
 //                       [--budget-per-node W] [--out FILE.csv]
+//                       [--core reference|event]
+//                       [--event-diff] [--diff-out FILE.json]
 //
 // --out writes a CSV report (the CI facility-smoke job uploads it).
+// --event-diff appends the event-vs-reference sweep: for every size the
+// facility runs once on each engine single-threaded (speedup is the
+// wall-clock ratio, so the machine cancels out), then the event core
+// runs again at 1/2/4/8 workers over an 8-island build to measure shard
+// scaling. --diff-out writes the JSON that bench_guard.py --event-core
+// checks against bench/BENCH_event_core_baseline.json in CI.
 #include "bench_util.hpp"
 
 #include <chrono>
+#include <thread>
 #include <fstream>
 
 #include "common/args.hpp"
@@ -46,10 +55,36 @@ std::size_t islands_for(std::size_t nodes) {
 
 }  // namespace
 
+namespace {
+
+/// Whole-run and core-loop wall seconds for one facility run. The core
+/// wall excludes facility assembly — identical code on both engines —
+/// so the core ratio isolates what the engines implement differently.
+struct TimedRun {
+  double total_s = 0.0;
+  double core_s = 0.0;
+};
+
+TimedRun time_facility(const ear::sim::FacilityConfig& cfg) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const ear::sim::FacilityResult r = ear::sim::run_facility(cfg);
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const std::string& v : r.violations) {
+    std::printf("VIOLATION (%s core, %zu nodes): %s\n",
+                ear::sim::sim_core_name(cfg.core), cfg.jobs.size(),
+                v.c_str());
+  }
+  return {wall, r.walls.core_s};
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ear;
   using Clock = std::chrono::steady_clock;
-  const common::ArgParser args(argc, argv, {});
+  const common::ArgParser args(argc, argv, {"event-diff"});
   const std::vector<std::size_t> sizes =
       parse_sizes(args.get("nodes", std::string("10,100,1000,10000")));
   const auto jobs =
@@ -59,6 +94,10 @@ int main(int argc, char** argv) {
   // every scale while staying physically reachable.
   const double budget_per_node = args.get("budget-per-node", 200.0);
   const std::string out_path = args.get("out", std::string());
+  const sim::SimCore core =
+      sim::parse_sim_core(args.get("core", std::string("reference")));
+  const bool event_diff = args.flag("event-diff");
+  const std::string diff_out = args.get("diff-out", std::string());
 
   bench::banner("Extension: facility scale sweep (job stream + federated "
                 "EARGM under a tight cap)");
@@ -86,6 +125,7 @@ int main(int argc, char** argv) {
         sim::make_facility_config(nodes, islands, job_count, bench::kSeed);
     cfg.budget = {static_cast<double>(nodes) * budget_per_node};
     cfg.sim_jobs = jobs;
+    cfg.core = core;
 
     const auto t0 = Clock::now();
     const sim::FacilityResult r = sim::run_facility(cfg);
@@ -124,6 +164,106 @@ int main(int argc, char** argv) {
       "Expected: peak power hugs the budget as the federation throttles;\n"
       "transient overruns shrink as islands settle; throughput grows with\n"
       "facility size (rounds amortise), and no run reports a violation.\n");
+
+  if (event_diff) {
+    bench::banner("Event core vs reference loop (single-thread speedup + "
+                  "1..8 shard scaling over 8 islands)");
+    const double busy_scale = args.get("busy-scale", 10.0);
+    const unsigned host_cpus = std::thread::hardware_concurrency();
+    std::printf("host cpus: %u (shard-scaling walls are only meaningful "
+                "when the host has as many cores as workers;\n"
+                "speedup is a same-machine ratio and holds anywhere)\n",
+                host_cpus);
+    common::AsciiTable diff_table;
+    diff_table.columns({"nodes", "ref 1t (s)", "event 1t (s)", "speedup",
+                        "core speedup", "event 2w (s)", "event 4w (s)",
+                        "event 8w (s)", "scale eff @8"});
+    std::ofstream json;
+    if (!diff_out.empty()) {
+      json.open(diff_out);
+      if (!json) throw common::ConfigError("cannot open " + diff_out);
+      json << "{\n  \"schema\": \"event_core_baseline_v1\",\n"
+           << "  \"budget_per_node_w\": " << budget_per_node << ",\n"
+           << "  \"busy_scale\": " << busy_scale << ",\n"
+           << "  \"host_cpus\": " << host_cpus << ",\n"
+           << "  \"entries\": [\n";
+    }
+    bool first = true;
+    for (const std::size_t nodes : sizes) {
+      // Fixed 8 islands (= 8 shards): the shard count bounds event-core
+      // parallelism, and the scaling story needs all eight.
+      const std::size_t islands = std::min<std::size_t>(8, nodes);
+      const std::size_t job_count = std::max<std::size_t>(8, nodes / 2);
+      sim::FacilityConfig cfg =
+          sim::make_facility_config(nodes, islands, job_count, bench::kSeed);
+      cfg.budget = {static_cast<double>(nodes) * budget_per_node};
+      cfg.sim_jobs = 1;
+      // Run the catalog in its phase-stable regime: stretching the
+      // synthesiser's iterations to multi-second phases (the paper's MPI
+      // workloads iterate at 0.2-3 s) keeps most nodes busy for most
+      // rounds — the production regime, and the one where the reference
+      // loop pays its per-10 ms-period governor stepping.
+      for (sim::FacilityJob& job : cfg.jobs) {
+        job.work.iter_seconds *= busy_scale;
+      }
+
+      cfg.core = sim::SimCore::kReference;
+      const TimedRun ref_1t = time_facility(cfg);
+      cfg.core = sim::SimCore::kEvent;
+      const TimedRun ev_1t = time_facility(cfg);
+      const double speedup =
+          ev_1t.total_s > 0.0 ? ref_1t.total_s / ev_1t.total_s : 0.0;
+      // Core-loop ratio: facility assembly is byte-identical shared code
+      // on both engines, so the FacilityWalls core wall isolates the
+      // round loops themselves — the quantity the event core changes.
+      const double speedup_core =
+          ev_1t.core_s > 0.0 ? ref_1t.core_s / ev_1t.core_s : 0.0;
+
+      TimedRun ev_w[3];  // 2, 4, 8 workers
+      const std::size_t workers[3] = {2, 4, 8};
+      for (std::size_t i = 0; i < 3; ++i) {
+        cfg.sim_jobs = workers[i];
+        ev_w[i] = time_facility(cfg);
+      }
+      // Scaling efficiency at 8 workers over core walls (assembly does
+      // not parallelise across workers): perfect would be core_1t / 8.
+      const double eff8 =
+          ev_w[2].core_s > 0.0 ? ev_1t.core_s / (8.0 * ev_w[2].core_s) : 0.0;
+
+      diff_table.add_row({std::to_string(nodes),
+                          common::AsciiTable::num(ref_1t.total_s, 3),
+                          common::AsciiTable::num(ev_1t.total_s, 3),
+                          common::AsciiTable::num(speedup, 2),
+                          common::AsciiTable::num(speedup_core, 2),
+                          common::AsciiTable::num(ev_w[0].total_s, 3),
+                          common::AsciiTable::num(ev_w[1].total_s, 3),
+                          common::AsciiTable::num(ev_w[2].total_s, 3),
+                          common::AsciiTable::num(eff8, 2)});
+      if (json.is_open()) {
+        if (!first) json << ",\n";
+        first = false;
+        json << "    {\"nodes\": " << nodes << ", \"islands\": " << islands
+             << ", \"jobs\": " << job_count
+             << ", \"ref_wall_s\": " << ref_1t.total_s
+             << ", \"event_wall_s\": " << ev_1t.total_s
+             << ", \"ref_core_s\": " << ref_1t.core_s
+             << ", \"event_core_s\": " << ev_1t.core_s
+             << ", \"speedup_1t\": " << speedup
+             << ", \"speedup_core_1t\": " << speedup_core
+             << ", \"scale_core_s\": {\"1\": " << ev_1t.core_s
+             << ", \"2\": " << ev_w[0].core_s << ", \"4\": " << ev_w[1].core_s
+             << ", \"8\": " << ev_w[2].core_s
+             << "}, \"scale_eff_8\": " << eff8 << "}";
+      }
+    }
+    if (json.is_open()) json << "\n  ]\n}\n";
+    diff_table.print();
+    std::printf(
+        "Speedup is wall-clock reference/event on one thread (machine\n"
+        "cancels in the ratio); core speedup compares only the round\n"
+        "loops (facility assembly is shared code); scale eff @8 is\n"
+        "event core 1w / (8 * event core 8w).\n");
+  }
   bench::footer();
   return 0;
 }

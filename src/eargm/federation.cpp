@@ -101,9 +101,11 @@ void FederatedEargm::update(std::span<const double> node_power_w) {
     ++facility_blind_rounds_;
     EAR_LOG_WARN("eargm", "all %zu islands dark; holding budget split",
                  islands_.size());
-    return;
+  } else {
+    redistribute();
   }
-  redistribute();
+  ++rounds_;
+  if (round_hook_) round_hook_(rounds_, common::Power{facility_w_});
 }
 
 void FederatedEargm::redistribute() {

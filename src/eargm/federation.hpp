@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -81,6 +82,19 @@ class FederatedEargm {
   [[nodiscard]] std::size_t total_throttle_events() const;
   [[nodiscard]] std::size_t total_release_events() const;
 
+  /// Control rounds completed (update() calls).
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+
+  /// Round-boundary hook: invoked at the end of every update() with the
+  /// number of completed rounds and the substituted facility aggregate.
+  /// The event-driven facility core registers one to schedule the next
+  /// EARGM-round barrier event — the federation drives its own cadence
+  /// instead of being polled every tick. At most one hook; pass an empty
+  /// function to clear it.
+  using RoundHook = std::function<void(std::size_t rounds_completed,
+                                       common::Power facility_power)>;
+  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+
  private:
   void redistribute();
 
@@ -96,6 +110,8 @@ class FederatedEargm {
   double facility_w_ = 0.0;
   std::size_t redists_ = 0;
   std::size_t facility_blind_rounds_ = 0;
+  std::size_t rounds_ = 0;
+  RoundHook round_hook_;
 };
 
 }  // namespace ear::eargm

@@ -1,0 +1,76 @@
+#include "faults/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ear::faults {
+
+namespace {
+
+/// First round index whose start time t = r * round_s satisfies t >= s.
+/// Open-ended specs (end_s ~ 1e30) land far past any horizon; saturate
+/// instead of overflowing the size_t cast.
+std::size_t round_at_or_after(double s, double round_s) {
+  if (s <= 0.0) return 0;
+  const double r = std::ceil(s / round_s);
+  if (r >= static_cast<double>(FaultSchedule::npos / 2)) {
+    return FaultSchedule::npos;
+  }
+  return static_cast<std::size_t>(r);
+}
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(const FaultPlan& plan, double round_s,
+                             double max_sim_s) {
+  const std::size_t last_round =
+      round_s > 0.0 ? static_cast<std::size_t>(max_sim_s / round_s) + 1 : 0;
+  for (const FaultSpec& f : plan.specs) {
+    if (f.family != FaultFamily::kNodeDropout &&
+        f.family != FaultFamily::kIslandDropout) {
+      continue;  // other families live in the per-node injector
+    }
+    // active_at(r * round_s) flips at the first round >= start and the
+    // first round >= end; clamp to the horizon so an open-ended spec
+    // does not seed an unreachable event.
+    const std::size_t open = round_at_or_after(f.start_s, round_s);
+    const std::size_t close = round_at_or_after(f.end_s, round_s);
+    if (open <= last_round) boundaries_.push_back(open);
+    if (close <= last_round) boundaries_.push_back(close);
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+
+  // Evaluate plan activity once per span (it is constant inside one).
+  span_active_.resize(boundaries_.size() + 1, false);
+  for (std::size_t s = 0; s <= boundaries_.size(); ++s) {
+    const std::size_t probe_round = s == 0 ? 0 : boundaries_[s - 1];
+    const double t = static_cast<double>(probe_round) * round_s;
+    for (const FaultSpec& f : plan.specs) {
+      if (f.family != FaultFamily::kNodeDropout &&
+          f.family != FaultFamily::kIslandDropout) {
+        continue;
+      }
+      if (f.active_at(t)) {
+        span_active_[s] = true;
+        break;
+      }
+    }
+  }
+}
+
+bool FaultSchedule::any_active(std::size_t round) const {
+  // Span index: number of boundaries at or before `round`.
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
+                                   round);
+  return span_active_[static_cast<std::size_t>(it - boundaries_.begin())];
+}
+
+std::size_t FaultSchedule::next_boundary_after(std::size_t round) const {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
+                                   round);
+  return it == boundaries_.end() ? npos : *it;
+}
+
+}  // namespace ear::faults

@@ -1,0 +1,568 @@
+#include "sim/event_core.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "eard/eard.hpp"
+#include "faults/schedule.hpp"
+#include "sim/shard.hpp"
+#include "simhw/cluster.hpp"
+
+namespace ear::sim {
+
+namespace {
+
+/// Longest stretch of control rounds one barrier may cover. Bounds the
+/// per-shard snapshot buffers (window * nodes doubles) and how far a
+/// shard can run ahead of a completion that would end the simulation.
+constexpr std::size_t kMaxWindow = 64;
+
+/// Per-running-job bookkeeping (admission order).
+struct RunningJob {
+  std::size_t job = 0;
+  std::size_t island = 0;
+  std::size_t shard_job = 0;  // index into the owning shard's job list
+  std::vector<std::size_t> local_nodes;
+  double start_inm_j = 0.0;
+  bool live = false;
+};
+
+/// First round whose start time r * round_s is at or after `s`.
+std::size_t round_at_or_after(double s, double round_s) {
+  if (s <= 0.0) return 0;
+  return static_cast<std::size_t>(std::ceil(s / round_s));
+}
+
+/// Persistent shard workers behind an epoch spin-barrier.
+///
+/// A condition-variable pool costs ~10 us per wake; with a live
+/// federation every window is a single control round, so the facility
+/// dispatches hundreds of times per run and the wake cost would rival
+/// the shard work itself. Workers spin briefly (yielding periodically to
+/// stay polite on shared hosts) on an epoch counter instead, bringing a
+/// dispatch down to about a microsecond. The calling thread runs the
+/// last partition itself, so `helpers + 1` partitions execute per epoch
+/// and a crew of one helper still halves the wall time.
+class ShardCrew {
+ public:
+  /// `partitions` = helpers + 1; `body(i)` must be safe to run
+  /// concurrently for distinct i (each shard is owned by exactly one
+  /// partition per epoch).
+  ShardCrew(std::size_t partitions, std::function<void(std::size_t)> body)
+      : partitions_(partitions), body_(std::move(body)) {
+    EAR_CHECK(partitions_ >= 2);
+    for (std::size_t p = 0; p + 1 < partitions_; ++p) {
+      threads_.emplace_back([this, p] { worker(p); });
+    }
+  }
+
+  ~ShardCrew() {
+    quit_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ShardCrew(const ShardCrew&) = delete;
+  ShardCrew& operator=(const ShardCrew&) = delete;
+
+  /// Run body(i) for every i in [0, n), statically partitioned over the
+  /// crew; returns after all partitions finish. Rethrows the first
+  /// exception any partition produced.
+  void run(std::size_t n) {
+    n_ = n;
+    done_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    run_partition(partitions_ - 1);
+    std::size_t spins = 0;
+    while (done_.load(std::memory_order_acquire) + 1 < partitions_) {
+      if (++spins > kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kSpinLimit = 4096;
+
+  void run_partition(std::size_t p) {
+    const std::size_t lo = p * n_ / partitions_;
+    const std::size_t hi = (p + 1) * n_ / partitions_;
+    try {
+      for (std::size_t i = lo; i < hi; ++i) body_(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+
+  void worker(std::size_t p) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t e = seen;
+      std::size_t spins = 0;
+      while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+        if (++spins > kSpinLimit) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+      seen = e;
+      if (quit_.load(std::memory_order_relaxed)) return;
+      run_partition(p);
+      done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  std::size_t partitions_;
+  std::function<void(std::size_t)> body_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> done_{0};
+  std::atomic<bool> quit_{false};
+  std::size_t n_ = 0;
+  std::mutex err_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+FacilityResult run_facility_event(const FacilityConfig& cfg) {
+  EAR_CHECK_MSG(!cfg.islands.empty(), "facility needs at least one island");
+  EAR_CHECK_MSG(cfg.round_s > 0.0, "control round must be positive");
+  EAR_CHECK_MSG(cfg.max_sim_s > cfg.round_s, "max_sim_s too small");
+  const auto wall_t0 = std::chrono::steady_clock::now();
+
+  // Hardware: one shard per island. Node streams are rooted at
+  // mix_seed(seed, island) exactly as the reference loop seeds its
+  // clusters, so shard advancement is independent of worker count.
+  std::vector<std::unique_ptr<simhw::Cluster>> clusters(cfg.islands.size());
+  std::vector<Shard> shards(cfg.islands.size());
+  std::size_t total_nodes = 0;
+  for (std::size_t i = 0; i < cfg.islands.size(); ++i) {
+    EAR_CHECK_MSG(cfg.islands[i].nodes > 0, "island has no nodes");
+    Shard& sh = shards[i];
+    sh.index = i;
+    sh.seed = common::mix_seed(cfg.seed, i);
+    sh.offset = total_nodes;
+    sh.size = cfg.islands[i].nodes;
+    total_nodes += sh.size;
+    sh.slots.resize(sh.size);
+    sh.done_round.assign(sh.size, kNoRound);
+  }
+  // Island hardware builds concurrently: every stream in a cluster is
+  // rooted at the island seed, so the result is bitwise-independent of
+  // the worker count (and of whether the build ran concurrently at all).
+  common::parallel_for(
+      shards.size(),
+      [&](std::size_t i) {
+        clusters[i] = std::make_unique<simhw::Cluster>(
+            cfg.islands[i].node_config, cfg.islands[i].nodes,
+            shards[i].seed, cfg.noise, cfg.ufs);
+        shards[i].cluster = clusters[i].get();
+      },
+      cfg.sim_jobs, /*grain=*/1);
+
+  std::vector<eard::NodeDaemon> daemons;
+  daemons.reserve(total_nodes);
+  for (Shard& sh : shards) {
+    for (std::size_t n = 0; n < sh.size; ++n) {
+      daemons.emplace_back(sh.cluster->node(n));
+    }
+  }
+
+  std::unique_ptr<eargm::FederatedEargm> federation;
+  if (cfg.budget.value > 0.0) {
+    std::vector<std::vector<eard::NodeDaemon*>> groups;
+    for (const Shard& sh : shards) {
+      std::vector<eard::NodeDaemon*> group;
+      for (std::size_t n = 0; n < sh.size; ++n) {
+        group.push_back(&daemons[sh.offset + n]);
+      }
+      groups.push_back(std::move(group));
+    }
+    federation = std::make_unique<eargm::FederatedEargm>(
+        eargm::FederationConfig{.facility_budget = cfg.budget,
+                                .island = cfg.island_eargm,
+                                .floor_share = cfg.floor_share},
+        std::move(groups));
+  }
+
+  const auto wall_t1 = std::chrono::steady_clock::now();
+
+  std::vector<std::size_t> island_sizes;
+  for (const Shard& sh : shards) island_sizes.push_back(sh.size);
+  JobQueue queue(cfg.jobs, island_sizes, cfg.backfill);
+
+  FacilityResult out;
+  out.budget_w = cfg.budget.value;
+  out.jobs.resize(queue.jobs().size());
+  for (std::size_t j = 0; j < queue.jobs().size(); ++j) {
+    out.jobs[j].name = queue.jobs()[j].name;
+    out.jobs[j].submit_s = queue.jobs()[j].submit_s;
+  }
+
+  // Global control-plane events: anything that can change facility state
+  // at a round boundary ends the current window there.
+  EventQueue global_events;
+  {
+    std::vector<std::size_t> arrival_rounds;
+    for (const FacilityJob& job : queue.jobs()) {
+      arrival_rounds.push_back(
+          round_at_or_after(job.submit_s, cfg.round_s));
+    }
+    std::sort(arrival_rounds.begin(), arrival_rounds.end());
+    arrival_rounds.erase(
+        std::unique(arrival_rounds.begin(), arrival_rounds.end()),
+        arrival_rounds.end());
+    for (std::size_t r : arrival_rounds) {
+      global_events.push({r, EventKind::kJobArrival, 0});
+    }
+  }
+  faults::FaultSchedule fault_sched(cfg.fault_plan, cfg.round_s,
+                                    cfg.max_sim_s);
+  for (std::size_t b : fault_sched.boundaries()) {
+    global_events.push({b, EventKind::kFaultBoundary, 0});
+  }
+  if (federation) {
+    // The federation schedules its own cadence: every completed round
+    // posts the next cap-re-split barrier. (With a live federation every
+    // window is one round anyway — caps mutate node daemons, which is
+    // control-plane state the shards would otherwise run ahead of.)
+    federation->set_round_hook(
+        [&global_events](std::size_t rounds_completed, common::Power) {
+          global_events.push(
+              {rounds_completed, EventKind::kEargmRound, 0});
+        });
+  }
+
+  // Serial cross-shard state: the readings buffer and the fault stream
+  // are reduced/drawn in shard-index order at barrier merges only.
+  EAR_REDUCED_SERIAL std::vector<double> readings(total_nodes, 0.0);
+  common::Rng fault_rng(common::mix_seed(cfg.seed, 0xFAC111));
+
+  // Persistent spin-barrier crew for the parallel phase (see ShardCrew).
+  // crew_round/crew_window are published to the workers by the epoch
+  // increment inside run() (release/acquire pairing).
+  const std::size_t crew_size =
+      std::min(common::resolve_jobs(cfg.sim_jobs), shards.size());
+  std::size_t crew_round = 0;
+  std::size_t crew_window = 1;
+  std::unique_ptr<ShardCrew> crew;
+  if (crew_size > 1) {
+    crew = std::make_unique<ShardCrew>(
+        crew_size,
+        [&shards, &cfg, &crew_round, &crew_window](std::size_t i) {
+          shards[i].advance_window(cfg.round_s, crew_round, crew_window);
+        });
+  }
+
+  double last_fault_end_s = 0.0;
+  for (const auto& f : cfg.fault_plan.specs) {
+    if (f.family == faults::FaultFamily::kNodeDropout ||
+        f.family == faults::FaultFamily::kIslandDropout) {
+      last_fault_end_s =
+          std::max(last_fault_end_s, std::min(f.end_s, cfg.max_sim_s));
+    }
+  }
+
+  bool nonfinite = false;
+  bool wedged = false;
+  std::size_t persistent_overruns = 0;
+  std::size_t consecutive_over = 0;
+  const double slack_w = cfg.budget.value * cfg.cap_slack_pct / 100.0;
+
+  std::vector<RunningJob> running;  // admission order
+  std::vector<std::size_t> job_running(queue.jobs().size(), kNoJob);
+  std::size_t live_jobs = 0;
+  bool finished = false;
+
+  std::size_t round = 0;
+  while (true) {
+    const double now = static_cast<double>(round) * cfg.round_s;
+    const double round_end = now + cfg.round_s;
+    if (round_end > cfg.max_sim_s) {
+      wedged = live_jobs > 0 || !queue.all_started();
+      break;
+    }
+
+    // Retire control events due at this barrier; what remains bounds the
+    // next window.
+    while (!global_events.empty() &&
+           global_events.next_round() <= round) {
+      (void)global_events.pop();
+    }
+
+    // Admission: arrivals up to `now`, lowest free nodes, backfill —
+    // byte-for-byte the reference loop's admission, against shard slots.
+    for (JobStart& start : queue.admit(now)) {
+      const FacilityJob& job = queue.jobs()[start.job];
+      const simhw::NodeConfig& node_cfg =
+          cfg.islands[start.island].node_config;
+      workload::SyntheticSpec spec = job.work;
+      spec.active_cores =
+          std::min(spec.active_cores, node_cfg.total_cores());
+      const simhw::WorkDemand demand =
+          workload::make_demand(node_cfg, spec);
+
+      Shard& sh = shards[start.island];
+      RunningJob rj{.job = start.job,
+                    .island = start.island,
+                    .shard_job = sh.jobs.size(),
+                    .local_nodes = std::move(start.local_nodes),
+                    .start_inm_j = 0.0,
+                    .live = true};
+      for (std::size_t local : rj.local_nodes) {
+        NodeSlot& slot = sh.slots[local];
+        slot.job = start.job;
+        slot.demand = demand;
+        slot.iters_left = spec.iterations;
+        sh.done_round[local] = spec.iterations == 0 ? round : kNoRound;
+        rj.start_inm_j += sh.cluster->node(local).inm().exact().value;
+      }
+      sh.jobs.push_back(ShardJob{.job = start.job,
+                                 .local_nodes = rj.local_nodes,
+                                 .live = true,
+                                 .completion_posted = false});
+      FacilityJobOutcome& o = out.jobs[start.job];
+      o.island = start.island;
+      o.nodes = rj.local_nodes.size();
+      o.start_s = now;
+      job_running[start.job] = running.size();
+      running.push_back(std::move(rj));
+      ++live_jobs;
+    }
+
+    // Window: how many rounds can every shard integrate autonomously?
+    // One, unless no control-plane event can land inside the stretch: a
+    // live federation re-splits caps every round, a pending job may
+    // admit as soon as a completion frees nodes, and arrival / fault
+    // boundaries pin their exact rounds. Completions inside a window are
+    // safe — the merge replays them round-by-round from snapshots.
+    std::size_t window = 1;
+    if (!federation && queue.pending() == 0) {
+      while (window < kMaxWindow &&
+             static_cast<double>(round + window) * cfg.round_s +
+                     cfg.round_s <=
+                 cfg.max_sim_s) {
+        ++window;
+      }
+      const std::size_t next_event = global_events.next_round();
+      if (next_event != EventQueue::npos) {
+        window = std::min(window, next_event - round);
+      }
+    }
+
+    // Parallel phase: each worker owns whole shards; every RNG draw in
+    // here comes from a shard-local stream.
+    if (crew) {
+      crew_round = round;
+      crew_window = window;
+      crew->run(shards.size());
+    } else {
+      for (Shard& sh : shards) {
+        sh.advance_window(cfg.round_s, round, window);
+      }
+    }
+
+    // Serial merge: replay the window round-by-round in shard-index
+    // order — the same readings arithmetic, fault-stream draw order and
+    // completion order as the reference loop's per-round tail.
+    for (std::size_t w = 0; w < window; ++w) {
+      const std::size_t r = round + w;
+      const double rnow = static_cast<double>(r) * cfg.round_s;
+      const double rend = rnow + cfg.round_s;
+
+      // The shards already computed this round's readings with the
+      // reference arithmetic; the barrier only loads and sums them, in
+      // the same shard-index/node order the reference sweep uses.
+      double total_w = 0.0;
+      for (Shard& sh : shards) {
+        const double* win = sh.win_reading_w.data() + w * sh.size;
+        double* dst = readings.data() + sh.offset;
+        for (std::size_t n = 0; n < sh.size; ++n) {
+          dst[n] = win[n];
+          total_w += dst[n];
+        }
+      }
+      if (!std::isfinite(total_w)) nonfinite = true;
+      out.peak_power_w = std::max(out.peak_power_w, total_w);
+
+      if (cfg.budget.value > 0.0) {
+        const double overrun = total_w - cfg.budget.value;
+        if (overrun > 0.0) {
+          ++out.cap_overrun_rounds;
+          out.worst_overrun_w = std::max(out.worst_overrun_w, overrun);
+        }
+        bool degraded = true;
+        if (federation) {
+          for (std::size_t i = 0; i < federation->islands(); ++i) {
+            if (federation->island(i).current_limit() <
+                cfg.island_eargm.deepest_limit) {
+              degraded = false;
+              break;
+            }
+          }
+        }
+        if (rnow >= last_fault_end_s && overrun > slack_w && !degraded) {
+          if (++consecutive_over > cfg.overrun_grace) {
+            ++persistent_overruns;
+          }
+        } else {
+          consecutive_over = 0;
+        }
+      }
+
+      // Fault tier: rounds outside every activity window are draw-free
+      // in both engines, so the schedule gate skips only dead scans.
+      if (fault_sched.any_active(r)) {
+        for (const auto& f : cfg.fault_plan.specs) {
+          if (!f.active_at(rnow)) continue;
+          if (f.family == faults::FaultFamily::kNodeDropout) {
+            for (std::size_t g = 0; g < total_nodes; ++g) {
+              if (!f.applies_to_node(g)) continue;
+              if (fault_rng.uniform() < f.probability) {
+                if (std::isfinite(readings[g])) {
+                  ++out.faults.dropped_readings;
+                }
+                readings[g] = std::numeric_limits<double>::quiet_NaN();
+              }
+            }
+          } else if (f.family == faults::FaultFamily::kIslandDropout) {
+            for (std::size_t i = 0; i < shards.size(); ++i) {
+              if (!f.applies_to_island(i)) continue;
+              if (fault_rng.uniform() < f.probability) {
+                ++out.faults.island_dropouts;
+                for (std::size_t n = 0; n < shards[i].size; ++n) {
+                  readings[shards[i].offset + n] =
+                      std::numeric_limits<double>::quiet_NaN();
+                }
+              }
+            }
+          }
+        }
+      }
+
+      if (federation) federation->update(readings);
+
+      // Completions: the shards posted exact phase-change events for
+      // every job that drained in this window; pop the ones due at this
+      // round (shard-index order) and settle them in admission order.
+      std::vector<std::size_t> due;
+      for (Shard& sh : shards) {
+        while (!sh.events.empty() && sh.events.next_round() <= r) {
+          due.push_back(job_running[sh.events.pop().payload]);
+        }
+      }
+      std::sort(due.begin(), due.end());
+      for (std::size_t ri : due) {
+        RunningJob& rj = running[ri];
+        EAR_CHECK(rj.live);
+        Shard& sh = shards[rj.island];
+        double end_inm = 0.0;
+        for (std::size_t local : rj.local_nodes) {
+          end_inm += sh.win_inm_j[w * sh.size + local];
+          sh.slots[local].job = kNoJob;
+        }
+        FacilityJobOutcome& o = out.jobs[rj.job];
+        o.end_s = rend;
+        o.energy_j = end_inm - rj.start_inm_j;
+        if (!std::isfinite(o.energy_j)) nonfinite = true;
+        out.makespan_s = std::max(out.makespan_s, o.end_s);
+        queue.release(rj.island, rj.local_nodes);
+        sh.jobs[rj.shard_job].live = false;
+        rj.live = false;
+        --live_jobs;
+      }
+      out.rounds = r + 1;
+
+      if (live_jobs == 0 && queue.all_started()) {
+        // Termination may land mid-window: the shards over-integrated
+        // the tail rounds, so rewind their per-node bookkeeping to this
+        // round's snapshots — the epilogue then reads node state exactly
+        // as a reference run that stopped here would. Single-round
+        // windows take no snapshots and need no rewind: the slots'
+        // prev-* values already are this round's state.
+        if (window > 1) {
+          for (Shard& sh : shards) sh.rewind_to(w);
+        }
+        finished = true;
+        break;
+      }
+    }
+    if (finished) break;
+    round += window;
+  }
+  out.walls.build_s =
+      std::chrono::duration<double>(wall_t1 - wall_t0).count();
+  out.walls.core_s = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - wall_t1).count();
+
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const Shard& sh = shards[i];
+    FacilityIslandOutcome io;
+    io.node_type = cfg.islands[i].node_config.name;
+    io.nodes = sh.size;
+    for (std::size_t n = 0; n < sh.size; ++n) {
+      io.energy_j += sh.slots[n].prev_inm_j;
+    }
+    if (!std::isfinite(io.energy_j)) nonfinite = true;
+    if (federation) {
+      const eargm::EargmManager& m = federation->island(i);
+      io.final_budget_w = federation->island_budget(i).value;
+      io.final_limit = m.current_limit();
+      io.throttles = m.throttle_events();
+      io.releases = m.release_events();
+      io.blind_rounds = m.blind_rounds();
+      io.missed_readings = m.missed_readings();
+      io.resumed_nodes = m.resumed_nodes();
+    }
+    out.facility_energy_j += io.energy_j;
+    out.islands.push_back(std::move(io));
+  }
+  if (federation) {
+    out.redistributions = federation->redistributions();
+    out.facility_blind_rounds = federation->facility_blind_rounds();
+    out.faults.missed_readings = federation->total_missed_readings();
+  }
+  out.backfills = queue.backfills();
+  out.peak_pending_jobs = queue.peak_pending();
+
+  if (nonfinite) {
+    out.violations.push_back("non-finite energy/power in ground truth");
+  }
+  if (wedged) {
+    out.violations.push_back("facility wedged: max_sim_s reached with " +
+                             std::to_string(live_jobs) +
+                             " jobs running");
+  }
+  if (persistent_overruns > 0) {
+    out.violations.push_back(
+        "cap overrun beyond " +
+        common::AsciiTable::num(cfg.cap_slack_pct, 0) +
+        "% slack persisted past the grace window in " +
+        std::to_string(persistent_overruns) + " rounds");
+  }
+  return out;
+}
+
+}  // namespace ear::sim

@@ -1,6 +1,7 @@
 #include "sim/facility.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -13,7 +14,9 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "eard/eard.hpp"
+#include "sim/event_core.hpp"
 #include "sim/report.hpp"
+#include "sim/shard.hpp"
 #include "simhw/cluster.hpp"
 
 namespace ear::sim {
@@ -22,17 +25,7 @@ using common::ConfigError;
 
 namespace {
 
-constexpr std::size_t kNoJob = std::numeric_limits<std::size_t>::max();
-
-/// Per-node execution/accounting state for the round loop.
-struct NodeSlot {
-  std::size_t job = kNoJob;
-  simhw::WorkDemand demand{};
-  std::size_t iters_left = 0;
-  double prev_inm_j = 0.0;
-  double prev_clock_s = 0.0;
-  double last_reading_w = 0.0;
-};
+// NodeSlot / kNoJob moved to sim/shard.hpp (shared with the event core).
 
 /// Per-running-job bookkeeping.
 struct ActiveJob {
@@ -67,10 +60,27 @@ double FacilityResult::mean_turnaround_s() const {
   return n > 0 ? acc / static_cast<double>(n) : 0.0;
 }
 
+SimCore parse_sim_core(const std::string& name) {
+  if (name == "reference") return SimCore::kReference;
+  if (name == "event") return SimCore::kEvent;
+  throw ConfigError("unknown sim core '" + name +
+                    "' (expected reference|event)");
+}
+
+const char* sim_core_name(SimCore core) {
+  return core == SimCore::kEvent ? "event" : "reference";
+}
+
 FacilityResult run_facility(const FacilityConfig& cfg) {
+  return cfg.core == SimCore::kEvent ? run_facility_event(cfg)
+                                     : run_facility_reference(cfg);
+}
+
+FacilityResult run_facility_reference(const FacilityConfig& cfg) {
   EAR_CHECK_MSG(!cfg.islands.empty(), "facility needs at least one island");
   EAR_CHECK_MSG(cfg.round_s > 0.0, "control round must be positive");
   EAR_CHECK_MSG(cfg.max_sim_s > cfg.round_s, "max_sim_s too small");
+  const auto wall_t0 = std::chrono::steady_clock::now();
 
   // Hardware: one homogeneous cluster per island, nodes seeded from the
   // facility seed so every (island, node) stream is independent of the
@@ -86,7 +96,7 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
     total_nodes += cfg.islands[i].nodes;
     clusters.push_back(std::make_unique<simhw::Cluster>(
         cfg.islands[i].node_config, cfg.islands[i].nodes,
-        common::mix_seed(cfg.seed, i), cfg.noise));
+        common::mix_seed(cfg.seed, i), cfg.noise, cfg.ufs));
   }
 
   std::vector<eard::NodeDaemon> daemons;
@@ -119,6 +129,8 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
                                 .floor_share = cfg.floor_share},
         std::move(groups));
   }
+
+  const auto wall_t1 = std::chrono::steady_clock::now();
 
   JobQueue queue(cfg.jobs, island_sizes, cfg.backfill);
 
@@ -223,10 +235,10 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
       const double t = nodes[g]->clock().value;
       const double de = e - slot.prev_inm_j;
       const double dt = t - slot.prev_clock_s;
-      if (dt > 0.0) slot.last_reading_w = de / dt;
+      if (dt > 0.0) slot.last_reading = common::Power{de / dt};
       slot.prev_inm_j = e;
       slot.prev_clock_s = t;
-      readings[g] = slot.last_reading_w;
+      readings[g] = slot.last_reading.value;
       total_w += readings[g];
     }
     if (!std::isfinite(total_w)) nonfinite = true;
@@ -365,6 +377,10 @@ FacilityResult run_facility(const FacilityConfig& cfg) {
         "% slack persisted past the grace window in " +
         std::to_string(persistent_overruns) + " rounds");
   }
+  out.walls.build_s =
+      std::chrono::duration<double>(wall_t1 - wall_t0).count();
+  out.walls.core_s = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - wall_t1).count();
   return out;
 }
 

@@ -34,9 +34,26 @@
 #include "faults/fault_plan.hpp"
 #include "sim/job_queue.hpp"
 #include "simhw/config.hpp"
+#include "simhw/hw_ufs.hpp"
 #include "simhw/node.hpp"
 
 namespace ear::sim {
+
+/// Simulation engine selection. kReference is the original
+/// round/tick loop, kept verbatim as the executable specification;
+/// kEvent is the event-driven sharded core that integrates closed-form
+/// through phase-stable stretches. The two produce bitwise-identical
+/// results whenever the UFS dither gate is closed (dither_probability
+/// == 0), and tolerance-bounded results otherwise (see
+/// docs/performance.md).
+enum class SimCore {
+  kReference,
+  kEvent,
+};
+
+/// Parse "reference" / "event" (CLI --core values); throws ConfigError.
+[[nodiscard]] SimCore parse_sim_core(const std::string& name);
+[[nodiscard]] const char* sim_core_name(SimCore core);
 
 /// One homogeneous partition of the facility.
 struct FacilityIsland {
@@ -64,12 +81,28 @@ struct FacilityConfig {
   /// this tier — they live in the per-node injector).
   faults::FaultPlan fault_plan{};
   simhw::NoiseModel noise{};
+  /// UFS governor parameters for every node. dither_probability == 0
+  /// closes the dither gate, which makes the event core bitwise-equal to
+  /// the reference loop (and both engines draw-free in the governor).
+  simhw::HwUfsParams ufs{};
+  /// Engine: reference round loop or event-driven sharded core.
+  SimCore core = SimCore::kReference;
   /// Hard stop; reaching it with unfinished jobs is a violation.
   double max_sim_s = 36000.0;
   /// Documented cap slack: persistent overruns beyond this are a
   /// violation (transients within `overrun_grace` rounds are not).
   double cap_slack_pct = 15.0;
   std::size_t overrun_grace = 30;
+};
+
+/// Host-side wall-clock instrumentation, filled by both engines. Not
+/// part of the simulated result (differential tests ignore it): build
+/// covers facility assembly (clusters, daemons, federation) — identical
+/// code on either engine — and core covers the round loop itself, the
+/// part the engines implement differently.
+struct FacilityWalls {
+  double build_s = 0.0;
+  double core_s = 0.0;
 };
 
 struct FacilityJobOutcome {
@@ -115,14 +148,21 @@ struct FacilityResult {
   faults::FaultReport faults;
   /// Empty when every chaos invariant held.
   std::vector<std::string> violations;
+  FacilityWalls walls;
 
   [[nodiscard]] double mean_wait_s() const;
   [[nodiscard]] double mean_turnaround_s() const;
 };
 
 /// Run the facility to completion (or max_sim_s). Deterministic for a
-/// given config at any sim_jobs value.
+/// given config at any sim_jobs value. Dispatches on cfg.core.
 [[nodiscard]] FacilityResult run_facility(const FacilityConfig& cfg);
+
+/// The original round/tick loop — the executable specification the
+/// event core is differentially tested against. Always available
+/// regardless of cfg.core.
+[[nodiscard]] FacilityResult run_facility_reference(
+    const FacilityConfig& cfg);
 
 /// Synthesize a heterogeneous facility + job mix: `nodes` total nodes
 /// over `islands` partitions cycling the three node types, and

@@ -1,6 +1,7 @@
 #include "sim/job_queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -8,6 +9,49 @@
 namespace ear::sim {
 
 using common::ConfigError;
+
+FreeSet::FreeSet(std::size_t size) : size_(size), count_(size) {
+  words_.assign((size + 63) / 64, ~std::uint64_t{0});
+  // Mask the tail word so count() and the bit scan agree on the island
+  // boundary.
+  const std::size_t tail = size % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() = (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+void FreeSet::take(std::size_t k, std::vector<std::size_t>& out) {
+  EAR_CHECK_MSG(k <= count_, "take() asked for more nodes than are free");
+  count_ -= k;
+  std::size_t w = cursor_;
+  while (k > 0) {
+    EAR_CHECK(w < words_.size());
+    std::uint64_t bits = words_[w];
+    while (bits != 0 && k > 0) {
+      const int b = std::countr_zero(bits);
+      out.push_back(w * 64 + static_cast<std::size_t>(b));
+      bits &= bits - 1;  // clear the lowest set bit
+      --k;
+    }
+    words_[w] = bits;
+    if (k > 0) ++w;
+  }
+  // Every word below w drained on the way here, so the cursor can only
+  // move forward; put() pulls it back when a lower node frees up.
+  cursor_ = w;
+}
+
+void FreeSet::put(const std::vector<std::size_t>& nodes) {
+  for (std::size_t n : nodes) {
+    EAR_CHECK_MSG(n < size_, "released node index past the island size");
+    const std::size_t w = n / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (n % 64);
+    EAR_CHECK_MSG((words_[w] & bit) == 0, "node released twice");
+    words_[w] |= bit;
+    cursor_ = std::min(cursor_, w);
+  }
+  count_ += nodes.size();
+}
 
 JobQueue::JobQueue(std::vector<FacilityJob> jobs,
                    std::vector<std::size_t> island_sizes, bool backfill)
@@ -19,9 +63,7 @@ JobQueue::JobQueue(std::vector<FacilityJob> jobs,
   for (std::size_t size : island_sizes) {
     EAR_CHECK_MSG(size > 0, "island has no nodes");
     widest_island = std::max(widest_island, size);
-    std::vector<std::size_t> free(size);
-    std::iota(free.begin(), free.end(), 0);
-    free_.push_back(std::move(free));
+    free_.emplace_back(size);
   }
   for (const FacilityJob& j : jobs_) {
     if (j.nodes == 0) {
@@ -51,7 +93,7 @@ JobQueue::JobQueue(std::vector<FacilityJob> jobs,
 
 std::size_t JobQueue::free_nodes(std::size_t island) const {
   EAR_CHECK_MSG(island < free_.size(), "island index out of range");
-  return free_[island].size();
+  return free_[island].count();
 }
 
 std::vector<JobStart> JobQueue::admit(double now_s) {
@@ -75,7 +117,7 @@ std::vector<JobStart> JobQueue::admit(double now_s) {
     // allocation takes its lowest-numbered free nodes.
     std::size_t island = free_.size();
     for (std::size_t i = 0; i < free_.size(); ++i) {
-      if (free_[i].size() >= jobs_[j].nodes) {
+      if (free_[i].count() >= jobs_[j].nodes) {
         island = i;
         break;
       }
@@ -87,12 +129,8 @@ std::vector<JobStart> JobQueue::admit(double now_s) {
     }
     if (head_blocked) ++backfills_;
     JobStart start{.job = j, .island = island, .local_nodes = {}};
-    start.local_nodes.assign(free_[island].begin(),
-                             free_[island].begin() +
-                                 static_cast<std::ptrdiff_t>(jobs_[j].nodes));
-    free_[island].erase(free_[island].begin(),
-                        free_[island].begin() +
-                            static_cast<std::ptrdiff_t>(jobs_[j].nodes));
+    start.local_nodes.reserve(jobs_[j].nodes);
+    free_[island].take(jobs_[j].nodes, start.local_nodes);
     starts.push_back(std::move(start));
     ++started_;
   }
@@ -103,9 +141,7 @@ std::vector<JobStart> JobQueue::admit(double now_s) {
 void JobQueue::release(std::size_t island,
                        const std::vector<std::size_t>& nodes) {
   EAR_CHECK_MSG(island < free_.size(), "island index out of range");
-  auto& free = free_[island];
-  free.insert(free.end(), nodes.begin(), nodes.end());
-  std::sort(free.begin(), free.end());
+  free_[island].put(nodes);
 }
 
 }  // namespace ear::sim

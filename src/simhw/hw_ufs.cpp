@@ -87,9 +87,13 @@ double HwUfsGovernor::evaluate_periods(const UfsInputs& in,
   // dither gate can open — one bin below it (the real loop hunts around
   // its setpoint, which is what makes measured averages land just below
   // the limit, 2.39 vs 2.40). Precompute both windowed values; each
-  // period is then one rng draw and a select.
+  // period is then one rng draw and a select. A probability of zero (or
+  // less) can never flip a selection, so it closes the gate outright and
+  // the rng is left untouched — dither-free configurations are exactly
+  // as deterministic as the no-headroom case.
   const Freq steady = window(target);
-  const bool can_dither = target > range.min();
+  const bool can_dither =
+      target > range.min() && params_.dither_probability > 0.0;
 
   // kHz values are integers well below 2^53 and at most a few hundred are
   // summed, so every partial sum is exact and the total is bitwise
@@ -110,6 +114,43 @@ double HwUfsGovernor::evaluate_periods(const UfsInputs& in,
   }
   current_ = last;
   return sum_khz;
+}
+
+UfsStretchSummary HwUfsGovernor::integrate_stretch(
+    const UfsInputs& in, const UncoreRatioLimit& limit) {
+  const UncoreRange& range = cfg_->uncore;
+  const Freq target = hw_ufs_steady_target(*cfg_, params_, in);
+  const Freq lo = range.clamp(limit.min_freq);
+  const Freq hi = range.clamp(limit.max_freq);
+  const auto window = [&](Freq f) {
+    if (f < lo) f = lo;
+    if (f > hi) f = hi;
+    return f;
+  };
+  UfsStretchSummary out;
+  out.steady = window(target);
+  out.can_dither = target > range.min() && params_.dither_probability > 0.0;
+  out.dithered =
+      out.can_dither ? window(range.step_down(target)) : out.steady;
+  current_ = out.steady;
+  return out;
+}
+
+Freq HwUfsGovernor::settle_idle(const UncoreRatioLimit& limit) {
+  // hw_ufs_steady_target with active_cores == 0 returns range.min()
+  // before touching any other input, and a floor target can never open
+  // the dither gate (target > range.min() is false), so every period
+  // selects window(range.min()) and the rng consumes nothing — the same
+  // value evaluate_periods returns per period at idle, for any period
+  // count, with the same final current_.
+  const UncoreRange& range = cfg_->uncore;
+  Freq f = range.min();
+  const Freq lo = range.clamp(limit.min_freq);
+  const Freq hi = range.clamp(limit.max_freq);
+  if (f < lo) f = lo;
+  if (f > hi) f = hi;
+  current_ = f;
+  return f;
 }
 
 }  // namespace ear::simhw

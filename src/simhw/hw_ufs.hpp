@@ -84,6 +84,30 @@ struct HwUfsParams {
                                         const HwUfsParams& params,
                                         const UfsInputs& in);
 
+/// Closed-form summary of a phase-stable stretch: everything the loop's
+/// per-period behaviour under constant inputs can be reduced to. The
+/// per-period distribution has at most two support points (steady, or one
+/// bin below when the dither gate can open), so a stretch of any length
+/// is fully described by the two frequencies and the dither probability.
+struct UfsStretchSummary {
+  Freq steady;        // MSR-windowed steady-state target
+  Freq dithered;      // MSR-windowed one-bin-down value (== steady when
+                      // the dither gate is closed)
+  bool can_dither = false;  // gate open (target above the range minimum
+                            // and dither_probability > 0)
+  /// Expected per-period frequency: exactly `steady` when the gate is
+  /// closed, (1-p)*steady + p*dithered truncated to whole kHz otherwise
+  /// (the model's frequency grid is integer kHz everywhere).
+  [[nodiscard]] Freq expected_freq(double dither_probability) const {
+    if (!can_dither) return steady;
+    const double khz = (1.0 - dither_probability) *
+                           static_cast<double>(steady.as_khz()) +
+                       dither_probability *
+                           static_cast<double>(dithered.as_khz());
+    return Freq::khz(static_cast<std::uint64_t>(khz));
+  }
+};
+
 /// One governor instance per socket.
 class HwUfsGovernor {
  public:
@@ -101,10 +125,30 @@ class HwUfsGovernor {
   /// `current().as_khz()` into a double: the steady-state target is a
   /// pure function of the inputs, so it is computed once, and the rng
   /// consumes exactly the draws evaluate() would (one per period when the
-  /// dither gate can open, none otherwise). `current()` afterwards is the
-  /// last period's selection. `periods == 0` is a no-op returning 0.
+  /// dither gate can open, none otherwise — a gate that cannot change the
+  /// selection, i.e. dither_probability <= 0, counts as closed and
+  /// consumes nothing). `current()` afterwards is the last period's
+  /// selection. `periods == 0` is a no-op returning 0.
   double evaluate_periods(const UfsInputs& in, const UncoreRatioLimit& limit,
                           std::size_t periods);
+
+  /// Closed-form stretch integration: summarise the per-period behaviour
+  /// under constant inputs without advancing the RNG, and leave
+  /// `current()` at the steady value (the overwhelmingly likely last
+  /// selection). When the dither gate is closed this is *exactly* what
+  /// `evaluate_periods` computes per period; when it is open the summary's
+  /// `expected_khz` replaces the per-period Bernoulli sum with its
+  /// expectation (the event core's documented tolerance source).
+  UfsStretchSummary integrate_stretch(const UfsInputs& in,
+                                      const UncoreRatioLimit& limit);
+
+  /// Idle fast path: with no active cores the steady target is the range
+  /// floor (rule 1) and the dither gate is structurally closed (the
+  /// target cannot sit above the floor), so any number of periods
+  /// settles on one pure function of the MSR window — no rng, no input
+  /// vector. Bitwise identical to evaluate_periods with an idle input at
+  /// any period count (proved against idle() in test_node.cpp).
+  Freq settle_idle(const UncoreRatioLimit& limit);
 
   [[nodiscard]] Freq current() const { return current_; }
   [[nodiscard]] const HwUfsParams& params() const { return params_; }

@@ -58,8 +58,18 @@ PerfResult IterationMemo::evaluate(const NodeConfig& cfg,
   const std::size_t ci = cpu_index(f_cpu);
   const std::size_t mi = imc_index(f_imc);
   if (ci == npos || mi == npos) {
+    if (offgrid_valid_ && offgrid_cpu_khz_ == f_cpu.as_khz() &&
+        offgrid_imc_khz_ == f_imc.as_khz() && offgrid_demand_ == demand) {
+      ++hits_;
+      return offgrid_result_;
+    }
     ++misses_;
-    return evaluate_iteration(cfg, demand, f_cpu, f_imc);
+    offgrid_result_ = evaluate_iteration(cfg, demand, f_cpu, f_imc);
+    offgrid_cpu_khz_ = f_cpu.as_khz();
+    offgrid_imc_khz_ = f_imc.as_khz();
+    offgrid_demand_ = demand;
+    offgrid_valid_ = true;
+    return offgrid_result_;
   }
   if (!demand_valid_ || !(demand == demand_)) {
     std::fill(table_.begin(), table_.end(), std::nullopt);

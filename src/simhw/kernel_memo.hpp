@@ -62,6 +62,16 @@ class IterationMemo {
   WorkDemand demand_{};
   bool demand_valid_ = false;
   std::vector<std::optional<PerfResult>> table_;  // [cpu * imc_steps + imc]
+  // Single-entry cache for the one off-grid point the stretch path
+  // produces: the dither-averaged uncore frequency, which repeats every
+  // control round until the P-state cap, MSR window or demand moves.
+  // Stores the exact model output for the exact key, so a hit is
+  // bitwise-identical to the direct evaluation it replaces.
+  bool offgrid_valid_ = false;
+  std::uint64_t offgrid_cpu_khz_ = 0;
+  std::uint64_t offgrid_imc_khz_ = 0;
+  WorkDemand offgrid_demand_{};
+  PerfResult offgrid_result_{};
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

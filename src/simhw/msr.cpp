@@ -47,6 +47,8 @@ UncoreRatioLimit UncoreRatioLimit::decode(std::uint64_t raw) {
 }
 
 std::uint64_t MsrFile::read(std::uint32_t addr) const {
+  if (addr == kMsrUncoreRatioLimit) return uncore_raw_;
+  if (addr == kMsrEnergyPerfBias) return epb_raw_;
   const auto it = regs_.find(addr);
   return it == regs_.end() ? 0 : it->second;
 }
@@ -75,6 +77,12 @@ void MsrFile::write(std::uint32_t addr, std::uint64_t value) {
   }
   if (locked_.count(addr) != 0) return;  // silently dropped
   regs_[addr] = value;
+  if (addr == kMsrUncoreRatioLimit) {
+    uncore_raw_ = value;
+    uncore_decoded_ = UncoreRatioLimit::decode(value);
+  } else if (addr == kMsrEnergyPerfBias) {
+    epb_raw_ = value;
+  }
 }
 
 void MsrFile::lock(std::uint32_t addr) { locked_.insert(addr); }
@@ -83,9 +91,7 @@ bool MsrFile::is_locked(std::uint32_t addr) const {
   return locked_.count(addr) != 0;
 }
 
-UncoreRatioLimit MsrFile::uncore_limit() const {
-  return UncoreRatioLimit::decode(read(kMsrUncoreRatioLimit));
-}
+UncoreRatioLimit MsrFile::uncore_limit() const { return uncore_decoded_; }
 
 void MsrFile::set_uncore_limit(const UncoreRatioLimit& limit) {
   EAR_EXPECT_MSG(limit.min_freq <= limit.max_freq,

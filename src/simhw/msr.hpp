@@ -83,6 +83,15 @@ class MsrFile {
   std::unordered_set<std::uint32_t> locked_;
   std::uint64_t writes_ = 0;
   MsrWriteInterceptor* interceptor_ = nullptr;
+  // Hot-register mirror. The governor and stretch paths read
+  // UNCORE_RATIO_LIMIT and ENERGY_PERF_BIAS once per control step, and
+  // the unordered_map find dominates those reads; landed writes keep
+  // these fields coherent with regs_ so reads of the two hot addresses
+  // (and the decoded uncore window) never touch the map. Zero-initial
+  // values match the "unknown registers read as 0" contract.
+  std::uint64_t uncore_raw_ = 0;
+  UncoreRatioLimit uncore_decoded_{};
+  std::uint64_t epb_raw_ = 0;
 };
 
 }  // namespace ear::simhw

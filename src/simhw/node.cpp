@@ -188,6 +188,118 @@ IterationOutcome SimNode::execute_iteration(const WorkDemand& demand) {
                           .energy = energy};
 }
 
+StretchSummary SimNode::execute_stretch(const WorkDemand& demand,
+                                        std::size_t max_iters,
+                                        double stop_before_s) {
+  StretchSummary out;
+
+  // Hoisted invariants: the caller guarantees no control-plane mutation
+  // mid-stretch, so everything the governor keys on except the bandwidth
+  // feedback is fixed for the whole stretch.
+  const Freq f_cpu = cpu_freq();
+  const Freq f_cap = cfg_.pstates.avx512_effective(f_cpu);
+  const Freq f_eff = Freq::khz(static_cast<std::uint64_t>(
+      (1.0 - demand.vpi) * static_cast<double>(f_cpu.as_khz()) +
+      demand.vpi * static_cast<double>(f_cap.as_khz())));
+  std::uint64_t epb = msrs_.front().read(kMsrEnergyPerfBias);
+  if (epb == 0) epb = 6;  // unprogrammed MSR -> default bias
+  const UncoreRatioLimit limit = msrs_.front().uncore_limit();
+  const double dither_p = governors_.front().params().dither_probability;
+
+  const double active = static_cast<double>(demand.active_cores);
+  const double idle_cores =
+      static_cast<double>(cfg_.total_cores() - demand.active_cores);
+  const double total = static_cast<double>(cfg_.total_cores());
+  const double active_khz =
+      (1.0 - demand.vpi) * static_cast<double>(f_cpu.as_khz()) +
+      demand.vpi * static_cast<double>(f_cap.as_khz());
+  const double avg_core_khz =
+      total > 0.0
+          ? (active * active_khz * kCoreFreqDroop +
+             idle_cores * static_cast<double>(kIdleReportFreq.as_khz())) /
+                total
+          : 0.0;
+
+  // The governor is reactive through last iteration's bandwidth
+  // utilisation, which is itself a pure function of the chosen IMC
+  // frequency — so the (f_imc, perf) pair reaches a fixed point after a
+  // couple of warmup iterations and the cached state below stops being
+  // recomputed. The recompute key is the bandwidth input alone.
+  bool cached = false;
+  double bw_in = 0.0;
+  Freq f_imc{};
+  PerfResult base{};
+
+  while (out.iterations < max_iters && clock_.value < stop_before_s) {
+    UfsInputs inputs{
+        .requested_core_freq = f_cpu,
+        .effective_core_freq = f_eff,
+        .bw_utilisation = last_inputs_.bw_utilisation,
+        .relaxed_fraction = demand.relaxed_wait_fraction,
+        .active_cores = demand.active_cores,
+        .epb = epb,
+    };
+    if (!cached || inputs.bw_utilisation != bw_in) {
+      bw_in = inputs.bw_utilisation;
+      // Every socket's governor integrates the stretch so current()
+      // tracks exactly as the per-period loop would; the last socket
+      // drives the value, like run_governor.
+      UfsStretchSummary s{};
+      for (auto& g : governors_) s = g.integrate_stretch(inputs, limit);
+      // Dither-free this is bitwise run_governor's khz(sum/periods): the
+      // sum is exactly steady*periods, so the quotient is exact and the
+      // truncation lands on the same integer. Dithered, the Bernoulli
+      // per-period average is replaced by its expectation.
+      f_imc = s.expected_freq(dither_p);
+      base = memo_.evaluate(cfg_, demand, f_cpu, f_imc);
+      cached = true;
+    }
+
+    // Per-iteration tail, replicated from execute_iteration: same noise
+    // draws in the same order, same accumulation arithmetic.
+    PerfResult perf = base;
+    const double tnoise =
+        std::max(0.5, 1.0 + rng_.normal(0.0, noise_.time_sigma));
+    perf.iter_time.value *= tnoise;
+    perf.gbps = perf.iter_time.value > 0.0
+                    ? perf.bytes / perf.iter_time.value / 1e9
+                    : 0.0;
+
+    PowerBreakdown power = evaluate_power(cfg_, demand, perf, f_cpu, f_imc);
+    const double pnoise =
+        std::max(0.5, 1.0 + rng_.normal(0.0, noise_.power_sigma));
+    power = scale(power, pnoise);
+
+    const Secs dt = perf.iter_time;
+    const Joules energy = power.total() * dt;
+    const Joules pkg_each = power.package() * dt;
+    for (std::size_t s = 0; s < cfg_.sockets; ++s) {
+      rapl_.deposit_pkg(s, Joules{pkg_each.value /
+                                  static_cast<double>(cfg_.sockets)});
+    }
+    rapl_.deposit_dram(power.dram * dt);
+    inm_.deposit(energy, dt);
+
+    counters_.instructions += perf.instructions_per_core * active;
+    counters_.cycles += perf.cycles_per_core * active;
+    counters_.avx512_ops +=
+        demand.vpi * demand.instructions_per_core * active;
+    counters_.cas_transactions += perf.bytes / 64.0;
+    counters_.cpu_freq_cycles += avg_core_khz * dt.value;
+    counters_.imc_freq_cycles +=
+        static_cast<double>(f_imc.as_khz()) * dt.value;
+    counters_.elapsed_seconds += dt.value;
+    counters_.wait_seconds += demand.comm_seconds + demand.gpu_seconds;
+
+    clock_ += dt;
+    inputs.bw_utilisation = perf.bw_utilisation;
+    last_inputs_ = inputs;
+    ++out.iterations;
+    out.uncore_freq = f_imc;
+  }
+  return out;
+}
+
 void SimNode::idle(Secs dt) {
   EAR_CHECK(dt.value >= 0.0);
   if (dt.value == 0.0) return;
@@ -205,6 +317,47 @@ void SimNode::idle(Secs dt) {
       dt);
   const PowerBreakdown power =
       evaluate_power(cfg_, nothing, perf, cpu_freq(), f_imc);
+  const Joules energy = power.total() * dt;
+  for (std::size_t s = 0; s < cfg_.sockets; ++s) {
+    rapl_.deposit_pkg(
+        s, Joules{(power.package() * dt).value /
+                  static_cast<double>(cfg_.sockets)});
+  }
+  rapl_.deposit_dram(power.dram * dt);
+  inm_.deposit(energy, dt);
+  counters_.elapsed_seconds += dt.value;
+  counters_.cpu_freq_cycles +=
+      static_cast<double>(kIdleReportFreq.as_khz()) * dt.value;
+  counters_.imc_freq_cycles +=
+      static_cast<double>(f_imc.as_khz()) * dt.value;
+  clock_ += dt;
+}
+
+void SimNode::idle_cached(Secs dt) {
+  EAR_CHECK(dt.value >= 0.0);
+  if (dt.value == 0.0) return;
+  const Freq f_cpu = cpu_freq();
+  // The governor must run unconditionally: it owns the per-socket UFS
+  // state (current frequency, limit windowing) that uncore_freq() and
+  // later busy stretches observe. settle_idle is the idle special case
+  // of run_governor — draw-free, bitwise the same result and state for
+  // any period count — without the per-period input vector and
+  // averaging. The last socket drives the value, like run_governor.
+  const UncoreRatioLimit limit = msrs_.front().uncore_limit();
+  Freq f_imc{};
+  for (auto& g : governors_) f_imc = g.settle_idle(limit);
+  if (!idle_memo_valid_ || idle_memo_f_cpu_.as_khz() != f_cpu.as_khz() ||
+      idle_memo_f_imc_.as_khz() != f_imc.as_khz()) {
+    WorkDemand nothing{};
+    nothing.active_cores = 0;
+    PerfResult perf{};
+    perf.iter_time = dt;  // unused by the idle breakdown (no GPU work)
+    idle_memo_power_ = evaluate_power(cfg_, nothing, perf, f_cpu, f_imc);
+    idle_memo_f_cpu_ = f_cpu;
+    idle_memo_f_imc_ = f_imc;
+    idle_memo_valid_ = true;
+  }
+  const PowerBreakdown& power = idle_memo_power_;
   const Joules energy = power.total() * dt;
   for (std::size_t s = 0; s < cfg_.sockets; ++s) {
     rapl_.deposit_pkg(

@@ -40,6 +40,13 @@ struct IterationOutcome {
   common::Joules energy;     // DC node energy of the iteration
 };
 
+/// What a phase-stable stretch looked like (see execute_stretch).
+struct StretchSummary {
+  std::size_t iterations = 0;   // iterations actually executed
+  common::Freq uncore_freq{};   // closed-form IMC setting of the last
+                                // iteration (default when none ran)
+};
+
 class SimNode {
  public:
   SimNode(NodeConfig cfg, std::uint64_t seed,
@@ -70,8 +77,43 @@ class SimNode {
   /// Execute one application iteration under the current settings.
   IterationOutcome execute_iteration(const WorkDemand& demand);
 
+  /// Execute up to `max_iters` iterations of the same demand, stopping
+  /// before any iteration that would *start* at or past `stop_before_s`
+  /// (node clock) — the facility round-boundary rule, where the last
+  /// iteration may overshoot the boundary. The control settings (P-state,
+  /// MSR window, EPB) must not change mid-stretch; the caller owns that
+  /// invariant (facility rounds only mutate them at barriers).
+  ///
+  /// The per-iteration governor period loop is replaced by its closed
+  /// form (HwUfsGovernor::integrate_stretch), and everything that is
+  /// constant across the stretch — effective clock, governor target,
+  /// memoised perf model, PMU increments — is hoisted out of the loop.
+  /// The per-iteration noise draws still happen, in the same order and
+  /// from the same stream as execute_iteration, so:
+  ///   * with the dither gate closed (dither_probability == 0, or no
+  ///     headroom above the uncore floor) the node state afterwards is
+  ///     bitwise identical to calling execute_iteration in a loop;
+  ///   * with dithering, the per-iteration random IMC average is
+  ///     replaced by its expectation — bounded by one 100 MHz dither bin
+  ///     scaled by the dither probability (see docs/performance.md).
+  StretchSummary execute_stretch(const WorkDemand& demand,
+                                 std::size_t max_iters,
+                                 double stop_before_s);
+
   /// Advance idle time (no application work; cores idle).
   void idle(common::Secs dt);
+
+  /// idle(), with the power-model evaluation memoised on the
+  /// (core frequency, governor output) pair. Idle power is
+  /// duration-independent — no active cores, no GPU work, zero
+  /// bandwidth — so the breakdown only changes when the P-state or the
+  /// uncore window moves. The governor still runs every call (it owns
+  /// the per-socket UFS state) and every deposit happens per call with
+  /// the same values and order as idle(), so the node state afterwards
+  /// is bitwise identical (proved in test_node.cpp). The event core
+  /// uses this on its round boundaries; the reference facility loop
+  /// keeps the naive recompute as the executable spec.
+  void idle_cached(common::Secs dt);
 
   [[nodiscard]] const NodeConfig& config() const { return cfg_; }
   /// Current (last-period) uncore frequency of socket 0.
@@ -97,6 +139,12 @@ class SimNode {
   common::Secs clock_{};
   // Governor inputs observed on the previous iteration (it is reactive).
   UfsInputs last_inputs_;
+  // Memo for idle_cached(): the idle PowerBreakdown keyed on the
+  // (core, uncore) frequency pair that produced it.
+  bool idle_memo_valid_ = false;
+  common::Freq idle_memo_f_cpu_{};
+  common::Freq idle_memo_f_imc_{};
+  PowerBreakdown idle_memo_power_{};
 };
 
 }  // namespace ear::simhw

@@ -21,11 +21,6 @@ PstateTable::PstateTable(Freq turbo, Freq nominal, Freq min, Freq step,
                 "AVX512 cap must lie within the table");
 }
 
-Freq PstateTable::freq(Pstate p) const {
-  EAR_CHECK_MSG(p < freqs_.size(), "pstate out of range");
-  return freqs_[p];
-}
-
 Pstate PstateTable::pstate_for(Freq f) const {
   if (f >= freqs_.front()) return 0;
   // Find the highest frequency not exceeding f. Skip turbo (index 0): a
@@ -48,24 +43,6 @@ std::size_t UncoreRange::num_steps() const {
   return static_cast<std::size_t>((max_.as_khz() - min_.as_khz()) /
                                   step_.as_khz()) +
          1;
-}
-
-Freq UncoreRange::clamp(Freq f) const {
-  if (f <= min_) return min_;
-  if (f >= max_) return max_;
-  // Snap down onto the grid.
-  const auto offset = (f.as_khz() - min_.as_khz()) / step_.as_khz();
-  return Freq::khz(min_.as_khz() + offset * step_.as_khz());
-}
-
-Freq UncoreRange::step_down(Freq f) const {
-  const Freq g = clamp(f);
-  return g <= min_ ? min_ : Freq::khz(g.as_khz() - step_.as_khz());
-}
-
-Freq UncoreRange::step_up(Freq f) const {
-  const Freq g = clamp(f);
-  return g >= max_ ? max_ : Freq::khz(g.as_khz() + step_.as_khz());
 }
 
 std::vector<Freq> UncoreRange::descending() const {

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/units.hpp"
 
 namespace ear::simhw {
@@ -34,7 +35,12 @@ class PstateTable {
                     Freq::mhz(100), Freq::ghz(2.2)) {}
 
   [[nodiscard]] std::size_t size() const { return freqs_.size(); }
-  [[nodiscard]] Freq freq(Pstate p) const;
+  // Inline: the node hot paths read the ladder once or more per
+  // simulated iteration.
+  [[nodiscard]] Freq freq(Pstate p) const {
+    EAR_CHECK_MSG(p < freqs_.size(), "pstate out of range");
+    return freqs_[p];
+  }
   [[nodiscard]] Freq turbo() const { return freqs_.front(); }
   [[nodiscard]] Freq nominal() const { return freqs_.size() > 1 ? freqs_[1] : freqs_[0]; }
   [[nodiscard]] Freq min() const { return freqs_.back(); }
@@ -75,11 +81,25 @@ class UncoreRange {
   [[nodiscard]] std::size_t num_steps() const;
 
   /// Clamp to the supported range and snap down to the step grid.
-  [[nodiscard]] Freq clamp(Freq f) const;
+  /// Inline: the UFS governor clamps several times per control step and
+  /// the simulator steps governors millions of times per facility run.
+  [[nodiscard]] Freq clamp(Freq f) const {
+    if (f <= min_) return min_;
+    if (f >= max_) return max_;
+    // Snap down onto the grid.
+    const auto offset = (f.as_khz() - min_.as_khz()) / step_.as_khz();
+    return Freq::khz(min_.as_khz() + offset * step_.as_khz());
+  }
   /// One step below `f`, clamped at min().
-  [[nodiscard]] Freq step_down(Freq f) const;
+  [[nodiscard]] Freq step_down(Freq f) const {
+    const Freq g = clamp(f);
+    return g <= min_ ? min_ : Freq::khz(g.as_khz() - step_.as_khz());
+  }
   /// One step above `f`, clamped at max().
-  [[nodiscard]] Freq step_up(Freq f) const;
+  [[nodiscard]] Freq step_up(Freq f) const {
+    const Freq g = clamp(f);
+    return g >= max_ ? max_ : Freq::khz(g.as_khz() + step_.as_khz());
+  }
   /// All grid frequencies from max to min (descending), as the Fig. 1
   /// sweeps enumerate them.
   [[nodiscard]] std::vector<Freq> descending() const;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/stats.hpp"
 #include "sim/presets.hpp"
 #include "sim/runner.hpp"
 #include "workload/catalog.hpp"
@@ -215,6 +216,72 @@ TEST(PaperBehaviour, TighterUncThresholdStopsEarlier) {
   const auto tight =
       run_experiment(cfg_for("bt-mz.d", settings_me_eufs(0.03, 0.005)));
   EXPECT_GE(tight.avg_imc_ghz, loose.avg_imc_ghz - 0.02);
+}
+
+// ---------------------------------------------------------------------
+// reduce_runs: the shared reduction both run_averaged and the Campaign
+// engine fold per-run results through. Synthetic RunResults keep these
+// exact: no simulation noise, every expectation is arithmetic.
+
+RunResult synthetic_run(double time_s, double energy_j, double power_w) {
+  RunResult r;
+  r.total_time_s = time_s;
+  r.total_energy_j = energy_j;
+  r.avg_dc_power_w = power_w;
+  r.avg_pkg_power_w = power_w * 0.8;
+  r.avg_cpu_ghz = 2.4;
+  r.avg_imc_ghz = 2.0;
+  r.cpi = 0.4;
+  r.gbps = 6.0;
+  return r;
+}
+
+TEST(ReduceRuns, SingleRunIsIdentityWithZeroSpread) {
+  const std::vector<RunResult> runs = {synthetic_run(100.0, 5000.0, 300.0)};
+  const AveragedResult avg = reduce_runs(runs);
+  EXPECT_DOUBLE_EQ(avg.total_time_s, 100.0);
+  EXPECT_DOUBLE_EQ(avg.total_energy_j, 5000.0);
+  EXPECT_DOUBLE_EQ(avg.avg_dc_power_w, 300.0);
+  EXPECT_DOUBLE_EQ(avg.time_stddev_s, 0.0);
+  EXPECT_EQ(avg.runs, 1u);
+}
+
+TEST(ReduceRuns, AveragesFieldsAndSumsFaults) {
+  std::vector<RunResult> runs = {synthetic_run(90.0, 4000.0, 280.0),
+                                 synthetic_run(110.0, 6000.0, 320.0)};
+  runs[0].fault_report.msr_drops = 3;
+  runs[1].fault_report.msr_drops = 4;
+  runs[1].fault_report.verify_failures = 2;
+  const AveragedResult avg = reduce_runs(runs);
+  EXPECT_DOUBLE_EQ(avg.total_time_s, 100.0);
+  EXPECT_DOUBLE_EQ(avg.total_energy_j, 5000.0);
+  EXPECT_DOUBLE_EQ(avg.avg_dc_power_w, 300.0);
+  // Population stddev of {90, 110} is 10.
+  EXPECT_NEAR(avg.time_stddev_s, 10.0, 1e-12);
+  // Fault counters sum (events happened), never average.
+  EXPECT_EQ(avg.faults.msr_drops, 7u);
+  EXPECT_EQ(avg.faults.verify_failures, 2u);
+  EXPECT_EQ(avg.runs, 2u);
+}
+
+TEST(ReduceRuns, SpreadMatchesSingletonMergeChain) {
+  // reduce_runs builds its stddev by merging one single-sample partial
+  // accumulator per run; the result must equal the directly-accumulated
+  // population stddev of the run times.
+  const std::vector<double> times = {88.0, 97.5, 103.0, 91.25, 120.0};
+  std::vector<RunResult> runs;
+  common::RunningStats direct;
+  for (double t : times) {
+    runs.push_back(synthetic_run(t, 1000.0, 250.0));
+    direct.add(t);
+  }
+  const AveragedResult avg = reduce_runs(runs);
+  EXPECT_NEAR(avg.time_stddev_s, direct.stddev(), 1e-12);
+  EXPECT_NEAR(avg.total_time_s, direct.mean(), 1e-12);
+}
+
+TEST(ReduceRuns, EmptySpanIsACheckedError) {
+  EXPECT_THROW((void)reduce_runs({}), common::InvariantError);
 }
 
 TEST(PaperBehaviour, DcVsPckSavingsDiffer) {

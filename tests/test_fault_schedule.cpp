@@ -1,0 +1,85 @@
+// FaultSchedule: the event-time view of a fault plan must agree with
+// the reference loop's per-round active_at() scan at every round, and
+// its boundary events must cover every round where plan activity flips.
+#include "faults/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "faults/fault_plan.hpp"
+
+namespace ear::faults {
+namespace {
+
+FaultPlan two_window_plan() {
+  FaultPlan plan;
+  plan.specs.push_back({.family = FaultFamily::kNodeDropout,
+                        .node = 1,
+                        .start_s = 2.5,
+                        .end_s = 6.0,
+                        .probability = 0.5});
+  plan.specs.push_back({.family = FaultFamily::kIslandDropout,
+                        .island = 0,
+                        .start_s = 10.0,
+                        .end_s = 12.0});
+  // Non-dropout families never reach the facility tier.
+  plan.specs.push_back({.family = FaultFamily::kMsrDrop,
+                        .start_s = 0.0,
+                        .end_s = 100.0});
+  return plan;
+}
+
+TEST(FaultSchedule, AgreesWithPerRoundScanAtEveryRound) {
+  const FaultPlan plan = two_window_plan();
+  const double round_s = 1.0;
+  const FaultSchedule sched(plan, round_s, 20.0);
+  for (std::size_t r = 0; r < 25; ++r) {
+    const double t = static_cast<double>(r) * round_s;
+    bool expect = false;
+    for (const FaultSpec& f : plan.specs) {
+      if (f.family != FaultFamily::kNodeDropout &&
+          f.family != FaultFamily::kIslandDropout) {
+        continue;
+      }
+      expect = expect || f.active_at(t);
+    }
+    EXPECT_EQ(sched.any_active(r), expect) << "round " << r;
+  }
+}
+
+TEST(FaultSchedule, BoundariesAreSortedUniqueAndCoverEveryFlip) {
+  const FaultSchedule sched(two_window_plan(), 1.0, 20.0);
+  // Windows [2.5, 6) and [10, 12) quantised to 1 s rounds: activity
+  // flips at rounds 3, 6, 10 and 12.
+  const std::vector<std::size_t> expected{3, 6, 10, 12};
+  EXPECT_EQ(sched.boundaries(), expected);
+  EXPECT_EQ(sched.next_boundary_after(0), 3u);
+  EXPECT_EQ(sched.next_boundary_after(3), 6u);
+  EXPECT_EQ(sched.next_boundary_after(11), 12u);
+  EXPECT_EQ(sched.next_boundary_after(12), FaultSchedule::npos);
+}
+
+TEST(FaultSchedule, OpenEndedSpecsClampToHorizon) {
+  FaultPlan plan;
+  plan.specs.push_back({.family = FaultFamily::kNodeDropout,
+                        .node = 0,
+                        .start_s = 5.0});  // end_s defaults to 1e30
+  const FaultSchedule sched(plan, 1.0, 50.0);
+  ASSERT_EQ(sched.boundaries().size(), 1u);
+  EXPECT_EQ(sched.boundaries()[0], 5u);
+  EXPECT_FALSE(sched.any_active(4));
+  EXPECT_TRUE(sched.any_active(5));
+  EXPECT_TRUE(sched.any_active(49));
+}
+
+TEST(FaultSchedule, EmptyPlanHasNoBoundariesAndNoActivity) {
+  const FaultSchedule sched(FaultPlan{}, 1.0, 100.0);
+  EXPECT_TRUE(sched.boundaries().empty());
+  EXPECT_FALSE(sched.any_active(0));
+  EXPECT_FALSE(sched.any_active(99));
+  EXPECT_EQ(sched.next_boundary_after(0), FaultSchedule::npos);
+}
+
+}  // namespace
+}  // namespace ear::faults

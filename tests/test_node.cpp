@@ -142,6 +142,42 @@ TEST(SimNode, DeterministicForEqualSeeds) {
   }
 }
 
+// idle_cached() is the event core's fast path; its contract is bitwise
+// equality with idle() under any interleaving of idle stretches,
+// P-state moves, uncore-window writes and busy iterations.
+TEST(SimNode, IdleCachedIsBitwiseIdenticalToIdle) {
+  SimNode ref(make_skylake_6148_node(), 9);
+  SimNode fast(make_skylake_6148_node(), 9);
+  auto step = [&](auto&& fn) {
+    fn(ref);
+    fn(fast);
+  };
+  auto idle_both = [&](double dt) {
+    ref.idle(Secs{dt});
+    fast.idle_cached(Secs{dt});
+  };
+  idle_both(10.0);
+  idle_both(0.25);            // memo hit: same (f_cpu, f_imc)
+  step([](SimNode& n) { n.set_cpu_pstate(Pstate{3}); });
+  idle_both(4.0);             // memo miss: core frequency moved
+  step([](SimNode& n) {
+    n.set_uncore_limit_all({Freq::ghz(1.6), Freq::ghz(1.2)});
+  });
+  idle_both(4.0);             // memo miss: uncore window narrowed
+  step([](SimNode& n) { (void)n.execute_iteration(demand()); });
+  idle_both(7.5);             // governor state perturbed by busy work
+  idle_both(7.5);             // and hit again
+  EXPECT_EQ(ref.inm().exact().value, fast.inm().exact().value);
+  EXPECT_EQ(ref.clock().value, fast.clock().value);
+  EXPECT_EQ(ref.counters().elapsed_seconds, fast.counters().elapsed_seconds);
+  EXPECT_EQ(ref.counters().cpu_freq_cycles, fast.counters().cpu_freq_cycles);
+  EXPECT_EQ(ref.counters().imc_freq_cycles, fast.counters().imc_freq_cycles);
+  EXPECT_EQ(ref.rapl().pkg(0).raw(), fast.rapl().pkg(0).raw());
+  EXPECT_EQ(ref.rapl().pkg(1).raw(), fast.rapl().pkg(1).raw());
+  EXPECT_EQ(ref.rapl().dram().raw(), fast.rapl().dram().raw());
+  EXPECT_EQ(ref.uncore_freq().as_khz(), fast.uncore_freq().as_khz());
+}
+
 TEST(Cluster, IndependentlySeededNodes) {
   Cluster cluster(make_skylake_6148_node(), 3, 42);
   const auto r0 = cluster.node(0).execute_iteration(demand());

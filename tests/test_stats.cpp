@@ -66,6 +66,72 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
 }
 
+TEST(RunningStats, MergeIntoEmptyCopiesExtremaAndWeight) {
+  // The n_ == 0 branch copies the other accumulator wholesale; min/max
+  // and total weight must survive, not just the mean.
+  RunningStats src, dst;
+  src.add_weighted(2.0, 0.5);
+  src.add_weighted(10.0, 1.5);
+  dst.merge(src);
+  EXPECT_EQ(dst.count(), 2u);
+  EXPECT_DOUBLE_EQ(dst.total_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(dst.min(), 2.0);
+  EXPECT_DOUBLE_EQ(dst.max(), 10.0);
+  EXPECT_DOUBLE_EQ(dst.variance(), src.variance());
+}
+
+TEST(RunningStats, MergeOfSingletonPartialsMatchesSequentialAdds) {
+  // reduce_runs folds one single-sample accumulator per run through
+  // merge(); that chain must agree with plain sequential add()s.
+  const std::vector<double> xs = {13.1, 12.7, 14.0, 12.9, 13.5};
+  RunningStats seq, folded;
+  for (double x : xs) {
+    seq.add(x);
+    RunningStats one;
+    one.add(x);
+    folded.merge(one);
+  }
+  EXPECT_EQ(folded.count(), seq.count());
+  EXPECT_NEAR(folded.mean(), seq.mean(), 1e-12);
+  EXPECT_NEAR(folded.variance(), seq.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(folded.min(), seq.min());
+  EXPECT_DOUBLE_EQ(folded.max(), seq.max());
+}
+
+TEST(RunningStats, MergeIsSplitPointInvariant) {
+  // Partial accumulators from any sharding of the sample stream must
+  // reduce to the same moments: try every split point of one sequence.
+  const std::vector<double> xs = {1.0, 4.0, 2.0, 8.0, 5.0, 7.0, 3.0};
+  RunningStats all;
+  for (double x : xs) all.add(x);
+  for (std::size_t split = 0; split <= xs.size(); ++split) {
+    RunningStats lo, hi;
+    for (std::size_t i = 0; i < xs.size(); ++i) (i < split ? lo : hi).add(xs[i]);
+    lo.merge(hi);
+    EXPECT_NEAR(lo.mean(), all.mean(), 1e-12) << "split " << split;
+    EXPECT_NEAR(lo.variance(), all.variance(), 1e-12) << "split " << split;
+    EXPECT_EQ(lo.count(), all.count()) << "split " << split;
+    EXPECT_DOUBLE_EQ(lo.min(), all.min()) << "split " << split;
+    EXPECT_DOUBLE_EQ(lo.max(), all.max()) << "split " << split;
+  }
+}
+
+TEST(RunningStats, MergePreservesWeightedMoments) {
+  // Time-weighted power split across two partial accumulators (the
+  // per-shard reading reduction shape).
+  RunningStats a, b, all;
+  const double xs[] = {100.0, 220.0, 150.0, 180.0};
+  const double ws[] = {0.5, 2.0, 1.25, 0.25};
+  for (int i = 0; i < 4; ++i) {
+    (i < 2 ? a : b).add_weighted(xs[i], ws[i]);
+    all.add_weighted(xs[i], ws[i]);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.total_weight(), all.total_weight());
+}
+
 TEST(Changes, RelativeAndPercent) {
   EXPECT_DOUBLE_EQ(relative_change(100.0, 110.0), 0.1);
   EXPECT_DOUBLE_EQ(percent_change(100.0, 90.0), -10.0);

@@ -24,6 +24,22 @@ turns the drift warning into a failing exit code. Because the history is
 keyed by machine, the comparison never mixes numbers from different
 hardware.
 
+Event-core mode (``--event-core``) reinterprets both positional inputs
+as ``event_core_baseline_v1`` JSON (the ``bench_cluster_scale
+--event-diff --diff-out`` output) and guards the event-vs-reference
+core-loop speedup instead of the DynAIS ratio. The speedup is a
+same-machine wall-clock ratio, so it transfers across hardware; the
+8-worker shard-scaling efficiency, by contrast, is only meaningful when
+the recording host actually has that many cores, so the guard enforces
+it solely when the *current* report's ``host_cpus`` is at least the
+worker count (a 2-core CI runner records the walls but cannot fail on
+them).
+
+Trajectory entries are tagged with a ``kind`` field ("dynais" or
+"event_core"); history rows written before the tag existed default to
+"dynais", so old per-machine histories keep working and the two series
+never mix.
+
 Exit code 0 = within bounds, 1 = regression, 2 = bad input.
 Stdlib only; runs anywhere CI has a python3.
 """
@@ -96,6 +112,192 @@ def median(values):
     return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
+def load_event_core(path, label):
+    """Load and validate an event_core_baseline_v1 JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "event_core_baseline_v1":
+        raise ValueError(
+            f"{label} {path}: schema is {data.get('schema')!r}, "
+            "expected 'event_core_baseline_v1' — was this produced by "
+            "bench_cluster_scale --event-diff --diff-out?"
+        )
+    entries = data.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{label} {path}: 'entries' is missing or empty")
+    for e in entries:
+        if not isinstance(e, dict) or not isinstance(e.get("nodes"), int):
+            raise ValueError(f"{label} {path}: entry without integer 'nodes'")
+        if not isinstance(e.get("speedup_core_1t"), (int, float)):
+            raise ValueError(
+                f"{label} {path}: entry nodes={e.get('nodes')} is missing "
+                "numeric 'speedup_core_1t'"
+            )
+    return data
+
+
+def run_event_core(args):
+    """Guard the event-vs-reference core speedup and shard scaling.
+
+    The single-thread core speedup is a same-machine ratio (reference
+    core wall over event core wall, both measured in the same process),
+    so it transfers across hardware and is always enforced against the
+    committed baseline. The 8-worker scale efficiency is only physical
+    when the host has at least 8 cores; on smaller hosts the walls are
+    recorded but the efficiency check is skipped with a notice.
+    """
+    try:
+        report = load_event_core(args.report, "report")
+        baseline = load_event_core(args.baseline, "baseline")
+    except (OSError, ValueError) as e:
+        print(f"bench_guard: bad input: {e}", file=sys.stderr)
+        return 2
+
+    base_by_nodes = {e["nodes"]: e for e in baseline["entries"]}
+    shared = [e for e in report["entries"] if e["nodes"] in base_by_nodes]
+    if not shared:
+        print(
+            "bench_guard: report and baseline share no 'nodes' sizes — "
+            "run bench_cluster_scale with the baseline's --nodes list",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Guard at the largest shared size: that is where the closed-form
+    # integration matters and where noise is smallest relative to signal.
+    cur = max(shared, key=lambda e: e["nodes"])
+    base = base_by_nodes[cur["nodes"]]
+    now_speedup = float(cur["speedup_core_1t"])
+    base_speedup = float(base["speedup_core_1t"])
+    if not base_speedup > 0:
+        print(
+            f"bench_guard: baseline {args.baseline} has non-positive "
+            f"speedup_core_1t {base_speedup!r} at nodes={cur['nodes']} — "
+            "regenerate it",
+            file=sys.stderr,
+        )
+        return 2
+
+    floor = base_speedup / args.max_ratio_factor
+    print(f"bench_guard: event-core speedup now (nodes={cur['nodes']}) "
+          f"= {now_speedup:.2f}x")
+    print(f"bench_guard: baseline speedup                = "
+          f"{base_speedup:.2f}x")
+    print(f"bench_guard: floor (baseline / "
+          f"{args.max_ratio_factor:g})          = {floor:.2f}x")
+
+    failed = False
+    if now_speedup < floor:
+        failed = True
+        print(
+            f"bench_guard: FAIL — event-core speedup {now_speedup:.2f}x "
+            f"fell below {floor:.2f}x (baseline {base_speedup:.2f}x / "
+            f"{args.max_ratio_factor:g}); the closed-form stretch path "
+            "regressed relative to the reference loop on this machine",
+            file=sys.stderr,
+        )
+    if now_speedup < args.min_speedup:
+        failed = True
+        print(
+            f"bench_guard: FAIL — event-core speedup {now_speedup:.2f}x "
+            f"is below the absolute --min-speedup {args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+
+    # Shard-scaling efficiency: only meaningful when the *current* host
+    # has at least as many cores as the widest worker count measured.
+    host_cpus = report.get("host_cpus", 0)
+    eff = cur.get("scale_eff_8")
+    if not isinstance(host_cpus, int) or host_cpus < 8:
+        print(
+            f"bench_guard: host_cpus={host_cpus!r} < 8 — shard-scaling "
+            "efficiency recorded but not enforced (the 8-worker walls "
+            "are not physical on this host)"
+        )
+    elif not isinstance(eff, (int, float)):
+        print(
+            f"bench_guard: report entry nodes={cur['nodes']} has no "
+            "numeric scale_eff_8 despite host_cpus >= 8",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        print(f"bench_guard: 8-worker scale efficiency      = "
+              f"{float(eff):.2f} (min {args.min_scale_eff:g})")
+        if float(eff) < args.min_scale_eff:
+            failed = True
+            print(
+                f"bench_guard: FAIL — 8-worker scale efficiency "
+                f"{float(eff):.2f} below --min-scale-eff "
+                f"{args.min_scale_eff:g} on a {host_cpus}-core host",
+                file=sys.stderr,
+            )
+
+    drift = False
+    if args.trajectory:
+        history, skipped = load_trajectory(args.trajectory)
+        if skipped:
+            print(
+                f"bench_guard: trajectory {args.trajectory}: skipped "
+                f"{skipped} unparseable line(s)",
+                file=sys.stderr,
+            )
+        mine = [
+            e for e in history
+            if e.get("machine") == args.machine
+            and e.get("kind", "dynais") == "event_core"
+        ]
+        if mine:
+            hist_median = median([float(e["ratio"]) for e in mine])
+            # Speedup is better-is-higher, so drift means falling below
+            # the machine's own median, not rising above it.
+            drift_limit = hist_median / args.trajectory_drift_factor
+            print(
+                f"bench_guard: trajectory[{args.machine}/event_core]: "
+                f"{len(mine)} prior run(s), median speedup "
+                f"{hist_median:.2f}x, drift floor {drift_limit:.2f}x"
+            )
+            if now_speedup < drift_limit:
+                drift = True
+                print(
+                    f"bench_guard: DRIFT — speedup {now_speedup:.2f}x "
+                    f"fell below 1/{args.trajectory_drift_factor:g}x the "
+                    f"median of {len(mine)} prior run(s) on "
+                    f"{args.machine}",
+                    file=sys.stderr,
+                )
+        else:
+            print(
+                f"bench_guard: trajectory[{args.machine}/event_core]: "
+                "no prior runs; recording first entry"
+            )
+        append_trajectory(
+            args.trajectory,
+            {
+                "machine": args.machine,
+                "kind": "event_core",
+                "ratio": now_speedup,
+                "nodes": cur["nodes"],
+                "ref_core_s": cur.get("ref_core_s"),
+                "event_core_s": cur.get("event_core_s"),
+                "scale_eff_8": eff,
+                "host_cpus": host_cpus,
+            },
+        )
+
+    if failed:
+        return 1
+    if drift and args.trajectory_enforce:
+        print(
+            "bench_guard: FAIL — trajectory drift with "
+            "--trajectory-enforce",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench_guard: OK")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("report", help="google-benchmark JSON output")
@@ -106,6 +308,27 @@ def main():
         default=2.0,
         help="fail if worst/steady ratio exceeds baseline ratio "
         "by more than this factor (default: 2.0)",
+    )
+    ap.add_argument(
+        "--event-core",
+        action="store_true",
+        help="treat report/baseline as event_core_baseline_v1 JSON from "
+        "bench_cluster_scale --event-diff and guard the core speedup "
+        "instead of the DynAIS ratio",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=4.0,
+        help="event-core mode: absolute floor on the single-thread core "
+        "speedup regardless of baseline (default: 4.0)",
+    )
+    ap.add_argument(
+        "--min-scale-eff",
+        type=float,
+        default=0.5,
+        help="event-core mode: minimum 8-worker scale efficiency, "
+        "enforced only when the host has >= 8 cpus (default: 0.5)",
     )
     ap.add_argument(
         "--trajectory",
@@ -139,6 +362,9 @@ def main():
             file=sys.stderr,
         )
         return 2
+
+    if args.event_core:
+        return run_event_core(args)
 
     try:
         bench = load_benchmarks(args.report)
@@ -222,7 +448,11 @@ def main():
                 f"{skipped} unparseable line(s)",
                 file=sys.stderr,
             )
-        mine = [e for e in history if e.get("machine") == args.machine]
+        mine = [
+            e for e in history
+            if e.get("machine") == args.machine
+            and e.get("kind", "dynais") == "dynais"
+        ]
         if mine:
             hist_median = median([float(e["ratio"]) for e in mine])
             drift_limit = hist_median * args.trajectory_drift_factor
@@ -248,6 +478,7 @@ def main():
             args.trajectory,
             {
                 "machine": args.machine,
+                "kind": "dynais",
                 "ratio": now_ratio,
                 "steady_ns": bench["BM_DynaisPush"],
                 "worst_ns": bench["BM_DynaisPushNonPeriodic"],

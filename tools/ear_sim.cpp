@@ -69,9 +69,13 @@ int usage() {
       "        (also spelled: ear_sim --chaos --faults PLAN)\n"
       "  facility [--nodes N] [--islands K] [--job-count J] [--budget W]\n"
       "        [--seed S] [--round S] [--faults PLAN] [--no-backfill]\n"
-      "        [--jobs N] [--check]\n"
+      "        [--jobs N] [--check] [--core reference|event|both]\n"
+      "        [--dither P]\n"
       "        heterogeneous islands + job queue + EARGM federation\n"
-      "        (--budget 0 = uncapped; --check fails on violations)\n"
+      "        (--budget 0 = uncapped; --check fails on violations;\n"
+      "         --core event = event-driven sharded engine, both = run\n"
+      "         the two engines and diff them — bitwise when --dither 0;\n"
+      "         --dither sets the UFS dither probability)\n"
       "  serve --spec FILE --store DIR [--jobs N] [--fresh]\n"
       "        [--halt-after N] [--slot-delay-ms MS]\n"
       "        crash-safe sweep service: run the spec's grid into a\n"
@@ -331,15 +335,59 @@ int cmd_facility(const common::ArgParser& args) {
   if (!plan_path.empty()) {
     cfg.fault_plan = faults::load_fault_plan(plan_path);
   }
+  cfg.ufs.dither_probability =
+      args.get("dither", cfg.ufs.dither_probability);
+
+  const std::string core = args.get("core", std::string("reference"));
+  if (core == "both") {
+    // In-process differential: the reference loop is the executable
+    // spec; with the dither gate closed the event core must match it
+    // bitwise, otherwise within the documented tolerance.
+    sim::FacilityConfig ev_cfg = cfg;
+    ev_cfg.core = sim::SimCore::kEvent;
+    cfg.core = sim::SimCore::kReference;
+    const sim::FacilityResult ref = sim::run_facility(cfg);
+    const sim::FacilityResult ev = sim::run_facility(ev_cfg);
+    sim::print_facility_report(ref);
+    const bool bitwise = cfg.ufs.dither_probability == 0.0;
+    double worst_rel = 0.0;
+    std::size_t mismatches = 0;
+    for (std::size_t j = 0; j < ref.jobs.size(); ++j) {
+      const double a = ev.jobs[j].energy_j;
+      const double b = ref.jobs[j].energy_j;
+      if (b != 0.0) worst_rel = std::max(worst_rel, std::fabs(a - b) /
+                                                        std::fabs(b));
+      if (a != b || ev.jobs[j].end_s != ref.jobs[j].end_s) ++mismatches;
+    }
+    const bool rounds_equal = ev.rounds == ref.rounds;
+    const bool energy_equal =
+        ev.facility_energy_j == ref.facility_energy_j;
+    const bool ok = bitwise
+                        ? (mismatches == 0 && rounds_equal && energy_equal)
+                        : worst_rel <= 0.02;
+    std::printf(
+        "event-vs-reference: %zu/%zu jobs %s, rounds %zu vs %zu, "
+        "facility energy rel diff %.3e, worst job rel diff %.3e -> %s\n",
+        ref.jobs.size() - mismatches, ref.jobs.size(),
+        bitwise ? "bitwise-equal" : "compared", ev.rounds, ref.rounds,
+        ref.facility_energy_j != 0.0
+            ? std::fabs(ev.facility_energy_j - ref.facility_energy_j) /
+                  std::fabs(ref.facility_energy_j)
+            : 0.0,
+        worst_rel, ok ? "OK" : "DIVERGED");
+    if (args.flag("check") && (!ok || !ref.violations.empty())) return 1;
+    return 0;
+  }
+  cfg.core = sim::parse_sim_core(core);
 
   const sim::FacilityResult result = sim::run_facility(cfg);
   sim::print_facility_report(result);
   std::printf("%s: %zu jobs over %zu nodes in %zu islands, %zu rounds, "
-              "%zu invariant violation(s)\n",
+              "%zu invariant violation(s) [%s core]\n",
               result.violations.empty() ? "facility campaign clean"
                                         : "FACILITY FAILURE",
               result.jobs.size(), nodes, islands, result.rounds,
-              result.violations.size());
+              result.violations.size(), sim::sim_core_name(cfg.core));
   if (args.flag("check") && !result.violations.empty()) return 1;
   return 0;
 }
